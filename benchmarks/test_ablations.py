@@ -1,0 +1,233 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips one implementation decision the paper argues for and
+measures the consequence on the synthetic workload:
+
+* segment size vs lock granularity (Section IV.A's sizing rule),
+* one-sided vs two-sided level-2 transport,
+* MPI_Type_indexed combining vs one Put per block,
+* lazy vs eager reads,
+* OCIO aggregator count and lock-aligned file domains.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench import BenchConfig, Method, run_benchmark
+from repro.bench.synthetic import _tcio_config
+from repro.cluster.lonestar import make_lonestar
+from repro.mpiio import IoHints
+from repro.simmpi.mpi import run_mpi
+from repro.tcio import TCIO_WRONLY, TcioConfig, TcioFile
+from repro.util.units import MIB
+
+NPROCS = 32
+LEN = 512
+
+
+def tcio_time(tcio_config_patch: dict, *, do_read=False) -> float:
+    """Simulated write (or read) seconds with patched TcioConfig fields.
+
+    A patched ``segment_size`` re-derives ``segments_per_process`` so the
+    level-2 capacity still covers the file exactly.
+    """
+    cfg = BenchConfig(method=Method.TCIO, len_array=LEN, nprocs=NPROCS, file_name="abl")
+    import repro.bench.synthetic as syn
+
+    orig = syn._tcio_config
+
+    def patched(bcfg, env):
+        base = orig(bcfg, env)
+        patch = dict(tcio_config_patch)
+        if "segment_size" in patch and "segments_per_process" not in patch:
+            sized = TcioConfig.sized_for(
+                bcfg.total_bytes, env.size, patch["segment_size"]
+            )
+            patch["segments_per_process"] = sized.segments_per_process
+        return replace(base, **patch)
+
+    syn._tcio_config = patched
+    try:
+        r = run_benchmark(cfg, do_read=do_read, do_write=True, verify=False)
+    finally:
+        syn._tcio_config = orig
+    assert not r.failed, r.fail_reason
+    return r.read_seconds if do_read else r.write_seconds
+
+
+class TestSegmentSizeRule:
+    """'we set segment size as the stripe size (the locking granularity)'"""
+
+    def test_sub_lock_segments_contend(self, benchmark):
+        def run_pair():
+            stripe = make_lonestar(nranks=NPROCS).lustre.stripe_size
+            at_rule = tcio_time({"segment_size": stripe})
+            below = tcio_time({"segment_size": stripe // 8})
+            return at_rule, below
+
+        at_rule, below = once(benchmark, run_pair)
+        print(f"\nsegment=S: {at_rule:.3g}s  segment=S/8: {below:.3g}s")
+        # Sub-lock segments force multiple writers into one lock unit at
+        # writeback and multiply per-request overheads.
+        assert below > at_rule
+
+    def test_oversized_segments_unbalance(self, benchmark):
+        def run_imbalance():
+            stripe = make_lonestar(nranks=NPROCS).lustre.stripe_size
+            counts = {}
+            for factor in (1, 4):
+                seg = stripe * factor
+                total = LEN * 12 * NPROCS
+
+                def main(env, seg=seg, total=total):
+                    cfg = TcioConfig.sized_for(total, env.size, seg)
+                    fh = TcioFile(env, "im", TCIO_WRONLY, cfg)
+                    fh.write_at(env.rank * total // env.size, b"x" * (total // env.size))
+                    fh.close()
+                    return len(fh.level2.owned_dirty_segments()) * seg
+
+                res = run_mpi(NPROCS, main, cluster=make_lonestar(nranks=NPROCS))
+                owned = res.returns
+                counts[factor] = max(owned) - min(owned)
+            return counts
+
+        counts = once(benchmark, run_imbalance)
+        print(f"\nlevel-2 byte imbalance: segment=S -> {counts[1]}, 4S -> {counts[4]}")
+        assert counts[4] >= counts[1]
+
+    def test_grossly_oversized_segments_exhaust_memory(self, benchmark):
+        """The other edge of the sizing rule: at 16x the lock granularity
+        the per-rank level-1 + level-2 slots no longer fit node memory
+        (cf. examples/segment_tuning.py)."""
+        from repro.util.errors import OutOfMemoryError
+
+        def run_oom():
+            stripe = make_lonestar(nranks=NPROCS).lustre.stripe_size
+            try:
+                tcio_time({"segment_size": stripe * 16})
+            except (OutOfMemoryError, AssertionError):
+                return True
+            return False
+
+        assert once(benchmark, run_oom)
+
+
+class TestOneSidedTransport:
+    def test_two_sided_emulation_is_slower(self, benchmark):
+        def run_pair():
+            one_sided = tcio_time({"use_rma": True})
+            two_sided = tcio_time({"use_rma": False})
+            return one_sided, two_sided
+
+        one_sided, two_sided = once(benchmark, run_pair)
+        print(f"\none-sided: {one_sided:.3g}s  two-sided: {two_sided:.3g}s")
+        # Two-sided flushes pay receive-side matching at the target.
+        assert two_sided > one_sided
+
+
+class TestIndexedCombining:
+    def test_per_block_puts_are_slower(self, benchmark):
+        def run_pair():
+            combined = tcio_time({"combine_indexed": True})
+            per_block = tcio_time({"combine_indexed": False})
+            return combined, per_block
+
+        combined, per_block = once(benchmark, run_pair)
+        print(f"\nindexed: {combined:.3g}s  per-block puts: {per_block:.3g}s")
+        # "a large number of network connections ... would degrade the
+        # performance" — every block pays its own message overheads.
+        assert per_block > combined
+
+
+class TestLazyReads:
+    def test_eager_reads_are_slower(self, benchmark):
+        def run_pair():
+            lazy = tcio_time({"lazy_reads": True}, do_read=True)
+            eager = tcio_time({"lazy_reads": False}, do_read=True)
+            return lazy, eager
+
+        lazy, eager = once(benchmark, run_pair)
+        print(f"\nlazy: {lazy:.3g}s  eager: {eager:.3g}s")
+        # Eager reads fetch per call: no batching by segment, no
+        # cross-call aggregation of one-sided gets.
+        assert eager > lazy
+
+
+class TestOcioKnobs:
+    def _ocio_time(self, hints: IoHints) -> float:
+        import repro.mpiio.file as mpf
+
+        cfg = BenchConfig(method=Method.OCIO, len_array=LEN, nprocs=NPROCS, file_name="ok")
+        orig_open = mpf.MpiFile.open.__func__
+
+        def patched(cls, env, name, mode=None, h=None, _orig=orig_open):
+            from repro.mpiio.file import MODE_CREATE, MODE_RDWR
+
+            return _orig(cls, env, name, mode or (MODE_RDWR | MODE_CREATE), hints)
+
+        mpf.MpiFile.open = classmethod(patched)
+        try:
+            r = run_benchmark(cfg, do_read=False, verify=False)
+        finally:
+            mpf.MpiFile.open = classmethod(orig_open)
+        return r.write_seconds
+
+    def test_unaligned_domains_cost_lock_conflicts(self, benchmark):
+        def run_pair():
+            aligned = self._ocio_time(IoHints(cb_align_stripes=True))
+            unaligned = self._ocio_time(IoHints(cb_align_stripes=False))
+            return aligned, unaligned
+
+        aligned, unaligned = once(benchmark, run_pair)
+        print(f"\naligned domains: {aligned:.3g}s  unaligned: {unaligned:.3g}s")
+        assert unaligned >= aligned
+
+    def test_fewer_aggregators_less_exchange(self, benchmark):
+        def run_pair():
+            all_aggs = self._ocio_time(IoHints())
+            few_aggs = self._ocio_time(IoHints(cb_nodes=max(2, NPROCS // 8)))
+            return all_aggs, few_aggs
+
+        all_aggs, few_aggs = once(benchmark, run_pair)
+        print(f"\naggregators=P: {all_aggs:.3g}s  aggregators=P/8: {few_aggs:.3g}s")
+        # Both must at least complete; report the trade-off.
+        assert all_aggs > 0 and few_aggs > 0
+
+
+class TestRoundsTradeOff:
+    """ROMIO's cb_buffer_size rounds: memory bounded, exchanges multiplied."""
+
+    def _run(self, hints: IoHints):
+        import repro.mpiio.file as mpf
+
+        cfg = BenchConfig(method=Method.OCIO, len_array=LEN, nprocs=NPROCS, file_name="rd")
+        orig_open = mpf.MpiFile.open.__func__
+
+        def patched(cls, env, name, mode=None, h=None, _orig=orig_open):
+            from repro.mpiio.file import MODE_CREATE, MODE_RDWR
+
+            return _orig(cls, env, name, mode or (MODE_RDWR | MODE_CREATE), hints)
+
+        mpf.MpiFile.open = classmethod(patched)
+        try:
+            return run_benchmark(cfg, do_read=False, verify=True)
+        finally:
+            mpf.MpiFile.open = classmethod(orig_open)
+
+    def test_rounds_bound_memory_at_a_time_cost(self, benchmark):
+        def run_pair():
+            whole = self._run(IoHints())
+            rounds = self._run(IoHints(cb_rounds_buffer=256))
+            return whole, rounds
+
+        whole, rounds = once(benchmark, run_pair)
+        mem_whole = whole.counters.get("write.ocio.write_all", (0, 0))
+        print(
+            f"\nwhole-domain: {whole.write_seconds:.3g}s"
+            f"  rounds(256B): {rounds.write_seconds:.3g}s"
+        )
+        # both verified byte-exact by run_benchmark; rounds pay extra
+        # synchronized exchanges
+        assert rounds.write_seconds >= whole.write_seconds

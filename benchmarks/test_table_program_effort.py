@@ -1,0 +1,22 @@
+"""Table III and the Program 2/3 effort comparison (programmatic)."""
+
+from benchmarks.conftest import once
+from repro.bench.config import Method
+from repro.experiments.programs_loc import program_listings
+from repro.experiments.table3_comparison import build_table3, table3_shape_holds
+
+
+def test_program_effort_metrics(benchmark):
+    sources, metrics, summary = once(benchmark, program_listings)
+    print("\n" + summary)
+    ocio, tcio = metrics[Method.OCIO], metrics[Method.TCIO]
+    # Program 2's three burdens vs Program 3's none
+    assert ocio.needs_combine_buffer and ocio.needs_derived_datatypes and ocio.needs_file_view
+    assert not (tcio.needs_combine_buffer or tcio.needs_derived_datatypes or tcio.needs_file_view)
+    assert ocio.statements > tcio.statements
+
+
+def test_table3_comparison(benchmark):
+    rows, rendered = once(benchmark, build_table3)
+    print("\n" + rendered)
+    assert table3_shape_holds(rows)

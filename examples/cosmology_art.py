@@ -1,0 +1,63 @@
+"""ART cosmology snapshots: dump and restart a forest of dynamic FTTs.
+
+Builds the Table IV workload at reduced size (normal-distributed segment
+lengths, round-robin over ranks), serializes every fully-threaded tree in
+the self-describing Fig. 8 record format, and compares TCIO against vanilla
+MPI-IO — the case where classic collective I/O cannot even be applied,
+because each tree is a run of many small arrays of dynamic sizes. Restart
+re-reads every record and verifies tree-by-tree equality. Run with::
+
+    python examples/cosmology_art.py
+"""
+
+from __future__ import annotations
+
+from repro.art import ArtConfig, ArtIoMethod, ArtWorkload, run_art
+from repro.art.layout import FttRecordLayout
+from repro.util.units import MIB
+
+NRANKS = 8
+SEGMENTS = 48
+
+
+def main() -> None:
+    workload = ArtWorkload(n_segments=SEGMENTS, cell_scale=64)
+    layout = FttRecordLayout()
+    sample = workload.build_tree(0)
+    print(
+        f"workload: {SEGMENTS} FTT segments over {NRANKS} ranks; sample tree: "
+        f"depth {sample.depth}, {sample.total_cells} cells, "
+        f"{layout.array_count(sample)} arrays, "
+        f"{layout.record_nbytes(sample)} bytes"
+    )
+    print(f"{'method':8s} {'dump MB/s':>12s} {'restart MB/s':>14s} {'snapshot':>10s}")
+    results = {}
+    for method in (ArtIoMethod.TCIO, ArtIoMethod.MPIIO):
+        cfg = ArtConfig(
+            workload=workload,
+            method=method,
+            nprocs=NRANKS,
+            file_name=f"art_{method.value}.dat",
+            verify=True,  # restart checks tree equality against the originals
+        )
+        res = run_art(cfg)
+        results[method] = res
+        print(
+            f"{method.value:8s} {res.dump_throughput / MIB:12.2f} "
+            f"{res.restart_throughput / MIB:14.2f} "
+            f"{res.snapshot_bytes / 1024:9.1f}K"
+        )
+    speedup_w = results[ArtIoMethod.TCIO].dump_throughput / results[
+        ArtIoMethod.MPIIO
+    ].dump_throughput
+    speedup_r = results[ArtIoMethod.TCIO].restart_throughput / results[
+        ArtIoMethod.MPIIO
+    ].restart_throughput
+    print(
+        f"\nTCIO speedup over vanilla MPI-IO: {speedup_w:.1f}x write, "
+        f"{speedup_r:.1f}x read (all restarts verified)"
+    )
+
+
+if __name__ == "__main__":
+    main()

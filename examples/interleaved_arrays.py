@@ -1,0 +1,52 @@
+"""The paper's Fig. 2 workload through all three I/O paths.
+
+Each of 16 processes owns an int array and a double array; same-index
+elements interleave into 12-byte blocks placed round-robin in one shared
+file. The example runs the workload through OCIO (Program 2), TCIO
+(Program 3) and vanilla independent MPI-IO, verifies the file is
+byte-identical each time, and prints write/read throughput. Run with::
+
+    python examples/interleaved_arrays.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import BenchConfig, Method, run_benchmark
+from repro.util.units import MIB
+
+NRANKS = 16
+LEN_ARRAY = 512  # elements per array per process
+
+
+def main() -> None:
+    print(
+        f"workload: {NRANKS} procs x 2 arrays (int32, float64) x "
+        f"{LEN_ARRAY} elements -> shared file of "
+        f"{NRANKS * LEN_ARRAY * 12 / MIB:.2f} MB\n"
+    )
+    print(f"{'method':8s} {'write MB/s':>12s} {'read MB/s':>12s}  notes")
+    for method in (Method.OCIO, Method.TCIO, Method.MPIIO):
+        cfg = BenchConfig(
+            method=method,
+            num_arrays=2,
+            type_codes="i,d",
+            len_array=LEN_ARRAY,
+            size_access=1,
+            nprocs=NRANKS,
+            file_name=f"interleaved_{method.name}.dat",
+        )
+        result = run_benchmark(cfg)  # verifies file contents byte-exactly
+        note = {
+            Method.OCIO: "combine buffer + file view + write_all",
+            Method.TCIO: "plain tcio_write_at calls",
+            Method.MPIIO: "one independent write per block",
+        }[method]
+        print(
+            f"{method.name:8s} {result.write_throughput / MIB:12.1f} "
+            f"{result.read_throughput / MIB:12.1f}  {note}"
+        )
+    print("\nall three shared files verified byte-identical to the reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Partitioned collective I/O: independent TCIO groups via MPI_Comm_split.
+
+Section II discusses ParColl, which fights the "collective wall" by
+splitting processes and files into disjoint groups that perform their
+aggregation independently. TCIO composes with that idea out of the box:
+every group runs its own transparent collective I/O on its own file over a
+sub-communicator — no code changes in the library.
+
+This example splits 16 ranks into 4 groups, each writing its own
+interleaved shared file through TCIO, then verifies all four files and
+compares against one global 16-rank group. Run with::
+
+    python examples/partitioned_groups.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import comm_split, run_mpi
+from repro.simmpi.mpi import RankEnv
+from repro.tcio import TCIO_WRONLY, TcioConfig, TcioFile
+from repro.util.units import MIB
+
+NRANKS = 16
+GROUPS = 4
+BLOCK = 256
+BLOCKS_PER_RANK = 32
+
+
+def payload(world_rank: int, i: int) -> bytes:
+    return bytes([(world_rank * 37 + i * 11) % 251 + 1]) * BLOCK
+
+
+def write_group_file(env: RankEnv, comm, name: str) -> None:
+    """The Fig. 2 interleaved pattern inside one (sub)communicator."""
+    total = BLOCK * BLOCKS_PER_RANK * comm.size
+    cfg = TcioConfig.sized_for(total, comm.size, env.pfs.spec.stripe_size)
+    fh = TcioFile(env, name, TCIO_WRONLY, cfg, comm=comm)
+    world_rank = comm.world_rank(comm.rank)
+    for i in range(BLOCKS_PER_RANK):
+        offset = (i * comm.size + comm.rank) * BLOCK
+        fh.write_at(offset, payload(world_rank, i))
+    fh.close()
+
+
+def partitioned(env: RankEnv) -> None:
+    group_id = env.rank % GROUPS
+    sub = comm_split(env.comm, color=group_id)
+    write_group_file(env, sub, f"group{group_id}.dat")
+
+
+def monolithic(env: RankEnv) -> None:
+    write_group_file(env, env.comm, "global.dat")
+
+
+def expected_group_file(group_id: int) -> bytes:
+    members = [r for r in range(NRANKS) if r % GROUPS == group_id]
+    out = bytearray()
+    for i in range(BLOCKS_PER_RANK):
+        for world_rank in members:
+            out += payload(world_rank, i)
+    return bytes(out)
+
+
+def main() -> None:
+    part = run_mpi(NRANKS, partitioned)
+    for g in range(GROUPS):
+        data = part.pfs.lookup(f"group{g}.dat").contents()
+        assert data == expected_group_file(g), f"group {g} mismatch"
+    mono = run_mpi(NRANKS, monolithic)
+
+    bytes_total = BLOCK * BLOCKS_PER_RANK * NRANKS
+    print(f"{NRANKS} ranks, {bytes_total / MIB:.2f} MB total")
+    print(
+        f"partitioned ({GROUPS} groups, 4 files): "
+        f"{bytes_total / part.elapsed / MIB:9.1f} MB/s   all files verified"
+    )
+    print(
+        f"monolithic  (1 group, 1 file):          "
+        f"{bytes_total / mono.elapsed / MIB:9.1f} MB/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

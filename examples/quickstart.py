@@ -1,0 +1,67 @@
+"""Quickstart: transparent collective I/O in a dozen lines per rank.
+
+Four simulated MPI ranks write interleaved records to one shared file with
+plain POSIX-like calls — no file views, no derived datatypes, no combine
+buffers — then read them back lazily. Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import run_mpi
+from repro.tcio import (
+    TCIO_RDONLY,
+    TCIO_WRONLY,
+    tcio_close,
+    tcio_fetch,
+    tcio_open,
+    tcio_read_at,
+    tcio_write_at,
+)
+
+NRANKS = 4
+RECORDS_PER_RANK = 8
+RECORD_BYTES = 64
+
+
+def record_payload(rank: int, i: int) -> bytes:
+    """A recognizable record: rank and index repeated."""
+    return np.full(RECORD_BYTES // 8, rank * 1000 + i, dtype=np.int64).tobytes()
+
+
+def main(env) -> str:
+    rank, nranks = env.rank, env.size
+
+    # ---- write: each rank drops its records round-robin in the file ----
+    fh = tcio_open(env, "quickstart.dat", TCIO_WRONLY)
+    for i in range(RECORDS_PER_RANK):
+        offset = (i * nranks + rank) * RECORD_BYTES
+        tcio_write_at(fh, offset, record_payload(rank, i))
+    tcio_close(fh)  # collective: level-2 buffers drain to the file system
+
+    # ---- read: lazy records, fetched in one shot -----------------------
+    fh = tcio_open(env, "quickstart.dat", TCIO_RDONLY)
+    dests = []
+    for i in range(RECORDS_PER_RANK):
+        offset = (i * nranks + rank) * RECORD_BYTES
+        buf = bytearray(RECORD_BYTES)
+        tcio_read_at(fh, offset, buf)  # records metadata only
+        dests.append((i, buf))
+    tcio_fetch(fh)  # data actually moves here
+    tcio_close(fh)
+
+    for i, buf in dests:
+        assert bytes(buf) == record_payload(rank, i), f"rank {rank} record {i}"
+    return f"rank {rank}: {RECORDS_PER_RANK} records verified"
+
+
+if __name__ == "__main__":
+    result = run_mpi(NRANKS, main)
+    for line in result.returns:
+        print(line)
+    f = result.pfs.lookup("quickstart.dat")
+    print(f"shared file: {f.size} bytes on a {f.layout.stripe_count}-OST layout")
+    print(f"simulated wall time: {result.elapsed * 1e6:.1f} us")

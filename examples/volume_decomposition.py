@@ -1,0 +1,110 @@
+"""Figure 1's motivation: a 3D computing volume mapped to one file.
+
+"Many applications need to map their multidimensional computing volume to
+one-dimensional file blocks in the eventual file order before performing
+I/O" — SCEC slices its volume into slabs, S3D into cubes; written cell by
+cell in x,y,z order each process owns many small noncontiguous blocks.
+
+This example decomposes a 16x16x16 volume into slabs (one per process) and
+writes the canonical x,y,z-ordered file three ways:
+
+* OCIO: an ``MPI_Type_create_subarray`` file view + one collective write,
+* TCIO: plain positional writes of each contiguous run — no view at all,
+* vanilla MPI-IO: one independent write per run.
+
+All three files are verified identical against the numpy reference. Run::
+
+    python examples/volume_decomposition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpiio import MpiFile
+from repro.simmpi import DOUBLE, Subarray, run_mpi
+from repro.tcio import TCIO_WRONLY, TcioConfig, TcioFile
+from repro.util.units import MIB
+
+N = 16  # volume is N^3 cells of one double each
+NRANKS = 4  # each process owns an N/NRANKS-thick slab in the *middle* axis
+
+
+def local_slab(rank: int) -> np.ndarray:
+    """The rank's slab of cell values (deterministic, verifiable)."""
+    thickness = N // NRANKS
+    x, y, z = np.meshgrid(
+        np.arange(N),
+        np.arange(rank * thickness, (rank + 1) * thickness),
+        np.arange(N),
+        indexing="ij",
+    )
+    return (x * N * N + y * N + z).astype(np.float64)
+
+
+def reference_volume() -> bytes:
+    """The full volume in canonical x,y,z file order."""
+    x, y, z = np.meshgrid(np.arange(N), np.arange(N), np.arange(N), indexing="ij")
+    return (x * N * N + y * N + z).astype(np.float64).tobytes()
+
+
+def write_ocio(env) -> None:
+    """Subarray file view + collective write: Program-2-style."""
+    thickness = N // NRANKS
+    filetype = Subarray(
+        sizes=[N, N, N],
+        subsizes=[N, thickness, N],
+        starts=[0, env.rank * thickness, 0],
+        base=DOUBLE,
+    )
+    fh = MpiFile.open(env, "volume_ocio.dat")
+    fh.set_view(0, DOUBLE, filetype)
+    fh.write_all(local_slab(env.rank))
+    fh.close()
+
+
+def write_tcio(env) -> None:
+    """Positional writes of each contiguous x-row run: no view needed."""
+    thickness = N // NRANKS
+    slab = local_slab(env.rank)
+    cfg = TcioConfig.sized_for(N * N * N * 8, env.size, env.pfs.spec.stripe_size)
+    fh = TcioFile(env, "volume_tcio.dat", TCIO_WRONLY, cfg)
+    for x in range(N):
+        for local_y in range(thickness):
+            y = env.rank * thickness + local_y
+            offset = (x * N * N + y * N) * 8  # start of this z-run
+            fh.write_at(offset, slab[x, local_y, :])
+    fh.close()
+
+
+def write_vanilla(env) -> None:
+    thickness = N // NRANKS
+    slab = local_slab(env.rank)
+    fh = MpiFile.open(env, "volume_mpiio.dat")
+    for x in range(N):
+        for local_y in range(thickness):
+            y = env.rank * thickness + local_y
+            fh.write_at((x * N * N + y * N) * 8, slab[x, local_y, :])
+    fh.close()
+
+
+def main() -> None:
+    expected = reference_volume()
+    print(
+        f"volume: {N}^3 doubles ({len(expected) / MIB:.2f} MB), "
+        f"{NRANKS} slab-decomposed processes\n"
+    )
+    for name, writer, fname in (
+        ("OCIO (subarray view + write_all)", write_ocio, "volume_ocio.dat"),
+        ("TCIO (plain positional writes)", write_tcio, "volume_tcio.dat"),
+        ("vanilla MPI-IO (independent)", write_vanilla, "volume_mpiio.dat"),
+    ):
+        result = run_mpi(NRANKS, writer)
+        data = result.pfs.lookup(fname).contents()
+        status = "verified" if data == expected else "MISMATCH"
+        rate = len(expected) / result.elapsed / MIB
+        print(f"{name:36s} {rate:9.1f} MB/s   file {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Reproduction of "A Transparent Collective I/O Implementation" (IPDPS'13).
+
+Subpackages
+-----------
+``repro.tcio``        the paper's contribution (transparent collective I/O)
+``repro.mpiio``       MPI-IO with file views + ROMIO-style two-phase (OCIO)
+``repro.simmpi``      simulated MPI (datatypes, pt2pt, collectives, RMA)
+``repro.pfs``         Lustre-like striped, lock-managed file system
+``repro.netsim``      interconnect model        ``repro.memsim``  memory budgets
+``repro.sim``         virtual-time event engine ``repro.cluster`` machine presets
+``repro.bench``       the synthetic benchmark   ``repro.art``     ART cosmology app
+``repro.experiments`` table/figure harnesses    ``repro.cli``     command line
+"""
+
+__version__ = "1.0.0"

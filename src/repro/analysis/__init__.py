@@ -1,0 +1,6 @@
+"""Post-run analysis: resource utilization and ASCII figure rendering."""
+
+from repro.analysis.postmortem import UtilizationReport, analyze_run
+from repro.analysis.charts import ascii_chart, log_scale_chart
+
+__all__ = ["UtilizationReport", "analyze_run", "ascii_chart", "log_scale_chart"]

@@ -1,0 +1,108 @@
+"""ASCII chart rendering for the figure harnesses.
+
+The paper's figures are line charts over process counts (Figs. 5, 9, 10 use
+a log y-axis) and grouped bars over file sizes (Figs. 6, 7). These helpers
+render the same data as fixed-width text so EXPERIMENTS.md and the console
+show the *shape* directly, without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+_MARKS = "o*x+#@"
+
+
+def _fmt(v: float) -> str:
+    if v >= 1000:
+        return f"{v:.0f}"
+    if v >= 10:
+        return f"{v:.1f}"
+    return f"{v:.2f}"
+
+
+def ascii_chart(
+    xs: Sequence[object],
+    series: dict[str, Sequence[Optional[float]]],
+    *,
+    height: int = 12,
+    log_y: bool = False,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one chart: one column group per x, one mark per series.
+
+    ``None`` points (failed/truncated runs, like OCIO's 48 GB OOM) simply
+    have no mark in their column — the truncated-curve look of the paper.
+    """
+    values = [
+        v for vs in series.values() for v in vs if v is not None and v > 0
+    ]
+    if not values or height < 3:
+        return "(no data)"
+    vmax = max(values)
+    vmin = min(values)
+    if log_y:
+        lo, hi = math.log10(vmin), math.log10(vmax)
+    else:
+        lo, hi = 0.0, vmax
+    if hi <= lo:
+        hi = lo + 1.0
+
+    def row_of(v: float) -> int:
+        scaled = math.log10(v) if log_y else v
+        frac = (scaled - lo) / (hi - lo)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    col_width = max(7, max(len(str(x)) for x in xs) + 2)
+    grid = [[" " * col_width for _ in xs] for _ in range(height)]
+    for si, (name, vs) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for xi, v in enumerate(vs):
+            if v is None or v <= 0:
+                continue
+            r = row_of(v)
+            cell = grid[r][xi]
+            mid = col_width // 2
+            cell = cell[:mid] + mark + cell[mid + 1 :]
+            grid[r][xi] = cell
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _fmt(10**hi if log_y else hi)
+    bottom_label = _fmt(10**lo if log_y else lo)
+    label_width = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for r in range(height - 1, -1, -1):
+        if r == height - 1:
+            label = top_label
+        elif r == 0:
+            label = bottom_label
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(grid[r]))
+    lines.append(" " * label_width + " +" + "-" * (col_width * len(xs)))
+    axis = "".join(f"{str(x):^{col_width}}" for x in xs)
+    lines.append(" " * label_width + "  " + axis)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def log_scale_chart(
+    xs: Sequence[object],
+    series: dict[str, Sequence[Optional[float]]],
+    *,
+    title: str = "",
+    y_label: str = "MB/s",
+    height: int = 12,
+) -> str:
+    """The paper's Figs. 9/10 style: log y-axis line chart."""
+    return ascii_chart(
+        xs, series, height=height, log_y=True, title=title, y_label=y_label
+    )

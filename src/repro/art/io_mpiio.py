@@ -1,0 +1,97 @@
+"""ART dump/restart through vanilla (independent) MPI-IO — the Fig. 9/10
+baseline: every small array is its own ``write_at``/``read_at``, paying
+per-request storage overhead and stripe-lock contention with every other
+rank's interleaved records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.art.decomposition import ArtWorkload
+from repro.art.ftt import FttTree
+from repro.art.io_common import (
+    INDEX_ENTRY,
+    LocalSegments,
+    header_prefix_nbytes,
+    index_nbytes,
+    parse_index,
+    record_offsets,
+)
+from repro.art.io_tcio import _exchange_sizes, _verify_trees
+from repro.art.layout import FttRecordLayout
+from repro.mpiio import MpiFile, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.simmpi.mpi import RankEnv
+
+
+def dump(
+    env: RankEnv,
+    workload: ArtWorkload,
+    local: LocalSegments,
+    name: str,
+    *,
+    per_array_cost: float = 0.0,
+) -> dict:
+    """Write the snapshot with one independent write per record array."""
+    layout = FttRecordLayout()
+    all_sizes = _exchange_sizes(env.comm, workload, local)
+    offsets = record_offsets(all_sizes, workload.n_segments)
+
+    fh = MpiFile.open(env, name, MODE_RDWR | MODE_CREATE)
+    writes = 0
+    if env.rank == 0:
+        fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
+        writes += 1
+    for seg, size in zip(local.segments, local.sizes):
+        fh.write_at(INDEX_ENTRY * (1 + seg), np.array([size], dtype=np.int64))
+        writes += 1
+    for seg, tree in zip(local.segments, local.trees):
+        env.compute(per_array_cost * layout.array_count(tree))
+        for off, data in layout.iter_write_ops(tree, offsets[seg]):
+            fh.write_at(off, data)
+            writes += 1
+    fh.close()
+    return {"write_calls": writes}
+
+
+def restart(
+    env: RankEnv,
+    workload: ArtWorkload,
+    name: str,
+    *,
+    verify: bool = True,
+    per_array_cost: float = 0.0,
+) -> dict:
+    """Read records back with per-array independent reads; verify trees."""
+    layout = FttRecordLayout()
+    fh = MpiFile.open(env, name, MODE_RDONLY)
+    reads = 1
+    idx = fh.read_at(0, index_nbytes(workload.n_segments))
+    sizes = parse_index(idx, workload.n_segments)
+    offsets = record_offsets(sizes, workload.n_segments)
+
+    my_segments = workload.segments_of(env.rank, env.comm.size)
+    trees: list[FttTree] = []
+    for seg in my_segments:
+        base = offsets[seg]
+        head = fh.read_at(base, header_prefix_nbytes())
+        reads += 1
+        _magic, _oct, nvars, depth, total_cells = np.frombuffer(head, np.int32)
+        struct_len = int(depth) * 4 + int(total_cells)
+        struct_buf = fh.read_at(base + len(head), struct_len)
+        reads += 1
+        values_base = base + len(head) + struct_len
+        pieces = []
+        pos = values_base
+        env.compute(per_array_cost * (3 + int(total_cells) * int(nvars)))
+        for _cell in range(int(total_cells)):
+            for _v in range(int(nvars)):
+                pieces.append(fh.read_at(pos, 8))
+                reads += 1
+                pos += 8
+        trees.append(layout.parse(head + struct_buf + b"".join(pieces)))
+    fh.close()
+
+    if verify:
+        _verify_trees(workload, my_segments, trees)
+    return {"read_calls": reads}

@@ -1,0 +1,27 @@
+"""The paper's synthetic benchmark (Section V.B).
+
+Simulates the Fig. 2 workload: each process holds ``NUMarray`` in-memory
+arrays whose same-index elements interleave into blocks placed round-robin
+in one shared file. The benchmark runs the same workload through three I/O
+methods (Table I): OCIO (Program 2: combine buffer + file view +
+``MPI_File_write_all``), TCIO (Program 3: plain ``tcio_write_at`` calls),
+and vanilla independent MPI-IO.
+"""
+
+from repro.bench.config import BenchConfig, Method
+from repro.bench.synthetic import (
+    reference_file_contents,
+    run_benchmark,
+    BenchResult,
+)
+from repro.bench.effort import effort_report, EffortMetrics
+
+__all__ = [
+    "BenchConfig",
+    "Method",
+    "reference_file_contents",
+    "run_benchmark",
+    "BenchResult",
+    "effort_report",
+    "EffortMetrics",
+]

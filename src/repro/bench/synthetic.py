@@ -1,0 +1,324 @@
+"""The synthetic benchmark: Programs 2 & 3 and the vanilla-MPI-IO variant.
+
+Workload (Fig. 2): process ``r`` owns ``NUMarray`` arrays; access ``i``
+writes ``SIZEaccess`` elements of each array, and the combined block lands
+at file offset ``r*block + i*block*P`` — small noncontiguous blocks from
+all processes, interleaved round-robin.
+
+Every run verifies the shared file byte-for-byte against
+:func:`reference_file_contents` before any throughput is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.config import BenchConfig, Method
+from repro.cluster.spec import ClusterSpec
+from repro.mpiio import MpiFile, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.simmpi import collectives
+from repro.simmpi.datatypes import BYTE, Contiguous
+from repro.simmpi.mpi import MpiRunResult, RankEnv, run_mpi
+from repro.sim.trace import TraceRecorder
+from repro.tcio import TCIO_RDONLY, TCIO_WRONLY, TcioConfig, TcioFile
+from repro.util.errors import BenchmarkError, OutOfMemoryError
+
+
+# ----------------------------------------------------------------------
+# workload construction (vectorized)
+# ----------------------------------------------------------------------
+
+
+def make_arrays(cfg: BenchConfig, rank: int) -> list[np.ndarray]:
+    """The rank's in-memory arrays, deterministically valued.
+
+    Array ``j`` holds ``(rank + 1) * (j + 1) + index`` cast to its dtype —
+    unique enough to catch any misplaced block in verification.
+    """
+    out = []
+    for j, t in enumerate(cfg.types):
+        base = np.arange(cfg.len_array, dtype=np.int64)
+        values = (rank + 1) * (j + 1) + base
+        out.append(values.astype(t.np_dtype))
+    return out
+
+
+def _rank_blocks(cfg: BenchConfig, rank: int) -> np.ndarray:
+    """(nblocks, block_size) uint8 matrix: the rank's file blocks in order."""
+    nblocks = cfg.len_array // cfg.size_access
+    blocks = np.empty((nblocks, cfg.block_size), dtype=np.uint8)
+    col = 0
+    for arr in make_arrays(cfg, rank):
+        width = cfg.size_access * arr.dtype.itemsize
+        view = arr.view(np.uint8).reshape(nblocks, width)
+        blocks[:, col : col + width] = view
+        col += width
+    return blocks
+
+
+def reference_file_contents(cfg: BenchConfig) -> bytes:
+    """The byte-exact expected shared file."""
+    nblocks = cfg.len_array // cfg.size_access
+    stacked = np.empty((nblocks, cfg.nprocs, cfg.block_size), dtype=np.uint8)
+    for r in range(cfg.nprocs):
+        stacked[:, r, :] = _rank_blocks(cfg, r)
+    return stacked.tobytes()
+
+
+# ----------------------------------------------------------------------
+# per-method writers
+# ----------------------------------------------------------------------
+
+
+def _combine_buffer(cfg: BenchConfig, rank: int, env: RankEnv) -> bytes:
+    """Program 2 steps 1-2: the application-level combine buffer.
+
+    Charged as one simulated allocation plus a memcpy of every byte —
+    exactly the work OCIO forces on the application.
+    """
+    blocks = _rank_blocks(cfg, rank)
+    env.compute(cfg.bytes_per_process / env.world.fabric.spec.memcpy_bandwidth)
+    return blocks.tobytes()
+
+
+def _ocio_write(env: RankEnv, cfg: BenchConfig) -> None:
+    """Program 2: combine + file view + one collective write."""
+    rank, P = env.rank, env.size
+    memory = env.world.memory
+    combine_alloc = memory.allocate(rank, cfg.bytes_per_process, "app.combine")
+    buf = _combine_buffer(cfg, rank, env)
+    etype = Contiguous(cfg.block_size, BYTE)
+    filetype = etype.vector(cfg.len_array // cfg.size_access, 1, P)
+    fh = MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE)
+    fh.set_view(rank * cfg.block_size, etype, filetype)
+    fh.write_all(buf)
+    fh.close()
+    memory.free(combine_alloc)
+
+
+def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
+    rank, P = env.rank, env.size
+    memory = env.world.memory
+    combine_alloc = memory.allocate(rank, cfg.bytes_per_process, "app.combine")
+    etype = Contiguous(cfg.block_size, BYTE)
+    filetype = etype.vector(cfg.len_array // cfg.size_access, 1, P)
+    fh = MpiFile.open(env, cfg.file_name, MODE_RDONLY)
+    fh.set_view(rank * cfg.block_size, etype, filetype)
+    data = fh.read_all(cfg.len_array // cfg.size_access, etype)
+    fh.close()
+    # Scatter the combine buffer back into the arrays (charged memcpy).
+    env.compute(cfg.bytes_per_process / env.world.fabric.spec.memcpy_bandwidth)
+    if verify and data != _rank_blocks(cfg, rank).tobytes():
+        raise BenchmarkError(f"rank {rank}: OCIO read returned wrong data")
+    memory.free(combine_alloc)
+
+
+def _tcio_config(cfg: BenchConfig, env: RankEnv) -> TcioConfig:
+    stripe = env.pfs.spec.stripe_size
+    return TcioConfig.sized_for(cfg.total_bytes, env.size, stripe)
+
+
+def _tcio_write(env: RankEnv, cfg: BenchConfig) -> dict:
+    """Program 3: per-block POSIX-style writes; TCIO does the rest."""
+    arrays = make_arrays(cfg, env.rank)
+    block = cfg.block_size
+    fh = TcioFile(env, cfg.file_name, TCIO_WRONLY, _tcio_config(cfg, env))
+    for i in range(0, cfg.len_array, cfg.size_access):
+        pos = env.rank * block + (i // cfg.size_access) * block * env.size
+        for arr in arrays:
+            fh.write_at(pos, arr[i : i + cfg.size_access])
+            pos += arr.dtype.itemsize * cfg.size_access
+    fh.close()
+    return fh.stats.as_dict()
+
+
+def _tcio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> dict:
+    rank, P = env.rank, env.size
+    block = cfg.block_size
+    sizes = [t.size for t in cfg.types]
+    dests = [np.empty(cfg.len_array, dtype=t.np_dtype) for t in cfg.types]
+    views = [memoryview(a).cast("B") for a in dests]
+    fh = TcioFile(env, cfg.file_name, TCIO_RDONLY, _tcio_config(cfg, env))
+    for i in range(0, cfg.len_array, cfg.size_access):
+        pos = rank * block + (i // cfg.size_access) * block * P
+        for j in range(cfg.num_arrays):
+            width = sizes[j] * cfg.size_access
+            lo = i * sizes[j]
+            fh.read_at(pos, views[j][lo : lo + width])
+            pos += width
+    fh.fetch()
+    fh.close()
+    if verify:
+        for got, exp in zip(dests, make_arrays(cfg, rank)):
+            if not np.array_equal(got, exp):
+                raise BenchmarkError(f"rank {rank}: TCIO read returned wrong data")
+    return fh.stats.as_dict()
+
+
+def _mpiio_write(env: RankEnv, cfg: BenchConfig) -> None:
+    """Vanilla MPI-IO: one independent write per block piece."""
+    arrays = make_arrays(cfg, env.rank)
+    block = cfg.block_size
+    fh = MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE)
+    for i in range(0, cfg.len_array, cfg.size_access):
+        pos = env.rank * block + (i // cfg.size_access) * block * env.size
+        for arr in arrays:
+            fh.write_at(pos, arr[i : i + cfg.size_access])
+            pos += arr.dtype.itemsize * cfg.size_access
+    fh.close()
+
+
+def _mpiio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
+    rank, P = env.rank, env.size
+    block = cfg.block_size
+    sizes = [t.size for t in cfg.types]
+    dests = [np.empty(cfg.len_array, dtype=t.np_dtype) for t in cfg.types]
+    views = [memoryview(a).cast("B") for a in dests]
+    fh = MpiFile.open(env, cfg.file_name, MODE_RDONLY)
+    for i in range(0, cfg.len_array, cfg.size_access):
+        pos = rank * block + (i // cfg.size_access) * block * P
+        for j in range(cfg.num_arrays):
+            width = sizes[j] * cfg.size_access
+            lo = i * sizes[j]
+            got = fh.read_at(pos, width)
+            views[j][lo : lo + width] = np.frombuffer(got, dtype=np.uint8)
+            pos += width
+    fh.close()
+    if verify:
+        for got, exp in zip(dests, make_arrays(cfg, rank)):
+            if not np.array_equal(got, exp):
+                raise BenchmarkError(f"rank {rank}: MPI-IO read returned wrong data")
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    """One benchmark configuration's outcome."""
+
+    config: BenchConfig
+    elapsed: float = 0.0
+    write_seconds: Optional[float] = None
+    read_seconds: Optional[float] = None
+    failed: bool = False
+    fail_reason: str = ""
+    tcio_stats: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def write_throughput(self) -> Optional[float]:
+        """Bytes/second of simulated time (None when failed/skipped)."""
+        if self.failed or not self.write_seconds:
+            return None
+        return self.config.total_bytes / self.write_seconds
+
+    @property
+    def read_throughput(self) -> Optional[float]:
+        """Bytes/second of simulated time (None when failed/skipped)."""
+        if self.failed or not self.read_seconds:
+            return None
+        return self.config.total_bytes / self.read_seconds
+
+
+def run_benchmark(
+    cfg: BenchConfig,
+    *,
+    cluster: Optional[ClusterSpec] = None,
+    do_write: bool = True,
+    do_read: bool = True,
+    verify: bool = True,
+    trace: Optional[TraceRecorder] = None,
+) -> BenchResult:
+    """Run one (method, parameters) point; returns timings + verification.
+
+    The write and read phases run as *separate simulated jobs*, matching
+    the paper's methodology (separate measurements: a fresh job starts
+    with cold network connections and matching queues). The read job's
+    file system is seeded with the bytes the write job produced (or the
+    reference contents if only reading). A simulated OOM (the Fig. 6/7
+    48 GB failure) is reported as ``failed=True,
+    fail_reason='out of memory'`` instead of raising.
+    """
+    result = BenchResult(config=cfg)
+    written: Optional[bytes] = None
+
+    def phase_main(phase: str):
+        def main(env: RankEnv):
+            memory = env.world.memory
+            arrays_alloc = memory.allocate(
+                env.rank, cfg.bytes_per_process, "app.arrays"
+            )
+            stats: dict = {}
+            collectives.barrier(env.comm)
+            t0 = env.now
+            if phase == "write":
+                if cfg.method is Method.OCIO:
+                    _ocio_write(env, cfg)
+                elif cfg.method is Method.TCIO:
+                    stats = _tcio_write(env, cfg)
+                else:
+                    _mpiio_write(env, cfg)
+            else:
+                if cfg.method is Method.OCIO:
+                    _ocio_read(env, cfg, verify)
+                elif cfg.method is Method.TCIO:
+                    stats = _tcio_read(env, cfg, verify)
+                else:
+                    _mpiio_read(env, cfg, verify)
+            collectives.barrier(env.comm)
+            memory.free(arrays_alloc)
+            return env.now - t0, stats
+
+        return main
+
+    try:
+        if do_write:
+            run: MpiRunResult = run_mpi(
+                cfg.nprocs, phase_main("write"), cluster=cluster, trace=trace
+            )
+            result.elapsed += run.elapsed
+            result.write_seconds = max(t for t, _ in run.returns)
+            result.tcio_stats = run.returns[0][1]
+            result.counters.update(
+                {f"write.{k}": v for k, v in run.trace.summary().items()}
+            )
+            written = run.pfs.lookup(cfg.file_name).contents()
+            if verify:
+                expected = reference_file_contents(cfg)
+                if written != expected:
+                    raise BenchmarkError(
+                        f"{cfg.method.name}: shared file mismatch "
+                        f"({len(written)} bytes vs {len(expected)} expected)"
+                    )
+        if do_read:
+            contents = written if written is not None else reference_file_contents(cfg)
+
+            def seed(pfs) -> None:
+                f = pfs.create(cfg.file_name)
+                f.write_bytes(0, contents)
+
+            run = run_mpi(
+                cfg.nprocs,
+                phase_main("read"),
+                cluster=cluster,
+                trace=trace,
+                pfs_init=seed,
+            )
+            result.elapsed += run.elapsed
+            result.read_seconds = max(t for t, _ in run.returns)
+            if run.returns[0][1]:
+                result.tcio_stats = run.returns[0][1]
+            result.counters.update(
+                {f"read.{k}": v for k, v in run.trace.summary().items()}
+            )
+    except OutOfMemoryError as exc:
+        result.failed = True
+        result.fail_reason = "out of memory"
+        result.counters["oom_detail"] = str(exc)
+    return result

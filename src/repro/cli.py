@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``      — print the calibrated machine model and scaling factors.
+``fig5``      — regenerate Figure 5 (``--smoke`` for the tiny grid).
+``fig67``     — regenerate Figures 6 & 7 (the 48 GB OOM).
+``fig910``    — regenerate Figures 9 & 10 (ART vs vanilla MPI-IO).
+``table3``    — regenerate Table III and the Program 2/3 effort metrics.
+``bench``     — run one synthetic-benchmark point and print its result.
+``report``    — run the full campaign and write EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util.units import MIB, format_size, format_time
+
+
+def _scale_arg(args) -> "object":
+    from repro.experiments.common import FULL, SMOKE
+
+    return SMOKE if args.smoke else FULL
+
+
+def cmd_info(args) -> int:
+    """Print the machine model and scaling factors."""
+    from repro.cluster.lonestar import (
+        LONESTAR_SCALE,
+        LONESTAR_STRIPE_SCALE,
+        full_scale_lonestar,
+        make_lonestar,
+    )
+
+    full, scaled = full_scale_lonestar(), make_lonestar()
+    print("Testbed model: TACC Lonestar (IPDPS'13 paper, Section V.A)")
+    print(f"  nodes: {full.nodes} x {full.cores_per_node} cores, "
+          f"{format_size(full.memory_per_node)}/node")
+    print(f"  Lustre: {full.lustre.n_osts} OSTs, "
+          f"{format_size(full.lustre.stripe_size)} stripes")
+    print(f"Simulation scale: sizes 1/{LONESTAR_SCALE}, "
+          f"stripe/lock granularity 1/{LONESTAR_STRIPE_SCALE}")
+    print(f"  scaled node memory: {format_size(scaled.memory_per_node)}")
+    print(f"  scaled stripe/segment: {format_size(scaled.lustre.stripe_size)}")
+    print(f"  calibrated per-event costs: see repro/cluster/lonestar.py")
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    """Regenerate Figure 5 and print its tables/charts."""
+    from repro.experiments.fig5_scaling import run_fig5
+
+    data = run_fig5(_scale_arg(args), verbose=True)
+    print(data.render())
+    return 0
+
+
+def cmd_fig67(args) -> int:
+    """Regenerate Figures 6 & 7 and print them."""
+    from repro.experiments.fig6_7_filesize import run_fig6_7
+
+    data = run_fig6_7(_scale_arg(args), verbose=True)
+    print(data.render())
+    return 0
+
+
+def cmd_fig910(args) -> int:
+    """Regenerate Figures 9 & 10 and print them."""
+    from repro.experiments.fig9_10_art import run_fig9_10
+
+    data = run_fig9_10(_scale_arg(args), verbose=True)
+    print(data.render())
+    return 0
+
+
+def cmd_table3(args) -> int:
+    """Regenerate Table III and the effort metrics."""
+    from repro.experiments.programs_loc import program_listings
+    from repro.experiments.table3_comparison import build_table3
+
+    _sources, _metrics, summary = program_listings()
+    _rows, rendered = build_table3()
+    print(summary)
+    print()
+    print(rendered)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run one synthetic-benchmark point and print throughputs."""
+    from repro.bench import BenchConfig, Method, run_benchmark
+
+    cfg = BenchConfig(
+        method=Method.parse(args.method),
+        num_arrays=args.arrays,
+        type_codes=args.types,
+        len_array=args.len,
+        size_access=args.access,
+        nprocs=args.procs,
+    )
+    result = run_benchmark(cfg)
+    if result.failed:
+        print(f"FAILED: {result.fail_reason}")
+        return 1
+    print(
+        f"{cfg.method.name}  procs={cfg.nprocs}  LEN={cfg.len_array}  "
+        f"file={format_size(cfg.total_bytes)}"
+    )
+    print(
+        f"  write: {result.write_throughput / MIB:8.1f} MB/s "
+        f"({format_time(result.write_seconds)})"
+    )
+    print(
+        f"  read:  {result.read_throughput / MIB:8.1f} MB/s "
+        f"({format_time(result.read_seconds)})"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run the full campaign and write EXPERIMENTS.md."""
+    from repro.experiments import report
+
+    return report.main(["--output", args.output] + (["--smoke"] if args.smoke else []))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the machine model").set_defaults(fn=cmd_info)
+
+    for name, fn, doc in (
+        ("fig5", cmd_fig5, "Figure 5: throughput vs processes"),
+        ("fig67", cmd_fig67, "Figures 6/7: throughput vs file size + OOM"),
+        ("fig910", cmd_fig910, "Figures 9/10: ART, TCIO vs vanilla MPI-IO"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("--smoke", action="store_true", help="tiny grid")
+        p.set_defaults(fn=fn)
+
+    sub.add_parser("table3", help="Table III + effort metrics").set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser("bench", help="run one synthetic benchmark point")
+    p.add_argument("--method", default="tcio", help="ocio | tcio | mpiio (or 0|1|2)")
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--len", type=int, default=512, help="LENarray (elements)")
+    p.add_argument("--arrays", type=int, default=2, help="NUMarray")
+    p.add_argument("--types", default="i,d", help="TYPEarray codes")
+    p.add_argument("--access", type=int, default=1, help="SIZEaccess")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("report", help="full campaign -> EXPERIMENTS.md")
+    p.add_argument("--output", default="EXPERIMENTS.md")
+    p.add_argument("--smoke", action="store_true")
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Cluster descriptions (testbed presets) for simulated jobs."""
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.lonestar import make_lonestar, LONESTAR_SCALE
+
+__all__ = ["ClusterSpec", "make_lonestar", "LONESTAR_SCALE"]

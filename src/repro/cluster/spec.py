@@ -1,0 +1,106 @@
+"""Cluster description: nodes, memory, interconnect, and file system.
+
+Scaling rule (see DESIGN.md): a cluster scaled by ``s`` divides every *size*
+(stripe size, node memory, eager limit) and every *fixed per-event time*
+(latencies, setup costs, request overheads) by ``s`` while keeping all
+*rates* (bandwidths) unchanged. The scaled system is then an exact time
+dilation of the full-size one — every ratio, crossover and throughput the
+figures depend on is preserved, while simulated workloads shrink by ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, TYPE_CHECKING
+
+from repro.netsim.model import NetworkSpec
+from repro.pfs.spec import LustreSpec
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pfs.filesystem import Pfs
+    from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A simulated machine."""
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    memory_per_node: int
+    network: NetworkSpec
+    lustre: LustreSpec
+    scale: int = 1
+
+    @property
+    def capacity(self) -> int:
+        """Maximum ranks (one per core)."""
+        return self.nodes * self.cores_per_node
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent cluster constants."""
+        if self.nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("cluster needs nodes and cores")
+        if self.memory_per_node < 1:
+            raise ValueError("node memory must be positive")
+        self.network.validate()
+        self.lustre.validate()
+
+    def scaled(self, scale: int, stripe_scale: Optional[int] = None) -> "ClusterSpec":
+        """Apply the size/time dilation described in the module docstring.
+
+        ``stripe_scale`` (default: ``scale``) divides the stripe/lock/segment
+        granularity separately. Using a smaller divisor than ``scale`` keeps
+        segments proportionally *larger* than at full size — "message-count
+        compression": per-run flush/lock message counts shrink with the data
+        while every bandwidth/capacity ratio stays intact (see DESIGN.md).
+        """
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        if stripe_scale is None:
+            stripe_scale = scale
+        if not (1 <= stripe_scale <= scale):
+            raise ValueError("stripe_scale must be in [1, scale]")
+        if scale == 1:
+            return self
+        net = replace(
+            self.network,
+            latency=self.network.latency / scale,
+            per_message_overhead=self.network.per_message_overhead / scale,
+            connection_setup=self.network.connection_setup / scale,
+            match_overhead=self.network.match_overhead / scale,
+            match_queue_overhead=self.network.match_queue_overhead / scale,
+            rma_epoch_overhead=self.network.rma_epoch_overhead / scale,
+            rma_shared_epoch_overhead=self.network.rma_shared_epoch_overhead / scale,
+            rma_message_overhead=self.network.rma_message_overhead / scale,
+            eager_limit=max(1, self.network.eager_limit // stripe_scale),
+        )
+        fs = replace(
+            self.lustre,
+            stripe_size=max(1, self.lustre.stripe_size // stripe_scale),
+            ost_write_overhead=self.lustre.ost_write_overhead / scale,
+            ost_read_overhead=self.lustre.ost_read_overhead / scale,
+            lock_latency=self.lustre.lock_latency / scale,
+        )
+        return replace(
+            self,
+            network=net,
+            lustre=fs,
+            memory_per_node=max(1, self.memory_per_node // scale),
+            scale=self.scale * scale,
+        )
+
+    def sized_for(self, nranks: int) -> "ClusterSpec":
+        """Shrink the node count to just fit *nranks* (keeps topology rules)."""
+        needed = -(-nranks // self.cores_per_node)
+        if needed > self.nodes:
+            raise ValueError(f"{nranks} ranks exceed {self.capacity} cores")
+        return replace(self, nodes=needed)
+
+    def build_pfs(self, engine: "Engine", trace: Optional[TraceRecorder] = None) -> "Pfs":
+        """Construct this cluster's parallel file system on *engine*."""
+        from repro.pfs.filesystem import Pfs
+
+        return Pfs(engine, self.lustre, n_client_nodes=self.nodes, trace=trace)

@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each harness regenerates its table or figure as data rows (printable via
+:mod:`repro.util.tables`) and exposes an acceptance check for the *shape*
+the paper reports (who wins, by roughly what factor, where crossovers and
+failures fall). ``repro.experiments.report`` assembles EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentScale, FULL, SMOKE
+from repro.experiments.fig5_scaling import run_fig5, Fig5Data
+from repro.experiments.fig6_7_filesize import run_fig6_7, Fig67Data
+from repro.experiments.fig9_10_art import run_fig9_10, Fig910Data
+from repro.experiments.table3_comparison import build_table3
+from repro.experiments.programs_loc import program_listings
+
+__all__ = [
+    "ExperimentScale",
+    "FULL",
+    "SMOKE",
+    "run_fig5",
+    "Fig5Data",
+    "run_fig6_7",
+    "Fig67Data",
+    "run_fig9_10",
+    "Fig910Data",
+    "build_table3",
+    "program_listings",
+]

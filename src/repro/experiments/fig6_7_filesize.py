@@ -1,0 +1,112 @@
+"""Figures 6 & 7: throughput vs. file size at 64 processes, and the OOM.
+
+Same configuration as Fig. 5 but NUMproc fixed at 64 and LENarray swept
+1M..64M elements (dataset 768 MB..48 GB at paper scale). The headline: at
+48 GB "the benchmark with OCIO fails to work" — each process would need the
+0.75 GB application combine buffer plus the 0.75 GB two-phase temporary
+buffer on top of its 0.75 GB of arrays, exceeding the 24 GB/12-core nodes —
+while TCIO (one segment-sized level-1 buffer + the level-2 share) completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench import BenchConfig, Method, run_benchmark
+from repro.experiments.common import FULL, ExperimentScale, paper_size_label
+from repro.util.tables import render_series
+from repro.util.units import MIB
+
+
+@dataclass
+class Fig67Data:
+    """Write (Fig. 6) and read (Fig. 7) series over dataset sizes."""
+
+    size_labels: list[str] = field(default_factory=list)
+    write: dict[str, list[Optional[float]]] = field(default_factory=dict)
+    read: dict[str, list[Optional[float]]] = field(default_factory=dict)
+    failures: dict[str, list[bool]] = field(default_factory=dict)
+    fail_reasons: dict[str, list[str]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Figures 6 and 7 as tables (failed runs shown as --)."""
+        def mbps(series: dict) -> dict:
+            return {
+                k: [None if v is None else round(v / MIB, 1) for v in vs]
+                for k, vs in series.items()
+            }
+
+        return (
+            render_series(
+                "dataset", self.size_labels, mbps(self.write),
+                title="Fig. 6: write throughput (MB/s); -- = failed run",
+            )
+            + "\n\n"
+            + render_series(
+                "dataset", self.size_labels, mbps(self.read),
+                title="Fig. 7: read throughput (MB/s); -- = failed run",
+            )
+        )
+
+    # -- acceptance checks ----------------------------------------------
+    def ocio_oom_at_largest_only(self) -> bool:
+        """Paper shape: OCIO fails at 48 GB and only there."""
+        flags = self.failures["OCIO"]
+        return bool(flags) and flags[-1] and not any(flags[:-1])
+
+    def tcio_completes_everywhere(self) -> bool:
+        """Paper shape: TCIO finishes every dataset size."""
+        return not any(self.failures["TCIO"])
+
+    def ocio_fails_from_memory(self) -> bool:
+        """Paper shape: the 48 GB failure is an out-of-memory."""
+        return self.fail_reasons["OCIO"][-1] == "out of memory"
+
+
+def run_fig6_7(
+    scale: ExperimentScale = FULL,
+    *,
+    verify: bool = True,
+    verbose: bool = False,
+) -> Fig67Data:
+    """Regenerate Figs. 6 and 7; returns both series plus failure flags."""
+    data = Fig67Data()
+    for method in (Method.TCIO, Method.OCIO):
+        data.write[method.name] = []
+        data.read[method.name] = []
+        data.failures[method.name] = []
+        data.fail_reasons[method.name] = []
+    nprocs = scale.filesize_procs
+    for len_array in scale.filesize_lens:
+        label = paper_size_label(len_array, nprocs)
+        data.size_labels.append(label)
+        for method in (Method.TCIO, Method.OCIO):
+            cfg = BenchConfig(
+                method=method,
+                num_arrays=2,
+                type_codes="i,d",
+                len_array=len_array,
+                size_access=1,
+                nprocs=nprocs,
+                file_name=f"fig67_{method.name}_{len_array}.dat",
+            )
+            result = run_benchmark(cfg, verify=verify)
+            data.write[method.name].append(result.write_throughput)
+            data.read[method.name].append(result.read_throughput)
+            data.failures[method.name].append(result.failed)
+            data.fail_reasons[method.name].append(result.fail_reason)
+            if verbose:  # pragma: no cover
+                if result.failed:
+                    print(f"fig6/7 {method.name} {label}: FAILED ({result.fail_reason})")
+                else:
+                    print(
+                        f"fig6/7 {method.name} {label}: "
+                        f"write {(result.write_throughput or 0) / MIB:.1f} MB/s, "
+                        f"read {(result.read_throughput or 0) / MIB:.1f} MB/s"
+                    )
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig6_7(verbose=True).render())

@@ -1,0 +1,125 @@
+"""Table III: OCIO vs TCIO, reproduced programmatically.
+
+Each row of the paper's qualitative table is derived from measurements of
+this repository's own implementations: the effort metrics come from static
+analysis of the executable Programs 2/3, and the memory row from the
+simulated per-process high-water allocations of an actual benchmark run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import BenchConfig, Method
+from repro.bench.effort import effort_report
+from repro.simmpi.mpi import RankEnv, run_mpi
+from repro.util.tables import render_table
+
+
+@dataclass
+class Table3Row:
+    """One reproduced row of Table III."""
+    aspect: str
+    ocio: str
+    tcio: str
+
+
+def _memory_breakdown(nprocs: int = 4, len_array: int = 1024) -> dict[str, dict[str, int]]:
+    """Peak simulated I/O-buffer bytes per method (one small run each).
+
+    The workload must dwarf one level-2 segment for the comparison to be
+    meaningful (at full scale each process holds 0.75 GB against 1 MB
+    segments), so this runs on a small-stripe cluster.
+    """
+    from repro.bench.synthetic import _ocio_write, _tcio_write
+    from repro.cluster.lonestar import make_lonestar
+    from dataclasses import replace as _replace
+
+    base = make_lonestar(nranks=nprocs)
+    cluster = _replace(
+        base, lustre=_replace(base.lustre, stripe_size=1024)
+    )
+    out: dict[str, dict[str, int]] = {}
+    for method, fn in ((Method.OCIO, _ocio_write), (Method.TCIO, _tcio_write)):
+        cfg = BenchConfig(
+            method=method,
+            len_array=len_array,
+            nprocs=nprocs,
+            file_name=f"table3_{method.name}.dat",
+        )
+
+        def main(env: RankEnv):
+            fn(env, cfg)
+
+        run = run_mpi(nprocs, main, cluster=cluster)
+        node0 = 0
+        out[method.name] = {
+            "high_water": run.world.memory.high_water(node0),
+        }
+    return out
+
+
+def build_table3() -> tuple[list[Table3Row], str]:
+    """The reproduced Table III rows plus a rendered ASCII table."""
+    efforts = effort_report()
+    ocio, tcio = efforts[Method.OCIO], efforts[Method.TCIO]
+    memory = _memory_breakdown()
+
+    rows = [
+        Table3Row(
+            "Application-level buffer",
+            "Yes" if ocio.needs_combine_buffer else "No",
+            "Yes" if tcio.needs_combine_buffer else "No",
+        ),
+        Table3Row(
+            "File view",
+            "Yes" if ocio.needs_file_view else "No",
+            "Yes" if tcio.needs_file_view else "No",
+        ),
+        Table3Row(
+            "Lines of code",
+            f"Many ({ocio.statements} statements)",
+            f"Few ({tcio.statements} statements)",
+        ),
+        Table3Row(
+            "Memory efficiency",
+            f"Poor (peak {memory['OCIO']['high_water']} B/node)",
+            f"High (peak {memory['TCIO']['high_water']} B/node)",
+        ),
+        Table3Row(
+            "Restriction",
+            "access patterns describable by MPI derived data types",
+            "any POSIX-like access pattern",
+        ),
+    ]
+    rendered = render_table(
+        ["Aspect", "Original collective I/O", "Transparent collective I/O"],
+        [[r.aspect, r.ocio, r.tcio] for r in rows],
+        title="Table III: comparison between OCIO and TCIO (measured)",
+    )
+    return rows, rendered
+
+
+def table3_shape_holds(rows: list[Table3Row]) -> bool:
+    """The paper's qualitative claims, as a checkable predicate."""
+    by_aspect = {r.aspect: r for r in rows}
+    buf = by_aspect["Application-level buffer"]
+    view = by_aspect["File view"]
+    loc = by_aspect["Lines of code"]
+    mem = by_aspect["Memory efficiency"]
+
+    def n(text: str) -> int:
+        return int("".join(c for c in text if c.isdigit()))
+
+    return (
+        buf.ocio == "Yes"
+        and buf.tcio == "No"
+        and view.ocio == "Yes"
+        and view.tcio == "No"
+        and n(loc.ocio) > n(loc.tcio)
+        and n(mem.ocio) > n(mem.tcio)
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(build_table3()[1])

@@ -1,0 +1,5 @@
+"""Simulated per-node memory accounting (for the Fig. 6/7 OOM behaviour)."""
+
+from repro.memsim.memory import MemoryTracker, Allocation
+
+__all__ = ["MemoryTracker", "Allocation"]

@@ -1,0 +1,27 @@
+"""MPI-IO on the simulated substrate.
+
+Implements the surface the paper's baselines need:
+
+* **File views** (``MPI_File_set_view`` with displacement/etype/filetype) —
+  the machinery OCIO requires applications to write (Program 2).
+* **Independent I/O** (``read_at``/``write_at``/``seek``/``read``/``write``)
+  with optional data sieving — "vanilla MPI-IO" in Figs. 9/10.
+* **Collective two-phase I/O** (``read_at_all``/``write_at_all``) — the
+  ROMIO algorithm: file domains from the aggregate min/max offsets,
+  all-to-all exchange over nonblocking two-sided messaging, aggregators
+  issuing large contiguous accesses. This is the paper's "OCIO".
+"""
+
+from repro.mpiio.fileview import FileView
+from repro.mpiio.file import MpiFile, MODE_RDONLY, MODE_WRONLY, MODE_RDWR, MODE_CREATE
+from repro.mpiio.hints import IoHints
+
+__all__ = [
+    "FileView",
+    "MpiFile",
+    "IoHints",
+    "MODE_RDONLY",
+    "MODE_WRONLY",
+    "MODE_RDWR",
+    "MODE_CREATE",
+]

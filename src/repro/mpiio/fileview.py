@@ -1,0 +1,150 @@
+"""File views: mapping a linear data stream onto noncontiguous file bytes.
+
+A view is ``(displacement, etype, filetype)``: the file appears to the rank
+as the concatenation of the *data* bytes of successive filetype tiles,
+starting at byte *displacement*. MPI file offsets count **etypes** within
+that stream. ``map_extents`` translates a (stream position, byte count)
+pair into the absolute file extents it touches — the single primitive both
+independent and collective I/O build on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.simmpi.datatypes import BYTE, Datatype
+from repro.util.errors import MpiIoError
+from repro.util.intervals import Extent
+
+
+class FileView:
+    """An immutable view; create via :meth:`repro.mpiio.file.MpiFile.set_view`."""
+
+    def __init__(
+        self,
+        displacement: int = 0,
+        etype: Datatype = BYTE,
+        filetype: Optional[Datatype] = None,
+    ):
+        if displacement < 0:
+            raise MpiIoError(f"negative view displacement {displacement}")
+        filetype = etype if filetype is None else filetype
+        if etype.size <= 0:
+            raise MpiIoError("etype must have positive size")
+        if filetype.size % etype.size != 0:
+            raise MpiIoError(
+                f"filetype size {filetype.size} is not a multiple of etype size {etype.size}"
+            )
+        if filetype.size == 0:
+            raise MpiIoError("filetype must contain data")
+        self.displacement = displacement
+        self.etype = etype
+        self.filetype = filetype
+        # Segment table of one filetype tile, with cumulative data offsets.
+        self._segments = filetype.segments  # ((file_off, length), ...)
+        self._cum = [0]
+        for _, length in self._segments:
+            self._cum.append(self._cum[-1] + length)
+        self._tile_data = self._cum[-1]  # == filetype.size
+        self._tile_extent = filetype.extent
+
+    @property
+    def is_contiguous(self) -> bool:
+        """Whether the view maps the stream to one unbroken byte range."""
+        return self.filetype.is_contiguous
+
+    # ------------------------------------------------------------------
+    def byte_offset(self, offset_etypes: int) -> int:
+        """Stream byte position of an MPI offset (counted in etypes)."""
+        if offset_etypes < 0:
+            raise MpiIoError(f"negative file offset {offset_etypes}")
+        return offset_etypes * self.etype.size
+
+    def map_extents(self, stream_pos: int, nbytes: int) -> list[Extent]:
+        """Absolute file extents for stream bytes [stream_pos, +nbytes).
+
+        Extents come back in stream order; adjacent-in-file extents are
+        merged. Raises when the byte range straddles a filetype hole in a
+        way that MPI forbids (it cannot: the stream skips holes by
+        definition — holes simply don't consume stream bytes).
+        """
+        if stream_pos < 0 or nbytes < 0:
+            raise MpiIoError(f"bad view range [{stream_pos}, +{nbytes})")
+        out: list[Extent] = []
+        remaining = nbytes
+        pos = stream_pos
+        while remaining > 0:
+            tile, within = divmod(pos, self._tile_data)
+            # Find the segment containing data offset `within` in the tile.
+            seg_idx = bisect.bisect_right(self._cum, within) - 1
+            seg_off, seg_len = self._segments[seg_idx]
+            into_seg = within - self._cum[seg_idx]
+            take = min(remaining, seg_len - into_seg)
+            file_start = (
+                self.displacement + tile * self._tile_extent + seg_off + into_seg
+            )
+            ext = Extent(file_start, file_start + take)
+            if out and out[-1].stop == ext.start:
+                out[-1] = Extent(out[-1].start, ext.stop)
+            else:
+                out.append(ext)
+            pos += take
+            remaining -= take
+        return out
+
+    def map_pieces(self, stream_pos: int, nbytes: int) -> list[tuple[Extent, int]]:
+        """Like :meth:`map_extents` but each extent carries the offset of its
+        first byte *within the request's data buffer* — what scatter/gather
+        and two-phase splitting need. Merged extents always map contiguous
+        buffer ranges, because merging only happens for stream-consecutive
+        pieces."""
+        if stream_pos < 0 or nbytes < 0:
+            raise MpiIoError(f"bad view range [{stream_pos}, +{nbytes})")
+        out: list[tuple[Extent, int]] = []
+        remaining = nbytes
+        pos = stream_pos
+        while remaining > 0:
+            tile, within = divmod(pos, self._tile_data)
+            seg_idx = bisect.bisect_right(self._cum, within) - 1
+            seg_off, seg_len = self._segments[seg_idx]
+            into_seg = within - self._cum[seg_idx]
+            take = min(remaining, seg_len - into_seg)
+            file_start = (
+                self.displacement + tile * self._tile_extent + seg_off + into_seg
+            )
+            ext = Extent(file_start, file_start + take)
+            if out and out[-1][0].stop == ext.start:
+                prev_ext, prev_mem = out[-1]
+                out[-1] = (Extent(prev_ext.start, ext.stop), prev_mem)
+            else:
+                out.append((ext, pos - stream_pos))
+            pos += take
+            remaining -= take
+        return out
+
+    def map_etype_extents(self, offset_etypes: int, count_etypes: int) -> list[Extent]:
+        """map_extents with MPI units: offset and count in etypes."""
+        return self.map_extents(
+            self.byte_offset(offset_etypes), count_etypes * self.etype.size
+        )
+
+    def stream_size_for(self, extent_stop: int) -> int:
+        """How many stream bytes map below absolute file offset *extent_stop*
+        (used to size reads that must cover a view region)."""
+        if extent_stop <= self.displacement:
+            return 0
+        span = extent_stop - self.displacement
+        tiles, rem = divmod(span, self._tile_extent) if self._tile_extent else (0, span)
+        covered = tiles * self._tile_data
+        for (seg_off, seg_len), cum in zip(self._segments, self._cum):
+            if seg_off >= rem:
+                break
+            covered += min(seg_len, rem - seg_off)
+        return covered
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FileView disp={self.displacement} etype={self.etype.size}B "
+            f"tile={self._tile_data}B/{self._tile_extent}B>"
+        )

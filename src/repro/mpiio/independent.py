@@ -1,0 +1,83 @@
+"""Independent (non-collective) I/O, with ROMIO-style data sieving.
+
+A contiguous-in-view access that is noncontiguous in the file becomes many
+small file requests; data sieving instead reads/writes the bounding extent
+once and scatters/gathers in memory. For writes the sieve is a
+read-modify-write (MPI's nonatomic default: concurrent overlapping writers
+are undefined, so the two storage calls need not be atomic together).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.intervals import Extent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpiio.file import MpiFile
+
+
+def _copy_cost(mf: "MpiFile", nbytes: int) -> None:
+    """Charge local scatter/gather memcpy time."""
+    if nbytes > 0:
+        mf.env.compute(nbytes / mf.env.world.fabric.spec.memcpy_bandwidth)
+
+
+def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
+    """Write *data* at view stream position *stream_pos*."""
+    if not data:
+        return
+    pieces = mf.view.map_pieces(stream_pos, len(data))
+    rank = mf.env.rank
+    if len(pieces) == 1:
+        ext, _ = pieces[0]
+        mf.client.write(mf.pfs_file, ext.start, data, owner=rank)
+        return
+    bounding = Extent(pieces[0][0].start, pieces[-1][0].stop)
+    useful = sum(e.length for e, _ in pieces)
+    hints = mf.hints
+    if hints.ds_write and useful >= hints.ds_hole_threshold * bounding.length:
+        # Sieve: read-modify-write under one exclusive lock (the two
+        # storage operations must be atomic against other sieving writers
+        # whose bounding extents overlap ours).
+        _copy_cost(mf, useful)
+        mf.client.write_sieved(
+            mf.pfs_file,
+            [(ext.start, data[mem_off : mem_off + ext.length]) for ext, mem_off in pieces],
+            owner=rank,
+        )
+        if mf.env.world.trace is not None:
+            mf.env.world.trace.count("mpiio.sieve_write", useful)
+        return
+    for ext, mem_off in pieces:
+        mf.client.write(
+            mf.pfs_file, ext.start, data[mem_off : mem_off + ext.length], owner=rank
+        )
+
+
+def read_view(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
+    """Read *nbytes* of the view stream starting at *stream_pos*."""
+    if nbytes == 0:
+        return b""
+    pieces = mf.view.map_pieces(stream_pos, nbytes)
+    rank = mf.env.rank
+    if len(pieces) == 1:
+        ext, _ = pieces[0]
+        return mf.client.read(mf.pfs_file, ext.start, ext.length, owner=rank)
+    bounding = Extent(pieces[0][0].start, pieces[-1][0].stop)
+    useful = sum(e.length for e, _ in pieces)
+    out = bytearray(nbytes)
+    hints = mf.hints
+    if hints.ds_read and useful >= hints.ds_hole_threshold * bounding.length:
+        blob = mf.client.read(mf.pfs_file, bounding.start, bounding.length, owner=rank)
+        for ext, mem_off in pieces:
+            lo = ext.start - bounding.start
+            out[mem_off : mem_off + ext.length] = blob[lo : lo + ext.length]
+        _copy_cost(mf, useful)
+        if mf.env.world.trace is not None:
+            mf.env.world.trace.count("mpiio.sieve_read", useful)
+    else:
+        for ext, mem_off in pieces:
+            chunk = mf.client.read(mf.pfs_file, ext.start, ext.length, owner=rank)
+            out[mem_off : mem_off + ext.length] = chunk
+    return bytes(out)

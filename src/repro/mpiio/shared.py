@@ -1,0 +1,105 @@
+"""Shared file pointers and nonblocking independent I/O.
+
+``read_shared``/``write_shared`` implement MPI's shared-file-pointer
+operations: all ranks advance one pointer, each call atomically claiming
+its region (a common log/append pattern). Nonblocking ``iwrite_at``/
+``iread_at`` return a request whose storage work is performed when the
+request is waited on — the deferred model real ROMIO uses for independent
+nonblocking I/O (it progresses inside MPI calls, which in practice means
+at the wait).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.simmpi.comm import Request
+from repro.util.errors import MpiIoError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpiio.file import MpiFile
+
+
+class _SharedPointer:
+    """The per-file shared pointer, kept in the world's shared registry."""
+
+    __slots__ = ("position",)
+
+    def __init__(self) -> None:
+        self.position = 0  # in etypes of the (common) view
+
+
+def _shared_pointer(mf: "MpiFile") -> _SharedPointer:
+    key = ("mpiio-shared-ptr", mf.pfs_file.name)
+    ptr = mf.env.world.shared.get(key)
+    if ptr is None:
+        ptr = _SharedPointer()
+        mf.env.world.shared[key] = ptr
+    return ptr
+
+
+def write_shared(mf: "MpiFile", data: bytes) -> int:
+    """Write at the shared pointer; atomically claims the region.
+
+    All ranks must use identical views (MPI's requirement for shared
+    pointers); offsets are claimed in arrival order at the (zero-cost)
+    pointer, then the write proceeds independently.
+    """
+    if len(data) % mf.view.etype.size != 0:
+        raise MpiIoError("shared write must be a whole number of etypes")
+    ptr = _shared_pointer(mf)
+    offset = ptr.position
+    ptr.position += len(data) // mf.view.etype.size
+    mf.write_at(offset, data)
+    return offset
+
+
+def read_shared(mf: "MpiFile", count: int) -> tuple[int, bytes]:
+    """Read ``count`` etypes at the shared pointer; returns (offset, data)."""
+    ptr = _shared_pointer(mf)
+    offset = ptr.position
+    ptr.position += count
+    return offset, mf.read_at(offset, count, mf.view.etype)
+
+
+# ----------------------------------------------------------------------
+# nonblocking independent I/O (deferred-at-wait)
+# ----------------------------------------------------------------------
+
+
+class IoRequest(Request):
+    """Request for a nonblocking file operation.
+
+    The operation runs when first waited on (or force-completed via
+    :meth:`progress`), matching ROMIO's progression model where
+    independent nonblocking I/O advances inside MPI calls.
+    """
+
+    __slots__ = ("_thunk", "result")
+
+    def __init__(self, kind: str, thunk):
+        super().__init__(kind)
+        self._thunk = thunk
+        self.result = None
+
+    def progress(self) -> None:
+        """Run the deferred operation now if it has not run yet."""
+        if not self.done:
+            self.result = self._thunk()
+            self._complete()
+
+    def wait(self) -> Optional[bytes]:  # type: ignore[override]
+        """Run the operation if needed and return its result."""
+        self.progress()
+        return self.result
+
+
+def iwrite_at(mf: "MpiFile", offset_etypes: int, data: bytes) -> IoRequest:
+    """Nonblocking independent write (deferred-at-wait)."""
+    payload = bytes(data)
+    return IoRequest("iwrite_at", lambda: mf.write_at(offset_etypes, payload))
+
+
+def iread_at(mf: "MpiFile", offset_etypes: int, count: int) -> IoRequest:
+    """Nonblocking independent read (deferred-at-wait)."""
+    return IoRequest("iread_at", lambda: mf.read_at(offset_etypes, count))

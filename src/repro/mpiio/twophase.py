@@ -1,0 +1,356 @@
+"""Two-phase collective I/O — the paper's "OCIO" (ROMIO's algorithm).
+
+Write path (Section III.A of the paper):
+
+1. Ranks allgather their min/max accessed file offsets; the aggregate
+   ``[gmin, gmax)`` region is divided into equal, disjoint *file domains*,
+   one per aggregator ("each region is assigned to a temporary buffer per
+   process").
+2. **Data exchange phase**: every rank splits its pieces by file domain and
+   ships them to the owning aggregators with nonblocking two-sided
+   messaging (irecvs first, then isends, then waitall) — the synchronized
+   all-to-all whose matching/connection costs grow with process count.
+3. **I/O phase**: each aggregator assembles its domain in a temporary
+   buffer sized like the whole domain (the memory behaviour behind the
+   Fig. 6 OOM) and issues one large contiguous storage access.
+
+The read path runs the phases in reverse: aggregators read their domains,
+then scatter requested blocks back to the requesting ranks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, TYPE_CHECKING
+
+from repro.simmpi import collectives
+from repro.simmpi.comm import CTX_COLL, pack_object, unpack_object, wait_all
+from repro.util.errors import MpiIoError
+from repro.util.intervals import Extent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpiio.file import MpiFile
+
+
+class FileDomains:
+    """The equal division of ``[gmin, gmax)`` over the aggregators."""
+
+    def __init__(self, gmin: int, gmax: int, naggs: int, align: int = 1):
+        if gmax < gmin:
+            raise MpiIoError(f"bad aggregate region [{gmin}, {gmax})")
+        if naggs < 1:
+            raise MpiIoError("need at least one aggregator")
+        self.gmin = gmin
+        self.gmax = gmax
+        self.naggs = naggs
+        total = gmax - gmin
+        base, rem = divmod(total, naggs)
+        bounds = [gmin]
+        for i in range(naggs):
+            size = base + (1 if i < rem else 0)
+            bounds.append(bounds[-1] + size)
+        if align > 1:
+            # Ablation: snap interior boundaries up to lock-unit multiples.
+            for i in range(1, naggs):
+                snapped = -(-(bounds[i] - gmin) // align) * align + gmin
+                bounds[i] = min(max(snapped, bounds[i - 1]), gmax)
+            bounds[naggs] = gmax
+        self.bounds = bounds
+
+    def domain(self, agg: int) -> Extent:
+        """Aggregator *agg*'s file domain extent."""
+        return Extent(self.bounds[agg], self.bounds[agg + 1])
+
+    def owner_of(self, offset: int) -> int:
+        """Aggregator whose domain contains file byte *offset*."""
+        if not (self.gmin <= offset < self.gmax):
+            raise MpiIoError(f"offset {offset} outside aggregate region")
+        idx = bisect.bisect_right(self.bounds, offset) - 1
+        return min(idx, self.naggs - 1)
+
+    def split(self, extent: Extent) -> list[tuple[int, Extent]]:
+        """Cut *extent* at domain boundaries: (aggregator, piece) pairs."""
+        out: list[tuple[int, Extent]] = []
+        pos = extent.start
+        while pos < extent.stop:
+            agg = self.owner_of(pos)
+            stop = min(extent.stop, self.bounds[agg + 1])
+            out.append((agg, Extent(pos, stop)))
+            pos = stop
+        return out
+
+
+def _setup(mf: "MpiFile", stream_pos: int, nbytes: int):
+    """Common prologue: local pieces, global region, file domains."""
+    comm = mf.comm
+    pieces = mf.view.map_pieces(stream_pos, nbytes) if nbytes else []
+    lo = pieces[0][0].start if pieces else None
+    hi = pieces[-1][0].stop if pieces else None
+    ranges = collectives.allgather(comm, (lo, hi))
+    los = [l for l, _ in ranges if l is not None]
+    his = [h for _, h in ranges if h is not None]
+    if not los:
+        return pieces, None
+    gmin, gmax = min(los), max(his)
+    naggs = mf.hints.cb_nodes or comm.size
+    naggs = min(naggs, comm.size)
+    align = mf.pfs_file.layout.stripe_size if mf.hints.cb_align_stripes else 1
+    domains = FileDomains(gmin, gmax, naggs, align)
+    return pieces, domains
+
+
+def _copy_cost(mf: "MpiFile", nbytes: int) -> None:
+    if nbytes > 0:
+        mf.env.compute(nbytes / mf.env.world.fabric.spec.memcpy_bandwidth)
+
+
+def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
+    """Collective write of *data* at view stream position *stream_pos*."""
+    if mf.hints.cb_rounds_buffer is not None:
+        return write_all_rounds(mf, stream_pos, data)
+    comm = mf.comm
+    rank, size = comm.rank, comm.size
+    world = mf.env.world
+    pieces, domains = _setup(mf, stream_pos, len(data))
+    if domains is None:
+        collectives.barrier(comm)
+        return
+
+    # ---- split local pieces by file domain --------------------------
+    send_lists: dict[int, list[tuple[int, bytes]]] = {}
+    for ext, mem_off in pieces:
+        for agg, piece in domains.split(ext):
+            block = data[mem_off + (piece.start - ext.start) : mem_off + (piece.stop - ext.start)]
+            send_lists.setdefault(agg, []).append((piece.start, block))
+    _copy_cost(mf, sum(e.length for e, _ in pieces))  # pack into messages
+
+    # ---- exchange counts, then the data (irecvs first, like ROMIO) --
+    out_counts = [0] * size
+    for agg, lst in send_lists.items():
+        out_counts[agg] = sum(len(b) for _, b in lst)
+    in_counts = collectives.alltoall(comm, out_counts)
+
+    tag = collectives._next_tag(comm)
+    my_domain: Optional[Extent] = None
+    tempbuf = None
+    alloc = None
+    if rank < domains.naggs:
+        my_domain = domains.domain(rank)
+        # The aggregator's temporary buffer spans its whole file domain —
+        # the allocation that OOMs at the paper's 48 GB point.
+        alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
+        tempbuf = bytearray(my_domain.length)
+    recv_reqs = [
+        (src, comm.irecv(src, tag, context=CTX_COLL))
+        for src in range(size)
+        if in_counts[src] > 0 and src != rank
+    ]
+    for agg, lst in send_lists.items():
+        if agg != rank:
+            comm.isend(pack_object(lst), agg, tag, context=CTX_COLL)
+
+    covered = 0
+    if my_domain is not None and tempbuf is not None:
+        local = send_lists.get(rank, [])
+        wait_all([req for _, req in recv_reqs])
+        incoming = [local] + [
+            unpack_object(req.payload) for _, req in recv_reqs
+        ]
+        for lst in incoming:
+            for off, block in lst:
+                lo = off - my_domain.start
+                tempbuf[lo : lo + len(block)] = block
+                covered += len(block)
+        _copy_cost(mf, covered)
+
+        # ---- I/O phase ------------------------------------------------
+        if my_domain.length > 0:
+            if covered < my_domain.length:
+                # Holes in the domain: read-modify-write to preserve them.
+                existing = mf.client.read(
+                    mf.pfs_file, my_domain.start, my_domain.length, owner=rank
+                )
+                merged = bytearray(existing)
+                for lst in incoming:
+                    for off, block in lst:
+                        lo = off - my_domain.start
+                        merged[lo : lo + len(block)] = block
+                tempbuf = merged
+            mf.client.write(mf.pfs_file, my_domain.start, bytes(tempbuf), owner=rank)
+        world.memory.free(alloc)
+    else:
+        wait_all([req for _, req in recv_reqs])
+
+    if world.trace is not None:
+        world.trace.count("ocio.write_all", len(data))
+    collectives.barrier(comm)
+
+
+def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
+    """Collective read; returns the requested view-stream bytes."""
+    comm = mf.comm
+    rank, size = comm.rank, comm.size
+    world = mf.env.world
+    pieces, domains = _setup(mf, stream_pos, nbytes)
+    if domains is None:
+        return b""
+
+    # ---- send my requests to the owning aggregators -----------------
+    request_lists: dict[int, list[tuple[int, int]]] = {}
+    for ext, _mem in pieces:
+        for agg, piece in domains.split(ext):
+            request_lists.setdefault(agg, []).append((piece.start, piece.length))
+    out_reqs = [request_lists.get(agg, []) for agg in range(size)]
+    in_reqs = collectives.alltoall(comm, out_reqs)
+
+    # ---- aggregators read their domains and serve --------------------
+    tag = collectives._next_tag(comm)
+    reply_reqs = [
+        (agg, comm.irecv(agg, tag, context=CTX_COLL))
+        for agg in sorted(request_lists)
+        if agg != rank
+    ]
+    served_local: list[tuple[int, bytes]] = []
+    if rank < domains.naggs:
+        my_domain = domains.domain(rank)
+        needed = any(in_reqs[src] for src in range(size))
+        if needed and my_domain.length > 0:
+            alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
+            blob = mf.client.read(
+                mf.pfs_file, my_domain.start, my_domain.length, owner=rank
+            )
+            for src in range(size):
+                if not in_reqs[src]:
+                    continue
+                blocks = [
+                    (off, blob[off - my_domain.start : off - my_domain.start + ln])
+                    for off, ln in in_reqs[src]
+                ]
+                _copy_cost(mf, sum(ln for _, ln in in_reqs[src]))
+                if src == rank:
+                    served_local = blocks
+                else:
+                    comm.isend(pack_object(blocks), src, tag, context=CTX_COLL)
+            world.memory.free(alloc)
+
+    # ---- assemble the local result ------------------------------------
+    received: dict[int, list[tuple[int, bytes]]] = {}
+    if served_local:
+        received[rank] = served_local
+    wait_all([req for _, req in reply_reqs])
+    for agg, req in reply_reqs:
+        received[agg] = unpack_object(req.payload)
+    out = bytearray(nbytes)
+    by_offset: dict[int, bytes] = {}
+    for blocks in received.values():
+        for off, block in blocks:
+            by_offset[off] = block
+    for ext, mem_off in pieces:
+        for _agg, piece in domains.split(ext):
+            block = by_offset[piece.start]
+            lo = mem_off + (piece.start - ext.start)
+            out[lo : lo + len(block)] = block
+    _copy_cost(mf, sum(e.length for e, _ in pieces))
+    if world.trace is not None:
+        world.trace.count("ocio.read_all", nbytes)
+    return bytes(out)
+
+
+def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
+    """Two-phase write in ROMIO's rounds (``cb_buffer_size``).
+
+    The aggregator's temporary buffer is capped at
+    ``hints.cb_rounds_buffer`` bytes: the exchange + I/O phases repeat over
+    successive slices of every file domain, bounding memory at the price
+    of one synchronized exchange per round — ROMIO's real memory/latency
+    trade-off (the paper's memory analysis assumes the whole-domain buffer,
+    hence Fig. 6's OOM; this is the ablation counterpart).
+    """
+    comm = mf.comm
+    rank, size = comm.rank, comm.size
+    world = mf.env.world
+    cap = mf.hints.cb_rounds_buffer
+    assert cap is not None
+    pieces, domains = _setup(mf, stream_pos, len(data))
+    if domains is None:
+        collectives.barrier(comm)
+        return
+
+    longest = max(domains.domain(a).length for a in range(domains.naggs))
+    n_rounds = max(1, -(-longest // cap))
+    my_domain = domains.domain(rank) if rank < domains.naggs else None
+    alloc = None
+    if my_domain is not None and my_domain.length:
+        alloc = world.memory.allocate(
+            rank, min(cap, my_domain.length), "ocio.round_buffer"
+        )
+
+    for rnd in range(n_rounds):
+        # This round's slice of every aggregator's domain.
+        def round_slice(agg: int) -> Extent:
+            d = domains.domain(agg)
+            lo = min(d.stop, d.start + rnd * cap)
+            hi = min(d.stop, lo + cap)
+            return Extent(lo, hi)
+
+        send_lists: dict[int, list[tuple[int, bytes]]] = {}
+        sent_bytes = 0
+        for ext, mem_off in pieces:
+            for agg, piece in domains.split(ext):
+                sl = round_slice(agg)
+                part = piece.intersect(sl)
+                if part.is_empty():
+                    continue
+                block = data[
+                    mem_off + (part.start - ext.start) : mem_off + (part.stop - ext.start)
+                ]
+                send_lists.setdefault(agg, []).append((part.start, block))
+                sent_bytes += len(block)
+        _copy_cost(mf, sent_bytes)
+
+        out_counts = [0] * size
+        for agg, lst in send_lists.items():
+            out_counts[agg] = sum(len(b) for _, b in lst)
+        in_counts = collectives.alltoall(comm, out_counts)
+
+        tag = collectives._next_tag(comm)
+        recv_reqs = [
+            (src, comm.irecv(src, tag, context=CTX_COLL))
+            for src in range(size)
+            if in_counts[src] > 0 and src != rank
+        ]
+        for agg, lst in send_lists.items():
+            if agg != rank:
+                comm.isend(pack_object(lst), agg, tag, context=CTX_COLL)
+        wait_all([req for _, req in recv_reqs])
+
+        if my_domain is not None:
+            sl = round_slice(rank)
+            if not sl.is_empty():
+                chunk = bytearray(sl.length)
+                covered = 0
+                incoming = [send_lists.get(rank, [])] + [
+                    unpack_object(req.payload) for _, req in recv_reqs
+                ]
+                for lst in incoming:
+                    for off, block in lst:
+                        lo = off - sl.start
+                        chunk[lo : lo + len(block)] = block
+                        covered += len(block)
+                _copy_cost(mf, covered)
+                if covered < sl.length:
+                    existing = mf.client.read(
+                        mf.pfs_file, sl.start, sl.length, owner=rank
+                    )
+                    merged = bytearray(existing)
+                    for lst in incoming:
+                        for off, block in lst:
+                            lo = off - sl.start
+                            merged[lo : lo + len(block)] = block
+                    chunk = merged
+                mf.client.write(mf.pfs_file, sl.start, bytes(chunk), owner=rank)
+    if alloc is not None:
+        world.memory.free(alloc)
+    if world.trace is not None:
+        world.trace.count("ocio.write_all_rounds", len(data))
+    collectives.barrier(comm)

@@ -1,0 +1,15 @@
+"""Simulated interconnect (InfiniBand-like fat tree, fluid approximation).
+
+Messages pipeline through three FIFO reservation servers — the sender NIC,
+the fabric core (aggregate bisection bandwidth), and the receiver NIC — plus
+a propagation latency and a one-time per-rank-pair connection setup cost.
+This reproduces the two effects the paper's analysis rests on: connection
+count (OCIO's all-to-all opens O(P^2) pairs, TCIO's one-sided traffic O(P))
+and burstiness (synchronized all-to-all exchanges saturate the shared core).
+"""
+
+from repro.netsim.model import NetworkSpec
+from repro.netsim.fabric import Fabric
+from repro.netsim.server import ReservationServer
+
+__all__ = ["NetworkSpec", "Fabric", "ReservationServer"]

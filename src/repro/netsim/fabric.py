@@ -1,0 +1,121 @@
+"""The interconnect fabric: rank-to-rank message timing and delivery.
+
+``Fabric.transfer`` computes, at submission time, when a message's last byte
+reaches the destination — pipelining it through the sender NIC, the fabric
+core and the receiver NIC — then schedules a single delivery callback on the
+engine. Intra-node messages bypass the NICs/core and use memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.netsim.model import NetworkSpec
+from repro.netsim.server import ReservationServer
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.util.errors import SimulationError
+
+
+class Fabric:
+    """Connects ``nranks`` ranks placed on nodes via ``node_of``.
+
+    Parameters
+    ----------
+    engine: the event engine providing virtual time.
+    spec: cost-model constants.
+    node_of: per-rank node index (ranks on one node share its NIC ports).
+    trace: optional trace recorder (counters ``net.msg``, ``net.bytes``,
+        ``net.connection``, ``net.intranode``).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: NetworkSpec,
+        node_of: Sequence[int],
+        trace: Optional[TraceRecorder] = None,
+    ):
+        spec.validate()
+        self.engine = engine
+        self.spec = spec
+        self.node_of = list(node_of)
+        self.trace = trace
+        n_nodes = (max(self.node_of) + 1) if self.node_of else 1
+        self.send_ports = [
+            ReservationServer(f"nic{n}.tx", spec.link_bandwidth, spec.per_message_overhead)
+            for n in range(n_nodes)
+        ]
+        self.recv_ports = [
+            ReservationServer(f"nic{n}.rx", spec.link_bandwidth, spec.per_message_overhead)
+            for n in range(n_nodes)
+        ]
+        self.core = ReservationServer("fabric.core", spec.fabric_bandwidth)
+        self.memory = [
+            ReservationServer(f"mem{n}", spec.memcpy_bandwidth, spec.per_message_overhead)
+            for n in range(n_nodes)
+        ]
+        self._connected: set[tuple[int, int]] = set()
+
+    @property
+    def n_connections(self) -> int:
+        """Distinct (source rank, destination rank) pairs seen so far."""
+        return len(self._connected)
+
+    def _node(self, rank: int) -> int:
+        try:
+            return self.node_of[rank]
+        except IndexError:
+            raise SimulationError(f"rank {rank} outside fabric") from None
+
+    def delivery_time(self, src: int, dst: int, nbytes: int, *, rma: bool = False) -> float:
+        """Reserve resources for one message; returns absolute delivery time.
+
+        ``rma=True`` marks NIC-offloaded one-sided traffic, which pays the
+        (much smaller) ``rma_message_overhead`` at each port instead of the
+        two-sided per-message CPU overhead.
+        """
+        now = self.engine.now
+        if nbytes < 0:
+            raise SimulationError("negative message size")
+        src_node = self._node(src)
+        dst_node = self._node(dst)
+        overhead = self.spec.rma_message_overhead if rma else None
+        if self.trace is not None:
+            self.trace.count("net.msg", nbytes)
+        if src_node == dst_node:
+            if self.trace is not None:
+                self.trace.count("net.intranode", nbytes)
+            return self.memory[src_node].reserve(now, nbytes, overhead)
+        start = now
+        pair = (src, dst)
+        if pair not in self._connected:
+            self._connected.add(pair)
+            start += self.spec.connection_setup
+            if self.trace is not None:
+                self.trace.count("net.connection")
+        t_tx = self.send_ports[src_node].reserve(start, nbytes, overhead)
+        t_core = self.core.reserve(t_tx, nbytes)
+        t_rx = self.recv_ports[dst_node].reserve(
+            t_core + self.spec.latency, nbytes, overhead
+        )
+        return t_rx
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        on_delivered: Callable[[], None],
+        *,
+        rma: bool = False,
+    ) -> float:
+        """Schedule *on_delivered* at the message's delivery time (returned)."""
+        t = self.delivery_time(src, dst, nbytes, rma=rma)
+        self.engine.schedule_at(t, on_delivered)
+        return t
+
+    def control_delay(self, src: int, dst: int, *, rma: bool = False) -> float:
+        """Delivery time for a zero-payload control message (handshakes,
+        lock requests). Shares ports/latency but carries no data bytes."""
+        return self.delivery_time(src, dst, 0, rma=rma)

@@ -1,0 +1,28 @@
+"""Simulated parallel file system (Lustre-like).
+
+Files are striped over object storage targets (OSTs); a distributed lock
+manager grants stripe-granularity extent locks (shared for reads, exclusive
+for writes); every byte written is really stored, so correctness is checked
+alongside timing. The paper's testbed: 30 OSTs, 1 MB stripes, and each file
+on a single OST by default — the configuration the experiments inherit
+(scaled), and the reason the lock granularity equals the stripe size in
+TCIO's segment-size rule.
+"""
+
+from repro.pfs.spec import LustreSpec
+from repro.pfs.layout import StripeLayout
+from repro.pfs.ost import Ost
+from repro.pfs.lockmgr import LockManager, LockMode
+from repro.pfs.file import PfsFile
+from repro.pfs.filesystem import Pfs, PfsClient
+
+__all__ = [
+    "LustreSpec",
+    "StripeLayout",
+    "Ost",
+    "LockManager",
+    "LockMode",
+    "PfsFile",
+    "Pfs",
+    "PfsClient",
+]

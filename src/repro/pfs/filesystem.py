@@ -1,0 +1,246 @@
+"""The file system front end: namespace plus per-node clients.
+
+A :class:`PfsClient` is what rank-side code calls. One ``read``/``write``
+is charged as: lock-server round trip, then (in parallel across OSTs, FIFO
+within each OST) per-request overhead + transfer at the direction's rate,
+bounded by the client node's storage link; the caller's simulated process
+sleeps until the last piece completes, then the lock releases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.netsim.server import ReservationServer
+from repro.pfs.file import PfsFile
+from repro.pfs.layout import StripeLayout
+from repro.pfs.lockmgr import LockMode
+from repro.pfs.ost import Ost
+from repro.pfs.spec import LustreSpec
+from repro.sim.engine import Engine, current_process
+from repro.sim.trace import TraceRecorder
+from repro.util.errors import PfsError
+from repro.util.intervals import Extent
+
+
+class Pfs:
+    """Namespace + OST pool of one simulated file system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        spec: LustreSpec,
+        n_client_nodes: int,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        spec.validate()
+        self.engine = engine
+        self.spec = spec
+        self.trace = trace
+        self.osts = [
+            Ost(
+                i,
+                spec.ost_write_bandwidth,
+                spec.ost_read_bandwidth,
+                spec.ost_write_overhead,
+                spec.ost_read_overhead,
+                spec.ost_write_noise,
+                spec.ost_read_noise,
+                spec.ost_client_scaling,
+            )
+            for i in range(spec.n_osts)
+        ]
+        self._client_links = [
+            ReservationServer(f"lnet{n}", spec.client_bandwidth)
+            for n in range(max(1, n_client_nodes))
+        ]
+        self._files: dict[str, PfsFile] = {}
+        self._next_first_ost = 0
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def create(self, name: str, *, stripe_count: Optional[int] = None) -> PfsFile:
+        """Create (or return existing) file; stripes start round-robin."""
+        if name in self._files:
+            return self._files[name]
+        count = self.spec.default_stripe_count if stripe_count is None else stripe_count
+        layout = StripeLayout(
+            stripe_size=self.spec.stripe_size,
+            stripe_count=count,
+            first_ost=self._next_first_ost,
+            n_osts=self.spec.n_osts,
+        )
+        self._next_first_ost = (self._next_first_ost + count) % self.spec.n_osts
+        f = PfsFile(name, layout, self.spec.lock_contention_penalty)
+        self._files[name] = f
+        return f
+
+    def lookup(self, name: str) -> PfsFile:
+        """The file named *name* (PfsError if absent)."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise PfsError(f"no such file: {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        """Whether *name* exists in the namespace."""
+        return name in self._files
+
+    def unlink(self, name: str) -> None:
+        """Remove *name* from the namespace (idempotent)."""
+        self._files.pop(name, None)
+
+    def list_files(self) -> Sequence[str]:
+        """Sorted names of all files."""
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    def client(self, node: int) -> "PfsClient":
+        """The storage client of compute node *node*."""
+        if not (0 <= node < len(self._client_links)):
+            raise PfsError(f"node {node} has no storage link")
+        return PfsClient(self, node)
+
+
+class PfsClient:
+    """The POSIX-ish per-node interface rank code uses."""
+
+    def __init__(self, pfs: Pfs, node: int):
+        self.pfs = pfs
+        self.node = node
+        self._link = pfs._client_links[node]
+
+    # ------------------------------------------------------------------
+    def write(self, file: PfsFile | str, offset: int, data: bytes | memoryview, *, owner: int = 0) -> None:
+        """Synchronous write of one contiguous extent."""
+        self._transfer(file, offset, data=data, nbytes=len(data), write=True, owner=owner)
+
+    def read(self, file: PfsFile | str, offset: int, nbytes: int, *, owner: int = 0) -> bytes:
+        """Synchronous read of one contiguous extent (holes read as zeros)."""
+        return self._transfer(file, offset, data=None, nbytes=nbytes, write=False, owner=owner)
+
+    def write_sieved(
+        self,
+        file: PfsFile | str,
+        pieces: list[tuple[int, bytes]],
+        *,
+        owner: int = 0,
+    ) -> None:
+        """Data-sieving write: read-modify-write of the bounding extent
+        under ONE exclusive lock.
+
+        Without the cross-operation lock, two clients whose sieve windows
+        overlap would resurrect stale bytes over each other's disjoint
+        data — the lost-update ROMIO's sieving locks exist to prevent.
+        """
+        f = self._resolve(file)
+        if not pieces:
+            return
+        proc = current_process()
+        proc.settle()
+        engine = self.pfs.engine
+        start_off = min(off for off, _ in pieces)
+        stop_off = max(off + len(b) for off, b in pieces)
+        extent = Extent(start_off, stop_off)
+        hits_before = f.locks.cache_hits
+        grant = f.locks.acquire(owner, LockMode.EXCLUSIVE, extent)
+        if f.locks.cache_hits == hits_before:
+            proc.charge(self.pfs.spec.lock_latency)
+        # read phase
+        now = engine.now
+        link_done = self._link.reserve(now, extent.length)
+        finish = link_done
+        for ost_idx, ost_pieces in f.layout.split_by_ost(extent).items():
+            ost = self.pfs.osts[ost_idx]
+            for piece in ost_pieces:
+                finish = max(
+                    finish,
+                    ost.reserve(link_done, piece.length, write=False, client=owner),
+                )
+        buf = bytearray(f.read_bytes(extent.start, extent.length))
+        for off, data in pieces:
+            buf[off - extent.start : off - extent.start + len(data)] = data
+        # write phase starts after the read completes
+        link_done = self._link.reserve(finish, extent.length)
+        w_finish = link_done
+        for ost_idx, ost_pieces in f.layout.split_by_ost(extent).items():
+            ost = self.pfs.osts[ost_idx]
+            for piece in ost_pieces:
+                w_finish = max(
+                    w_finish,
+                    ost.reserve(link_done, piece.length, write=True, client=owner),
+                )
+        f.write_bytes(extent.start, bytes(buf))
+        if w_finish > engine.now:
+            proc.charge(w_finish - engine.now)
+            engine.schedule_at(w_finish, lambda: f.locks.done(grant))
+        else:
+            f.locks.done(grant)
+        if self.pfs.trace is not None:
+            self.pfs.trace.count("pfs.sieved_write", sum(len(b) for _, b in pieces))
+
+    # ------------------------------------------------------------------
+    def _resolve(self, file: PfsFile | str) -> PfsFile:
+        return file if isinstance(file, PfsFile) else self.pfs.lookup(file)
+
+    def _transfer(
+        self,
+        file: PfsFile | str,
+        offset: int,
+        *,
+        data: Optional[bytes | memoryview],
+        nbytes: int,
+        write: bool,
+        owner: int,
+    ) -> bytes:
+        f = self._resolve(file)
+        proc = current_process()
+        proc.settle()
+        engine = self.pfs.engine
+        trace = self.pfs.trace
+        if nbytes == 0:
+            return b""
+        extent = Extent(offset, offset + nbytes)
+
+        # 1. The extent lock. A cached grant (Lustre client lock caching)
+        #    is free; an actual acquisition charges the lock-server round
+        #    trip, and contended acquires park the caller inside acquire().
+        mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
+        hits_before = f.locks.cache_hits
+        grant = f.locks.acquire(owner, mode, extent)
+        if f.locks.cache_hits == hits_before:
+            proc.charge(self.pfs.spec.lock_latency)
+        released = False
+        try:
+            # 2. The client link and the OSTs both reserve the transfer;
+            #    completion is the max over all per-OST pieces.
+            start = engine.now
+            finish = start
+            link_done = self._link.reserve(start, nbytes)
+            for ost_idx, pieces in f.layout.split_by_ost(extent).items():
+                ost = self.pfs.osts[ost_idx]
+                for piece in pieces:
+                    t = ost.reserve(link_done, piece.length, write=write, client=owner)
+                    finish = max(finish, t)
+            finish = max(finish, link_done)
+
+            # 3. Data lands/loads instantaneously at the commit point; the
+            #    caller's timeline advances to `finish` lazily, and the
+            #    lock releases (waking any waiter) exactly at `finish`.
+            if write:
+                assert data is not None
+                f.write_bytes(offset, data)
+                result = b""
+            else:
+                result = f.read_bytes(offset, nbytes)
+            if finish > engine.now:
+                proc.charge(finish - engine.now)
+                engine.schedule_at(finish, lambda: f.locks.done(grant))
+                released = True
+            if trace is not None:
+                trace.count("pfs.write" if write else "pfs.read", nbytes)
+            return result
+        finally:
+            if not released:
+                f.locks.done(grant)

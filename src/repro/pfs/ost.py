@@ -1,0 +1,112 @@
+"""Object storage targets: FIFO disk servers with asymmetric read/write rates.
+
+Service times optionally carry deterministic pseudo-random *production
+noise* (see :class:`repro.pfs.spec.LustreSpec`): request ``k`` of OST ``i``
+is stretched by a factor derived from a hash of ``(i, k)``, so runs stay
+bit-reproducible while synchronized I/O phases feel straggler effects.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import PfsError
+
+
+def _noise_fraction(index: int, request: int) -> float:
+    """Deterministic pseudo-uniform value in [0, 1) per (OST, request)."""
+    x = (index * 0x9E3779B97F4A7C15 + request * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 29
+    return (x & 0xFFFFFF) / float(1 << 24)
+
+
+class Ost:
+    """One storage server.
+
+    Requests reserve the server FIFO (virtual-clock model, one event per
+    request): a request of n bytes arriving at t starts at
+    ``max(t, busy_until)`` and runs ``overhead + n/rate`` seconds, with the
+    rate depending on direction.
+    """
+
+    __slots__ = (
+        "index",
+        "write_rate",
+        "read_rate",
+        "write_overhead",
+        "read_overhead",
+        "write_noise",
+        "read_noise",
+        "client_scaling",
+        "clients",
+        "busy_until",
+        "read_requests",
+        "write_requests",
+        "bytes_read",
+        "bytes_written",
+        "busy_time",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        write_rate: float,
+        read_rate: float,
+        write_overhead: float,
+        read_overhead: float,
+        write_noise: float = 0.0,
+        read_noise: float = 0.0,
+        client_scaling: float = 0.0,
+    ):
+        if write_rate <= 0 or read_rate <= 0:
+            raise PfsError("OST rates must be positive")
+        if write_overhead < 0 or read_overhead < 0:
+            raise PfsError("OST overhead must be >= 0")
+        self.index = index
+        self.write_rate = write_rate
+        self.read_rate = read_rate
+        self.write_overhead = write_overhead
+        self.read_overhead = read_overhead
+        self.write_noise = write_noise
+        self.read_noise = read_noise
+        self.client_scaling = client_scaling
+        self.clients: set[int] = set()
+        self.busy_until = 0.0
+        self.read_requests = 0
+        self.write_requests = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time = 0.0
+
+    def reserve(
+        self, arrival: float, nbytes: int, *, write: bool, client: int = 0
+    ) -> float:
+        """Reserve one request; returns its completion time."""
+        if nbytes < 0:
+            raise PfsError("negative request size")
+        rate = self.write_rate if write else self.read_rate
+        overhead = self.write_overhead if write else self.read_overhead
+        noise = self.write_noise if write else self.read_noise
+        if self.client_scaling:
+            self.clients.add(client)
+            overhead *= 1.0 + self.client_scaling * len(self.clients)
+        start = arrival if arrival > self.busy_until else self.busy_until
+        service = overhead + nbytes / rate
+        if noise:
+            request_no = self.write_requests + self.read_requests
+            service *= 1.0 + noise * _noise_fraction(self.index, request_no)
+        self.busy_until = start + service
+        self.busy_time += service
+        if write:
+            self.write_requests += 1
+            self.bytes_written += nbytes
+        else:
+            self.read_requests += 1
+            self.bytes_read += nbytes
+        return self.busy_until
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Ost {self.index} reqs={self.read_requests}r/{self.write_requests}w "
+            f"busy_until={self.busy_until:.6f}>"
+        )

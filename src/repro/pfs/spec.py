@@ -1,0 +1,93 @@
+"""Parallel-file-system parameterization (the paper's Lustre, scaled)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MIB
+
+
+@dataclass(frozen=True)
+class LustreSpec:
+    """Cost/layout constants for the simulated file system.
+
+    Attributes
+    ----------
+    n_osts:
+        Object storage targets in the system (Lonestar: 30).
+    stripe_size:
+        Bytes per stripe unit; also the lock granularity. (Lonestar: 1 MB;
+        scaled presets divide it together with all data sizes.)
+    default_stripe_count:
+        OSTs a new file is striped over. The paper: "By default, each file
+        is stored on a single OST. We use the default setting."
+    ost_write_bandwidth / ost_read_bandwidth:
+        Sustained bytes/s per OST. Reads are faster than writes (server
+        caches, RAID read-ahead), matching Fig. 5's read curves sitting
+        well above the write curves.
+    ost_write_overhead / ost_read_overhead:
+        Fixed seconds per I/O request reaching an OST (seek + RPC +
+        journal commit for writes; reads are far cheaper thanks to
+        server-side read-ahead and caches). This is what makes many small
+        requests catastrophically slower than few large ones — the effect
+        collective I/O exists to fix.
+    lock_latency:
+        Round-trip seconds to the lock server per acquire/release pair.
+    client_bandwidth:
+        Bytes/s of a compute node's storage link (LNET router share).
+    ost_client_scaling:
+        Per-request service-time inflation per distinct client an OST has
+        served: ``overhead *= 1 + coeff * clients``. Storage servers
+        schedule per-client RPC streams, hold per-export state, and their
+        request queues deepen with client count — the reason the paper's
+        vanilla-MPI-IO ART runs blew past 90 minutes once 512+ processes
+        hammered the same OSTs with tiny requests.
+    lock_contention_penalty:
+        Extra seconds charged per conflicting holder/waiter when a lock
+        request finds its extent contended — the distributed-lock-manager
+        callback/revocation round trips real Lustre pays to pull a lock
+        away. This is what makes fine-grained interleaved writers degrade
+        *superlinearly* with client count (ART's vanilla MPI-IO path).
+    ost_read_noise / ost_write_noise:
+        Production-mode service variability: each request's service time
+        is multiplied by ``1 + U*noise`` with a deterministic per-request
+        pseudo-uniform ``U`` in [0, 1). The paper's runs shared Lonestar's
+        Lustre with other jobs ("experiments were conducted during the
+        production mode") — synchronized two-phase I/O waits for the
+        slowest request of every phase, while independent pipelined
+        accesses absorb the jitter; reads vary more (server cache hit vs
+        miss).
+    """
+
+    n_osts: int = 30
+    stripe_size: int = 1 * MIB
+    default_stripe_count: int = 1
+    ost_write_bandwidth: float = 350.0 * MIB
+    ost_read_bandwidth: float = 1200.0 * MIB
+    ost_write_overhead: float = 8000.0e-6
+    ost_read_overhead: float = 1000.0e-6
+    lock_latency: float = 60.0e-6
+    client_bandwidth: float = 1400.0 * MIB
+    ost_read_noise: float = 0.0
+    ost_write_noise: float = 0.0
+    ost_client_scaling: float = 0.0
+    lock_contention_penalty: float = 0.0
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent constants."""
+        if self.n_osts < 1:
+            raise ValueError("need at least one OST")
+        if self.stripe_size < 1:
+            raise ValueError("stripe size must be positive")
+        if not (1 <= self.default_stripe_count <= self.n_osts):
+            raise ValueError("stripe count must be in [1, n_osts]")
+        if min(self.ost_write_bandwidth, self.ost_read_bandwidth, self.client_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if min(self.ost_write_overhead, self.ost_read_overhead, self.lock_latency) < 0:
+            raise ValueError("latencies must be >= 0")
+        if self.ost_read_noise < 0 or self.ost_write_noise < 0:
+            raise ValueError("noise amplitudes must be >= 0")
+        if self.lock_contention_penalty < 0:
+            raise ValueError("lock_contention_penalty must be >= 0")
+        if self.ost_client_scaling < 0:
+            raise ValueError("ost_client_scaling must be >= 0")

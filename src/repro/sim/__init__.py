@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation engine.
+
+The whole reproduction runs on virtual time: rank programs execute in
+cooperative OS threads, exactly one of which runs at any instant, and every
+blocking operation (message delivery, RMA completion, storage transfer, lock
+wait) is an event on the engine's heap. Ties are broken by insertion order,
+so simulations replay bit-identically.
+"""
+
+from repro.sim.engine import Engine, current_engine, current_process
+from repro.sim.process import SimProcess
+from repro.sim.sync import SimEvent, SimSemaphore, SimBarrier, SimMutex
+from repro.sim.trace import TraceRecorder, Counter
+
+__all__ = [
+    "Engine",
+    "current_engine",
+    "current_process",
+    "SimProcess",
+    "SimEvent",
+    "SimSemaphore",
+    "SimBarrier",
+    "SimMutex",
+    "TraceRecorder",
+    "Counter",
+]

@@ -1,0 +1,176 @@
+"""Cooperative simulated processes (one per MPI rank).
+
+A :class:`SimProcess` wraps a user callable in an OS thread that only runs
+while it holds the engine's baton. The callable blocks by calling
+:meth:`SimProcess.block`, and anything holding a reference can resume it by
+scheduling :meth:`SimProcess.wake` on the engine — never directly, so every
+resume is ordered by the event heap and runs at a well-defined virtual time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.util.errors import SimulationError
+
+from repro.sim import engine as _engine_mod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+# 1 MiB is plenty for our call depths and keeps 1024-rank simulations cheap.
+_STACK_SIZE = 1 << 20
+
+
+class _Killed(BaseException):
+    """Raised inside a process thread to unwind it during engine teardown."""
+
+
+class SimProcess:
+    """A simulated process: a rank program plus its scheduling state."""
+
+    def __init__(self, engine: "Engine", name: str, target: Callable[[], None]):
+        self.engine = engine
+        self.name = name
+        self._target = target
+        self._thread: Optional[threading.Thread] = None
+        self._resume_gate = _engine_mod.Gate()
+        self._wake_value: Any = None
+        self._blocked = False
+        self._killed = False
+        self._pending_delay = 0.0  # lazily-charged local compute time
+        self.alive = False
+        self.wait_reason: Optional[str] = None
+        self.start_time: float = 0.0
+        self.end_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle (engine side)
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(_STACK_SIZE)
+        except (ValueError, RuntimeError):  # pragma: no cover - platform quirk
+            pass
+        try:
+            self._thread = threading.Thread(
+                target=self._run, name=f"sim:{self.name}", daemon=True
+            )
+            self.alive = True
+            self._thread.start()
+        finally:
+            try:
+                threading.stack_size(old_stack)
+            except (ValueError, RuntimeError):  # pragma: no cover
+                pass
+        # First activation happens through the heap at time 0 so process
+        # startup interleaves deterministically with pre-scheduled events.
+        self.engine.schedule(0.0, self._activate)
+
+    def _run(self) -> None:
+        self._resume_gate.wait()
+        _engine_mod._tls.engine = self.engine
+        _engine_mod._tls.process = self
+        try:
+            if not self._killed:
+                self.start_time = self.engine.now
+                self._target()
+        except _Killed:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - forwarded to engine
+            self.engine._report_failure(exc)
+        finally:
+            self.alive = False
+            self.end_time = self.engine.now
+            _engine_mod._tls.engine = None
+            _engine_mod._tls.process = None
+            self.engine._yield_to_engine()
+
+    def _activate(self) -> None:
+        """Engine-side: transfer the baton into this process."""
+        if not self.alive:
+            raise SimulationError(f"{self.name}: activated after termination")
+        self.engine._enter_process(self)
+
+    def _kill(self) -> None:
+        """Engine-side teardown: unwind the thread if still alive."""
+        if not self.alive or self._thread is None:
+            return
+        self._killed = True
+        # Wake the thread so it observes the kill flag and unwinds.
+        self._wake_value = None
+        self._resume_gate.set()
+        self._thread.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # blocking (process side)
+    # ------------------------------------------------------------------
+    def block(self, reason: str) -> Any:
+        """Suspend the calling process until :meth:`wake`; returns its value.
+
+        Must be called from this process's own thread.
+        """
+        if _engine_mod.current_process() is not self:
+            raise SimulationError("a process may only block itself")
+        self._blocked = True
+        self.wait_reason = reason
+        self.engine._yield_to_engine()
+        self._resume_gate.wait()
+        if self._killed:
+            raise _Killed()
+        self.wait_reason = None
+        value, self._wake_value = self._wake_value, None
+        return value
+
+    def wake(self, value: Any = None, *, delay: float = 0.0) -> None:
+        """Schedule this process to resume after *delay* simulated seconds.
+
+        Safe to call from the engine or from any other process; the resume
+        itself always goes through the event heap.
+        """
+
+        def resume() -> None:
+            if not self._blocked:
+                raise SimulationError(f"{self.name}: woken while not blocked")
+            self._blocked = False
+            self._wake_value = value
+            self.engine._enter_process(self)
+
+        self.engine.schedule(delay, resume)
+
+    def sleep(self, duration: float) -> None:
+        """Advance this process's local time by *duration*.
+
+        This is how rank code charges itself simulated compute/copy cost.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative sleep: {duration}")
+        if duration == 0:
+            return
+        self.wake(delay=duration)
+        self.block(f"sleep({duration:g})")
+
+    def charge(self, duration: float) -> None:
+        """Accumulate local compute time without switching to the engine.
+
+        A per-call ``sleep`` costs a real thread handoff; code on hot paths
+        (every buffered write charges a memcpy) calls ``charge`` instead and
+        the accrued time elapses at the next :meth:`settle` point — every
+        communication or storage primitive settles on entry, so ordering
+        against other ranks is preserved.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative charge: {duration}")
+        self._pending_delay += duration
+
+    def settle(self) -> None:
+        """Let accrued :meth:`charge` time elapse (at most one handoff)."""
+        if self._pending_delay > 0.0:
+            delay, self._pending_delay = self._pending_delay, 0.0
+            self.sleep(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        state = "alive" if self.alive else "done"
+        return f"<SimProcess {self.name} {state}>"

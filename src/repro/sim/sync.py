@@ -1,0 +1,158 @@
+"""Synchronization primitives for simulated processes.
+
+These are *virtual-time* primitives: waiters park via
+:meth:`SimProcess.block` and are resumed through the engine heap, so wait
+order is deterministic (FIFO) and wakeups carry values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import current_process
+from repro.sim.process import SimProcess
+from repro.util.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot or repeating value-carrying event.
+
+    ``wait()`` parks the caller; ``fire(value)`` wakes *all* current waiters
+    with that value. If the event was already fired and ``sticky`` is true,
+    later waiters return immediately with the stored value.
+    """
+
+    def __init__(self, name: str = "event", *, sticky: bool = False):
+        self.name = name
+        self.sticky = sticky
+        self._fired = False
+        self._value: Any = None
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event has fired at least once."""
+        return self._fired
+
+    def wait(self) -> Any:
+        """Park the calling process until the next fire (returns its value)."""
+        proc = current_process()
+        proc.settle()
+        if self.sticky and self._fired:
+            return self._value
+        self._waiters.append(proc)
+        return proc.block(f"wait:{self.name}")
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current waiters with *value*."""
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, deque()
+        for proc in waiters:
+            proc.wake(value)
+
+
+class SimSemaphore:
+    """Counting semaphore with FIFO wakeups."""
+
+    def __init__(self, value: int = 0, name: str = "sem"):
+        if value < 0:
+            raise SimulationError("semaphore initial value must be >= 0")
+        self.name = name
+        self._value = value
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def value(self) -> int:
+        """Available permits."""
+        return self._value
+
+    def acquire(self) -> None:
+        """Take a permit, parking FIFO when none are available."""
+        if self._value > 0:
+            self._value -= 1
+            return
+        proc = current_process()
+        self._waiters.append(proc)
+        proc.block(f"acquire:{self.name}")
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* permits, waking FIFO waiters first."""
+        for _ in range(n):
+            if self._waiters:
+                self._waiters.popleft().wake()
+            else:
+                self._value += 1
+
+
+class SimMutex:
+    """FIFO mutual exclusion; the holder is tracked for diagnostics."""
+
+    def __init__(self, name: str = "mutex"):
+        self.name = name
+        self._holder: Optional[SimProcess] = None
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def locked(self) -> bool:
+        """Whether some process holds the mutex."""
+        return self._holder is not None
+
+    def acquire(self) -> None:
+        """Enter the mutex, parking FIFO while another process holds it."""
+        proc = current_process()
+        if self._holder is None:
+            self._holder = proc
+            return
+        if self._holder is proc:
+            raise SimulationError(f"{self.name}: recursive acquire")
+        self._waiters.append(proc)
+        proc.block(f"lock:{self.name}")
+
+    def release(self) -> None:
+        """Leave the mutex, handing it to the oldest waiter."""
+        proc = current_process()
+        if self._holder is not proc:
+            raise SimulationError(f"{self.name}: release by non-holder")
+        if self._waiters:
+            self._holder = self._waiters.popleft()
+            self._holder.wake()
+        else:
+            self._holder = None
+
+    def __enter__(self) -> "SimMutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class SimBarrier:
+    """An N-party reusable barrier.
+
+    Used by the simulated ``MPI_Barrier`` (plus a latency model layered on
+    top in :mod:`repro.simmpi.collectives`).
+    """
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.name = name
+        self.parties = parties
+        self._generation = 0
+        self._arrived: Deque[SimProcess] = deque()
+
+    def wait(self) -> int:
+        """Park until all parties arrive; returns the barrier generation."""
+        gen = self._generation
+        if len(self._arrived) + 1 == self.parties:
+            self._generation += 1
+            waiters, self._arrived = self._arrived, deque()
+            for proc in waiters:
+                proc.wake(gen)
+            return gen
+        proc = current_process()
+        self._arrived.append(proc)
+        return proc.block(f"barrier:{self.name}")

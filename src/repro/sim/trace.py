@@ -1,0 +1,70 @@
+"""Counters and event traces for simulated runs.
+
+Experiments assert *mechanisms*, not just end-to-end times: e.g. that OCIO's
+all-to-all exchange opens O(P^2) point-to-point connections while TCIO's
+one-sided flushes open O(P), or that lazy loading coalesces reads. Substrate
+layers increment named counters on a :class:`TraceRecorder`; tests and
+benchmark reports read them back.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Counter:
+    """A (count, total) accumulator, e.g. (#messages, total bytes)."""
+
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, amount: float = 0.0) -> None:
+        """Count one occurrence of *amount* units."""
+        self.count += 1
+        self.total += amount
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event (only stored when event tracing is enabled)."""
+
+    time: float
+    name: str
+    detail: dict = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects counters and (optionally) a full event log."""
+
+    def __init__(self, *, record_events: bool = False):
+        self.counters: dict[str, Counter] = defaultdict(Counter)
+        self.record_events = record_events
+        self.events: list[TraceEvent] = []
+
+    def count(self, name: str, amount: float = 0.0) -> None:
+        """Increment counter *name* by one occurrence of *amount* units."""
+        self.counters[name].add(amount)
+
+    def event(self, time: float, name: str, **detail: object) -> None:
+        """Count and (when enabled) record a timestamped event."""
+        self.count(name)
+        if self.record_events:
+            self.events.append(TraceEvent(time, name, dict(detail)))
+
+    def __getitem__(self, name: str) -> Counter:
+        return self.counters[name]
+
+    def get(self, name: str) -> Counter:
+        """Counter for *name* without creating it (zero counter if absent)."""
+        return self.counters.get(name, Counter())
+
+    def names(self) -> Iterator[str]:
+        """Counter names, sorted."""
+        return iter(sorted(self.counters))
+
+    def summary(self) -> dict[str, tuple[int, float]]:
+        """Mapping of counter name to (count, total)."""
+        return {name: (c.count, c.total) for name, c in sorted(self.counters.items())}

@@ -1,0 +1,260 @@
+"""Collective operations built on simulated point-to-point messaging.
+
+Algorithms follow the classic MPICH choices: dissemination barrier,
+binomial-tree broadcast/reduce, recursive allgather, and the pairwise
+(post-all-irecv, post-all-isend, waitall) all-to-all that the paper
+describes for ROMIO's exchange phase. Every collective allocates a fresh
+tag from the communicator's collective sequence so back-to-back collectives
+never cross-match.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.simmpi.comm import (
+    CTX_COLL,
+    Communicator,
+    Request,
+    pack_object,
+    unpack_object,
+    wait_all,
+)
+from repro.sim.engine import current_process
+from repro.sim.sync import SimBarrier
+from repro.util.errors import MpiError
+
+
+def _next_tag(comm: Communicator) -> int:
+    comm._coll_seq += 1
+    return comm._coll_seq
+
+
+# ----------------------------------------------------------------------
+# barrier
+# ----------------------------------------------------------------------
+
+
+def barrier(comm: Communicator) -> None:
+    """Barrier with a dissemination-algorithm cost model.
+
+    Semantically a counter barrier (everyone leaves when the last rank
+    arrives — one thread handoff per rank); each rank is charged the
+    per-rank cost of ceil(log2 P) dissemination rounds of small messages,
+    so the modeled time matches the message implementation without paying
+    P*log(P) real context switches per call.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    tag = _next_tag(comm)
+    proc = current_process()
+    rounds = max(1, (size - 1).bit_length())
+    spec = comm.world.fabric.spec
+    per_round = (
+        spec.latency + 2.0 * spec.per_message_overhead + spec.match_overhead
+    )
+    proc.charge(rounds * per_round)
+    proc.settle()
+    key = ("coll-barrier", comm._comm_id)
+    bar = comm.world.shared.get(key)
+    if bar is None:
+        bar = SimBarrier(size, name=f"mpi-barrier-{comm._comm_id}")
+        comm.world.shared[key] = bar
+    bar.wait()
+    del tag
+
+
+# ----------------------------------------------------------------------
+# broadcast / gather / allgather
+# ----------------------------------------------------------------------
+
+
+def bcast(comm: Communicator, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast of a Python object; returns it on every rank."""
+    size, rank = comm.size, comm.rank
+    if not (0 <= root < size):
+        raise MpiError(f"bad bcast root {root}")
+    if size == 1:
+        return obj
+    tag = _next_tag(comm)
+    vrank = (rank - root) % size  # virtual rank with root at 0
+    payload: bytes | None = pack_object(obj) if rank == root else None
+    if vrank != 0:
+        # Receive from parent: clear the lowest set bit of vrank.
+        parent_v = vrank & (vrank - 1)
+        parent = (parent_v + root) % size
+        payload = comm.recv(parent, tag, context=CTX_COLL)
+    assert payload is not None
+    # Forward to children: vrank | (1 << k) for k above our lowest set bit.
+    low = _lowest_set_bit_exclusive(vrank, size)
+    mask = 1
+    while mask < low:
+        child_v = vrank | mask
+        if child_v < size:
+            comm.isend(payload, (child_v + root) % size, tag, context=CTX_COLL)
+        mask <<= 1
+    return unpack_object(payload)
+
+
+def _lowest_set_bit_exclusive(vrank: int, size: int) -> int:
+    """The range of child masks for binomial trees: below vrank's lowest set
+    bit, or the full tree span for the (virtual) root."""
+    if vrank == 0:
+        span = 1
+        while span < size:
+            span <<= 1
+        return span
+    return vrank & (-vrank)
+
+
+def gather(comm: Communicator, obj: Any, root: int = 0) -> Optional[list[Any]]:
+    """Gather one object per rank to *root* (list indexed by rank) else None.
+
+    Flat gather (each rank sends straight to the root): simple, and exactly
+    how ROMIO collects per-rank access metadata.
+    """
+    size, rank = comm.size, comm.rank
+    if not (0 <= root < size):
+        raise MpiError(f"bad gather root {root}")
+    tag = _next_tag(comm)
+    if rank != root:
+        comm.send_object(obj, root, tag, context=CTX_COLL)
+        return None
+    out: list[Any] = [None] * size
+    out[root] = obj
+    reqs = [(src, comm.irecv(src, tag, context=CTX_COLL)) for src in range(size) if src != root]
+    wait_all([req for _, req in reqs])
+    for src, req in reqs:
+        payload = req.payload
+        assert payload is not None
+        out[src] = unpack_object(payload)
+    return out
+
+
+def scatter(comm: Communicator, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+    """MPI_Scatter of Python objects: entry *i* of the root's list goes to
+    rank *i*; returns the caller's entry."""
+    size, rank = comm.size, comm.rank
+    if not (0 <= root < size):
+        raise MpiError(f"bad scatter root {root}")
+    tag = _next_tag(comm)
+    if rank == root:
+        if objs is None or len(objs) != size:
+            raise MpiError(f"scatter needs exactly {size} entries at the root")
+        for dst in range(size):
+            if dst != root:
+                comm.isend(pack_object(objs[dst]), dst, tag, context=CTX_COLL)
+        return objs[root]
+    payload = comm.recv(root, tag, context=CTX_COLL)
+    return unpack_object(payload)
+
+
+def allgather(comm: Communicator, obj: Any) -> list[Any]:
+    """Bruck-style allgather: ceil(log2 P) rounds, no root hotspot.
+
+    Round k ships each rank's current collection (which doubles every
+    round) to ``rank - 2^k``; after the last round every rank holds all P
+    contributions. This is the algorithm class real MPIs use — a flat
+    gather-to-root would serialize P matches at one rank and misattribute
+    a quadratic cost to every metadata exchange.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return [obj]
+    tag = _next_tag(comm)
+    collected: dict[int, Any] = {rank: obj}
+    mask = 1
+    round_no = 0
+    while mask < size:
+        dst = (rank - mask) % size
+        src = (rank + mask) % size
+        req = comm.irecv(src, tag + round_no, context=CTX_COLL)
+        comm.isend(pack_object(collected), dst, tag + round_no, context=CTX_COLL)
+        payload = req.wait()
+        assert payload is not None
+        collected.update(unpack_object(payload))
+        mask <<= 1
+        round_no += 1
+    comm._coll_seq += round_no
+    if len(collected) != size:
+        raise MpiError(f"allgather assembled {len(collected)}/{size} entries")
+    return [collected[r] for r in range(size)]
+
+
+def alltoall(comm: Communicator, send: Sequence[Any]) -> list[Any]:
+    """Personalized all-to-all of Python objects.
+
+    Posts every irecv, then every isend, then waits — the exact pattern the
+    paper attributes to OCIO's exchange phase ("OCIO first issues MPI_Irecv
+    to receive data from all processes, then issues MPI_Isend...").
+    """
+    size, rank = comm.size, comm.rank
+    if len(send) != size:
+        raise MpiError(f"alltoall needs {size} entries, got {len(send)}")
+    tag = _next_tag(comm)
+    recv_reqs: list[Request] = [
+        comm.irecv(src, tag, context=CTX_COLL) for src in range(size) if src != rank
+    ]
+    for dst in range(size):
+        if dst != rank:
+            comm.isend(pack_object(send[dst]), dst, tag, context=CTX_COLL)
+    wait_all(recv_reqs)
+    out: list[Any] = [None] * size
+    out[rank] = send[rank]
+    idx = 0
+    for src in range(size):
+        if src == rank:
+            continue
+        payload = recv_reqs[idx].payload
+        idx += 1
+        assert payload is not None
+        out[src] = unpack_object(payload)
+    return out
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+
+
+def reduce(
+    comm: Communicator, value: Any, op: Callable[[Any, Any], Any], root: int = 0
+) -> Optional[Any]:
+    """Binomial-tree reduction with a commutative/associative *op*."""
+    size, rank = comm.size, comm.rank
+    if not (0 <= root < size):
+        raise MpiError(f"bad reduce root {root}")
+    tag = _next_tag(comm)
+    vrank = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            comm.send_object(acc, parent, tag, context=CTX_COLL)
+            return None
+        child_v = vrank | mask
+        if child_v < size:
+            child = (child_v + root) % size
+            acc = op(acc, comm.recv_object(child, tag, context=CTX_COLL))
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def allreduce(comm: Communicator, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Reduce to rank 0 then broadcast the result."""
+    reduced = reduce(comm, value, op, root=0)
+    return bcast(comm, reduced, root=0)
+
+
+def exscan(comm: Communicator, value: int) -> int:
+    """Exclusive prefix sum of integers (rank 0 gets 0). Linear chain."""
+    size, rank = comm.size, comm.rank
+    tag = _next_tag(comm)
+    prefix = 0
+    if rank > 0:
+        prefix = comm.recv_object(rank - 1, tag, context=CTX_COLL)
+    if rank + 1 < size:
+        comm.isend(pack_object(prefix + value), rank + 1, tag, context=CTX_COLL)
+    return prefix

@@ -1,0 +1,474 @@
+"""Point-to-point messaging: send/recv/isend/irecv with MPI matching rules.
+
+Matching follows MPI semantics: (context, source, tag) with ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards, non-overtaking order per (source, context, tag).
+Transport uses the eager protocol for small messages (sender completes
+locally; payload is buffered at the receiver) and rendezvous for large ones
+(RTS/CTS handshake, data moves only once the receive is posted) — the
+protocol split real MPIs use and the reason synchronized all-to-all phases
+behave differently from TCIO's staggered one-sided traffic.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.engine import current_process
+from repro.sim.process import SimProcess
+from repro.util.errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.mpi import MpiWorld
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: match contexts: user point-to-point vs. library-internal collectives
+CTX_PT2PT = 0
+CTX_COLL = 1
+
+
+def _payload_bytes(data: Any) -> bytes:
+    """Normalize a send payload to bytes (numpy arrays are C-order copies)."""
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, (bytearray, memoryview)):
+        return bytes(data)
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).tobytes()
+    raise MpiError(f"unsupported send payload type {type(data).__name__}")
+
+
+def pack_object(obj: Any) -> bytes:
+    """Serialize a Python object for metadata messages (pickle)."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_object(payload: bytes) -> Any:
+    """Deserialize a metadata message produced by :func:`pack_object`."""
+    return pickle.loads(payload)
+
+
+@dataclass
+class Status:
+    """Receive-side completion info (MPI_Status)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+
+
+class _WaitGroup:
+    """Shared completion counter: one thread handoff for N requests."""
+
+    __slots__ = ("proc", "remaining")
+
+    def __init__(self, proc: SimProcess, remaining: int):
+        self.proc = proc
+        self.remaining = remaining
+
+    def one_done(self) -> None:
+        """Count one completion; wake the waiter when all arrived."""
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.proc.wake()
+
+
+class Request:
+    """Handle for a nonblocking operation; complete via wait()/test()."""
+
+    __slots__ = ("done", "payload", "status", "_waiter", "_group", "kind")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.done = False
+        self.payload: Optional[bytes] = None
+        self.status = Status()
+        self._waiter: Optional[SimProcess] = None
+        self._group: Optional[_WaitGroup] = None
+
+    def _complete(self, payload: Optional[bytes] = None) -> None:
+        if self.done:
+            raise MpiError(f"{self.kind} request completed twice")
+        self.done = True
+        self.payload = payload
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.wake()
+        if self._group is not None:
+            group, self._group = self._group, None
+            group.one_done()
+
+    def test(self) -> bool:
+        """Nonblocking completion check (MPI_Test)."""
+        return self.done
+
+    def wait(self) -> Optional[bytes]:
+        """Block until complete; returns the payload for receive requests."""
+        if not self.done:
+            proc = current_process()
+            proc.settle()
+            if not self.done:
+                if self._waiter is not None or self._group is not None:
+                    raise MpiError("two processes waiting on one request")
+                self._waiter = proc
+                proc.block(f"wait:{self.kind}")
+        return self.payload
+
+
+def wait_all(requests: list[Request]) -> None:
+    """MPI_Waitall: a single thread handoff no matter how many requests.
+
+    At P=1024 a two-phase exchange waits on ~1000 receives per rank; waiting
+    one by one would cost a real context switch each, so incomplete requests
+    share a countdown group and the caller parks exactly once.
+    """
+    proc = current_process()
+    proc.settle()
+    pending = [r for r in requests if not r.done]
+    if not pending:
+        return
+    group = _WaitGroup(proc, len(pending))
+    for r in pending:
+        if r._waiter is not None or r._group is not None:
+            raise MpiError("request already being waited on")
+        r._group = group
+    proc.block(f"waitall({len(pending)})")
+
+
+@dataclass
+class _Envelope:
+    """A message either in flight or queued unexpected at the receiver."""
+
+    src: int
+    tag: int
+    context: int
+    payload: Optional[bytes]  # None until a rendezvous transfer lands
+    size: int
+    send_req: Optional[Request] = None
+    arrived: bool = False  # eager data (or rendezvous RTS) reached receiver
+    consumed: bool = False  # matched to a receive (lazy queue removal)
+    seq: int = 0
+
+
+@dataclass
+class _PostedRecv:
+    src: int
+    tag: int
+    context: int
+    req: Request
+    matched: bool = False  # lazy queue removal
+    seq: int = 0
+
+
+class Mailbox:
+    """Per-rank matching state.
+
+    Exact (context, source, tag) lookups are O(1) via keyed deques —
+    essential because a P=1024 two-phase exchange delivers ~P^2 messages
+    into P posted receives per rank. Wildcard posts/probes fall back to
+    ordered scans of small side lists; consumed entries are removed
+    lazily.
+    """
+
+    __slots__ = (
+        "unexpected_by_key",
+        "unexpected_all",
+        "posted_by_key",
+        "posted_wild",
+        "_seq",
+        "n_posted",
+        "n_unexpected",
+    )
+
+    def __init__(self) -> None:
+        self.unexpected_by_key: dict[tuple[int, int, int], Deque[_Envelope]] = {}
+        self.unexpected_all: Deque[_Envelope] = deque()
+        self.posted_by_key: dict[tuple[int, int, int], Deque[_PostedRecv]] = {}
+        self.posted_wild: Deque[_PostedRecv] = deque()
+        self._seq = 0
+        self.n_posted = 0  # live (unmatched) posted receives
+        self.n_unexpected = 0  # live (unconsumed) unexpected messages
+
+    @property
+    def queue_pressure(self) -> int:
+        """Entries the matching engine must consider for a new arrival."""
+        return self.n_posted + self.n_unexpected
+
+    def next_seq(self) -> int:
+        """Allocate the next posting/arrival sequence number."""
+        self._seq += 1
+        return self._seq
+
+    # -- posted receives ------------------------------------------------
+    def add_posted(self, post: _PostedRecv) -> None:
+        """Queue a posted receive for matching."""
+        post.seq = self.next_seq()
+        self.n_posted += 1
+        if post.src == ANY_SOURCE or post.tag == ANY_TAG:
+            self.posted_wild.append(post)
+        else:
+            key = (post.context, post.src, post.tag)
+            self.posted_by_key.setdefault(key, deque()).append(post)
+
+    def match_posted(self, env: _Envelope) -> Optional[_PostedRecv]:
+        """Earliest-posted receive matching *env* (marked matched)."""
+        key = (env.context, env.src, env.tag)
+        exact: Optional[_PostedRecv] = None
+        dq = self.posted_by_key.get(key)
+        if dq:
+            while dq and dq[0].matched:
+                dq.popleft()
+            if dq:
+                exact = dq[0]
+        wild: Optional[_PostedRecv] = None
+        for post in self.posted_wild:
+            if not post.matched and _matches(env, post):
+                wild = post
+                break
+        chosen = None
+        if exact is not None and (wild is None or exact.seq < wild.seq):
+            chosen = exact
+            dq.popleft()  # type: ignore[union-attr]
+        elif wild is not None:
+            chosen = wild
+        if chosen is not None:
+            chosen.matched = True
+            self.n_posted -= 1
+        return chosen
+
+    # -- unexpected messages ---------------------------------------------
+    def add_unexpected(self, env: _Envelope) -> None:
+        """Queue an arrived-but-unmatched message."""
+        env.seq = self.next_seq()
+        self.n_unexpected += 1
+        key = (env.context, env.src, env.tag)
+        self.unexpected_by_key.setdefault(key, deque()).append(env)
+        self.unexpected_all.append(env)
+
+    def match_unexpected(self, post: _PostedRecv) -> Optional[_Envelope]:
+        """Earliest-arrived unexpected message matching *post* (consumed)."""
+        if post.src == ANY_SOURCE or post.tag == ANY_TAG:
+            while self.unexpected_all and self.unexpected_all[0].consumed:
+                self.unexpected_all.popleft()
+            for env in self.unexpected_all:
+                if not env.consumed and _matches(env, post):
+                    env.consumed = True
+                    self.n_unexpected -= 1
+                    return env
+            return None
+        key = (post.context, post.src, post.tag)
+        dq = self.unexpected_by_key.get(key)
+        if not dq:
+            return None
+        while dq and dq[0].consumed:
+            dq.popleft()
+        if not dq:
+            return None
+        env = dq.popleft()
+        env.consumed = True
+        self.n_unexpected -= 1
+        return env
+
+
+def _matches(env: _Envelope, post: _PostedRecv) -> bool:
+    if env.context != post.context:
+        return False
+    if post.src != ANY_SOURCE and post.src != env.src:
+        return False
+    if post.tag != ANY_TAG and post.tag != env.tag:
+        return False
+    return True
+
+
+class Communicator:
+    """A group of ranks sharing a matching context.
+
+    One Communicator object exists per (rank, group); it is only usable from
+    that rank's simulated process (like ``MPI_COMM_WORLD`` seen from one
+    rank).
+    """
+
+    def __init__(self, world: "MpiWorld", rank: int, comm_id: object = 0):
+        self.world = world
+        self._rank = rank
+        self._comm_id = comm_id  # int or nested tuple (parent_id, dup_seq)
+        self._coll_seq = 0  # per-rank collective sequence number
+        self._dup_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.world.nranks
+
+    def world_rank(self, local_rank: int) -> int:
+        """Translate a communicator-local rank to a world rank (identity
+        for world-spanning communicators; overridden by sub-communicators)."""
+        return local_rank
+
+    def dup(self) -> "Communicator":
+        """MPI_Comm_dup: a new matching context over the same group.
+
+        Like the real call this is collective: every rank must dup in the
+        same order, which is what makes the derived id — (parent id, dup
+        sequence number) — agree across ranks without any communication.
+        Library-internal traffic (MPI-IO, TCIO) can then never collide
+        with application messages.
+        """
+        self._dup_seq += 1
+        return Communicator(self.world, self._rank, (self._comm_id, self._dup_seq))
+
+    # ------------------------------------------------------------------
+    # sends
+    # ------------------------------------------------------------------
+    def isend(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT) -> Request:
+        """Nonblocking send; payload is captured (copied) immediately."""
+        current_process().settle()
+        self._check_peer(dest)
+        payload = _payload_bytes(data)
+        req = Request("isend")
+        env = _Envelope(
+            src=self._rank,
+            tag=tag,
+            context=self._ctx(context),
+            payload=payload,
+            size=len(payload),
+            send_req=req,
+        )
+        world = self.world
+        if len(payload) <= world.fabric.spec.eager_limit:
+            # Eager: sender completes locally; data lands at delivery time.
+            t = world.fabric.delivery_time(self._rank, dest, len(payload))
+            world.engine.schedule_at(t, lambda: world.arrive(dest, env))
+            req._complete()
+        else:
+            # Rendezvous: RTS travels now; data moves once matched.
+            env.payload = None
+            env._rendezvous_data = payload  # type: ignore[attr-defined]
+            t = world.fabric.control_delay(self._rank, dest)
+            world.engine.schedule_at(t, lambda: world.arrive(dest, env))
+        if world.trace is not None:
+            world.trace.count("mpi.send", len(payload))
+        return req
+
+    def send(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT) -> None:
+        """Blocking send (completes when the send request does)."""
+        self.isend(data, dest, tag, context=context).wait()
+
+    def isend_object(
+        self, obj: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT
+    ) -> Request:
+        """Nonblocking send of a pickled Python object."""
+        return self.isend(pack_object(obj), dest, tag, context=context)
+
+    def send_object(
+        self, obj: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT
+    ) -> None:
+        """Blocking send of a pickled Python object."""
+        self.send(pack_object(obj), dest, tag, context=context)
+
+    # ------------------------------------------------------------------
+    # receives
+    # ------------------------------------------------------------------
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *, context: int = CTX_PT2PT
+    ) -> Request:
+        """Nonblocking receive; returns a Request whose wait() yields bytes."""
+        current_process().settle()
+        req = Request("irecv")
+        post = _PostedRecv(src=source, tag=tag, context=self._ctx(context), req=req)
+        mailbox = self.world.mailbox(self._rank)
+        env = mailbox.match_unexpected(post)
+        if env is not None:
+            self.world.consume(self._rank, env, req)
+            return req
+        mailbox.add_posted(post)
+        return req
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        status: Optional[Status] = None,
+        context: int = CTX_PT2PT,
+    ) -> bytes:
+        """Blocking receive; returns the payload bytes."""
+        req = self.irecv(source, tag, context=context)
+        payload = req.wait()
+        if status is not None:
+            status.source = req.status.source
+            status.tag = req.status.tag
+            status.count = req.status.count
+        assert payload is not None
+        return payload
+
+    def recv_object(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *, context: int = CTX_PT2PT
+    ) -> Any:
+        """Blocking receive of a pickled Python object."""
+        return unpack_object(self.recv(source, tag, context=context))
+
+    # ------------------------------------------------------------------
+    # probing and combined send/recv
+    # ------------------------------------------------------------------
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *, context: int = CTX_PT2PT
+    ) -> Optional[Status]:
+        """Nonblocking probe: Status of a matching arrived message, or None.
+
+        Does not consume the message (a later recv still matches it).
+        """
+        probe = _PostedRecv(src=source, tag=tag, context=self._ctx(context), req=Request("probe"))
+        mailbox = self.world.mailbox(self._rank)
+        if probe.src == ANY_SOURCE or probe.tag == ANY_TAG:
+            candidates = (e for e in mailbox.unexpected_all if not e.consumed)
+        else:
+            key = (probe.context, probe.src, probe.tag)
+            candidates = (
+                e for e in mailbox.unexpected_by_key.get(key, ()) if not e.consumed
+            )
+        for env in candidates:
+            if _matches(env, probe):
+                return Status(source=env.src, tag=env.tag, count=env.size)
+        return None
+
+    def sendrecv(
+        self,
+        data: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> bytes:
+        """MPI_Sendrecv: post the receive, send, then complete the receive
+        — the deadlock-free exchange primitive."""
+        req = self.irecv(source, recvtag)
+        self.isend(data, dest, sendtag)
+        payload = req.wait()
+        assert payload is not None
+        return payload
+
+    # ------------------------------------------------------------------
+    def _ctx(self, context: int) -> object:
+        # Fold the communicator id into the match context so dup()ed
+        # communicators never match each other's traffic.
+        return (self._comm_id, context)
+
+    def _check_peer(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise MpiError(f"peer rank {rank} outside communicator of size {self.size}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Communicator rank={self._rank}/{self.size} id={self._comm_id}>"

@@ -1,0 +1,450 @@
+"""MPI derived datatypes.
+
+OCIO (and the MPI-IO file-view machinery it rests on) describes
+noncontiguous layouts with derived datatypes; TCIO uses ``Indexed`` to
+combine disjoint blocks into a single one-sided transfer. We implement the
+constructors the paper's Program 2 and Section IV use — contiguous, vector,
+indexed (plus the h-variants, struct, and extent resizing) — over a byte
+*typemap*: an ordered list of ``(offset, length)`` byte segments relative to
+the type's origin, with an *extent* giving the stride when the type tiles.
+
+The typemap is flattened lazily and cached, with adjacent segments merged,
+so packing/unpacking and file-view translation work on plain extents.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import DatatypeError
+
+
+def _merge_segments(segments: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge adjacent (offset, length) segments, preserving order.
+
+    Only *consecutive-in-typemap and contiguous-in-bytes* runs merge; MPI
+    typemaps are ordered, and file views rely on that order.
+    """
+    merged: list[tuple[int, int]] = []
+    for off, length in segments:
+        if length == 0:
+            continue
+        if merged and merged[-1][0] + merged[-1][1] == off:
+            prev_off, prev_len = merged[-1]
+            merged[-1] = (prev_off, prev_len + length)
+        else:
+            merged.append((off, length))
+    return merged
+
+
+class Datatype:
+    """Base class: a byte typemap plus an extent."""
+
+    #: numpy dtype for primitives (None for constructed types)
+    np_dtype: np.dtype | None = None
+
+    @property
+    def size(self) -> int:
+        """Total data bytes (sum of segment lengths)."""
+        return self._size
+
+    @property
+    def extent(self) -> int:
+        """Span the type covers when tiled (lb..ub distance)."""
+        return self._extent
+
+    @cached_property
+    def segments(self) -> tuple[tuple[int, int], ...]:
+        """Merged (offset, length) byte segments, in typemap order."""
+        return tuple(_merge_segments(self._build_segments()))
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        raise NotImplementedError
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the typemap is one segment starting at offset 0 that
+        fills the whole extent (tiles with no holes)."""
+        segs = self.segments
+        if len(segs) == 0:
+            return True
+        return len(segs) == 1 and segs[0] == (0, self.extent)
+
+    # -- constructors matching MPI_Type_* ------------------------------
+    def contiguous(self, count: int) -> "Contiguous":
+        """MPI_Type_contiguous over this type."""
+        return Contiguous(count, self)
+
+    def vector(self, count: int, blocklength: int, stride: int) -> "Vector":
+        """MPI_Type_vector over this type."""
+        return Vector(count, blocklength, stride, self)
+
+    def indexed(
+        self, blocklengths: Sequence[int], displacements: Sequence[int]
+    ) -> "Indexed":
+        """MPI_Type_indexed over this type."""
+        return Indexed(blocklengths, displacements, self)
+
+    def resized(self, lb: int, extent: int) -> "Resized":
+        """MPI_Type_create_resized over this type."""
+        return Resized(self, lb, extent)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} size={self.size} extent={self.extent}>"
+
+
+class Primitive(Datatype):
+    """A named elementary type (int, double, ...)."""
+
+    def __init__(self, name: str, nbytes: int, np_dtype: str):
+        if nbytes <= 0:
+            raise DatatypeError(f"{name}: non-positive size")
+        self.name = name
+        self._size = nbytes
+        self._extent = nbytes
+        self.np_dtype = np.dtype(np_dtype)
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        return [(0, self._size)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MPI_{self.name}>"
+
+
+BYTE = Primitive("BYTE", 1, "u1")
+CHAR = Primitive("CHAR", 1, "i1")
+SHORT = Primitive("SHORT", 2, "i2")
+INT = Primitive("INT", 4, "i4")
+LONG = Primitive("LONG", 8, "i8")
+FLOAT = Primitive("FLOAT", 4, "f4")
+DOUBLE = Primitive("DOUBLE", 8, "f8")
+
+#: Table I's single-letter codes: c(char) s(short) i(int) f(float) d(double).
+_CODE_TABLE = {"c": CHAR, "s": SHORT, "i": INT, "f": FLOAT, "d": DOUBLE, "b": BYTE}
+
+
+def type_from_code(code: str) -> Primitive:
+    """Resolve a Table I type letter (``"i"``, ``"d"``...) to a primitive."""
+    try:
+        return _CODE_TABLE[code.strip().lower()]
+    except KeyError:
+        raise DatatypeError(f"unknown type code {code!r}") from None
+
+
+class Contiguous(Datatype):
+    """``MPI_Type_contiguous``: *count* copies of *base*, extent-tiled."""
+
+    def __init__(self, count: int, base: Datatype):
+        if count < 0:
+            raise DatatypeError("contiguous count must be >= 0")
+        self.count = count
+        self.base = base
+        self._size = count * base.size
+        self._extent = count * base.extent
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for i in range(self.count):
+            shift = i * self.base.extent
+            out.extend((off + shift, ln) for off, ln in self.base.segments)
+        return out
+
+
+class Vector(Datatype):
+    """``MPI_Type_vector``: *count* blocks of *blocklength* base elements,
+    separated by *stride* base-extents (Program 2's filetype)."""
+
+    def __init__(self, count: int, blocklength: int, stride: int, base: Datatype):
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("vector count/blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.base = base
+        self._size = count * blocklength * base.size
+        if count == 0:
+            self._extent = 0
+        else:
+            # MPI extent: from the first byte to the last byte spanned.
+            last_block_start = (count - 1) * stride * base.extent
+            self._extent = last_block_start + blocklength * base.extent
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        block = Contiguous(self.blocklength, self.base)
+        out: list[tuple[int, int]] = []
+        for i in range(self.count):
+            shift = i * self.stride * self.base.extent
+            out.extend((off + shift, ln) for off, ln in block.segments)
+        return out
+
+
+class Hvector(Datatype):
+    """``MPI_Type_create_hvector``: stride given in bytes, not elements."""
+
+    def __init__(self, count: int, blocklength: int, stride_bytes: int, base: Datatype):
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("hvector count/blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride_bytes = stride_bytes
+        self.base = base
+        self._size = count * blocklength * base.size
+        if count == 0:
+            self._extent = 0
+        else:
+            self._extent = (count - 1) * stride_bytes + blocklength * base.extent
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        block = Contiguous(self.blocklength, self.base)
+        out: list[tuple[int, int]] = []
+        for i in range(self.count):
+            shift = i * self.stride_bytes
+            out.extend((off + shift, ln) for off, ln in block.segments)
+        return out
+
+
+class Indexed(Datatype):
+    """``MPI_Type_indexed``: variable-length blocks at element displacements.
+
+    This is the constructor TCIO uses to combine the disjoint level-1 blocks
+    of one flush into a single one-sided transfer.
+    """
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        base: Datatype,
+    ):
+        if len(blocklengths) != len(displacements):
+            raise DatatypeError("indexed: blocklengths/displacements length mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("indexed: negative blocklength")
+        self.blocklengths = tuple(int(b) for b in blocklengths)
+        self.displacements = tuple(int(d) for d in displacements)
+        self.base = base
+        self._size = sum(self.blocklengths) * base.size
+        ext = 0
+        for b, d in zip(self.blocklengths, self.displacements):
+            ext = max(ext, (d + b) * base.extent)
+        self._extent = ext
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for b, d in zip(self.blocklengths, self.displacements):
+            block = Contiguous(b, self.base)
+            shift = d * self.base.extent
+            out.extend((off + shift, ln) for off, ln in block.segments)
+        return out
+
+
+class Hindexed(Datatype):
+    """``MPI_Type_create_hindexed``: displacements in bytes."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements_bytes: Sequence[int],
+        base: Datatype,
+    ):
+        if len(blocklengths) != len(displacements_bytes):
+            raise DatatypeError("hindexed: blocklengths/displacements length mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("hindexed: negative blocklength")
+        self.blocklengths = tuple(int(b) for b in blocklengths)
+        self.displacements_bytes = tuple(int(d) for d in displacements_bytes)
+        self.base = base
+        self._size = sum(self.blocklengths) * base.size
+        ext = 0
+        for b, d in zip(self.blocklengths, self.displacements_bytes):
+            ext = max(ext, d + b * base.extent)
+        self._extent = ext
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for b, d in zip(self.blocklengths, self.displacements_bytes):
+            block = Contiguous(b, self.base)
+            out.extend((off + d, ln) for off, ln in block.segments)
+        return out
+
+
+class Struct(Datatype):
+    """``MPI_Type_create_struct``: heterogeneous blocks at byte displacements.
+
+    Section V.C notes one *could* describe a fixed FTT with this — before
+    explaining why per-tree type construction makes OCIO impractical there.
+    """
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements_bytes: Sequence[int],
+        types: Sequence[Datatype],
+    ):
+        if not (len(blocklengths) == len(displacements_bytes) == len(types)):
+            raise DatatypeError("struct: argument length mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("struct: negative blocklength")
+        self.blocklengths = tuple(int(b) for b in blocklengths)
+        self.displacements_bytes = tuple(int(d) for d in displacements_bytes)
+        self.types = tuple(types)
+        self._size = sum(b * t.size for b, t in zip(self.blocklengths, self.types))
+        ext = 0
+        for b, d, t in zip(self.blocklengths, self.displacements_bytes, self.types):
+            ext = max(ext, d + b * t.extent)
+        self._extent = ext
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for b, d, t in zip(self.blocklengths, self.displacements_bytes, self.types):
+            block = Contiguous(b, t)
+            out.extend((off + d, ln) for off, ln in block.segments)
+        return out
+
+
+class Subarray(Datatype):
+    """``MPI_Type_create_subarray``: an n-dimensional sub-block of an array.
+
+    This is how applications like the paper's Fig. 1 example describe "my
+    slab of the global 3D volume" as a file view: the typemap selects the
+    sub-block's elements out of the row-major global array, and the extent
+    is the whole array (so tiling works).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        base: Datatype,
+    ):
+        if not (len(sizes) == len(subsizes) == len(starts)):
+            raise DatatypeError("subarray: dimension mismatch")
+        if not sizes:
+            raise DatatypeError("subarray: needs at least one dimension")
+        for n, sub, st in zip(sizes, subsizes, starts):
+            if n < 1 or sub < 0 or st < 0 or st + sub > n:
+                raise DatatypeError(
+                    f"subarray: block [{st}, {st + sub}) outside dimension of {n}"
+                )
+        self.sizes = tuple(int(x) for x in sizes)
+        self.subsizes = tuple(int(x) for x in subsizes)
+        self.starts = tuple(int(x) for x in starts)
+        self.base = base
+        count = 1
+        for sub in self.subsizes:
+            count *= sub
+        total = 1
+        for n in self.sizes:
+            total *= n
+        self._size = count * base.size
+        self._extent = total * base.extent
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        # Row-major enumeration of the sub-block's element offsets; the
+        # innermost dimension is contiguous, so emit one run per "row".
+        if any(s == 0 for s in self.subsizes):
+            return []
+        ndim = len(self.sizes)
+        strides = [self.base.extent] * ndim
+        for d in range(ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.sizes[d + 1]
+        run_len = self.subsizes[-1]
+        out: list[tuple[int, int]] = []
+
+        def emit(dim: int, offset: int) -> None:
+            if dim == ndim - 1:
+                start = offset + self.starts[dim] * strides[dim]
+                block = Contiguous(run_len, self.base)
+                out.extend((start + o, ln) for o, ln in block.segments)
+                return
+            for i in range(self.subsizes[dim]):
+                emit(dim + 1, offset + (self.starts[dim] + i) * strides[dim])
+
+        emit(0, 0)
+        return out
+
+
+class Resized(Datatype):
+    """``MPI_Type_create_resized``: override lb/extent for tiling."""
+
+    def __init__(self, base: Datatype, lb: int, extent: int):
+        if extent < 0:
+            raise DatatypeError("resized: negative extent")
+        self.base = base
+        self.lb = lb
+        self._size = base.size
+        self._extent = extent
+
+    def _build_segments(self) -> list[tuple[int, int]]:
+        return [(off - self.lb, ln) for off, ln in self.base.segments]
+
+
+# ----------------------------------------------------------------------
+# pack/unpack between user buffers and contiguous byte streams
+# ----------------------------------------------------------------------
+
+
+def pack(buffer: np.ndarray | bytes | bytearray | memoryview, dtype: Datatype, count: int) -> bytes:
+    """Gather *count* tiled copies of *dtype* from *buffer* into a stream.
+
+    The MPI analogue of ``MPI_Pack`` over a (buffer, count, datatype)
+    triple; used by send paths and by OCIO's scatter/gather.
+    """
+    raw = _as_bytes(buffer)
+    out = bytearray()
+    for i in range(count):
+        shift = i * dtype.extent
+        for off, ln in dtype.segments:
+            lo = shift + off
+            if lo < 0 or lo + ln > len(raw):
+                raise DatatypeError(
+                    f"pack: segment [{lo},{lo + ln}) outside buffer of {len(raw)} bytes"
+                )
+            out += raw[lo : lo + ln]
+    return bytes(out)
+
+
+def unpack(
+    stream: bytes | bytearray | memoryview,
+    buffer: np.ndarray | bytearray | memoryview,
+    dtype: Datatype,
+    count: int,
+) -> None:
+    """Scatter a contiguous stream into *buffer* per the typemap (MPI_Unpack)."""
+    view = _as_mutable(buffer)
+    src = memoryview(stream)
+    need = dtype.size * count
+    if len(src) < need:
+        raise DatatypeError(f"unpack: stream has {len(src)} bytes, need {need}")
+    pos = 0
+    for i in range(count):
+        shift = i * dtype.extent
+        for off, ln in dtype.segments:
+            lo = shift + off
+            if lo < 0 or lo + ln > len(view):
+                raise DatatypeError(
+                    f"unpack: segment [{lo},{lo + ln}) outside buffer of {len(view)} bytes"
+                )
+            view[lo : lo + ln] = src[pos : pos + ln]
+            pos += ln
+
+
+def _as_bytes(buffer: object) -> memoryview:
+    if isinstance(buffer, np.ndarray):
+        return memoryview(np.ascontiguousarray(buffer)).cast("B")
+    return memoryview(buffer).cast("B")  # type: ignore[arg-type]
+
+
+def _as_mutable(buffer: object) -> memoryview:
+    if isinstance(buffer, np.ndarray):
+        if not buffer.flags.c_contiguous:
+            raise DatatypeError("unpack target must be C-contiguous")
+        return memoryview(buffer).cast("B")
+    view = memoryview(buffer)  # type: ignore[arg-type]
+    if view.readonly:
+        raise DatatypeError("unpack target is read-only")
+    return view.cast("B")

@@ -1,0 +1,289 @@
+"""The MPI world: wiring ranks, fabric, memory, storage, and delivery.
+
+:func:`run_mpi` is the single entry point every experiment and test uses:
+it builds an engine + fabric + memory tracker + parallel file system from a
+cluster description, spawns one simulated process per rank running the user
+function, runs to completion, and returns timings/traces/results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
+
+from repro.memsim.memory import MemoryTracker
+from repro.netsim.fabric import Fabric
+from repro.netsim.model import NetworkSpec
+from repro.sim.engine import Engine, current_process
+from repro.sim.trace import TraceRecorder
+from repro.simmpi.comm import Communicator, Mailbox, Request, Status, _Envelope
+from repro.simmpi.rma import _TargetLock
+from repro.util.errors import MpiError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.spec import ClusterSpec
+    from repro.pfs.filesystem import Pfs
+
+
+class MpiWorld:
+    """Global state shared by all ranks of one simulated job."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nranks: int,
+        network: NetworkSpec,
+        node_of: Sequence[int],
+        memory: MemoryTracker,
+        pfs: "Optional[Pfs]" = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        if nranks < 1:
+            raise MpiError("need at least one rank")
+        self.engine = engine
+        self.nranks = nranks
+        self.node_of = list(node_of)
+        if len(self.node_of) != nranks:
+            raise MpiError("node_of must have one entry per rank")
+        self.trace = trace
+        self.fabric = Fabric(engine, network, self.node_of, trace)
+        self.memory = memory
+        self.pfs = pfs
+        self._mailboxes = [Mailbox() for _ in range(nranks)]
+        self._matcher_busy = [0.0] * nranks  # per-rank matching engines
+        #: Scratch registry for user-level libraries (TCIO) to share
+        #: collectively-created metadata objects across ranks. Keys are
+        #: library-chosen tuples; creation must happen inside a collective
+        #: (all ranks reach the same setdefault in the same order).
+        self.shared: dict = {}
+        self._comm_counter = 0
+        self._windows: dict[tuple[int, int], memoryview] = {}
+        self._window_locks: dict[tuple[int, int], _TargetLock] = {}
+        self._windows_per_rank = [0] * nranks
+
+    # ------------------------------------------------------------------
+    # communicators and mailboxes
+    # ------------------------------------------------------------------
+    def next_comm_id(self) -> int:
+        """Allocate a fresh world-level communicator id."""
+        self._comm_counter += 1
+        return self._comm_counter
+
+    def world_comm(self, rank: int) -> Communicator:
+        """The world communicator as seen from *rank*."""
+        return Communicator(self, rank, comm_id=0)
+
+    def mailbox(self, rank: int) -> Mailbox:
+        """The matching state of one rank."""
+        return self._mailboxes[rank]
+
+    # ------------------------------------------------------------------
+    # message delivery (called from engine callbacks)
+    # ------------------------------------------------------------------
+    def arrive(self, dst: int, env: _Envelope) -> None:
+        """A message reached *dst*'s NIC: serialize through the rank's
+        matching engine before it becomes visible to receives.
+
+        Matching is CPU work proportional to the posted/unexpected queue
+        depth, so P simultaneous arrivals at one rank cost O(P^2) total —
+        one-sided RMA traffic never passes through here.
+        """
+        spec = self.fabric.spec
+        cost = spec.match_overhead + spec.match_queue_overhead * self._mailboxes[dst].queue_pressure
+        if cost <= 0.0:
+            self.deliver(dst, env)
+            return
+        now = self.engine.now
+        start = now if now > self._matcher_busy[dst] else self._matcher_busy[dst]
+        finish = start + cost
+        self._matcher_busy[dst] = finish
+        if self.trace is not None:
+            self.trace.count("mpi.match_delay", finish - now)
+        self.engine.schedule_at(finish, lambda: self.deliver(dst, env))
+
+    def deliver(self, dst: int, env: _Envelope) -> None:
+        """A message (or rendezvous RTS) reached *dst*: match or queue it."""
+        env.arrived = True
+        mailbox = self._mailboxes[dst]
+        post = mailbox.match_posted(env)
+        if post is not None:
+            env.consumed = True
+            self.consume(dst, env, post.req)
+            return
+        mailbox.add_unexpected(env)
+
+    def consume(self, dst: int, env: _Envelope, req: Request) -> None:
+        """A matched (message, receive) pair: finish it (maybe rendezvous)."""
+        req.status = Status(source=env.src, tag=env.tag, count=env.size)
+        if env.payload is not None:
+            req._complete(env.payload)
+            return
+        # Rendezvous: send clear-to-send back, then stream the data.
+        data: bytes = env._rendezvous_data  # type: ignore[attr-defined]
+        t_cts = self.fabric.control_delay(dst, env.src)
+
+        def start_data() -> None:
+            t_data = self.fabric.delivery_time(env.src, dst, env.size)
+
+            def land() -> None:
+                if env.send_req is not None:
+                    env.send_req._complete()
+                req._complete(data)
+
+            self.engine.schedule_at(t_data, land)
+
+        self.engine.schedule_at(t_cts, start_data)
+
+    # ------------------------------------------------------------------
+    # RMA windows
+    # ------------------------------------------------------------------
+    def register_window(self, rank: int, view: memoryview) -> int:
+        """Allocate this rank's next window id and expose its buffer.
+
+        Window creation is collective and every rank creates windows in the
+        same order, so per-rank sequence numbers agree globally.
+        """
+        win_id = self._windows_per_rank[rank]
+        self._windows_per_rank[rank] += 1
+        self._windows[(win_id, rank)] = view
+        return win_id
+
+    def window_buffer(self, win_id: int, rank: int) -> memoryview:
+        """The exposure buffer rank *rank* registered for window *win_id*."""
+        try:
+            return self._windows[(win_id, rank)]
+        except KeyError:
+            raise MpiError(f"window {win_id} not exposed by rank {rank}") from None
+
+    def window_lock(self, win_id: int, rank: int) -> _TargetLock:
+        """The passive-target lock state at (window, target rank)."""
+        key = (win_id, rank)
+        if key not in self._window_locks:
+            self._window_locks[key] = _TargetLock()
+        return self._window_locks[key]
+
+    def charge_matching(self, dst: int) -> float:
+        """Reserve *dst*'s matching engine for one two-sided message and
+        return the completion time (ablation hook: lets TCIO's two-sided
+        variant pay realistic receive-side costs without a real receiver
+        loop)."""
+        spec = self.fabric.spec
+        cost = spec.match_overhead + spec.match_queue_overhead * self._mailboxes[dst].queue_pressure
+        now = self.engine.now
+        start = now if now > self._matcher_busy[dst] else self._matcher_busy[dst]
+        self._matcher_busy[dst] = start + cost
+        return self._matcher_busy[dst]
+
+
+@dataclass
+class RankEnv:
+    """Everything a rank program sees: its communicator plus the substrate."""
+
+    comm: Communicator
+    world: MpiWorld
+
+    @property
+    def rank(self) -> int:
+        """This rank's id in the world communicator."""
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the job."""
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.world.engine.now
+
+    def compute(self, seconds: float) -> None:
+        """Charge local compute time (lazily; elapses at the next
+        communication/storage call, or via :meth:`settle`)."""
+        current_process().charge(seconds)
+
+    def settle(self) -> None:
+        """Force accrued compute time to elapse now."""
+        current_process().settle()
+
+    @property
+    def pfs(self) -> "Pfs":
+        """The job's parallel file system."""
+        if self.world.pfs is None:
+            raise SimulationError("this world has no parallel file system")
+        return self.world.pfs
+
+
+@dataclass
+class MpiRunResult:
+    """Outcome of one simulated job."""
+
+    elapsed: float
+    returns: list[Any]
+    trace: TraceRecorder
+    world: MpiWorld
+
+    @property
+    def pfs(self) -> "Pfs":
+        """The job's parallel file system."""
+        assert self.world.pfs is not None
+        return self.world.pfs
+
+
+def run_mpi(
+    nranks: int,
+    main: Callable[[RankEnv], Any],
+    *,
+    cluster: "Optional[ClusterSpec]" = None,
+    trace: Optional[TraceRecorder] = None,
+    until: Optional[float] = None,
+    pfs_init: Optional[Callable[["Pfs"], None]] = None,
+) -> MpiRunResult:
+    """Run *main* on *nranks* simulated ranks; returns results and timings.
+
+    ``main(env)`` runs once per rank; its return values are collected in
+    rank order. The default cluster is the scaled Lonestar preset sized to
+    hold ``nranks`` (12 ranks per node, as on the paper's testbed).
+    ``pfs_init`` pre-populates the fresh file system before time starts
+    (e.g. a restart job reading a snapshot an earlier job produced).
+    """
+    from repro.cluster.lonestar import make_lonestar
+
+    if cluster is None:
+        cluster = make_lonestar(nranks=nranks)
+    cluster.validate()
+    if nranks > cluster.capacity:
+        raise MpiError(
+            f"{nranks} ranks exceed cluster capacity {cluster.capacity}"
+        )
+    trace = trace if trace is not None else TraceRecorder()
+    engine = Engine(trace=trace)
+    node_of = [r // cluster.cores_per_node for r in range(nranks)]
+    memory = MemoryTracker(cluster.memory_per_node, node_of)
+    pfs = cluster.build_pfs(engine, trace)
+    if pfs_init is not None:
+        pfs_init(pfs)
+    world = MpiWorld(
+        engine,
+        nranks,
+        cluster.network,
+        node_of,
+        memory,
+        pfs=pfs,
+        trace=trace,
+    )
+    returns: list[Any] = [None] * nranks
+
+    def make_target(rank: int) -> Callable[[], None]:
+        env = RankEnv(comm=world.world_comm(rank), world=world)
+
+        def target() -> None:
+            returns[rank] = main(env)
+            current_process().settle()
+
+        return target
+
+    for rank in range(nranks):
+        engine.spawn(f"rank{rank}", make_target(rank))
+    elapsed = engine.run(until=until)
+    return MpiRunResult(elapsed=elapsed, returns=returns, trace=trace, world=world)

@@ -1,0 +1,317 @@
+"""One-sided communication (MPI-2 RMA, passive target).
+
+TCIO's level-2 traffic uses exactly this surface: ``MPI_Win_lock`` /
+``MPI_Win_unlock`` (the paper rejects ``MPI_Win_fence`` because it is
+collective and would break independent I/O calls), ``MPI_Put`` / ``MPI_Get``,
+and indexed-datatype combining so one lock epoch moves many disjoint blocks
+in a single network transfer.
+
+The window's memory lives at the target, but the target CPU is never
+involved: puts/gets are applied by the simulated NIC at delivery time, and
+the per-target lock is a queue at the target that origin control messages
+travel to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.engine import current_process
+from repro.sim.process import SimProcess
+from repro.util.errors import RmaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.comm import Communicator
+
+LOCK_EXCLUSIVE = 1
+LOCK_SHARED = 2
+
+
+@dataclass
+class _TargetLock:
+    """Lock state living at one target rank of one window."""
+
+    mode: int = 0  # 0 = free
+    holders: int = 0
+    waiters: Deque[tuple[SimProcess, int]] = field(default_factory=deque)
+
+    def compatible(self, lock_type: int) -> bool:
+        """Whether *lock_type* can be granted alongside current holders."""
+        if self.holders == 0:
+            return True
+        return self.mode == LOCK_SHARED and lock_type == LOCK_SHARED
+
+    def acquire(self, lock_type: int) -> None:
+        """Record one more holder of the given type."""
+        self.mode = lock_type
+        self.holders += 1
+
+    def release(self) -> None:
+        """Drop one holder; wake compatible FIFO waiters when free."""
+        if self.holders <= 0:
+            raise RmaError("unlock without matching lock")
+        self.holders -= 1
+        if self.holders == 0:
+            self.mode = 0
+            # Wake waiters that are now compatible (FIFO prefix).
+            while self.waiters and self.compatible(self.waiters[0][1]):
+                proc, lock_type = self.waiters.popleft()
+                self.acquire(lock_type)
+                proc.wake()
+                if lock_type == LOCK_EXCLUSIVE:
+                    break
+
+
+class _Epoch:
+    """Origin-side state for one lock..unlock access epoch."""
+
+    __slots__ = ("target", "lock_type", "last_completion")
+
+    def __init__(self, target: int, lock_type: int):
+        self.target = target
+        self.lock_type = lock_type
+        self.last_completion = 0.0
+
+
+class Window:
+    """A per-communicator RMA window (MPI_Win_create).
+
+    Each rank constructs its own Window over its local exposure buffer;
+    construction is collective (internally barriers) so the window id and
+    remote buffers exist everywhere before any one-sided access.
+    """
+
+    def __init__(self, comm: "Communicator", buffer: np.ndarray | bytearray):
+        self.comm = comm
+        self.world = comm.world
+        self.rank = comm.rank  # communicator-local
+        self.my_world_rank = comm.world_rank(comm.rank)
+        view = memoryview(buffer).cast("B")
+        if view.readonly:
+            raise RmaError("window buffer must be writable")
+        self.win_id = self.world.register_window(self.my_world_rank, view)
+        self._epochs: dict[int, _Epoch] = {}
+        # MPI_Win_create is collective; synchronize so no rank races ahead
+        # and touches a window a peer has not exposed yet.
+        from repro.simmpi import collectives
+
+        collectives.barrier(comm)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def lock(self, target: int, lock_type: int = LOCK_EXCLUSIVE) -> None:
+        """MPI_Win_lock(lock_type, target): begin a passive-target epoch."""
+        self._check_target(target)
+        if target in self._epochs:
+            raise RmaError(f"rank {self.rank}: already holds a lock on target {target}")
+        if lock_type not in (LOCK_EXCLUSIVE, LOCK_SHARED):
+            raise RmaError(f"bad lock type {lock_type}")
+        proc = current_process()
+        proc.settle()
+        world = self.world
+        target_w = self.comm.world_rank(target)
+        # The lock request is a control message to the target node.
+        t_req = world.fabric.control_delay(self.my_world_rank, target_w, rma=True)
+        state = world.window_lock(self.win_id, target_w)
+        if state.compatible(lock_type) and not state.waiters:
+            # Fast path: uncontended lock. Acquire immediately and charge
+            # the request round trip lazily — no thread handoff.
+            state.acquire(lock_type)
+            proc.charge(max(0.0, t_req - world.engine.now))
+        else:
+
+            def arrive() -> None:
+                if state.compatible(lock_type) and not state.waiters:
+                    state.acquire(lock_type)
+                    proc.wake()
+                else:
+                    state.waiters.append((proc, lock_type))
+
+            world.engine.schedule_at(t_req, arrive)
+            proc.block(f"rma.lock(win={self.win_id}, target={target})")
+        spec = world.fabric.spec
+        proc.charge(
+            spec.rma_epoch_overhead
+            if lock_type == LOCK_EXCLUSIVE
+            else spec.rma_shared_epoch_overhead
+        )
+        if world.trace is not None:
+            world.trace.count("rma.lock")
+        self._epochs[target] = _Epoch(target, lock_type)
+
+    def unlock(self, target: int) -> None:
+        """MPI_Win_unlock: complete all epoch ops, then release the lock."""
+        epoch = self._epochs.pop(target, None)
+        if epoch is None:
+            raise RmaError(f"rank {self.rank}: unlock of target {target} without lock")
+        proc = current_process()
+        world = self.world
+        now = world.engine.now
+        # The origin's timeline must pass the last transfer's completion;
+        # charge it lazily instead of parking (no thread handoff).
+        if epoch.last_completion > now:
+            proc.charge(epoch.last_completion - now)
+        state = world.window_lock(self.win_id, self.comm.world_rank(target))
+        # The release control message reaches the target after the epoch's
+        # transfers have drained; other origins can acquire only then.
+        release_at = max(
+            world.fabric.control_delay(
+                self.my_world_rank, self.comm.world_rank(target), rma=True
+            ),
+            epoch.last_completion,
+        )
+        world.engine.schedule_at(release_at, state.release)
+        if world.trace is not None:
+            world.trace.count("rma.unlock")
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def put(self, data: bytes | np.ndarray, target: int, target_offset: int) -> None:
+        """MPI_Put of one contiguous block."""
+        payload = bytes(memoryview(data).cast("B")) if not isinstance(data, bytes) else data
+        self.put_indexed([(target_offset, payload)], target)
+
+    def put_indexed(self, blocks: Sequence[tuple[int, bytes]], target: int) -> None:
+        """One transfer carrying many disjoint blocks (MPI_Type_indexed).
+
+        This is TCIO's combining optimization: "we use MPI_Type_indexed to
+        combine multiple data blocks as one derived data type instance
+        [transferred] by a single one-sided communication call".
+        """
+        epoch = self._require_epoch(target)
+        world = self.world
+        target_w = self.comm.world_rank(target)
+        total = sum(len(b) for _, b in blocks)
+        remote = world.window_buffer(self.win_id, target_w)
+        for off, block in blocks:
+            if off < 0 or off + len(block) > len(remote):
+                raise RmaError(
+                    f"put outside window: [{off},{off + len(block)}) of {len(remote)}"
+                )
+        captured = [(off, bytes(b)) for off, b in blocks]
+
+        def land() -> None:
+            for off, block in captured:
+                remote[off : off + len(block)] = block
+
+        t = world.fabric.transfer(self.my_world_rank, target_w, total, land, rma=True)
+        epoch.last_completion = max(epoch.last_completion, t)
+        if world.trace is not None:
+            world.trace.count("rma.put", total)
+            world.trace.count("rma.put_blocks", len(blocks))
+
+    def get(self, target: int, target_offset: int, nbytes: int) -> bytes:
+        """MPI_Get of one contiguous block (epoch-blocking convenience)."""
+        [(off, data)] = self.get_indexed([(target_offset, nbytes)], target)
+        return data
+
+    def get_indexed(
+        self, blocks: Sequence[tuple[int, int]], target: int
+    ) -> list[tuple[int, bytes]]:
+        """One transfer fetching many disjoint (offset, length) blocks.
+
+        Returns ``(offset, bytes)`` pairs once the data reaches the origin.
+        Unlike puts, gets must return data, so the call blocks until the
+        response lands; it still counts as a single network round trip.
+        """
+        epoch = self._require_epoch(target)
+        world = self.world
+        proc = current_process()
+        target_w = self.comm.world_rank(target)
+        remote = world.window_buffer(self.win_id, target_w)
+        total = 0
+        for off, ln in blocks:
+            if ln < 0 or off < 0 or off + ln > len(remote):
+                raise RmaError(f"get outside window: [{off},{off + ln}) of {len(remote)}")
+            total += ln
+
+        # Request travels to the target; data is snapshotted there, then
+        # streams back to the origin.
+        t_req = world.fabric.control_delay(self.my_world_rank, target_w, rma=True)
+        result: list[tuple[int, bytes]] = []
+
+        def serve() -> None:
+            for off, ln in blocks:
+                result.append((off, bytes(remote[off : off + ln])))
+            t_back = world.fabric.delivery_time(
+                target_w, self.my_world_rank, total, rma=True
+            )
+            world.engine.schedule_at(t_back, lambda: proc.wake())
+
+        world.engine.schedule_at(t_req, serve)
+        proc.block(f"rma.get(target={target}, bytes={total})")
+        epoch.last_completion = max(epoch.last_completion, world.engine.now)
+        if world.trace is not None:
+            world.trace.count("rma.get", total)
+            world.trace.count("rma.get_blocks", len(blocks))
+        return result
+
+    # ------------------------------------------------------------------
+    def accumulate(
+        self, data: np.ndarray, target: int, target_offset: int, op: str = "sum"
+    ) -> None:
+        """MPI_Accumulate with a numpy reduction op applied at delivery."""
+        epoch = self._require_epoch(target)
+        world = self.world
+        target_w = self.comm.world_rank(target)
+        remote = world.window_buffer(self.win_id, target_w)
+        payload = np.ascontiguousarray(data)
+        nbytes = payload.nbytes
+        if target_offset < 0 or target_offset + nbytes > len(remote):
+            raise RmaError("accumulate outside window")
+        if op != "sum":
+            raise RmaError(f"unsupported accumulate op {op!r}")
+        dtype = payload.dtype
+        captured = payload.copy()
+
+        def land() -> None:
+            view = np.frombuffer(remote, dtype=dtype, count=captured.size, offset=target_offset)
+            view += captured
+
+        t = world.fabric.transfer(self.my_world_rank, target_w, nbytes, land, rma=True)
+        epoch.last_completion = max(epoch.last_completion, t)
+        if world.trace is not None:
+            world.trace.count("rma.accumulate", nbytes)
+
+    # ------------------------------------------------------------------
+    # active-target synchronization (the alternative the paper rejects)
+    # ------------------------------------------------------------------
+    def fence(self) -> None:
+        """MPI_Win_fence: collective epoch boundary.
+
+        "MPI_Win_fence is the simplest approach to allow all processes to
+        synchronize. However [it] is a collective call, which by nature
+        would break the TCIO design, which allows all the I/O accesses to
+        be performed independently." Provided for completeness and for the
+        fence-vs-lock ablation; completes every open epoch of this origin,
+        then barriers.
+        """
+        from repro.simmpi import collectives
+
+        for target in list(self._epochs):
+            self.unlock(target)
+        collectives.barrier(self.comm)
+
+    # ------------------------------------------------------------------
+    def _require_epoch(self, target: int) -> _Epoch:
+        self._check_target(target)
+        epoch = self._epochs.get(target)
+        if epoch is None:
+            raise RmaError(
+                f"rank {self.rank}: RMA access to target {target} outside a lock epoch"
+            )
+        return epoch
+
+    def _check_target(self, target: int) -> None:
+        if not (0 <= target < self.comm.size):
+            raise RmaError(f"target rank {target} outside communicator")
+
+    def local_view(self) -> memoryview:
+        """This rank's own exposure buffer."""
+        return self.world.window_buffer(self.win_id, self.my_world_rank)

@@ -1,0 +1,133 @@
+"""A small checkpoint convenience layer on top of TCIO.
+
+What downstream applications usually want is not raw offsets but "save
+these named arrays collectively, restore them later". This helper packs a
+rank's named numpy arrays into a self-describing region of one shared
+checkpoint file through plain TCIO calls — one more demonstration that the
+transparent API composes without file views or combine buffers.
+
+Layout::
+
+    [int64 nranks][int64 region_size per rank...]      # directory
+    [rank 0 region][rank 1 region]...                  # regions
+
+Each region: ``[int32 narrays]`` then per array ``[int32 name_len][name]
+[int32 ndim][int64 shape...][int32 dtype_len][dtype][payload]``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Mapping
+
+import numpy as np
+
+from repro.simmpi import collectives
+from repro.simmpi.mpi import RankEnv
+from repro.tcio.file import TCIO_RDONLY, TCIO_WRONLY, TcioFile
+from repro.tcio.params import TcioConfig
+from repro.util.errors import TcioError
+
+_DIR_ENTRY = 8
+
+
+def _encode_region(arrays: Mapping[str, np.ndarray]) -> bytes:
+    out = bytearray(struct.pack("<i", len(arrays)))
+    for name, arr in arrays.items():
+        # note: tobytes() already yields C-order bytes for any layout, and
+        # ascontiguousarray would silently promote 0-d arrays to 1-d
+        arr = np.asarray(arr)
+        name_b = name.encode("utf-8")
+        dtype_b = arr.dtype.str.encode("ascii")
+        out += struct.pack("<i", len(name_b)) + name_b
+        out += struct.pack("<i", arr.ndim)
+        out += struct.pack(f"<{arr.ndim}q", *arr.shape) if arr.ndim else b""
+        out += struct.pack("<i", len(dtype_b)) + dtype_b
+        out += arr.tobytes()
+    return bytes(out)
+
+
+def _decode_region(blob: bytes) -> dict[str, np.ndarray]:
+    pos = 0
+
+    def take(fmt: str):
+        nonlocal pos
+        size = struct.calcsize(fmt)
+        vals = struct.unpack_from(fmt, blob, pos)
+        pos += size
+        return vals
+
+    (narrays,) = take("<i")
+    out: dict[str, np.ndarray] = {}
+    for _ in range(narrays):
+        (name_len,) = take("<i")
+        name = blob[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        (ndim,) = take("<i")
+        shape = take(f"<{ndim}q") if ndim else ()
+        (dtype_len,) = take("<i")
+        dtype = np.dtype(blob[pos : pos + dtype_len].decode("ascii"))
+        pos += dtype_len
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        arr = np.frombuffer(blob[pos : pos + nbytes], dtype=dtype).reshape(shape)
+        pos += nbytes
+        out[name] = arr.copy()
+    return out
+
+
+def save_checkpoint(
+    env: RankEnv, name: str, arrays: Mapping[str, np.ndarray]
+) -> int:
+    """Collectively write each rank's named arrays to one shared file.
+
+    Returns the checkpoint's total size in bytes.
+    """
+    region = _encode_region(arrays)
+    sizes = collectives.allgather(env.comm, len(region))
+    header = struct.pack("<q", env.size) + struct.pack(f"<{env.size}q", *sizes)
+    total = len(header) + sum(sizes)
+
+    stripe = env.pfs.spec.stripe_size
+    cfg = TcioConfig.sized_for(max(total, stripe), env.size, stripe)
+    fh = TcioFile(env, name, TCIO_WRONLY, cfg)
+    if env.rank == 0:
+        fh.write_at(0, header)
+    offset = len(header) + sum(sizes[: env.rank])
+    fh.write_at(offset, region)
+    fh.close()
+    return total
+
+
+def load_checkpoint(env: RankEnv, name: str) -> dict[str, np.ndarray]:
+    """Collectively read back this rank's arrays from a checkpoint file.
+
+    The restoring job may use a different process count only if it matches
+    the saver's (each region belongs to one saving rank); a mismatch raises
+    TcioError with both counts.
+    """
+    pfs_size = env.pfs.lookup(name).size
+    stripe = env.pfs.spec.stripe_size
+    cfg = TcioConfig.sized_for(max(pfs_size, stripe), env.size, stripe)
+    fh = TcioFile(env, name, TCIO_RDONLY, cfg)
+
+    head = bytearray(_DIR_ENTRY)
+    fh.read_at(0, head)
+    fh.fetch()
+    (nranks,) = struct.unpack("<q", bytes(head))
+    if nranks != env.size:
+        fh.close()
+        raise TcioError(
+            f"checkpoint was saved by {nranks} ranks, restoring with {env.size}"
+        )
+    directory = bytearray(_DIR_ENTRY * nranks)
+    fh.read_at(_DIR_ENTRY, directory)
+    fh.fetch()
+    sizes = list(struct.unpack(f"<{nranks}q", bytes(directory)))
+
+    offset = _DIR_ENTRY * (1 + nranks) + sum(sizes[: env.rank])
+    region = bytearray(sizes[env.rank])
+    fh.read_at(offset, region)
+    fh.fetch()
+    fh.close()
+    return _decode_region(bytes(region))

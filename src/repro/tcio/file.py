@@ -1,0 +1,459 @@
+"""The TCIO handle and the Program-1 API.
+
+::
+
+    tcio_file * tcio_open(char * fname, int mode)
+    tcio_write   (fh, data, count, type)
+    tcio_write_at(fh, offset, data, count, type)
+    tcio_read    (fh, data, count, type)
+    tcio_read_at (fh, offset, data, count, type)
+    tcio_seek    (fh, offset, whence)
+    tcio_flush   (fh)        # collective: level-1 -> level-2, MPI_Barrier
+    tcio_fetch   (fh)        # load recorded lazy reads into their targets
+    tcio_close   (fh)        # collective: barrier, level-2 -> file system
+
+Write calls combine into the level-1 buffer and spill to the level-2
+buffer (one-sided, indexed) when the access leaves the aligned segment;
+read calls record (address, length, offset) and load lazily. ``tcio_close``
+synchronizes, then each rank writes the dirty segments *it owns* to the
+file system as large aligned accesses — the collective-I/O effect, achieved
+without file views or application-level combine buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.memsim.memory import Allocation
+from repro.simmpi import collectives
+from repro.simmpi.datatypes import BYTE, Datatype
+from repro.simmpi.mpi import RankEnv
+from repro.tcio.level1 import Level1Buffer, PendingRead, ReadLog
+from repro.tcio.level2 import Level2Buffer, SegmentDirectory
+from repro.tcio.mapping import SegmentMapping
+from repro.tcio.params import TcioConfig
+from repro.tcio.stats import TcioStats
+from repro.util.errors import TcioError
+from repro.util.intervals import Extent
+
+TCIO_RDONLY = 0x1
+TCIO_WRONLY = 0x2
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+Buffer = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+def _as_payload(data: Buffer, count: Optional[int], datatype: Datatype) -> bytes:
+    if isinstance(data, np.ndarray):
+        raw = np.ascontiguousarray(data).tobytes()
+    else:
+        raw = bytes(data)
+    if count is not None:
+        need = count * datatype.size
+        if need > len(raw):
+            raise TcioError(
+                f"buffer of {len(raw)} bytes too small for count={count} "
+                f"x {datatype.size}B elements"
+            )
+        raw = raw[:need]
+    return raw
+
+
+def _as_dest(data: Buffer) -> memoryview:
+    if isinstance(data, np.ndarray):
+        if not data.flags.c_contiguous:
+            raise TcioError("read target must be C-contiguous")
+        view = memoryview(data).cast("B")
+    else:
+        view = memoryview(data)
+        if view.readonly:
+            raise TcioError("read target is read-only")
+        view = view.cast("B")
+    return view
+
+
+class TcioFile:
+    """One rank's TCIO handle on a shared file."""
+
+    def __init__(
+        self,
+        env: RankEnv,
+        name: str,
+        mode: int,
+        config: Optional[TcioConfig] = None,
+        comm=None,
+    ):
+        """Collective open over ``comm`` (default: the world communicator).
+
+        Passing a sub-communicator runs this handle's collective I/O over
+        just that group — ParColl-style partitioned aggregation composes
+        for free (see ``examples/partitioned_groups.py``).
+        """
+        config = config or TcioConfig()
+        config.validate()
+        if mode not in (TCIO_RDONLY, TCIO_WRONLY):
+            raise TcioError("mode must be TCIO_RDONLY or TCIO_WRONLY")
+        self.env = env
+        self.name = name
+        self.mode = mode
+        self.config = config
+        self.comm = (comm if comm is not None else env.comm).dup()
+        self.stats = TcioStats()
+        self._closed = False
+        self._position = 0
+
+        pfs = env.pfs
+        if mode == TCIO_WRONLY:
+            self.pfs_file = pfs.create(name)
+            if self.pfs_file.size:
+                # Write handles have fresh-file semantics: dirty segments
+                # are written back whole, so stale bytes must not survive.
+                self.pfs_file.truncate(0)
+        else:
+            self.pfs_file = pfs.lookup(name)
+
+        node = env.world.node_of[env.rank]
+        self.client = pfs.client(node)
+        segment_size = config.resolve_segment_size(self.pfs_file.layout.stripe_size)
+        self.mapping = SegmentMapping(segment_size, self.comm.size)
+
+        # Collectively shared metadata: every rank reaches this setdefault
+        # inside the collective open. Opens are collective and ordered, so
+        # each rank's per-name open counter agrees globally and keys one
+        # fresh directory per open generation (a handle never sees stale
+        # dirty/loaded state from an earlier open of the same name).
+        seq_key = ("tcio-openseq", name, env.rank)  # env.rank is the world rank
+        gen = env.world.shared.get(seq_key, 0)
+        env.world.shared[seq_key] = gen + 1
+        self.directory: SegmentDirectory = env.world.shared.setdefault(
+            ("tcio-dir", name, gen), SegmentDirectory()
+        )
+
+        # Simulated memory: one level-1 buffer + this rank's level-2 share.
+        memory = env.world.memory
+        self._allocs: list[Allocation] = [
+            memory.allocate(env.rank, segment_size, "tcio.level1"),
+            memory.allocate(
+                env.rank,
+                config.segments_per_process * segment_size,
+                "tcio.level2",
+            ),
+        ]
+
+        self.level1 = Level1Buffer(segment_size)
+        self.readlog = ReadLog(segment_size * config.read_window_segments)
+        self.level2 = Level2Buffer(
+            self.comm,
+            self.mapping,
+            config.segments_per_process,
+            self.directory,
+            self.stats,
+            use_rma=config.use_rma,
+            combine_indexed=config.combine_indexed,
+        )
+        collectives.barrier(self.comm)
+
+    # ------------------------------------------------------------------
+    # positioning
+    # ------------------------------------------------------------------
+    def seek(self, offset: int, whence: int = SEEK_SET) -> int:
+        """tcio_seek: move the handle's position (SET/CUR/END)."""
+        self._check_open()
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self._position + offset
+        elif whence == SEEK_END:
+            base = self.pfs_file.size if self.mode == TCIO_RDONLY else self.directory.eof
+            new = base + offset
+        else:
+            raise TcioError(f"bad seek whence {whence}")
+        if new < 0:
+            raise TcioError(f"seek to negative offset {new}")
+        self._position = new
+        return new
+
+    def tell(self) -> int:
+        """The current file position in bytes."""
+        return self._position
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, data: Buffer, count: Optional[int] = None,
+              datatype: Datatype = BYTE) -> int:
+        """POSIX-style sequential write at the current position."""
+        n = self.write_at(self._position, data, count, datatype)
+        self._position += n
+        return n
+
+    def write_at(self, offset: int, data: Buffer, count: Optional[int] = None,
+                 datatype: Datatype = BYTE) -> int:
+        """Write at an explicit byte offset (does not move the pointer)."""
+        self._check_open(writing=True)
+        payload = _as_payload(data, count, datatype)
+        if not payload:
+            return 0
+        self._charge_memcpy(len(payload))
+        pos = 0
+        for loc in self.mapping.locate(offset, len(payload)):
+            gseg = loc.segment * self.mapping.nranks + loc.rank
+            if not self.level1.accepts(gseg):
+                self._flush_level1()
+            if self.level1.aligned_segment is None:
+                self.level1.align(gseg)
+            self.level1.place(loc.disp, payload[pos : pos + loc.length])
+            pos += loc.length
+        end = offset + len(payload)
+        if end > self.directory.eof:
+            self.directory.eof = end
+        self.stats.write_calls += 1
+        self.stats.written_bytes += len(payload)
+        return len(payload)
+
+    def _flush_level1(self) -> None:
+        if self.level1.empty:
+            self.level1.aligned_segment = None
+            return
+        gseg, blocks = self.level1.take()
+        self.level2.push_blocks(gseg, blocks)
+
+    # ------------------------------------------------------------------
+    # reads (lazy by default)
+    # ------------------------------------------------------------------
+    def read(self, dest: Buffer, count: Optional[int] = None,
+             datatype: Datatype = BYTE) -> int:
+        """Record a sequential read into *dest*; data lands at fetch time."""
+        n = self.read_at(self._position, dest, count, datatype)
+        self._position += n
+        return n
+
+    def read_at(self, offset: int, dest: Buffer, count: Optional[int] = None,
+                datatype: Datatype = BYTE) -> int:
+        """Record a read at an explicit offset into *dest*."""
+        self._check_open(reading=True)
+        view = _as_dest(dest)
+        nbytes = len(view) if count is None else count * datatype.size
+        if nbytes > len(view):
+            raise TcioError(f"read target of {len(view)} bytes < {nbytes} requested")
+        if nbytes == 0:
+            return 0
+        if self.readlog.overflows_with(offset, nbytes):
+            # "...either the file domain of cached reads exceeds the size
+            # of the level-1 buffer, or the application explicitly requests"
+            self.fetch()
+        self.readlog.record(
+            PendingRead(dest=view, dest_offset=0, file_offset=offset, length=nbytes)
+        )
+        self.stats.read_calls += 1
+        self.stats.read_bytes += nbytes
+        if not self.config.lazy_reads:
+            self.fetch()
+        return nbytes
+
+    def read_now(self, offset: int, nbytes: int) -> bytes:
+        """Convenience: read + immediate fetch, returning the bytes."""
+        out = bytearray(nbytes)
+        self.read_at(offset, out, nbytes, BYTE)
+        self.fetch()
+        return bytes(out)
+
+    def fetch(self) -> None:
+        """tcio_fetch: satisfy every recorded read."""
+        self._check_open(reading=True)
+        pending = self.readlog.drain()
+        if not pending:
+            return
+        self.stats.fetches += 1
+        # Group the requested byte ranges by global segment.
+        by_segment: dict[int, list[tuple[int, int, memoryview]]] = {}
+        for req in pending:
+            covered = 0
+            for loc in self.mapping.locate(req.file_offset, req.length):
+                gseg = loc.segment * self.mapping.nranks + loc.rank
+                dest_slice = req.dest[
+                    req.dest_offset + covered : req.dest_offset + covered + loc.length
+                ]
+                by_segment.setdefault(gseg, []).append(
+                    (loc.disp, loc.length, dest_slice)
+                )
+                covered += loc.length
+        # Service order matters: if every rank walked segments in file
+        # order, the whole job would convoy behind one loader per segment.
+        # Each rank serves the segments it owns first (it is that data's
+        # natural I/O delegator), then the rest rotated by rank, and load
+        # triggering runs as a first pass that skips segments some other
+        # rank is already loading — so distinct ranks drive distinct
+        # storage reads concurrently.
+        rank = self.env.rank
+        segs = sorted(by_segment)
+
+        def service_key(g: int) -> tuple[int, int]:
+            owned = 0 if self.mapping.owner_of_segment(g) == rank else 1
+            return (owned, (g + rank) % max(1, len(segs)))
+
+        order = sorted(segs, key=service_key)
+        d = self.directory
+        raw_by_seg: dict[int, bytes] = {}
+        for gseg in order:  # pass 1: load the segments this rank owns
+            if (
+                self.mapping.owner_of_segment(gseg) == rank
+                and gseg not in d.loaded
+                and gseg not in d.dirty
+                and gseg not in d.loading
+            ):
+                raw = self._ensure_segment(gseg)
+                if raw is not None:
+                    raw_by_seg[gseg] = raw
+        for gseg in order:  # pass 2: serve every request
+            self._fetch_segment(gseg, by_segment[gseg], raw_by_seg.get(gseg))
+
+    def _ensure_segment(self, gseg: int) -> Optional[bytes]:
+        """Make sure *gseg* is resident in level 2 (maybe loading it)."""
+
+        def pfs_read(ext: Extent) -> bytes:
+            return self.client.read(
+                self.pfs_file, ext.start, ext.length, owner=self.env.rank
+            )
+
+        return self.level2.ensure_loaded(gseg, pfs_read)
+
+    def _fetch_segment(
+        self,
+        gseg: int,
+        requests: list[tuple[int, int, memoryview]],
+        raw: Optional[bytes] = None,
+    ) -> None:
+        if raw is None:
+            raw = self._ensure_segment(gseg)
+        if raw is not None:
+            # This rank performed the load: serve straight from the bytes.
+            for disp, length, dest in requests:
+                dest[:] = raw[disp : disp + length]
+            self._charge_memcpy(sum(ln for _, ln, _ in requests))
+            return
+        ranges = [(disp, length) for disp, length, _ in requests]
+        blocks = self.level2.pull_blocks(gseg, ranges)
+        for (disp, length, dest), (_got_disp, data) in zip(requests, blocks):
+            dest[:] = data[:length]
+        self._charge_memcpy(sum(ln for _, ln, _ in requests))
+
+    # ------------------------------------------------------------------
+    # flush / close (collective)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """tcio_flush: collective level-1 drain ("invokes MPI_Barrier")."""
+        self._check_open()
+        if self.mode == TCIO_WRONLY:
+            self._flush_level1()
+        collectives.barrier(self.comm)
+
+    def close(self) -> None:
+        """tcio_close: synchronize, then level-2 -> file system."""
+        self._check_open()
+        if self.mode == TCIO_WRONLY:
+            self._flush_level1()
+            # "issues MPI_barrier to synchronize among processes before
+            # outputting data from the level-2 buffers to file system."
+            collectives.barrier(self.comm)
+            eof = collectives.allreduce(self.comm, self.directory.eof, max)
+            self.directory.eof = eof
+            for gseg in self.level2.owned_dirty_segments():
+                extent = self.mapping.segment_extent(gseg)
+                stop = min(extent.stop, eof)
+                if stop <= extent.start:
+                    continue
+                slot = self.level2.local_slot(gseg)
+                self.client.write(
+                    self.pfs_file,
+                    extent.start,
+                    slot[: stop - extent.start].tobytes(),
+                    owner=self.env.rank,
+                )
+                self.stats.segment_writebacks += 1
+            collectives.barrier(self.comm)
+        else:
+            if not self.readlog.empty:
+                self.fetch()
+            collectives.barrier(self.comm)
+        memory = self.env.world.memory
+        for alloc in self._allocs:
+            memory.free(alloc)
+        self._allocs = []
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def _charge_memcpy(self, nbytes: int) -> None:
+        if nbytes > 0:
+            self.env.compute(nbytes / self.env.world.fabric.spec.memcpy_bandwidth)
+
+    def _check_open(self, *, writing: bool = False, reading: bool = False) -> None:
+        if self._closed:
+            raise TcioError("TCIO handle is closed")
+        if writing and self.mode != TCIO_WRONLY:
+            raise TcioError("handle not opened for writing")
+        if reading and self.mode != TCIO_RDONLY:
+            raise TcioError("handle not opened for reading")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<TcioFile {self.name!r} rank={self.env.rank} mode={self.mode}>"
+
+
+# ----------------------------------------------------------------------
+# Program 1's free-function spelling of the API
+# ----------------------------------------------------------------------
+
+
+def tcio_open(env: RankEnv, fname: str, mode: int,
+              config: Optional[TcioConfig] = None) -> TcioFile:
+    """Collective open; mode is TCIO_RDONLY or TCIO_WRONLY."""
+    return TcioFile(env, fname, mode, config)
+
+
+def tcio_write(fh: TcioFile, data: Buffer, count: Optional[int] = None,
+               datatype: Datatype = BYTE) -> int:
+    """Program 1: sequential write at the current position."""
+    return fh.write(data, count, datatype)
+
+
+def tcio_write_at(fh: TcioFile, offset: int, data: Buffer,
+                  count: Optional[int] = None, datatype: Datatype = BYTE) -> int:
+    """Program 1: write at an explicit offset."""
+    return fh.write_at(offset, data, count, datatype)
+
+
+def tcio_read(fh: TcioFile, dest: Buffer, count: Optional[int] = None,
+              datatype: Datatype = BYTE) -> int:
+    """Program 1: record a sequential lazy read into *dest*."""
+    return fh.read(dest, count, datatype)
+
+
+def tcio_read_at(fh: TcioFile, offset: int, dest: Buffer,
+                 count: Optional[int] = None, datatype: Datatype = BYTE) -> int:
+    """Program 1: record a lazy read at an explicit offset."""
+    return fh.read_at(offset, dest, count, datatype)
+
+
+def tcio_seek(fh: TcioFile, offset: int, whence: int = SEEK_SET) -> int:
+    """Program 1: move the file position."""
+    return fh.seek(offset, whence)
+
+
+def tcio_flush(fh: TcioFile) -> None:
+    """Program 1: collective level-1 -> level-2 drain."""
+    fh.flush()
+
+
+def tcio_fetch(fh: TcioFile) -> None:
+    """Program 1: load all recorded lazy reads."""
+    fh.fetch()
+
+
+def tcio_close(fh: TcioFile) -> None:
+    """Program 1: collective close (level-2 -> file system)."""
+    fh.close()

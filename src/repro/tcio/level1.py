@@ -1,0 +1,169 @@
+"""The level-1 buffer: per-process combining of small sequential blocks.
+
+One reusable buffer, exactly one segment wide, aligned with whichever
+level-2 segment the current writes (or recorded reads) fall into. Write
+blocks land in the buffer at their displacement; the block list is kept
+merged so a flush ships the fewest possible indexed blocks. For reads the
+buffer stores *requests* (lazy loading): destination, length, displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.util.errors import TcioError
+
+
+@dataclass
+class PendingRead:
+    """One recorded (not yet loaded) read: lazy-loading bookkeeping.
+
+    ``dest`` is the caller's writable buffer; ``dest_offset`` where the
+    bytes go — the in-memory "address" the paper's library retains.
+    """
+
+    dest: memoryview
+    dest_offset: int
+    file_offset: int
+    length: int
+
+
+class Level1Buffer:
+    """The write-side combining buffer (one per TCIO handle)."""
+
+    def __init__(self, segment_size: int):
+        if segment_size < 1:
+            raise TcioError("segment size must be positive")
+        self.segment_size = segment_size
+        self.data = np.zeros(segment_size, dtype=np.uint8)
+        self.aligned_segment: Optional[int] = None  # global segment index
+        self._blocks: list[tuple[int, int]] = []  # merged (disp, length)
+
+    @property
+    def empty(self) -> bool:
+        """Whether nothing is buffered/recorded."""
+        return not self._blocks
+
+    @property
+    def blocks(self) -> list[tuple[int, int]]:
+        """Merged (disp, length) blocks currently buffered."""
+        return list(self._blocks)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Total bytes currently buffered."""
+        return sum(length for _, length in self._blocks)
+
+    def accepts(self, global_segment: int) -> bool:
+        """Can a block of this segment be placed without flushing first?"""
+        return self.aligned_segment is None or self.aligned_segment == global_segment
+
+    def align(self, global_segment: int) -> None:
+        """Align the (empty) buffer with a level-2 segment."""
+        if not self.empty:
+            raise TcioError("cannot realign a non-empty level-1 buffer")
+        self.aligned_segment = global_segment
+
+    def place(self, disp: int, payload: memoryview | bytes) -> None:
+        """Copy one block into the buffer at its segment displacement."""
+        length = len(payload)
+        if self.aligned_segment is None:
+            raise TcioError("level-1 buffer is not aligned to a segment")
+        if disp < 0 or disp + length > self.segment_size:
+            raise TcioError(
+                f"block [{disp}, +{length}) outside segment of {self.segment_size}"
+            )
+        self.data[disp : disp + length] = np.frombuffer(payload, dtype=np.uint8)
+        self._insert_block(disp, length)
+
+    def _insert_block(self, disp: int, length: int) -> None:
+        """Keep the block list sorted and merged (overlaps coalesce)."""
+        if length == 0:
+            return
+        blocks = self._blocks
+        lo, hi = disp, disp + length
+        out: list[tuple[int, int]] = []
+        placed = False
+        for b_lo, b_len in blocks:
+            b_hi = b_lo + b_len
+            if b_hi < lo and not placed:
+                out.append((b_lo, b_len))
+            elif hi < b_lo:
+                if not placed:
+                    out.append((lo, hi - lo))
+                    placed = True
+                out.append((b_lo, b_len))
+            else:  # touching or overlapping: merge into the pending block
+                lo = min(lo, b_lo)
+                hi = max(hi, b_hi)
+        if not placed:
+            out.append((lo, hi - lo))
+        self._blocks = out
+
+    def take(self) -> tuple[int, list[tuple[int, int, bytes]]]:
+        """Drain the buffer for a flush.
+
+        Returns ``(global_segment, [(disp, length, payload), ...])`` and
+        leaves the buffer empty and unaligned (reusable).
+        """
+        if self.aligned_segment is None:
+            raise TcioError("flush of an unaligned level-1 buffer")
+        segment = self.aligned_segment
+        blocks = [
+            (disp, length, self.data[disp : disp + length].tobytes())
+            for disp, length in self._blocks
+        ]
+        self._blocks = []
+        self.aligned_segment = None
+        return segment, blocks
+
+
+class ReadLog:
+    """Recorded lazy reads, grouped for a fetch.
+
+    Tracks the file-domain span of pending requests: the paper triggers
+    real loading "when the file domain of cached reads exceeds the size of
+    the level-1 buffer".
+    """
+
+    def __init__(self, segment_size: int):
+        self.segment_size = segment_size
+        self.pending: list[PendingRead] = []
+        self._lo: Optional[int] = None
+        self._hi: Optional[int] = None
+
+    @property
+    def empty(self) -> bool:
+        """Whether no lazy reads are pending."""
+        return not self.pending
+
+    @property
+    def domain_span(self) -> int:
+        """File-domain span of the pending reads."""
+        if self._lo is None or self._hi is None:
+            return 0
+        return self._hi - self._lo
+
+    def record(self, read: PendingRead) -> None:
+        """Append one lazy read and widen the pending domain."""
+        self.pending.append(read)
+        lo, hi = read.file_offset, read.file_offset + read.length
+        self._lo = lo if self._lo is None else min(self._lo, lo)
+        self._hi = hi if self._hi is None else max(self._hi, hi)
+
+    def overflows_with(self, file_offset: int, length: int) -> bool:
+        """Would recording this read push the domain past one level-1?"""
+        if self._lo is None:
+            return False
+        lo = min(self._lo, file_offset)
+        hi = max(self._hi or 0, file_offset + length)
+        return hi - lo > self.segment_size
+
+    def drain(self) -> list[PendingRead]:
+        """Return and clear all pending reads."""
+        out, self.pending = self.pending, []
+        self._lo = self._hi = None
+        return out

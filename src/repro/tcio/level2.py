@@ -1,0 +1,214 @@
+"""The level-2 buffer: the shared, segment-partitioned staging area.
+
+Each rank exposes ``segments_per_process`` segment slots through an RMA
+window; global file segment ``g`` lives on rank ``g % P`` at slot
+``g // P`` (equations (1)-(3)). Level-1 flushes arrive as one indexed
+one-sided Put per flush; lazy reads are served with one-sided Gets after a
+reader-loads-and-caches protocol fills the owning slot from storage.
+
+A host-side :class:`SegmentDirectory` (shared across ranks through
+``world.shared``) tracks which global segments are dirty (hold write data)
+or loaded (hold file data). In the C library this metadata rides inside the
+window itself; keeping it host-side is a simulation shortcut that does not
+change any charged cost — the flag bytes would travel inside the same
+transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.sync import SimEvent
+from repro.simmpi.comm import Communicator
+from repro.simmpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Window
+from repro.tcio.mapping import SegmentMapping
+from repro.tcio.stats import TcioStats
+from repro.util.errors import TcioError
+
+
+@dataclass
+class SegmentDirectory:
+    """Shared per-file metadata about level-2 segment contents."""
+
+    dirty: set[int] = field(default_factory=set)  # global segments with writes
+    loaded: set[int] = field(default_factory=set)  # global segments with file data
+    loading: dict[int, SimEvent] = field(default_factory=dict)
+    eof: int = 0  # high-water mark of written offsets (all ranks)
+
+
+class Level2Buffer:
+    """One rank's slice of the level-2 buffer plus its transfer engine."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        mapping: SegmentMapping,
+        segments_per_process: int,
+        directory: SegmentDirectory,
+        stats: TcioStats,
+        *,
+        use_rma: bool = True,
+        combine_indexed: bool = True,
+    ):
+        self.comm = comm
+        self.rank = comm.rank
+        self.mapping = mapping
+        self.segment_size = mapping.segment_size
+        self.segments_per_process = segments_per_process
+        self.directory = directory
+        self.stats = stats
+        self.use_rma = use_rma
+        self.combine_indexed = combine_indexed
+        self.capacity = segments_per_process * self.segment_size
+        self.data = np.zeros(self.capacity, dtype=np.uint8)
+        self.window = Window(comm, self.data)
+
+    # ------------------------------------------------------------------
+    # placement helpers
+    # ------------------------------------------------------------------
+    def _slot_base(self, global_segment: int) -> int:
+        slot = self.mapping.slot_of_segment(global_segment)
+        if slot >= self.segments_per_process:
+            raise TcioError(
+                f"segment {global_segment} needs slot {slot}, but the level-2 "
+                f"buffer holds {self.segments_per_process} segments per process "
+                "(raise TcioConfig.segments_per_process)"
+            )
+        return slot * self.segment_size
+
+    def local_slot(self, global_segment: int) -> np.ndarray:
+        """This rank's in-memory view of a segment it owns."""
+        if self.mapping.owner_of_segment(global_segment) != self.rank:
+            raise TcioError(f"rank {self.rank} does not own segment {global_segment}")
+        base = self._slot_base(global_segment)
+        return self.data[base : base + self.segment_size]
+
+    # ------------------------------------------------------------------
+    # write path: level-1 flush -> owner's slot
+    # ------------------------------------------------------------------
+    def push_blocks(
+        self, global_segment: int, blocks: list[tuple[int, int, bytes]]
+    ) -> None:
+        """Move one drained level-1 buffer into the owning slot.
+
+        ``blocks`` is ``[(disp, length, payload), ...]`` within the segment.
+        """
+        if not blocks:
+            return
+        owner = self.mapping.owner_of_segment(global_segment)
+        base = self._slot_base(global_segment)
+        nbytes = sum(length for _, length, _ in blocks)
+        if owner == self.rank:
+            slot = self.local_slot(global_segment)
+            for disp, length, payload in blocks:
+                slot[disp : disp + length] = np.frombuffer(payload, dtype=np.uint8)
+            self.stats.local_flushes += 1
+        else:
+            targets = [(base + disp, payload) for disp, _length, payload in blocks]
+            if not self.use_rma:
+                # Ablation: pay two-sided receive-side matching costs.
+                finish = self.comm.world.charge_matching(owner)
+                from repro.sim.engine import current_process
+
+                now = self.comm.world.engine.now
+                if finish > now:
+                    current_process().sleep(finish - now)
+            self.window.lock(owner, LOCK_EXCLUSIVE)
+            if self.combine_indexed:
+                self.window.put_indexed(targets, owner)
+            else:
+                # Ablation: one Put per block ("a large number of network
+                # connections, which would in turn degrade performance").
+                for off, payload in targets:
+                    self.window.put(payload, owner, off)
+            self.window.unlock(owner)
+            self.stats.remote_flushes += 1
+            self.stats.put_blocks += len(blocks)
+        self.stats.flushed_bytes += nbytes
+        self.directory.dirty.add(global_segment)
+
+    # ------------------------------------------------------------------
+    # read path: reader-loads-and-caches, then one-sided gets
+    # ------------------------------------------------------------------
+    def ensure_loaded(self, global_segment: int, pfs_read) -> Optional[bytes]:
+        """Make sure the segment's file bytes sit in its owner's slot.
+
+        ``pfs_read(extent) -> bytes`` is the caller's storage reader (it
+        charges storage time to the calling rank). Returns the raw segment
+        bytes when this call performed the load (the loader can then serve
+        itself without a Get); returns None when the slot was already (or
+        concurrently) loaded.
+        """
+        d = self.directory
+        if global_segment in d.loaded or global_segment in d.dirty:
+            return None
+        event = d.loading.get(global_segment)
+        if event is not None:
+            event.wait()  # another rank is loading; data is ready after
+            return None
+        event = SimEvent(f"tcio.load(seg={global_segment})", sticky=True)
+        d.loading[global_segment] = event
+        extent = self.mapping.segment_extent(global_segment)
+        payload = pfs_read(extent)
+        owner = self.mapping.owner_of_segment(global_segment)
+        base = self._slot_base(global_segment)
+        if owner == self.rank:
+            self.local_slot(global_segment)[: len(payload)] = np.frombuffer(
+                payload, dtype=np.uint8
+            )
+        else:
+            self.window.lock(owner, LOCK_EXCLUSIVE)
+            self.window.put(payload, owner, base)
+            self.window.unlock(owner)
+        # The loaded flag may only become visible once the put has landed;
+        # unlock charges the drain lazily, so settle before publishing.
+        from repro.sim.engine import current_process
+
+        current_process().settle()
+        d.loaded.add(global_segment)
+        del d.loading[global_segment]
+        event.fire()
+        self.stats.segment_loads += 1
+        return payload
+
+    def pull_blocks(
+        self, global_segment: int, ranges: list[tuple[int, int]]
+    ) -> list[tuple[int, bytes]]:
+        """Fetch ``(disp, length)`` ranges of a resident segment.
+
+        Local slots are served by memcpy; remote ones with a single
+        indexed one-sided Get under a shared lock.
+        """
+        owner = self.mapping.owner_of_segment(global_segment)
+        base = self._slot_base(global_segment)
+        if owner == self.rank:
+            slot = self.local_slot(global_segment)
+            out = [(disp, slot[disp : disp + ln].tobytes()) for disp, ln in ranges]
+            self.stats.local_gets += len(ranges)
+            return out
+        self.window.lock(owner, LOCK_SHARED)
+        if self.combine_indexed:
+            got = self.window.get_indexed(
+                [(base + disp, ln) for disp, ln in ranges], owner
+            )
+        else:
+            got = [
+                (base + disp, self.window.get(owner, base + disp, ln))
+                for disp, ln in ranges
+            ]
+        self.window.unlock(owner)
+        self.stats.get_blocks += len(ranges)
+        self.stats.fetched_bytes += sum(ln for _, ln in ranges)
+        return [(off - base, data) for off, data in got]
+
+    # ------------------------------------------------------------------
+    def owned_dirty_segments(self) -> list[int]:
+        """Global segments this rank must write back at close, in order."""
+        return sorted(
+            g
+            for g in self.directory.dirty
+            if self.mapping.owner_of_segment(g) == self.rank
+        )

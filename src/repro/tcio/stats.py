@@ -1,0 +1,41 @@
+"""Per-handle operation counters (exported for experiments and tests)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TcioStats:
+    """What one TCIO handle did — the mechanism evidence behind the figures."""
+
+    write_calls: int = 0
+    read_calls: int = 0
+    written_bytes: int = 0
+    read_bytes: int = 0
+    local_flushes: int = 0  # level-1 drains landing in this rank's own slot
+    remote_flushes: int = 0  # level-1 drains shipped with one-sided Puts
+    put_blocks: int = 0  # blocks combined into those Puts
+    local_gets: int = 0
+    get_blocks: int = 0
+    flushed_bytes: int = 0
+    fetched_bytes: int = 0
+    segment_loads: int = 0  # storage reads of whole segments (lazy loading)
+    segment_writebacks: int = 0  # storage writes of whole segments at close
+    fetches: int = 0  # explicit or overflow-triggered fetch rounds
+    extra: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def flushes(self) -> int:
+        """Total level-1 drains (local + remote)."""
+        return self.local_flushes + self.remote_flushes
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict."""
+        out = {
+            k: v
+            for k, v in self.__dict__.items()
+            if isinstance(v, int)
+        }
+        out.update(self.extra)
+        return out

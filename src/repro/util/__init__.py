@@ -1,0 +1,47 @@
+"""Shared utilities: units, error types, interval algebra, RNG streams, tables.
+
+These helpers are substrate-neutral; every other subpackage may depend on
+them, and they depend on nothing but numpy and the standard library.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    SimulationError,
+    MpiError,
+    PfsError,
+    TcioError,
+    OutOfMemoryError,
+    DeadlockError,
+)
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    parse_size,
+    format_size,
+    format_time,
+    format_throughput,
+)
+from repro.util.intervals import Extent, ExtentSet
+from repro.util.rng import seeded_rng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "MpiError",
+    "PfsError",
+    "TcioError",
+    "OutOfMemoryError",
+    "DeadlockError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "parse_size",
+    "format_size",
+    "format_time",
+    "format_throughput",
+    "Extent",
+    "ExtentSet",
+    "seeded_rng",
+    "derive_seed",
+]

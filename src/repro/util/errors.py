@@ -1,0 +1,80 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so applications can
+catch everything from this package with a single ``except`` clause, mirroring
+how MPI implementations funnel failures through ``MPI_ERR_*`` codes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistent state.
+
+    Examples: a process resumed after the engine stopped, an event scheduled
+    in the past, or a simulated entity used from outside a rank context.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All simulated processes are blocked and no event can make progress.
+
+    The simulated analogue of an MPI job hanging forever; raised instead so
+    tests fail fast with the set of blocked ranks and what they wait on.
+    """
+
+    def __init__(self, waiters: dict[int, str]):
+        self.waiters = dict(waiters)
+        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(waiters.items()))
+        super().__init__(f"deadlock: all processes blocked ({detail})")
+
+
+class MpiError(ReproError):
+    """Invalid use of the simulated MPI layer (bad rank, type mismatch...)."""
+
+
+class RmaError(MpiError):
+    """Invalid one-sided access: unlocked window, out-of-range target..."""
+
+
+class DatatypeError(MpiError):
+    """Malformed derived datatype definition."""
+
+
+class PfsError(ReproError):
+    """Parallel-file-system failure (unknown file, bad extent, mode error)."""
+
+
+class MpiIoError(ReproError):
+    """Invalid use of the MPI-IO layer (bad view, closed file, bad mode)."""
+
+
+class TcioError(ReproError):
+    """Invalid use of the TCIO library (closed handle, bad offset, mode)."""
+
+
+class OutOfMemoryError(ReproError):
+    """A simulated allocation exceeded the node's memory budget.
+
+    Reproduces the Fig. 6/7 failure: at 48 GB datasets the OCIO benchmark
+    cannot allocate its application-level combine buffer plus the two-phase
+    temporary buffer on 24 GB Lonestar nodes.
+    """
+
+    def __init__(self, node: int, requested: int, in_use: int, budget: int):
+        self.node = node
+        self.requested = requested
+        self.in_use = in_use
+        self.budget = budget
+        super().__init__(
+            f"node {node}: allocation of {requested} bytes exceeds budget "
+            f"({in_use} in use of {budget})"
+        )
+
+
+class BenchmarkError(ReproError):
+    """A benchmark configuration or run is invalid."""

@@ -1,0 +1,188 @@
+"""Half-open byte-extent algebra.
+
+Extents ``[start, stop)`` are the lingua franca of the whole stack: file
+views flatten to extents, the PFS lock manager locks extents, two-phase
+collective I/O partitions the aggregate extent into file domains, and TCIO's
+level-1 buffer tracks the file domain of cached blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A half-open byte range ``[start, stop)`` in a file or buffer."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(f"extent stop < start: [{self.start}, {self.stop})")
+
+    @property
+    def length(self) -> int:
+        """Byte count of the extent."""
+        return self.stop - self.start
+
+    def is_empty(self) -> bool:
+        """True when start == stop."""
+        return self.stop == self.start
+
+    def contains(self, offset: int) -> bool:
+        """True when *offset* lies within the extent."""
+        return self.start <= offset < self.stop
+
+    def covers(self, other: "Extent") -> bool:
+        """True when *other* lies entirely inside this extent."""
+        return self.start <= other.start and other.stop <= self.stop
+
+    def overlaps(self, other: "Extent") -> bool:
+        """True when the ranges share at least one byte."""
+        return self.start < other.stop and other.start < self.stop
+
+    def touches(self, other: "Extent") -> bool:
+        """Overlapping or exactly adjacent (mergeable into one extent)."""
+        return self.start <= other.stop and other.start <= self.stop
+
+    def intersect(self, other: "Extent") -> "Extent":
+        """The overlap of two extents; empty extent at max(start) if disjoint."""
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if stop < start:
+            return Extent(start, start)
+        return Extent(start, stop)
+
+    def shift(self, delta: int) -> "Extent":
+        """The extent translated by *delta* bytes."""
+        return Extent(self.start + delta, self.stop + delta)
+
+    def split_at(self, offset: int) -> tuple["Extent", "Extent"]:
+        """Split into ``[start, offset)`` and ``[offset, stop)``."""
+        if not (self.start <= offset <= self.stop):
+            raise ValueError(f"split point {offset} outside {self}")
+        return Extent(self.start, offset), Extent(offset, self.stop)
+
+    def align_down(self, granularity: int) -> "Extent":
+        """Expand outward to *granularity*-aligned boundaries.
+
+        This is how a stripe-granularity lock manager rounds a byte request
+        to whole lock units.
+        """
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        start = (self.start // granularity) * granularity
+        stop = -(-self.stop // granularity) * granularity
+        if self.is_empty():
+            stop = start
+        return Extent(start, stop)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.start},{self.stop})"
+
+
+class ExtentSet:
+    """A normalized (sorted, disjoint, merged) set of extents.
+
+    Supports union, subtraction, intersection and coverage queries in
+    O(n log n); used for lock conflict detection and sieving hole analysis.
+    """
+
+    def __init__(self, extents: Iterable[Extent] = ()):
+        self._extents: list[Extent] = self._normalize(extents)
+
+    @staticmethod
+    def _normalize(extents: Iterable[Extent]) -> list[Extent]:
+        items = sorted(e for e in extents if not e.is_empty())
+        merged: list[Extent] = []
+        for e in items:
+            if merged and merged[-1].touches(e):
+                last = merged.pop()
+                merged.append(Extent(last.start, max(last.stop, e.stop)))
+            else:
+                merged.append(e)
+        return merged
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __bool__(self) -> bool:
+        return bool(self._extents)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtentSet):
+            return NotImplemented
+        return self._extents == other._extents
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return "ExtentSet(" + ", ".join(map(str, self._extents)) + ")"
+
+    @property
+    def total_length(self) -> int:
+        """Sum of member extent lengths."""
+        return sum(e.length for e in self._extents)
+
+    def bounding(self) -> Extent:
+        """Smallest single extent covering the whole set (empty if empty)."""
+        if not self._extents:
+            return Extent(0, 0)
+        return Extent(self._extents[0].start, self._extents[-1].stop)
+
+    def add(self, extent: Extent) -> None:
+        """Insert an extent (renormalizing in place)."""
+        if extent.is_empty():
+            return
+        self._extents = self._normalize([*self._extents, extent])
+
+    def union(self, other: "ExtentSet | Extent") -> "ExtentSet":
+        """The normalized union with another set or extent."""
+        other_items = [other] if isinstance(other, Extent) else list(other)
+        return ExtentSet([*self._extents, *other_items])
+
+    def intersect(self, other: "ExtentSet | Extent") -> "ExtentSet":
+        """The normalized intersection with another set or extent."""
+        other_items = [other] if isinstance(other, Extent) else list(other)
+        out: list[Extent] = []
+        for a in self._extents:
+            for b in other_items:
+                piece = a.intersect(b)
+                if not piece.is_empty():
+                    out.append(piece)
+        return ExtentSet(out)
+
+    def subtract(self, other: "ExtentSet | Extent") -> "ExtentSet":
+        """The set minus another set or extent."""
+        other_items = [other] if isinstance(other, Extent) else list(other)
+        remaining = list(self._extents)
+        for hole in sorted(e for e in other_items if not e.is_empty()):
+            next_remaining: list[Extent] = []
+            for e in remaining:
+                if not e.overlaps(hole):
+                    next_remaining.append(e)
+                    continue
+                if e.start < hole.start:
+                    next_remaining.append(Extent(e.start, hole.start))
+                if hole.stop < e.stop:
+                    next_remaining.append(Extent(hole.stop, e.stop))
+            remaining = next_remaining
+        return ExtentSet(remaining)
+
+    def covers(self, extent: Extent) -> bool:
+        """True when *extent* is fully contained in the set."""
+        if extent.is_empty():
+            return True
+        return not ExtentSet([extent]).subtract(self)
+
+    def overlaps(self, extent: Extent) -> bool:
+        """True when any member extent overlaps *extent*."""
+        return any(e.overlaps(extent) for e in self._extents)
+
+    def holes_within(self, extent: Extent) -> "ExtentSet":
+        """Gaps of *extent* not covered by the set (data-sieving holes)."""
+        return ExtentSet([extent]).subtract(self)

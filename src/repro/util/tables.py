@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; this module renders them as aligned ASCII so EXPERIMENTS.md
+and console output stay readable without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render one figure's data as a table with one column per curve.
+
+    ``series`` values may contain ``None`` for missing points (e.g. the
+    OCIO 48 GB OOM point, or MPI-IO runs past the 90-minute cap); these
+    render as ``--`` like a truncated curve in the paper's figures.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for values in series.values():
+            v = values[i] if i < len(values) else None
+            row.append("--" if v is None else v)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,107 @@
+"""The Fig. 8 self-describing record format — including the 129-array check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.art.ftt import FttError, FttTree
+from repro.art.layout import FttRecordLayout, canonicalize
+
+
+def paper_example_tree() -> FttTree:
+    """Two variables, depth 6, level sizes {1,2,4,8,16,32} (fan-out 2)."""
+    t = FttTree.root_only(2, oct=2)
+    for level in range(5):
+        for cell in range(t.levels[level].ncells):
+            t.refine(level, cell)
+    rng = np.random.default_rng(9)
+    for lv in t.levels:
+        lv.variables[:] = rng.normal(size=lv.variables.shape)
+    return t
+
+
+class TestPaperSizing:
+    def test_the_129_array_example(self):
+        """'one FTT will consist of 129 arrays of different types and sizes'"""
+        tree = paper_example_tree()
+        layout = FttRecordLayout()
+        assert layout.array_count(tree) == 129
+        arrays = layout.arrays(canonicalize(tree))
+        assert len(arrays) == 129
+        # different types and sizes: int32 headers, uint8 flags, f64 values
+        sizes = {a.nbytes for a in arrays}
+        assert len(sizes) >= 3
+
+    def test_record_nbytes_matches_serialization(self):
+        tree = canonicalize(paper_example_tree())
+        layout = FttRecordLayout()
+        assert len(layout.serialize(tree)) == layout.record_nbytes(tree)
+
+    def test_arrays_are_adjacent_and_ordered(self):
+        tree = canonicalize(paper_example_tree())
+        arrays = FttRecordLayout().arrays(tree)
+        pos = 0
+        for a in arrays:
+            assert a.offset == pos
+            pos += a.nbytes
+
+
+class TestRoundTrip:
+    def test_parse_inverts_serialize(self):
+        tree = canonicalize(paper_example_tree())
+        layout = FttRecordLayout()
+        parsed = layout.parse(layout.serialize(tree))
+        assert parsed == tree
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 120), st.integers(1, 3))
+    def test_random_trees_round_trip(self, seed, target, nvars):
+        rng = np.random.default_rng(seed)
+        tree = canonicalize(FttTree.build_random(rng, nvars, target))
+        layout = FttRecordLayout()
+        parsed = layout.parse(layout.serialize(tree))
+        assert parsed == tree
+        parsed.check_invariants()
+
+    def test_bad_magic_rejected(self):
+        layout = FttRecordLayout()
+        with pytest.raises(FttError):
+            layout.parse(b"\x00" * 64)
+
+    def test_iter_write_ops_offsets(self):
+        tree = canonicalize(paper_example_tree())
+        layout = FttRecordLayout()
+        ops = list(layout.iter_write_ops(tree, base_offset=1000))
+        assert ops[0][0] == 1000
+        total = sum(len(d) for _, d in ops)
+        assert total == layout.record_nbytes(tree)
+        # reassembling the op stream equals serialize()
+        blob = bytearray(total)
+        for off, d in ops:
+            blob[off - 1000 : off - 1000 + len(d)] = d
+        assert bytes(blob) == layout.serialize(tree)
+
+
+class TestCanonicalize:
+    def test_canonical_tree_has_sorted_parents(self):
+        tree = FttTree.build_random(np.random.default_rng(4), 2, 100)
+        canon = canonicalize(tree)
+        for lv in canon.levels[1:]:
+            parents = lv.parent.tolist()
+            assert parents == sorted(parents)
+        canon.check_invariants()
+
+    def test_canonicalize_preserves_cell_multiset(self):
+        tree = FttTree.build_random(np.random.default_rng(4), 2, 100)
+        canon = canonicalize(tree)
+        assert canon.level_sizes == tree.level_sizes
+        for a, b in zip(tree.levels, canon.levels):
+            assert sorted(a.variables[0].tolist()) == pytest.approx(
+                sorted(b.variables[0].tolist())
+            )
+
+    def test_canonicalize_is_idempotent(self):
+        tree = FttTree.build_random(np.random.default_rng(4), 2, 80)
+        once = canonicalize(tree)
+        twice = canonicalize(once)
+        assert once == twice

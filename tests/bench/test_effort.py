@@ -1,0 +1,36 @@
+"""Programming-effort analysis tests."""
+
+from repro.bench.config import Method
+from repro.bench.effort import effort_report
+
+
+class TestEffortReport:
+    def test_all_methods_analyzed(self):
+        report = effort_report()
+        assert set(report) == set(Method)
+
+    def test_ocio_carries_all_three_burdens(self):
+        """The paper's three questions: buffer, datatypes, file view."""
+        ocio = effort_report()[Method.OCIO]
+        assert ocio.needs_combine_buffer
+        assert ocio.needs_derived_datatypes
+        assert ocio.needs_file_view
+        assert ocio.burden_count == 3
+
+    def test_tcio_carries_none(self):
+        tcio = effort_report()[Method.TCIO]
+        assert tcio.burden_count == 0
+
+    def test_statement_counts_favor_tcio(self):
+        report = effort_report()
+        assert report[Method.OCIO].statements > report[Method.TCIO].statements
+
+    def test_io_call_surface(self):
+        report = effort_report()
+        # OCIO needs open + set_view + write_all + close; TCIO write + close
+        assert report[Method.OCIO].io_calls > report[Method.TCIO].io_calls
+
+    def test_call_names_include_the_apis(self):
+        report = effort_report()
+        assert "set_view" in report[Method.OCIO].call_names
+        assert "write_at" in report[Method.TCIO].call_names

@@ -1,0 +1,74 @@
+"""Shared fixtures: small clusters for semantics-focused tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.netsim.model import NetworkSpec, INSTANT
+from repro.pfs.spec import LustreSpec
+from repro.util.units import GIB, KIB, MIB
+
+
+def make_test_cluster(
+    *,
+    nodes: int = 4,
+    cores_per_node: int = 4,
+    memory_per_node: int = 1 * GIB,
+    stripe_size: int = 4 * KIB,
+    stripe_count: int = 4,
+    n_osts: int = 8,
+) -> ClusterSpec:
+    """A small, fast cluster with realistic-but-mild costs."""
+    return ClusterSpec(
+        name="testbox",
+        nodes=nodes,
+        cores_per_node=cores_per_node,
+        memory_per_node=memory_per_node,
+        network=NetworkSpec(
+            link_bandwidth=1 * GIB,
+            latency=1e-6,
+            per_message_overhead=0.2e-6,
+            connection_setup=2e-6,
+            fabric_bandwidth=8 * GIB,
+            memcpy_bandwidth=4 * GIB,
+            eager_limit=1 * KIB,
+            match_overhead=0.1e-6,
+            match_queue_overhead=1e-9,
+            rma_epoch_overhead=0.5e-6,
+            rma_shared_epoch_overhead=0.1e-6,
+            rma_message_overhead=0.05e-6,
+        ),
+        lustre=LustreSpec(
+            n_osts=n_osts,
+            stripe_size=stripe_size,
+            default_stripe_count=stripe_count,
+            ost_write_bandwidth=200 * MIB,
+            ost_read_bandwidth=600 * MIB,
+            ost_write_overhead=5e-6,
+            ost_read_overhead=1e-6,
+            lock_latency=0.5e-6,
+            client_bandwidth=800 * MIB,
+        ),
+    )
+
+
+def make_instant_cluster(**kwargs) -> ClusterSpec:
+    """A cluster where communication/storage take (almost) zero time.
+
+    For tests that only care about data movement semantics.
+    """
+    base = make_test_cluster(**kwargs)
+    from dataclasses import replace
+
+    return replace(base, network=INSTANT)
+
+
+@pytest.fixture
+def test_cluster() -> ClusterSpec:
+    return make_test_cluster()
+
+
+@pytest.fixture
+def instant_cluster() -> ClusterSpec:
+    return make_instant_cluster()

@@ -1,0 +1,51 @@
+"""Bit-reproducibility: identical runs produce identical simulated worlds."""
+
+from repro.art import ArtConfig, ArtIoMethod, ArtWorkload, run_art
+from repro.bench import BenchConfig, Method, run_benchmark
+from tests.conftest import make_test_cluster
+
+
+class TestDeterminism:
+    def test_benchmark_times_and_bytes_replay_exactly(self):
+        def once():
+            cfg = BenchConfig(
+                method=Method.TCIO, len_array=64, nprocs=4, file_name="d"
+            )
+            r = run_benchmark(cfg, cluster=make_test_cluster())
+            return (r.write_seconds, r.read_seconds, r.elapsed, tuple(sorted(r.counters)))
+
+        assert once() == once()
+
+    def test_ocio_replay(self):
+        def once():
+            cfg = BenchConfig(
+                method=Method.OCIO, len_array=48, nprocs=3, file_name="d"
+            )
+            r = run_benchmark(cfg, cluster=make_test_cluster())
+            return (r.write_seconds, r.read_seconds)
+
+        assert once() == once()
+
+    def test_art_replay(self):
+        def once():
+            cfg = ArtConfig(
+                workload=ArtWorkload(n_segments=8, cell_scale=128),
+                method=ArtIoMethod.TCIO,
+                nprocs=3,
+                file_name="d",
+            )
+            r = run_art(cfg, cluster=make_test_cluster())
+            return (r.dump_seconds, r.restart_seconds, r.snapshot_contents)
+
+        a, b = once(), once()
+        assert a == b
+
+    def test_trace_counters_replay(self):
+        def once():
+            cfg = BenchConfig(
+                method=Method.TCIO, len_array=32, nprocs=4, file_name="d"
+            )
+            r = run_benchmark(cfg, cluster=make_test_cluster())
+            return r.counters
+
+        assert once() == once()

@@ -1,0 +1,195 @@
+"""MpiFile semantics: modes, pointers, independent I/O, sieving."""
+
+import pytest
+
+from repro.mpiio import IoHints, MODE_CREATE, MODE_RDONLY, MODE_RDWR, MODE_WRONLY, MpiFile
+from repro.simmpi import run_mpi
+from repro.simmpi import collectives as coll
+from repro.simmpi.datatypes import BYTE, Contiguous, INT
+from repro.util.errors import MpiIoError
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn, **kw):
+    kw.setdefault("cluster", make_test_cluster())
+    return run_mpi(n, fn, **kw)
+
+
+class TestOpenClose:
+    def test_open_without_create_needs_existing(self):
+        def main(env):
+            with pytest.raises(Exception):
+                MpiFile.open(env, "nope", MODE_RDONLY)
+
+        # deadlock-free: both ranks raise before the barrier
+        run(1, main)
+
+    def test_write_on_rdonly_rejected(self):
+        def main(env):
+            env.pfs.create("f")
+            fh = MpiFile.open(env, "f", MODE_RDONLY)
+            with pytest.raises(MpiIoError):
+                fh.write_at(0, b"x")
+            fh.close()
+
+        run(2, main)
+
+    def test_read_on_wronly_rejected(self):
+        def main(env):
+            fh = MpiFile.open(env, "f", MODE_WRONLY | MODE_CREATE)
+            with pytest.raises(MpiIoError):
+                fh.read_at(0, 1)
+            fh.close()
+
+        run(2, main)
+
+    def test_ops_after_close_rejected(self):
+        def main(env):
+            fh = MpiFile.open(env, "f")
+            fh.close()
+            with pytest.raises(MpiIoError):
+                fh.write_at(0, b"x")
+
+        run(1, main)
+
+    def test_mode_must_include_access(self):
+        def main(env):
+            with pytest.raises(MpiIoError):
+                MpiFile.open(env, "f", MODE_CREATE)
+
+        run(1, main)
+
+
+class TestPointers:
+    def test_sequential_write_read(self):
+        def main(env):
+            if env.rank == 0:
+                fh = MpiFile.open(env, "f")
+                fh.write(b"abc")
+                fh.write(b"def")
+                fh.seek(0)
+                assert fh.read(6) == b"abcdef"
+                assert fh.tell() == 6
+                fh.close()
+            else:
+                fh = MpiFile.open(env, "f")
+                fh.close()
+
+        run(2, main)
+
+    def test_seek_whence_modes(self):
+        def main(env):
+            fh = MpiFile.open(env, "f")
+            fh.write_at(0, b"0123456789")
+            fh.seek(4)
+            assert fh.tell() == 4
+            fh.seek(2, 1)
+            assert fh.tell() == 6
+            fh.seek(-1, 2)
+            assert fh.tell() == 9
+            with pytest.raises(MpiIoError):
+                fh.seek(-100)
+            with pytest.raises(MpiIoError):
+                fh.seek(0, 9)
+            fh.close()
+
+        run(1, main)
+
+    def test_etype_units(self):
+        def main(env):
+            fh = MpiFile.open(env, "f")
+            fh.set_view(0, INT)
+            fh.write_at(2, b"\x01\x02\x03\x04", 1, INT)  # offset in INTs
+            fh.close()
+            assert env.pfs.lookup("f").read_bytes(8, 4) == b"\x01\x02\x03\x04"
+
+        run(1, main)
+
+    def test_size_etypes(self):
+        def main(env):
+            fh = MpiFile.open(env, "f")
+            fh.set_view(0, INT)
+            fh.write_at(0, b"\x00" * 12, 3, INT)
+            assert fh.size_bytes() == 12
+            assert fh.size_etypes() == 3
+            fh.close()
+
+        run(1, main)
+
+
+class TestIndependentNoncontiguous:
+    def test_strided_write_via_view(self):
+        def main(env):
+            etype = Contiguous(2, BYTE)
+            ft = etype.vector(3, 1, 2)  # 2 bytes every 4
+            fh = MpiFile.open(env, "f")
+            fh.set_view(env.rank * 2, etype, ft)
+            payload = bytes([65 + env.rank]) * 6
+            fh.write_at(0, payload)
+            fh.close()
+
+        res = run(2, main)
+        assert res.pfs.lookup("f").contents() == b"AABBAABBAABB"
+
+    def test_strided_read_back(self):
+        def main(env):
+            etype = Contiguous(2, BYTE)
+            ft = etype.vector(3, 1, 2)
+            fh = MpiFile.open(env, "f")
+            fh.set_view(env.rank * 2, etype, ft)
+            fh.write_at(0, bytes([65 + env.rank]) * 6)
+            coll.barrier(env.comm)
+            got = fh.read_at(0, 3, etype)
+            fh.close()
+            assert got == bytes([65 + env.rank]) * 6
+
+        run(2, main)
+
+    def test_sieving_disabled_writes_each_extent(self):
+        hints = IoHints(ds_write=False, ds_read=False)
+
+        def main(env):
+            etype = Contiguous(2, BYTE)
+            ft = etype.vector(4, 1, 2)
+            fh = MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints)
+            fh.set_view(0, etype, ft)
+            fh.write_at(0, b"XY" * 4)
+            fh.close()
+            return env.pfs.lookup("f").contents()
+
+        res = run(1, main)
+        data = res.returns[0]
+        assert data[0:2] == b"XY" and data[4:6] == b"XY"
+
+    def test_sieving_preserves_hole_contents(self):
+        def main(env):
+            f = env.pfs.create("f")
+            f.write_bytes(0, b"................")  # pre-existing data
+            etype = Contiguous(2, BYTE)
+            ft = etype.vector(3, 1, 2)
+            fh = MpiFile.open(env, "f", MODE_RDWR)
+            fh.set_view(0, etype, ft)
+            fh.write_at(0, b"ABCDEF")  # sieved read-modify-write
+            fh.close()
+            return env.pfs.lookup("f").contents()
+
+        res = run(1, main)
+        assert res.returns[0] == b"AB..CD..EF......"
+
+    def test_sieved_read_counts_fewer_storage_requests(self):
+        def run_with(hints):
+            def main(env):
+                fh = MpiFile.open(env, "f", hints=hints)
+                fh.write_at(0, bytes(range(48)))
+                etype = Contiguous(2, BYTE)
+                ft = etype.vector(6, 1, 2)
+                fh.set_view(0, etype, ft)
+                fh.read_at(0, 6, etype)
+                fh.close()
+
+            res = run(1, main)
+            return sum(o.read_requests for o in res.pfs.osts)
+
+        sieved = run_with(IoHints(ds_read=True, ds_hole_threshold=0.0))
+        unsieved = run_with(IoHints(ds_read=False))
+        assert sieved < unsieved

@@ -1,0 +1,149 @@
+"""File view translation tests (the machinery behind Program 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpiio.fileview import FileView
+from repro.simmpi.datatypes import BYTE, Contiguous, Indexed, INT, Vector
+from repro.util.errors import MpiIoError
+from repro.util.intervals import Extent
+
+
+class TestConstruction:
+    def test_default_view_is_linear_bytes(self):
+        v = FileView()
+        assert v.is_contiguous
+        assert v.map_extents(3, 5) == [Extent(3, 8)]
+
+    def test_displacement_shifts_everything(self):
+        v = FileView(displacement=100)
+        assert v.map_extents(0, 10) == [Extent(100, 110)]
+
+    def test_filetype_must_hold_whole_etypes(self):
+        with pytest.raises(MpiIoError):
+            FileView(etype=INT, filetype=Contiguous(3, BYTE))
+
+    def test_negative_displacement_rejected(self):
+        with pytest.raises(MpiIoError):
+            FileView(displacement=-1)
+
+    def test_empty_filetype_rejected(self):
+        with pytest.raises(MpiIoError):
+            FileView(filetype=Contiguous(0, BYTE))
+
+
+class TestPaperExample:
+    """The Fig. 2 view: etype = 12-byte block, filetype = vector stride P."""
+
+    def view(self, rank, nprocs=2, blocks=3):
+        etype = Contiguous(12, BYTE)
+        filetype = etype.vector(blocks, 1, nprocs)
+        return FileView(rank * 12, etype, filetype)
+
+    def test_rank0_blocks(self):
+        v = self.view(0)
+        assert v.map_etype_extents(0, 3) == [
+            Extent(0, 12),
+            Extent(24, 36),
+            Extent(48, 60),
+        ]
+
+    def test_rank1_blocks_interleave(self):
+        v = self.view(1)
+        assert v.map_etype_extents(0, 3) == [
+            Extent(12, 24),
+            Extent(36, 48),
+            Extent(60, 72),
+        ]
+
+    def test_partial_access_spans_tiles(self):
+        v = self.view(0)
+        # bytes 6..18 of the stream: second half of block 0, first half of block 1
+        assert v.map_extents(6, 12) == [Extent(6, 12), Extent(24, 30)]
+
+
+class TestMapping:
+    def test_indexed_filetype(self):
+        ft = Indexed([2, 1], [0, 5], BYTE)  # bytes 0-1 and 5
+        v = FileView(0, BYTE, ft)
+        assert v.map_extents(0, 3) == [Extent(0, 2), Extent(5, 6)]
+        # next tile starts at extent 6
+        assert v.map_extents(3, 3) == [Extent(6, 8), Extent(11, 12)]
+
+    def test_adjacent_extents_merge(self):
+        ft = Vector(2, 1, 1, INT)  # stride == blocklength: contiguous
+        v = FileView(0, INT, ft)
+        assert v.map_extents(0, 16) == [Extent(0, 16)]
+
+    def test_map_pieces_tracks_buffer_offsets(self):
+        ft = Indexed([1, 1], [0, 3], BYTE)
+        v = FileView(0, BYTE, ft)
+        pieces = v.map_pieces(0, 4)
+        # stream bytes 1 and 2 are file-adjacent (tile 0's second segment
+        # touches tile 1's first) and stream-consecutive, so they merge
+        assert pieces == [
+            (Extent(0, 1), 0),
+            (Extent(3, 5), 1),
+            (Extent(7, 8), 3),
+        ]
+
+    def test_rejects_negative_ranges(self):
+        v = FileView()
+        with pytest.raises(MpiIoError):
+            v.map_extents(-1, 4)
+        with pytest.raises(MpiIoError):
+            v.byte_offset(-1)
+
+    def test_stream_size_for(self):
+        etype = Contiguous(4, BYTE)
+        ft = etype.vector(2, 1, 2)  # data at [0,4) and [8,12), extent 12
+        v = FileView(0, etype, ft)
+        assert v.stream_size_for(0) == 0
+        assert v.stream_size_for(4) == 4
+        assert v.stream_size_for(8) == 4
+        assert v.stream_size_for(12) == 8
+        assert v.stream_size_for(16) == 12
+
+
+@st.composite
+def views(draw):
+    etype_size = draw(st.sampled_from([1, 2, 4]))
+    etype = Contiguous(etype_size, BYTE)
+    nprocs = draw(st.integers(1, 4))
+    blocks = draw(st.integers(1, 5))
+    rank = draw(st.integers(0, nprocs - 1))
+    ft = etype.vector(blocks, 1, nprocs)
+    return FileView(rank * etype_size, etype, ft), blocks * etype_size
+
+
+class TestViewProperties:
+    @given(views(), st.data())
+    def test_pieces_conserve_bytes_and_order(self, vw, data):
+        view, stream_len = vw
+        pos = data.draw(st.integers(0, stream_len - 1))
+        ln = data.draw(st.integers(0, stream_len))
+        pieces = view.map_pieces(pos, ln)
+        assert sum(e.length for e, _ in pieces) == ln
+        # file extents strictly increasing; buffer offsets consistent
+        expect_mem = 0
+        last_stop = -1
+        for ext, mem in pieces:
+            assert mem == expect_mem
+            expect_mem += ext.length
+            assert ext.start > last_stop
+            last_stop = ext.stop
+
+    @given(views())
+    def test_distinct_ranks_views_are_disjoint(self, vw):
+        view, stream_len = vw
+        # Rebuild views for every rank of the same tiling and check that
+        # full-stream extents never overlap across ranks.
+        etype = view.etype
+        nprocs = view.filetype.stride if hasattr(view.filetype, "stride") else 1
+        all_extents = []
+        for r in range(nprocs):
+            v = FileView(r * etype.size, etype, view.filetype)
+            all_extents.extend(v.map_extents(0, stream_len))
+        all_extents.sort(key=lambda e: e.start)
+        for a, b in zip(all_extents, all_extents[1:]):
+            assert a.stop <= b.start

@@ -1,0 +1,32 @@
+"""IoHints validation tests."""
+
+import pytest
+
+from repro.mpiio import IoHints
+
+
+class TestHints:
+    def test_defaults_valid(self):
+        IoHints().validate()
+
+    def test_default_alignment_on(self):
+        # lock-boundary file domains are ROMIO practice and the default here
+        assert IoHints().cb_align_stripes
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            IoHints(ds_hole_threshold=1.5).validate()
+        with pytest.raises(ValueError):
+            IoHints(ds_hole_threshold=-0.1).validate()
+
+    def test_bad_cb_nodes(self):
+        with pytest.raises(ValueError):
+            IoHints(cb_nodes=0).validate()
+
+    def test_bad_rounds_buffer(self):
+        with pytest.raises(ValueError):
+            IoHints(cb_rounds_buffer=0).validate()
+
+    def test_hints_are_immutable(self):
+        with pytest.raises(Exception):
+            IoHints().ds_read = False

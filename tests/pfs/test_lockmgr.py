@@ -1,0 +1,218 @@
+"""Extent lock manager semantics (modes, FIFO, granularity)."""
+
+import pytest
+
+from repro.pfs.lockmgr import LockManager, LockMode
+from repro.sim.engine import Engine, current_process
+from repro.util.errors import PfsError
+from repro.util.intervals import Extent
+
+
+def run_procs(*bodies):
+    engine = Engine()
+    for i, b in enumerate(bodies):
+        engine.spawn(f"p{i}", b)
+    engine.run()
+    return engine
+
+
+class TestBasics:
+    def test_uncontended_grant_is_immediate(self):
+        mgr = LockManager(granularity=10)
+
+        def body():
+            g = mgr.acquire(0, LockMode.EXCLUSIVE, Extent(0, 5))
+            assert g.extent == Extent(0, 10)  # rounded to lock units
+            mgr.release(g)
+
+        run_procs(body)
+        assert mgr.acquires == 1
+        assert mgr.waits == 0
+
+    def test_shared_locks_coexist(self):
+        mgr = LockManager(granularity=10)
+
+        def reader(owner):
+            def body():
+                g = mgr.acquire(owner, LockMode.SHARED, Extent(0, 10))
+                current_process().sleep(1.0)
+                mgr.release(g)
+
+            return body
+
+        run_procs(reader(1), reader(2), reader(3))
+        assert mgr.waits == 0
+
+    def test_same_owner_reuses_cached_grant(self):
+        mgr = LockManager(granularity=10)
+
+        def body():
+            g1 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 10))
+            mgr.done(g1)  # finished, but cached
+            g2 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 5))
+            assert g2 is g1
+            mgr.release(g2)
+
+        run_procs(body)
+        assert mgr.cache_hits == 1
+        assert mgr.acquires == 1
+
+    def test_conflicting_owner_revokes_idle_grant(self):
+        mgr = LockManager(granularity=10, contention_penalty=0.5)
+
+        def first():
+            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 10))
+            mgr.done(g)  # idle but cached
+
+        def second():
+            current_process().sleep(1.0)
+            t0 = current_process().engine.now
+            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            current_process().settle()
+            assert current_process().engine.now - t0 >= 0.5  # revocation cost
+            mgr.release(g)
+
+        run_procs(first, second)
+        assert mgr.held_count == 0 or mgr.held_count == 1
+
+    def test_busy_grant_is_not_revoked(self):
+        mgr = LockManager(granularity=10)
+        order = []
+
+        def holder():
+            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 10))
+            order.append("holder-in")
+            current_process().sleep(3.0)
+            mgr.done(g)
+
+        def contender():
+            current_process().sleep(1.0)
+            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            order.append("contender-in")
+            mgr.release(g)
+
+        run_procs(holder, contender)
+        assert order == ["holder-in", "contender-in"]
+
+    def test_exclusive_conflicts_with_shared(self):
+        mgr = LockManager(granularity=10)
+        order = []
+
+        def reader():
+            g = mgr.acquire(1, LockMode.SHARED, Extent(0, 10))
+            order.append("r-in")
+            current_process().sleep(2.0)
+            mgr.release(g)
+            order.append("r-out")
+
+        def writer():
+            current_process().sleep(1.0)
+            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            order.append("w-in")
+            mgr.release(g)
+
+        run_procs(reader, writer)
+        assert order == ["r-in", "r-out", "w-in"]
+        assert mgr.waits == 1
+
+    def test_disjoint_extents_do_not_conflict(self):
+        mgr = LockManager(granularity=10)
+
+        def writer(lo):
+            def body():
+                g = mgr.acquire(lo, LockMode.EXCLUSIVE, Extent(lo, lo + 10))
+                current_process().sleep(1.0)
+                mgr.release(g)
+
+            return body
+
+        run_procs(writer(0), writer(10), writer(20))
+        assert mgr.waits == 0
+
+    def test_sub_granularity_neighbors_conflict(self):
+        # Two byte-disjoint writers inside one lock unit must serialize —
+        # the reason TCIO's segment size equals the lock granularity.
+        mgr = LockManager(granularity=100)
+
+        def writer(owner, lo):
+            def body():
+                g = mgr.acquire(owner, LockMode.EXCLUSIVE, Extent(lo, lo + 10))
+                current_process().sleep(1.0)
+                mgr.release(g)
+
+            return body
+
+        run_procs(writer(1, 0), writer(2, 50))
+        assert mgr.waits == 1
+
+    def test_same_owner_never_self_conflicts(self):
+        mgr = LockManager(granularity=10)
+
+        def body():
+            g1 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 10))
+            g2 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(5, 15))
+            mgr.release(g1)
+            mgr.release(g2)
+
+        run_procs(body)
+        assert mgr.waits == 0
+
+    def test_double_release_rejected(self):
+        mgr = LockManager(granularity=10)
+
+        def body():
+            g = mgr.acquire(0, LockMode.EXCLUSIVE, Extent(0, 10))
+            mgr.release(g)
+            with pytest.raises(PfsError):
+                mgr.release(g)
+
+        run_procs(body)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(PfsError):
+            LockManager(0)
+
+
+class TestFairness:
+    def test_fifo_order_among_conflicting_writers(self):
+        mgr = LockManager(granularity=10)
+        order = []
+
+        def writer(name, delay):
+            def body():
+                current_process().sleep(delay)
+                g = mgr.acquire(name, LockMode.EXCLUSIVE, Extent(0, 10))
+                order.append(name)
+                current_process().sleep(5.0)
+                mgr.release(g)
+
+            return body
+
+        run_procs(writer(1, 0.0), writer(2, 1.0), writer(3, 2.0))
+        assert order == [1, 2, 3]
+
+    def test_queued_writer_blocks_later_readers(self):
+        # Readers arriving behind a queued writer on the same range must
+        # not starve it (FIFO fairness).
+        mgr = LockManager(granularity=10)
+        order = []
+
+        def first_reader():
+            g = mgr.acquire(1, LockMode.SHARED, Extent(0, 10))
+            current_process().sleep(2.0)
+            mgr.release(g)
+
+        def writer():
+            current_process().sleep(0.5)
+            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            order.append("writer")
+            mgr.release(g)
+
+        def late_reader():
+            current_process().sleep(1.0)
+            g = mgr.acquire(3, LockMode.SHARED, Extent(0, 10))
+            order.append("late-reader")
+            mgr.release(g)
+
+        run_procs(first_reader, writer, late_reader)
+        assert order == ["writer", "late-reader"]

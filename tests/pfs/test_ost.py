@@ -1,0 +1,108 @@
+"""OST server model tests: rates, overheads, noise, client scaling."""
+
+import pytest
+
+from repro.pfs.ost import Ost, _noise_fraction
+from repro.util.errors import PfsError
+
+
+def make_ost(**kw):
+    args = dict(
+        index=0,
+        write_rate=100.0,
+        read_rate=200.0,
+        write_overhead=1.0,
+        read_overhead=0.5,
+    )
+    args.update(kw)
+    return Ost(**args)
+
+
+class TestBasics:
+    def test_write_timing(self):
+        ost = make_ost()
+        assert ost.reserve(0.0, 100, write=True) == pytest.approx(2.0)
+
+    def test_read_faster_than_write(self):
+        w = make_ost().reserve(0.0, 100, write=True)
+        r = make_ost().reserve(0.0, 100, write=False)
+        assert r < w
+
+    def test_fifo_queueing(self):
+        ost = make_ost()
+        t1 = ost.reserve(0.0, 100, write=True)
+        t2 = ost.reserve(0.0, 100, write=True)
+        assert t2 == pytest.approx(t1 + 2.0)
+
+    def test_counters(self):
+        ost = make_ost()
+        ost.reserve(0.0, 10, write=True)
+        ost.reserve(0.0, 20, write=False)
+        assert (ost.write_requests, ost.read_requests) == (1, 1)
+        assert (ost.bytes_written, ost.bytes_read) == (10, 20)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PfsError):
+            make_ost(write_rate=0.0)
+        with pytest.raises(PfsError):
+            make_ost(write_overhead=-1.0)
+        with pytest.raises(PfsError):
+            make_ost().reserve(0.0, -1, write=True)
+
+
+class TestNoise:
+    def test_noise_is_deterministic(self):
+        a = make_ost(write_noise=1.0)
+        b = make_ost(write_noise=1.0)
+        ta = [a.reserve(0.0, 100, write=True) for _ in range(5)]
+        tb = [b.reserve(0.0, 100, write=True) for _ in range(5)]
+        assert ta == tb
+
+    def test_noise_varies_per_request(self):
+        ost = make_ost(write_noise=1.0)
+        services = []
+        prev = 0.0
+        for _ in range(8):
+            t = ost.reserve(0.0, 100, write=True)
+            services.append(t - prev)
+            prev = t
+        assert len(set(round(s, 9) for s in services)) > 1
+
+    def test_noise_bounded(self):
+        ost = make_ost(write_noise=0.5)
+        prev = 0.0
+        for _ in range(20):
+            t = ost.reserve(0.0, 100, write=True)
+            service = t - prev
+            assert 2.0 <= service <= 3.0 + 1e-9  # base 2.0, at most +50%
+            prev = t
+
+    def test_zero_noise_is_exact(self):
+        ost = make_ost(write_noise=0.0)
+        assert ost.reserve(0.0, 100, write=True) == pytest.approx(2.0)
+
+    def test_noise_fraction_in_unit_interval(self):
+        for i in range(4):
+            for k in range(50):
+                assert 0.0 <= _noise_fraction(i, k) < 1.0
+
+
+class TestClientScaling:
+    def test_overhead_grows_with_distinct_clients(self):
+        ost = make_ost(client_scaling=0.5)
+        t1 = ost.reserve(0.0, 0, write=True, client=0)  # 1 client: 1.5x
+        t2 = ost.reserve(0.0, 0, write=True, client=1)  # 2 clients: 2.0x
+        assert t1 == pytest.approx(1.5)
+        assert t2 - t1 == pytest.approx(2.0)
+
+    def test_repeat_clients_do_not_grow(self):
+        ost = make_ost(client_scaling=0.5)
+        ost.reserve(0.0, 0, write=True, client=0)
+        t2 = ost.reserve(0.0, 0, write=True, client=0)
+        assert t2 == pytest.approx(3.0)  # 2 x 1.5
+
+    def test_disabled_by_default(self):
+        ost = make_ost()
+        ost.reserve(0.0, 0, write=True, client=0)
+        t2 = ost.reserve(0.0, 0, write=True, client=99)
+        assert t2 == pytest.approx(2.0)

@@ -1,0 +1,98 @@
+"""Edge cases of the cooperative process machinery."""
+
+import pytest
+
+from repro.sim.engine import Engine, current_engine, current_process
+from repro.util.errors import SimulationError
+
+
+class TestProcessEdgeCases:
+    def test_negative_sleep_rejected(self):
+        engine = Engine()
+
+        def body():
+            with pytest.raises(SimulationError):
+                current_process().sleep(-1.0)
+
+        engine.spawn("p", body)
+        engine.run()
+
+    def test_negative_charge_rejected(self):
+        engine = Engine()
+
+        def body():
+            with pytest.raises(SimulationError):
+                current_process().charge(-1.0)
+
+        engine.spawn("p", body)
+        engine.run()
+
+    def test_zero_sleep_is_free(self):
+        engine = Engine()
+        switches = []
+
+        def body():
+            current_process().sleep(0.0)
+            switches.append(engine.now)
+
+        engine.spawn("p", body)
+        engine.run()
+        assert switches == [0.0]
+
+    def test_blocking_other_process_rejected(self):
+        engine = Engine()
+        procs = {}
+
+        def first():
+            procs["first"] = current_process()
+            current_process().sleep(1.0)
+
+        def second():
+            with pytest.raises(SimulationError):
+                procs["first"].block("not mine")
+
+        engine.spawn("a", first)
+        engine.spawn("b", second)
+        engine.run()
+
+    def test_current_engine_inside_context(self):
+        engine = Engine()
+        seen = []
+
+        def body():
+            seen.append(current_engine() is engine)
+
+        engine.spawn("p", body)
+        engine.run()
+        assert seen == [True]
+
+    def test_process_start_end_times(self):
+        engine = Engine()
+
+        def body():
+            current_process().sleep(2.0)
+
+        proc = engine.spawn("p", body)
+        engine.run()
+        assert proc.start_time == 0.0
+        assert proc.end_time == 2.0
+
+    def test_settle_with_nothing_pending_is_free(self):
+        engine = Engine()
+        times = []
+
+        def body():
+            current_process().settle()
+            times.append(engine.now)
+
+        engine.spawn("p", body)
+        engine.run()
+        assert times == [0.0]
+
+    def test_many_processes(self):
+        engine = Engine()
+        done = []
+        for i in range(100):
+            engine.spawn(f"p{i}", lambda i=i: done.append(i))
+        engine.run()
+        assert sorted(done) == list(range(100))

@@ -1,0 +1,178 @@
+"""Tests for simulated synchronization primitives."""
+
+import pytest
+
+from repro.sim.engine import Engine, current_process
+from repro.sim.sync import SimBarrier, SimEvent, SimMutex, SimSemaphore
+from repro.util.errors import SimulationError
+
+
+def run_procs(*bodies):
+    engine = Engine()
+    for i, body in enumerate(bodies):
+        engine.spawn(f"p{i}", body)
+    engine.run()
+    return engine
+
+
+class TestSimEvent:
+    def test_fire_wakes_all_waiters_with_value(self):
+        ev = SimEvent("e")
+        got = []
+
+        def waiter():
+            got.append(ev.wait())
+
+        def firer():
+            current_process().sleep(1.0)
+            ev.fire(42)
+
+        run_procs(waiter, waiter, firer)
+        assert got == [42, 42]
+
+    def test_sticky_event_serves_late_waiters(self):
+        ev = SimEvent("e", sticky=True)
+        got = []
+
+        def firer():
+            ev.fire("done")
+
+        def late():
+            current_process().sleep(5.0)
+            got.append(ev.wait())
+
+        run_procs(firer, late)
+        assert got == ["done"]
+
+    def test_non_sticky_late_waiter_blocks(self):
+        from repro.util.errors import DeadlockError
+
+        ev = SimEvent("e")
+
+        def firer():
+            ev.fire()
+
+        def late():
+            current_process().sleep(1.0)
+            ev.wait()
+
+        with pytest.raises(DeadlockError):
+            run_procs(firer, late)
+
+
+class TestSimSemaphore:
+    def test_initial_permits(self):
+        sem = SimSemaphore(2)
+        order = []
+
+        def body(name):
+            def run():
+                sem.acquire()
+                order.append(name)
+
+            return run
+
+        run_procs(body("a"), body("b"))
+        assert sorted(order) == ["a", "b"]
+
+    def test_fifo_wakeup(self):
+        sem = SimSemaphore(0)
+        order = []
+
+        def waiter(name, delay):
+            def run():
+                current_process().sleep(delay)
+                sem.acquire()
+                order.append(name)
+
+            return run
+
+        def releaser():
+            current_process().sleep(10.0)
+            sem.release(2)
+
+        run_procs(waiter("first", 1.0), waiter("second", 2.0), releaser)
+        assert order == ["first", "second"]
+
+    def test_rejects_negative_initial(self):
+        with pytest.raises(SimulationError):
+            SimSemaphore(-1)
+
+
+class TestSimMutex:
+    def test_mutual_exclusion_serializes(self):
+        m = SimMutex()
+        trace = []
+
+        def body(name):
+            def run():
+                with m:
+                    trace.append((name, "in"))
+                    current_process().sleep(1.0)
+                    trace.append((name, "out"))
+
+            return run
+
+        run_procs(body("a"), body("b"))
+        assert trace == [("a", "in"), ("a", "out"), ("b", "in"), ("b", "out")]
+
+    def test_recursive_acquire_rejected(self):
+        m = SimMutex()
+
+        def body():
+            m.acquire()
+            with pytest.raises(SimulationError):
+                m.acquire()
+            m.release()
+
+        run_procs(body)
+
+    def test_release_by_non_holder_rejected(self):
+        m = SimMutex()
+
+        def holder():
+            m.acquire()
+            current_process().sleep(5.0)
+            m.release()
+
+        def thief():
+            current_process().sleep(1.0)
+            with pytest.raises(SimulationError):
+                m.release()
+
+        run_procs(holder, thief)
+
+
+class TestSimBarrier:
+    def test_all_leave_together(self):
+        bar = SimBarrier(3)
+        engine = Engine()
+        leave_times = []
+
+        def body(delay):
+            def run():
+                current_process().sleep(delay)
+                bar.wait()
+                leave_times.append(engine.now)
+
+            return run
+
+        for d in (1.0, 5.0, 3.0):
+            engine.spawn(f"p{d}", body(d))
+        engine.run()
+        assert leave_times == [5.0, 5.0, 5.0]
+
+    def test_reusable_generations(self):
+        bar = SimBarrier(2)
+        gens = []
+
+        def body():
+            gens.append(bar.wait())
+            gens.append(bar.wait())
+
+        run_procs(body, body)
+        assert sorted(gens) == [0, 0, 1, 1]
+
+    def test_needs_positive_parties(self):
+        with pytest.raises(SimulationError):
+            SimBarrier(0)

@@ -1,0 +1,44 @@
+"""Trace recorder tests."""
+
+from repro.sim.trace import Counter, TraceRecorder
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        c = Counter()
+        c.add(10.0)
+        c.add(5.0)
+        assert c.count == 2
+        assert c.total == 15.0
+
+
+class TestTraceRecorder:
+    def test_count_creates_counters(self):
+        tr = TraceRecorder()
+        tr.count("a", 3)
+        tr.count("a", 4)
+        tr.count("b")
+        assert tr["a"].count == 2
+        assert tr["a"].total == 7
+        assert tr["b"].count == 1
+
+    def test_get_does_not_create(self):
+        tr = TraceRecorder()
+        assert tr.get("missing").count == 0
+        assert list(tr.names()) == []
+
+    def test_events_only_stored_when_enabled(self):
+        quiet = TraceRecorder()
+        quiet.event(1.0, "x", detail=1)
+        assert quiet.events == []
+        loud = TraceRecorder(record_events=True)
+        loud.event(1.0, "x", detail=1)
+        assert len(loud.events) == 1
+        assert loud.events[0].detail == {"detail": 1}
+
+    def test_summary_sorted(self):
+        tr = TraceRecorder()
+        tr.count("z", 1)
+        tr.count("a", 2)
+        assert list(tr.summary()) == ["a", "z"]
+        assert tr.summary()["a"] == (1, 2)

@@ -1,0 +1,225 @@
+"""Unit + property tests for MPI derived datatypes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simmpi.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    Contiguous,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Vector,
+    pack,
+    type_from_code,
+    unpack,
+)
+from repro.util.errors import DatatypeError
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "t,size", [(BYTE, 1), (CHAR, 1), (SHORT, 2), (INT, 4), (FLOAT, 4), (DOUBLE, 8), (LONG, 8)]
+    )
+    def test_sizes(self, t, size):
+        assert t.size == size
+        assert t.extent == size
+        assert t.segments == ((0, size),)
+        assert t.is_contiguous
+
+    def test_type_from_code(self):
+        assert type_from_code("i") is INT
+        assert type_from_code("d") is DOUBLE
+        assert type_from_code(" F ") is FLOAT
+
+    def test_type_from_code_rejects_unknown(self):
+        with pytest.raises(DatatypeError):
+            type_from_code("z")
+
+
+class TestContiguous:
+    def test_merges_into_one_segment(self):
+        t = Contiguous(5, INT)
+        assert t.size == 20
+        assert t.extent == 20
+        assert t.segments == ((0, 20),)
+
+    def test_zero_count(self):
+        t = Contiguous(0, INT)
+        assert t.size == 0
+        assert t.segments == ()
+
+    def test_nested(self):
+        t = Contiguous(2, Contiguous(3, SHORT))
+        assert t.size == 12
+        assert t.segments == ((0, 12),)
+
+
+class TestVector:
+    def test_fig2_filetype(self):
+        # Program 2: vector(LEN/SA, 1, num_procs, etype) with 12-byte etype.
+        etype = Contiguous(12, BYTE)
+        ft = etype.vector(3, 1, 2)
+        assert ft.size == 36
+        assert ft.segments == ((0, 12), (24, 12), (48, 12))
+        assert ft.extent == 60
+
+    def test_unit_stride_is_contiguous(self):
+        t = INT.vector(4, 1, 1)
+        assert t.segments == ((0, 16),)
+        assert t.is_contiguous
+
+    def test_blocklength_over_one(self):
+        t = INT.vector(2, 2, 3)
+        assert t.segments == ((0, 8), (12, 8))
+
+    def test_hvector_byte_stride(self):
+        t = Hvector(3, 1, 10, INT)
+        assert t.segments == ((0, 4), (10, 4), (20, 4))
+        assert t.extent == 24
+
+
+class TestIndexed:
+    def test_blocks_at_displacements(self):
+        t = Indexed([2, 1], [0, 5], INT)
+        assert t.segments == ((0, 8), (20, 4))
+        assert t.size == 12
+        assert t.extent == 24
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatatypeError):
+            Indexed([1, 2], [0], INT)
+
+    def test_negative_blocklength_rejected(self):
+        with pytest.raises(DatatypeError):
+            Indexed([-1], [0], INT)
+
+    def test_hindexed_byte_displacements(self):
+        t = Hindexed([1, 1], [0, 7], INT)
+        assert t.segments == ((0, 4), (7, 4))
+
+
+class TestStruct:
+    def test_mixed_types(self):
+        # one int at 0, one double at 8 (aligned struct)
+        t = Struct([1, 1], [0, 8], [INT, DOUBLE])
+        assert t.segments == ((0, 4), (8, 8))
+        assert t.size == 12
+        assert t.extent == 16
+
+
+class TestResized:
+    def test_overrides_extent(self):
+        t = Resized(INT, lb=0, extent=16)
+        assert t.size == 4
+        assert t.extent == 16
+        tiled = Contiguous(2, t)
+        assert tiled.segments == ((0, 4), (16, 4))
+
+
+class TestPackUnpack:
+    def test_pack_gathers_typemap_bytes(self):
+        data = np.arange(6, dtype=np.int32)  # 24 bytes
+        t = INT.vector(3, 1, 2)  # ints 0, 2, 4
+        packed = pack(data, t, 1)
+        assert packed == data[[0, 2, 4]].tobytes()
+
+    def test_pack_tiles_by_extent(self):
+        data = np.arange(4, dtype=np.int32)
+        t = Contiguous(1, INT)
+        assert pack(data, t, 4) == data.tobytes()
+
+    def test_unpack_is_inverse_of_pack(self):
+        data = np.arange(10, dtype=np.int32)
+        t = INT.vector(2, 2, 3)
+        stream = pack(data, t, 1)
+        out = np.zeros(10, dtype=np.int32)
+        unpack(stream, out, t, 1)
+        assert list(np.flatnonzero(out)) == [1, 3, 4]  # positions 0,1,3,4 written
+        for idx in (0, 1, 3, 4):
+            assert out[idx] == data[idx]
+
+    def test_pack_out_of_bounds_rejected(self):
+        with pytest.raises(DatatypeError):
+            pack(b"\x00" * 3, INT, 1)
+
+    def test_unpack_short_stream_rejected(self):
+        with pytest.raises(DatatypeError):
+            unpack(b"\x00" * 3, bytearray(8), INT, 1)
+
+    def test_unpack_readonly_target_rejected(self):
+        with pytest.raises(DatatypeError):
+            unpack(b"\x00" * 4, b"\x00" * 4, INT, 1)
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+
+primitive_types = st.sampled_from([BYTE, CHAR, SHORT, INT, FLOAT, DOUBLE, LONG])
+
+
+@st.composite
+def datatypes(draw, depth=2):
+    if depth == 0:
+        return draw(primitive_types)
+    base = draw(datatypes(depth=depth - 1))
+    kind = draw(st.sampled_from(["prim", "contig", "vector", "indexed"]))
+    if kind == "prim":
+        return base
+    if kind == "contig":
+        return Contiguous(draw(st.integers(0, 4)), base)
+    if kind == "vector":
+        count = draw(st.integers(0, 4))
+        blocklength = draw(st.integers(0, 3))
+        stride = draw(st.integers(blocklength, blocklength + 4))
+        return Vector(count, blocklength, stride, base)
+    n = draw(st.integers(1, 3))
+    lengths = draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+    disps = sorted(draw(st.lists(st.integers(0, 12), min_size=n, max_size=n, unique=True)))
+    # keep blocks disjoint: displacement gaps of at least the block length
+    disps = [d * 4 for d in range(n)]
+    return Indexed(lengths, disps, base)
+
+
+class TestDatatypeProperties:
+    @given(datatypes())
+    def test_size_equals_segment_total(self, t):
+        assert t.size == sum(length for _, length in t.segments)
+
+    @given(datatypes())
+    def test_segments_fit_in_extent(self, t):
+        for off, length in t.segments:
+            assert off >= 0
+            assert off + length <= max(t.extent, off + length)
+
+    @given(datatypes(), st.integers(1, 3))
+    def test_contiguous_scales_linearly(self, t, n):
+        if t.size == 0:
+            return
+        c = Contiguous(n, t)
+        assert c.size == n * t.size
+        assert c.extent == n * t.extent
+
+    @given(datatypes())
+    def test_pack_unpack_roundtrip_on_typemap_bytes(self, t):
+        span = max(t.extent, max((o + l for o, l in t.segments), default=0))
+        if t.size == 0:
+            return
+        rng = np.random.default_rng(7)
+        src = rng.integers(1, 255, size=span, dtype=np.uint8)
+        stream = pack(src, t, 1)
+        assert len(stream) == t.size
+        dst = np.zeros(span, dtype=np.uint8)
+        unpack(stream, dst, t, 1)
+        for off, length in t.segments:
+            assert bytes(dst[off : off + length]) == bytes(src[off : off + length])

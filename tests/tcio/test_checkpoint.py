@@ -1,0 +1,77 @@
+"""Checkpoint helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import run_mpi
+from repro.tcio.checkpoint import load_checkpoint, save_checkpoint
+from repro.util.errors import TcioError
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn):
+    return run_mpi(n, fn, cluster=make_test_cluster())
+
+
+def rank_arrays(rank):
+    return {
+        "density": np.arange(16, dtype=np.float64) * (rank + 1),
+        "flags": np.array([[rank, 1], [2, 3]], dtype=np.int32),
+        "scalar": np.array(rank * 2.5),
+    }
+
+
+class TestCheckpointRoundTrip:
+    def test_save_and_load(self):
+        def main(env):
+            total = save_checkpoint(env, "ck", rank_arrays(env.rank))
+            assert total > 0
+            restored = load_checkpoint(env, "ck")
+            expected = rank_arrays(env.rank)
+            assert set(restored) == set(expected)
+            for k in expected:
+                assert restored[k].dtype == expected[k].dtype
+                assert restored[k].shape == expected[k].shape
+                assert np.array_equal(restored[k], expected[k])
+
+        run(4, main)
+
+    def test_heterogeneous_per_rank_contents(self):
+        def main(env):
+            # each rank saves a different number of arrays of varying size
+            arrays = {
+                f"a{i}": np.full(env.rank * 3 + i + 1, env.rank, dtype=np.int64)
+                for i in range(env.rank + 1)
+            }
+            save_checkpoint(env, "ck", arrays)
+            restored = load_checkpoint(env, "ck")
+            assert len(restored) == env.rank + 1
+            for i in range(env.rank + 1):
+                assert np.array_equal(restored[f"a{i}"], arrays[f"a{i}"])
+
+        run(3, main)
+
+    def test_empty_checkpoint(self):
+        def main(env):
+            save_checkpoint(env, "ck", {})
+            assert load_checkpoint(env, "ck") == {}
+
+        run(2, main)
+
+    def test_wrong_rank_count_rejected(self):
+        from repro.simmpi.mpi import run_mpi as _run
+
+        def save_job(env):
+            save_checkpoint(env, "ck", rank_arrays(env.rank))
+
+        saved = run(4, save_job)
+        blob = saved.pfs.lookup("ck").contents()
+
+        def seed(pfs):
+            pfs.create("ck").write_bytes(0, blob)
+
+        def load_job(env):
+            with pytest.raises(TcioError, match="saved by 4"):
+                load_checkpoint(env, "ck")
+
+        _run(2, load_job, cluster=make_test_cluster(), pfs_init=seed)

@@ -1,0 +1,80 @@
+"""TCIO's (data, count, datatype) call convention — Program 1 allows I/O
+'based on MPI data types'."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import DOUBLE, INT, run_mpi
+from repro.tcio import TCIO_RDONLY, TCIO_WRONLY, TcioConfig, TcioFile
+from repro.util.errors import TcioError
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn):
+    return run_mpi(n, fn, cluster=make_test_cluster())
+
+
+CFG = TcioConfig(segment_size=64, segments_per_process=8)
+
+
+class TestTypedWrites:
+    def test_count_and_type_limit_the_write(self):
+        def main(env):
+            data = np.arange(8, dtype=np.int32)
+            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            if env.rank == 0:
+                n = fh.write_at(0, data, 3, INT)  # only 3 ints of 8
+                assert n == 12
+            fh.close()
+
+        res = run(2, main)
+        f = res.pfs.lookup("f")
+        assert f.size == 12
+        assert np.frombuffer(f.contents(), np.int32).tolist() == [0, 1, 2]
+
+    def test_doubles(self):
+        def main(env):
+            data = np.array([1.5, -2.25], dtype=np.float64)
+            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            if env.rank == 0:
+                fh.write_at(8, data, 2, DOUBLE)
+            fh.close()
+
+        res = run(2, main)
+        got = np.frombuffer(res.pfs.lookup("f").contents()[8:], np.float64)
+        assert got.tolist() == [1.5, -2.25]
+
+    def test_undersized_buffer_rejected(self):
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            with pytest.raises(TcioError):
+                fh.write_at(0, b"\x00" * 4, 2, INT)  # needs 8 bytes
+            fh.close()
+
+        run(1, main)
+
+    def test_typed_reads(self):
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            if env.rank == 0:
+                fh.write_at(0, np.arange(6, dtype=np.int32))
+            fh.close()
+            fh = TcioFile(env, "f", TCIO_RDONLY, CFG)
+            dest = np.zeros(4, dtype=np.int32)
+            n = fh.read_at(4, dest, 2, INT)  # 2 ints starting at int #1
+            fh.fetch()
+            fh.close()
+            assert n == 8
+            assert dest.tolist() == [1, 2, 0, 0]
+
+        run(2, main)
+
+    def test_read_target_too_small_rejected(self):
+        def main(env):
+            env.pfs.create("f")
+            fh = TcioFile(env, "f", TCIO_RDONLY, CFG)
+            with pytest.raises(TcioError):
+                fh.read_at(0, bytearray(4), 2, INT)
+            fh.close()
+
+        run(1, main)

@@ -1,0 +1,112 @@
+"""Level-1 buffer combining and the lazy-read log."""
+
+import pytest
+
+from repro.tcio.level1 import Level1Buffer, PendingRead, ReadLog
+from repro.util.errors import TcioError
+
+
+class TestLevel1Buffer:
+    def test_place_and_take(self):
+        b = Level1Buffer(100)
+        b.align(5)
+        b.place(10, b"abc")
+        b.place(50, b"xy")
+        seg, blocks = b.take()
+        assert seg == 5
+        assert blocks == [(10, 3, b"abc"), (50, 2, b"xy")]
+        assert b.empty
+        assert b.aligned_segment is None
+
+    def test_adjacent_blocks_merge(self):
+        b = Level1Buffer(100)
+        b.align(0)
+        b.place(0, b"aa")
+        b.place(2, b"bb")
+        b.place(4, b"cc")
+        _, blocks = b.take()
+        assert blocks == [(0, 6, b"aabbcc")]
+
+    def test_overlapping_blocks_coalesce_with_last_writer_wins(self):
+        b = Level1Buffer(100)
+        b.align(0)
+        b.place(0, b"aaaa")
+        b.place(2, b"BB")
+        _, blocks = b.take()
+        assert blocks == [(0, 4, b"aaBB")]
+
+    def test_out_of_order_placement_sorts(self):
+        b = Level1Buffer(100)
+        b.align(0)
+        b.place(50, b"late")
+        b.place(0, b"early")
+        assert [d for d, _ in b.blocks] == [0, 50]
+
+    def test_accepts_only_aligned_segment(self):
+        b = Level1Buffer(100)
+        assert b.accepts(7)  # unaligned accepts anything
+        b.align(7)
+        b.place(0, b"x")
+        assert b.accepts(7)
+        assert not b.accepts(8)
+
+    def test_realign_nonempty_rejected(self):
+        b = Level1Buffer(100)
+        b.align(1)
+        b.place(0, b"x")
+        with pytest.raises(TcioError):
+            b.align(2)
+
+    def test_place_outside_segment_rejected(self):
+        b = Level1Buffer(10)
+        b.align(0)
+        with pytest.raises(TcioError):
+            b.place(8, b"abc")
+
+    def test_place_unaligned_rejected(self):
+        b = Level1Buffer(10)
+        with pytest.raises(TcioError):
+            b.place(0, b"x")
+
+    def test_take_unaligned_rejected(self):
+        with pytest.raises(TcioError):
+            Level1Buffer(10).take()
+
+    def test_buffered_bytes(self):
+        b = Level1Buffer(100)
+        b.align(0)
+        b.place(0, b"abc")
+        b.place(10, b"de")
+        assert b.buffered_bytes == 5
+
+
+class TestReadLog:
+    def _read(self, offset, length):
+        return PendingRead(
+            dest=memoryview(bytearray(length)),
+            dest_offset=0,
+            file_offset=offset,
+            length=length,
+        )
+
+    def test_records_and_drains(self):
+        log = ReadLog(100)
+        log.record(self._read(0, 10))
+        log.record(self._read(50, 10))
+        assert not log.empty
+        assert log.domain_span == 60
+        drained = log.drain()
+        assert len(drained) == 2
+        assert log.empty
+        assert log.domain_span == 0
+
+    def test_overflow_detection(self):
+        log = ReadLog(100)
+        log.record(self._read(0, 10))
+        assert not log.overflows_with(50, 10)
+        assert log.overflows_with(95, 10)  # span would be 105 > 100
+        assert not log.overflows_with(90, 10)  # exactly 100 is allowed
+
+    def test_empty_log_never_overflows(self):
+        log = ReadLog(10)
+        assert not log.overflows_with(0, 10**9)

@@ -1,0 +1,139 @@
+"""Level-2 buffer mechanics: push/pull, loading protocol, capacity."""
+
+import pytest
+
+from repro.simmpi import run_mpi
+from repro.simmpi import collectives as coll
+from repro.tcio import TCIO_RDONLY, TCIO_WRONLY, TcioConfig, TcioFile
+from repro.util.errors import TcioError
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn):
+    return run_mpi(n, fn, cluster=make_test_cluster())
+
+
+class TestPushBlocks:
+    def test_local_vs_remote_flush_accounting(self):
+        # seg size 16, 2 ranks: rank 0 owns even global segments.
+        cfg = TcioConfig(segment_size=16, segments_per_process=8)
+
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            if env.rank == 0:
+                fh.write_at(0, b"x" * 16)  # segment 0: owned by rank 0
+                fh.write_at(16, b"y" * 16)  # segment 1: owned by rank 1
+            fh.close()
+            return fh.stats.local_flushes, fh.stats.remote_flushes
+
+        res = run(2, main)
+        assert res.returns[0] == (1, 1)
+
+    def test_put_blocks_counts_combined_blocks(self):
+        cfg = TcioConfig(segment_size=64, segments_per_process=8)
+
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            if env.rank == 0:
+                # three disjoint pieces within segment 1 (owned by rank 1)
+                fh.write_at(64, b"a")
+                fh.write_at(70, b"b")
+                fh.write_at(80, b"c")
+            fh.close()
+            return fh.stats.remote_flushes, fh.stats.put_blocks
+
+        res = run(2, main)
+        flushes, blocks = res.returns[0]
+        assert flushes == 1  # one indexed Put...
+        assert blocks == 3  # ...carrying three blocks
+
+    def test_dirty_segments_tracked_per_owner(self):
+        cfg = TcioConfig(segment_size=16, segments_per_process=8)
+
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            if env.rank == 0:
+                fh.write_at(0, b"x" * 48)  # segments 0,1,2
+            fh.flush()
+            owned = fh.level2.owned_dirty_segments()
+            fh.close()
+            return owned
+
+        res = run(2, main)
+        assert res.returns[0] == [0, 2]  # rank 0 owns even segments
+        assert res.returns[1] == [1]
+
+    def test_capacity_error_names_the_config_knob(self):
+        cfg = TcioConfig(segment_size=16, segments_per_process=2)
+
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            with pytest.raises(TcioError, match="segments_per_process"):
+                fh.write_at(16 * env.size * 2, b"z")
+                fh._flush_level1()
+            fh.level1._blocks = []
+            fh.level1.aligned_segment = None
+            fh.close()
+
+        run(2, main)
+
+
+class TestReadProtocol:
+    def _seed(self, env, nbytes=256):
+        f = env.pfs.create("f")
+        f.write_bytes(0, bytes(i % 251 for i in range(nbytes)))
+        coll.barrier(env.comm)
+
+    def test_segment_loaded_once_globally(self):
+        cfg = TcioConfig(segment_size=64, segments_per_process=8)
+
+        def main(env):
+            self._seed(env)
+            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            buf = bytearray(8)
+            fh.read_at(0, buf)  # everyone wants segment 0
+            fh.fetch()
+            fh.close()
+            return fh.stats.segment_loads
+
+        res = run(4, main)
+        assert sum(res.returns) == 1  # one load for the whole job
+
+    def test_loads_spread_across_owners(self):
+        cfg = TcioConfig(segment_size=64, segments_per_process=8)
+
+        def main(env):
+            self._seed(env, 64 * 4)
+            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            bufs = [bytearray(4) for _ in range(4)]
+            for i, b in enumerate(bufs):
+                fh.read_at(i * 64, b)
+            fh.fetch()
+            fh.close()
+            assert all(bytes(b) == bytes((i * 64 + k) % 251 for k in range(4))
+                       for i, b in enumerate(bufs))
+            return fh.stats.segment_loads
+
+        res = run(4, main)
+        assert sum(res.returns) == 4
+        # owner-first loading: each rank loaded exactly its own segment
+        assert res.returns == [1, 1, 1, 1]
+
+    def test_reader_of_dirty_segment_rejected_cleanly(self):
+        # mixed-mode access is unsupported: a write handle plus a read
+        # handle on the same open generation cannot exist, so this checks
+        # the directory isolation across generations instead.
+        cfg = TcioConfig(segment_size=64, segments_per_process=8)
+
+        def main(env):
+            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            fh.write_at(env.rank * 4, bytes([env.rank]) * 4)
+            fh.close()
+            fh2 = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            # fresh generation: nothing is dirty, data comes from storage
+            assert not fh2.directory.dirty
+            got = fh2.read_now(0, env.size * 4)
+            fh2.close()
+            assert got == b"".join(bytes([r]) * 4 for r in range(env.size))
+
+        run(3, main)

@@ -1,0 +1,55 @@
+"""TcioConfig validation and sizing rules."""
+
+import pytest
+
+from repro.tcio import TcioConfig
+from repro.util.errors import TcioError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        TcioConfig().validate()
+
+    def test_bad_segment_size(self):
+        with pytest.raises(TcioError):
+            TcioConfig(segment_size=0).validate()
+
+    def test_bad_segment_count(self):
+        with pytest.raises(TcioError):
+            TcioConfig(segments_per_process=0).validate()
+
+    def test_bad_read_window(self):
+        with pytest.raises(TcioError):
+            TcioConfig(read_window_segments=0).validate()
+
+
+class TestResolution:
+    def test_defaults_to_lock_granularity(self):
+        """The paper's rule: segment size = file-system lock granularity."""
+        assert TcioConfig().resolve_segment_size(4096) == 4096
+
+    def test_explicit_size_wins(self):
+        assert TcioConfig(segment_size=512).resolve_segment_size(4096) == 512
+
+
+class TestSizedFor:
+    def test_capacity_covers_file(self):
+        cfg = TcioConfig.sized_for(file_bytes=1000, nranks=4, segment_size=64)
+        total_capacity = cfg.segments_per_process * 64 * 4
+        assert total_capacity >= 1000
+
+    def test_exact_fit(self):
+        cfg = TcioConfig.sized_for(file_bytes=64 * 8, nranks=4, segment_size=64)
+        assert cfg.segments_per_process == 2
+
+    def test_tiny_file_gets_one_segment(self):
+        cfg = TcioConfig.sized_for(file_bytes=1, nranks=8, segment_size=64)
+        assert cfg.segments_per_process == 1
+
+    def test_level2_memory_equals_ocio_tempbuf(self):
+        """Fig. 6 analysis: 'The size of the level-2 buffer equals the size
+        of the temporary buffer in OCIO' — per rank, file_bytes / nranks."""
+        file_bytes, nranks, seg = 1 << 20, 16, 4096
+        cfg = TcioConfig.sized_for(file_bytes, nranks, seg)
+        per_rank = cfg.segments_per_process * seg
+        assert per_rank == file_bytes // nranks

@@ -1,0 +1,59 @@
+"""Property test: arbitrary lazy-read patterns return exact file bytes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.simmpi import run_mpi
+from repro.tcio import TCIO_RDONLY, TcioConfig, TcioFile
+from tests.conftest import make_test_cluster
+
+FILE_BYTES = 2048
+
+
+def reference() -> bytes:
+    return bytes((i * 131 + 7) % 251 for i in range(FILE_BYTES))
+
+
+@st.composite
+def read_plans(draw):
+    """Per-rank lists of (offset, length) reads, any order, any overlap."""
+    nprocs = draw(st.integers(1, 4))
+    plans = []
+    for _ in range(nprocs):
+        n = draw(st.integers(1, 10))
+        plan = []
+        for _ in range(n):
+            off = draw(st.integers(0, FILE_BYTES - 1))
+            ln = draw(st.integers(1, min(200, FILE_BYTES - off)))
+            plan.append((off, ln))
+        plans.append(plan)
+    return plans
+
+
+class TestRandomLazyReads:
+    @settings(max_examples=15, deadline=None)
+    @given(read_plans(), st.sampled_from([64, 256]), st.sampled_from([1, 4, 64]))
+    def test_any_pattern_matches_reference(self, plans, segment, window):
+        data = reference()
+
+        def seed(pfs):
+            pfs.create("f").write_bytes(0, data)
+
+        def main(env):
+            cfg = TcioConfig(
+                segment_size=segment,
+                segments_per_process=-(-FILE_BYTES // (segment * env.size)) + 1,
+                read_window_segments=window,
+            )
+            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            bufs = []
+            for off, ln in plans[env.rank]:
+                b = bytearray(ln)
+                fh.read_at(off, b)
+                bufs.append((off, ln, b))
+            fh.fetch()
+            fh.close()
+            for off, ln, b in bufs:
+                assert bytes(b) == data[off : off + ln], (env.rank, off, ln)
+
+        run_mpi(len(plans), main, cluster=make_test_cluster(), pfs_init=seed)

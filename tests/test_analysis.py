@@ -1,0 +1,83 @@
+"""Post-mortem utilization analysis and ASCII chart tests."""
+
+import pytest
+
+from repro.analysis import analyze_run, ascii_chart, log_scale_chart
+from repro.bench import BenchConfig, Method
+from repro.simmpi import run_mpi
+from repro.simmpi import collectives as coll
+from tests.conftest import make_test_cluster
+
+
+class TestAnalyzeRun:
+    def _run(self):
+        def main(env):
+            client = env.pfs.client(env.world.node_of[env.rank])
+            f = env.pfs.create("f")
+            client.write(f, env.rank * 64, bytes([env.rank]) * 64, owner=env.rank)
+            coll.barrier(env.comm)
+            client.read(f, 0, 64 * env.size, owner=env.rank)
+            if env.rank == 0:
+                env.comm.send(b"x" * 2000, 1)
+            elif env.rank == 1:
+                env.comm.recv(0)
+
+        return run_mpi(4, main, cluster=make_test_cluster())
+
+    def test_report_accounts_storage_bytes(self):
+        report = analyze_run(self._run())
+        assert report.bytes_to_storage == 4 * 64
+        assert report.bytes_from_storage == 4 * 4 * 64
+
+    def test_report_counts_locks_and_messages(self):
+        report = analyze_run(self._run())
+        assert report.lock_acquires > 0
+        assert report.network_messages > 0
+        assert report.network_bytes >= 2000
+
+    def test_resource_classes_present(self):
+        report = analyze_run(self._run())
+        names = {r.name for r in report.resources}
+        assert {"NIC tx", "NIC rx", "fabric core", "OST", "storage link"} <= names
+
+    def test_utilizations_bounded(self):
+        report = analyze_run(self._run())
+        for r in report.resources:
+            assert 0.0 <= r.peak_utilization <= 1.0
+
+    def test_render_and_bottleneck(self):
+        report = analyze_run(self._run())
+        text = report.render()
+        assert "bottleneck:" in text
+        assert report.bottleneck() in text
+
+
+class TestAsciiChart:
+    @staticmethod
+    def _grid_marks(out, mark="o"):
+        lines = out.splitlines()
+        return sum(l.count(mark) for l in lines[:-1])  # exclude the legend
+
+    def test_marks_every_defined_point(self):
+        out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, height=6)
+        assert self._grid_marks(out) == 3
+
+    def test_missing_points_are_blank(self):
+        out = ascii_chart([1, 2], {"a": [1.0, None]}, height=6)
+        assert self._grid_marks(out) == 1
+
+    def test_two_series_get_distinct_marks(self):
+        out = ascii_chart([1], {"a": [1.0], "b": [2.0]}, height=6)
+        assert "o" in out and "*" in out
+        assert "o a" in out and "* b" in out  # legend
+
+    def test_log_scale_orders_magnitudes(self):
+        out = log_scale_chart([1, 2], {"a": [1.0, 1000.0]}, height=10)
+        lines = out.splitlines()
+        row_low = next(i for i, l in enumerate(lines) if "o" in l and i > 0)
+        # the 1000.0 point sits far above the 1.0 point
+        rows_with_marks = [i for i, l in enumerate(lines) if "o" in l]
+        assert max(rows_with_marks) - min(rows_with_marks) >= 5
+
+    def test_empty_series(self):
+        assert ascii_chart([1], {"a": [None]}) == "(no data)"

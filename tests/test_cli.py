@@ -1,0 +1,32 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Lonestar" in out
+        assert "30 OSTs" in out
+
+    def test_bench_tcio(self, capsys):
+        assert main(["bench", "--method", "tcio", "--procs", "4", "--len", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "write:" in out and "read:" in out
+
+    def test_bench_by_table_i_code(self, capsys):
+        assert main(["bench", "--method", "0", "--procs", "4", "--len", "64"]) == 0
+        assert "OCIO" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "statement ratio" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

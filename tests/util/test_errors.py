@@ -1,0 +1,47 @@
+"""Error hierarchy tests."""
+
+import pytest
+
+from repro.util import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in (
+            "SimulationError",
+            "DeadlockError",
+            "MpiError",
+            "RmaError",
+            "DatatypeError",
+            "PfsError",
+            "MpiIoError",
+            "TcioError",
+            "OutOfMemoryError",
+            "BenchmarkError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_rma_and_datatype_are_mpi_errors(self):
+        assert issubclass(errors.RmaError, errors.MpiError)
+        assert issubclass(errors.DatatypeError, errors.MpiError)
+
+    def test_deadlock_is_a_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_deadlock_message_lists_waiters(self):
+        e = errors.DeadlockError({1: "waiting on recv", 0: "barrier"})
+        text = str(e)
+        assert "rank 0: barrier" in text
+        assert "rank 1: waiting on recv" in text
+        assert e.waiters == {0: "barrier", 1: "waiting on recv"}
+
+    def test_oom_message_has_numbers(self):
+        e = errors.OutOfMemoryError(node=3, requested=100, in_use=900, budget=950)
+        text = str(e)
+        assert "node 3" in text and "100" in text and "950" in text
+        assert (e.node, e.requested, e.in_use, e.budget) == (3, 100, 900, 950)
+
+    def test_single_except_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.TcioError("x")

@@ -1,0 +1,54 @@
+"""RNG stream derivation and table rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, seeded_rng
+from repro.util.tables import render_series, render_table
+
+
+class TestRng:
+    def test_derivation_is_deterministic(self):
+        assert derive_seed(5, "a", 1) == derive_seed(5, "a", 1)
+
+    def test_paths_give_independent_streams(self):
+        assert derive_seed(5, "a") != derive_seed(5, "b")
+        assert derive_seed(5, "a", 1) != derive_seed(5, "a", 2)
+        assert derive_seed(5) != derive_seed(6)
+
+    def test_seed_fits_in_63_bits(self):
+        assert 0 <= derive_seed(1, "x") < 2**63
+
+    def test_seeded_rng_reproducible(self):
+        a = seeded_rng(7, "stream").normal(size=5)
+        b = seeded_rng(7, "stream").normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_name_types_normalize(self):
+        assert derive_seed(1, 42) == derive_seed(1, "42")
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        out = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+        assert lines[3].startswith("22")
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series_with_missing_points(self):
+        out = render_series("x", [1, 2], {"s": [5.0, None]})
+        assert "--" in out
+
+    def test_render_series_short_series_padded(self):
+        out = render_series("x", [1, 2, 3], {"s": [9]})
+        rows = out.splitlines()[2:]  # skip header + separator
+        assert sum("--" in row for row in rows) == 2

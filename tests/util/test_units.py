@@ -1,0 +1,90 @@
+"""Unit tests for size/time parsing and formatting."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_size,
+    format_throughput,
+    format_time,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("123") == 123
+
+    def test_integers_pass_through(self):
+        assert parse_size(4096) == 4096
+
+    def test_floats_truncate(self):
+        assert parse_size(10.9) == 10
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KIB),
+            ("1kb", KIB),
+            ("1KiB", KIB),
+            ("1MB", MIB),
+            ("1 MB", MIB),
+            ("1GB", GIB),
+            ("48GB", 48 * GIB),
+            ("768MB", 768 * MIB),
+            ("0.75GB", int(0.75 * GIB)),
+            ("2T", 2 * 1024 * GIB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("twelve")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_size("5XB")
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_round_trip_named_sizes(self):
+        for text in ("48GB", "768MB", "1MB", "12KB"):
+            assert format_size(parse_size(text)) == text
+
+    def test_bytes(self):
+        assert format_size(17) == "17B"
+
+    def test_fractional(self):
+        assert format_size(int(1.5 * MIB)) == "1.50MB"
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "0s"
+
+    def test_microseconds(self):
+        assert format_time(2.5e-6) == "2.5us"
+
+    def test_milliseconds(self):
+        assert format_time(0.0123) == "12.30ms"
+
+    def test_seconds(self):
+        assert format_time(3.5) == "3.50s"
+
+    def test_minutes(self):
+        assert format_time(600) == "10.0min"
+
+    def test_negative(self):
+        assert format_time(-3.5) == "-3.50s"
+
+
+def test_format_throughput_is_mb_per_second():
+    assert format_throughput(100 * MIB) == "100.0MB/s"
