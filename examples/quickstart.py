@@ -15,7 +15,6 @@ from repro.simmpi import run_mpi
 from repro.tcio import (
     TCIO_RDONLY,
     TCIO_WRONLY,
-    tcio_close,
     tcio_fetch,
     tcio_open,
     tcio_read_at,
@@ -36,22 +35,22 @@ def main(env) -> str:
     rank, nranks = env.rank, env.size
 
     # ---- write: each rank drops its records round-robin in the file ----
-    fh = tcio_open(env, "quickstart.dat", TCIO_WRONLY)
-    for i in range(RECORDS_PER_RANK):
-        offset = (i * nranks + rank) * RECORD_BYTES
-        tcio_write_at(fh, offset, record_payload(rank, i))
-    tcio_close(fh)  # collective: level-2 buffers drain to the file system
+    # The handle is a context manager: leaving the block runs the
+    # collective close (level-2 buffers drain to the file system).
+    with tcio_open(env, "quickstart.dat", TCIO_WRONLY) as fh:
+        for i in range(RECORDS_PER_RANK):
+            offset = (i * nranks + rank) * RECORD_BYTES
+            tcio_write_at(fh, offset, record_payload(rank, i))
 
     # ---- read: lazy records, fetched in one shot -----------------------
-    fh = tcio_open(env, "quickstart.dat", TCIO_RDONLY)
     dests = []
-    for i in range(RECORDS_PER_RANK):
-        offset = (i * nranks + rank) * RECORD_BYTES
-        buf = bytearray(RECORD_BYTES)
-        tcio_read_at(fh, offset, buf)  # records metadata only
-        dests.append((i, buf))
-    tcio_fetch(fh)  # data actually moves here
-    tcio_close(fh)
+    with tcio_open(env, "quickstart.dat", TCIO_RDONLY) as fh:
+        for i in range(RECORDS_PER_RANK):
+            offset = (i * nranks + rank) * RECORD_BYTES
+            buf = bytearray(RECORD_BYTES)
+            tcio_read_at(fh, offset, buf)  # records metadata only
+            dests.append((i, buf))
+        tcio_fetch(fh)  # data actually moves here
 
     for i, buf in dests:
         assert bytes(buf) == record_payload(rank, i), f"rank {rank} record {i}"

@@ -58,20 +58,19 @@ def dump(
     offsets = record_offsets(all_sizes, workload.n_segments)
     total = index_nbytes(workload.n_segments) + sum(all_sizes)
 
-    fh = TcioFile(env, name, TCIO_WRONLY, _tcio_config(env, total))
-    if env.rank == 0:
-        fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
-    for seg, size in zip(local.segments, local.sizes):
-        fh.write_at(
-            INDEX_ENTRY * (1 + seg), np.array([size], dtype=np.int64)
-        )
-    for seg, tree in zip(local.segments, local.trees):
-        fh.seek(offsets[seg])
-        arrays = layout.arrays(tree)
-        env.compute(per_array_cost * len(arrays))
-        for array in arrays:
-            fh.write(array.data)
-    fh.close()
+    with TcioFile(env, name, TCIO_WRONLY, _tcio_config(env, total)) as fh:
+        if env.rank == 0:
+            fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
+        for seg, size in zip(local.segments, local.sizes):
+            fh.write_at(
+                INDEX_ENTRY * (1 + seg), np.array([size], dtype=np.int64)
+            )
+        for seg, tree in zip(local.segments, local.trees):
+            fh.seek(offsets[seg])
+            arrays = layout.arrays(tree)
+            env.compute(per_array_cost * len(arrays))
+            for array in arrays:
+                fh.write(array.data)
     return fh.stats.as_dict()
 
 
@@ -87,46 +86,50 @@ def restart(
     comm = env.comm
     layout = FttRecordLayout()
     pfs_size = env.pfs.lookup(name).size
-    fh = TcioFile(env, name, TCIO_RDONLY, _tcio_config(env, pfs_size))
+    with TcioFile(env, name, TCIO_RDONLY, _tcio_config(env, pfs_size)) as fh:
+        # Phase 1: the index (sizes of every record).
+        idx_buf = bytearray(index_nbytes(workload.n_segments))
+        fh.read_at(0, idx_buf)
+        fh.fetch()
+        sizes = parse_index(bytes(idx_buf), workload.n_segments)
+        offsets = record_offsets(sizes, workload.n_segments)
 
-    # Phase 1: the index (sizes of every record).
-    idx_buf = bytearray(index_nbytes(workload.n_segments))
-    fh.read_at(0, idx_buf)
-    fh.fetch()
-    sizes = parse_index(bytes(idx_buf), workload.n_segments)
-    offsets = record_offsets(sizes, workload.n_segments)
-
-    my_segments = workload.segments_of(env.rank, comm.size)
-    trees: list[FttTree] = []
-    for seg in my_segments:
-        base = offsets[seg]
-        # Phase 2: the record's descriptor header.
-        head = bytearray(header_prefix_nbytes())
-        fh.read_at(base, head)
-        fh.fetch()
-        magic, oct_, nvars, depth, total_cells = np.frombuffer(bytes(head), np.int32)
-        # Phase 3: level sizes + refinement flags.
-        struct_buf = bytearray(int(depth) * 4 + int(total_cells))
-        fh.read_at(base + len(head), struct_buf)
-        fh.fetch()
-        level_sizes = np.frombuffer(bytes(struct_buf[: int(depth) * 4]), np.int32)
-        # Phase 4: each value array individually (the paper's small reads).
-        values_base = base + len(head) + len(struct_buf)
-        value_bufs: list[bytearray] = []
-        pos = values_base
-        env.compute(per_array_cost * (3 + int(total_cells) * int(nvars)))
-        for _cell in range(int(total_cells)):
-            for _v in range(int(nvars)):
-                b = bytearray(8)
-                fh.read_at(pos, b)
-                value_bufs.append(b)
-                pos += 8
-        fh.fetch()
-        # Reassemble and parse the full record.
-        blob = bytes(head) + bytes(struct_buf) + b"".join(bytes(b) for b in value_bufs)
-        trees.append(layout.parse(blob))
-        del level_sizes, magic, oct_
-    fh.close()
+        my_segments = workload.segments_of(env.rank, comm.size)
+        trees: list[FttTree] = []
+        for seg in my_segments:
+            base = offsets[seg]
+            # Phase 2: the record's descriptor header.
+            head = bytearray(header_prefix_nbytes())
+            fh.read_at(base, head)
+            fh.fetch()
+            magic, oct_, nvars, depth, total_cells = np.frombuffer(
+                bytes(head), np.int32
+            )
+            # Phase 3: level sizes + refinement flags.
+            struct_buf = bytearray(int(depth) * 4 + int(total_cells))
+            fh.read_at(base + len(head), struct_buf)
+            fh.fetch()
+            level_sizes = np.frombuffer(bytes(struct_buf[: int(depth) * 4]), np.int32)
+            # Phase 4: each value array individually (the paper's small reads).
+            values_base = base + len(head) + len(struct_buf)
+            value_bufs: list[bytearray] = []
+            pos = values_base
+            env.compute(per_array_cost * (3 + int(total_cells) * int(nvars)))
+            for _cell in range(int(total_cells)):
+                for _v in range(int(nvars)):
+                    b = bytearray(8)
+                    fh.read_at(pos, b)
+                    value_bufs.append(b)
+                    pos += 8
+            fh.fetch()
+            # Reassemble and parse the full record.
+            blob = (
+                bytes(head)
+                + bytes(struct_buf)
+                + b"".join(bytes(b) for b in value_bufs)
+            )
+            trees.append(layout.parse(blob))
+            del level_sizes, magic, oct_
 
     if verify:
         _verify_trees(workload, my_segments, trees)

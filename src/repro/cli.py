@@ -8,6 +8,8 @@ Commands
 ``fig910``    — regenerate Figures 9 & 10 (ART vs vanilla MPI-IO).
 ``table3``    — regenerate Table III and the Program 2/3 effort metrics.
 ``bench``     — run one synthetic-benchmark point and print its result.
+``trace``     — rerun a scaled-down experiment with span tracing on and
+                write Chrome-trace + metrics JSON (see docs/observability.md).
 ``report``    — run the full campaign and write EXPERIMENTS.md.
 """
 
@@ -119,6 +121,14 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run one scaled-down experiment with tracing; write trace/metrics."""
+    from repro.obs.runner import run_traced
+
+    run_traced(args.target, procs=args.procs, out=args.out, tiny=args.tiny)
+    return 0
+
+
 def cmd_report(args) -> int:
     """Run the full campaign and write EXPERIMENTS.md."""
     from repro.experiments import report
@@ -152,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--types", default="i,d", help="TYPEarray codes")
     p.add_argument("--access", type=int, default=1, help="SIZEaccess")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "trace", help="scaled-down experiment with tracing -> Chrome trace JSON"
+    )
+    p.add_argument(
+        "target", choices=["fig5", "fig67", "fig910", "bench"],
+        help="which experiment to rerun traced",
+    )
+    p.add_argument("--procs", type=int, default=None, help="simulated ranks")
+    p.add_argument("--out", default="trace_out", help="output directory")
+    p.add_argument("--tiny", action="store_true", help="smallest possible run")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("report", help="full campaign -> EXPERIMENTS.md")
     p.add_argument("--output", default="EXPERIMENTS.md")

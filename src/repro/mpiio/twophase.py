@@ -23,6 +23,7 @@ from __future__ import annotations
 import bisect
 from typing import Optional, TYPE_CHECKING
 
+from repro.obs.spans import NULL_TRACER
 from repro.simmpi import collectives
 from repro.simmpi.comm import CTX_COLL, pack_object, unpack_object, wait_all
 from repro.util.errors import MpiIoError
@@ -87,7 +88,7 @@ def _setup(mf: "MpiFile", stream_pos: int, nbytes: int):
     lo = pieces[0][0].start if pieces else None
     hi = pieces[-1][0].stop if pieces else None
     ranges = collectives.allgather(comm, (lo, hi))
-    los = [l for l, _ in ranges if l is not None]
+    los = [lo_ for lo_, _ in ranges if lo_ is not None]
     his = [h for _, h in ranges if h is not None]
     if not los:
         return pieces, None
@@ -111,6 +112,8 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
+    tracer = world.trace.tracer if world.trace is not None else NULL_TRACER
+    t0 = world.engine.now
     pieces, domains = _setup(mf, stream_pos, len(data))
     if domains is None:
         collectives.barrier(comm)
@@ -152,7 +155,8 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     covered = 0
     if my_domain is not None and tempbuf is not None:
         local = send_lists.get(rank, [])
-        wait_all([req for _, req in recv_reqs])
+        with tracer.span("ocio.exchange", peers=len(recv_reqs)):
+            wait_all([req for _, req in recv_reqs])
         incoming = [local] + [
             unpack_object(req.payload) for _, req in recv_reqs
         ]
@@ -165,24 +169,29 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
 
         # ---- I/O phase ------------------------------------------------
         if my_domain.length > 0:
-            if covered < my_domain.length:
-                # Holes in the domain: read-modify-write to preserve them.
-                existing = mf.client.read(
-                    mf.pfs_file, my_domain.start, my_domain.length, owner=rank
+            with tracer.span("ocio.io", bytes=my_domain.length):
+                if covered < my_domain.length:
+                    # Holes in the domain: read-modify-write preserves them.
+                    existing = mf.client.read(
+                        mf.pfs_file, my_domain.start, my_domain.length, owner=rank
+                    )
+                    merged = bytearray(existing)
+                    for lst in incoming:
+                        for off, block in lst:
+                            lo = off - my_domain.start
+                            merged[lo : lo + len(block)] = block
+                    tempbuf = merged
+                mf.client.write(
+                    mf.pfs_file, my_domain.start, bytes(tempbuf), owner=rank
                 )
-                merged = bytearray(existing)
-                for lst in incoming:
-                    for off, block in lst:
-                        lo = off - my_domain.start
-                        merged[lo : lo + len(block)] = block
-                tempbuf = merged
-            mf.client.write(mf.pfs_file, my_domain.start, bytes(tempbuf), owner=rank)
         world.memory.free(alloc)
     else:
-        wait_all([req for _, req in recv_reqs])
+        with tracer.span("ocio.exchange", peers=len(recv_reqs)):
+            wait_all([req for _, req in recv_reqs])
 
     if world.trace is not None:
         world.trace.count("ocio.write_all", len(data))
+        world.trace.complete("ocio.write_all", t0, world.engine.now, bytes=len(data))
     collectives.barrier(comm)
 
 
@@ -191,6 +200,7 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
+    t0 = world.engine.now
     pieces, domains = _setup(mf, stream_pos, nbytes)
     if domains is None:
         return b""
@@ -253,6 +263,7 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
     _copy_cost(mf, sum(e.length for e, _ in pieces))
     if world.trace is not None:
         world.trace.count("ocio.read_all", nbytes)
+        world.trace.complete("ocio.read_all", t0, world.engine.now, bytes=nbytes)
     return bytes(out)
 
 
@@ -269,6 +280,7 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
+    t0 = world.engine.now
     cap = mf.hints.cb_rounds_buffer
     assert cap is not None
     pieces, domains = _setup(mf, stream_pos, len(data))
@@ -353,4 +365,7 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         world.memory.free(alloc)
     if world.trace is not None:
         world.trace.count("ocio.write_all_rounds", len(data))
+        world.trace.complete(
+            "ocio.write_all_rounds", t0, world.engine.now, bytes=len(data)
+        )
     collectives.barrier(comm)

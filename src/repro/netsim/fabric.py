@@ -81,24 +81,43 @@ class Fabric:
         src_node = self._node(src)
         dst_node = self._node(dst)
         overhead = self.spec.rma_message_overhead if rma else None
-        if self.trace is not None:
-            self.trace.count("net.msg", nbytes)
+        trace = self.trace
+        tracer = trace.tracer if trace is not None else None
+        if trace is not None:
+            trace.count("net.msg", nbytes)
+            trace.registry.histogram("net.msg_bytes").observe(nbytes)
         if src_node == dst_node:
-            if self.trace is not None:
-                self.trace.count("net.intranode", nbytes)
-            return self.memory[src_node].reserve(now, nbytes, overhead)
+            if trace is not None:
+                trace.count("net.intranode", nbytes)
+            t_mem = self.memory[src_node].reserve(now, nbytes, overhead)
+            if tracer is not None and tracer.enabled and nbytes > 0:
+                tracer.complete(
+                    "net.local", now, t_mem, f"mem{src_node}",
+                    src=src, dst=dst, bytes=nbytes,
+                )
+            return t_mem
         start = now
         pair = (src, dst)
         if pair not in self._connected:
             self._connected.add(pair)
             start += self.spec.connection_setup
-            if self.trace is not None:
-                self.trace.count("net.connection")
+            if trace is not None:
+                trace.count("net.connection")
+                if tracer is not None and tracer.enabled:
+                    tracer.complete(
+                        "net.conn.setup", now, start, f"nic{src_node}",
+                        src=src, dst=dst,
+                    )
         t_tx = self.send_ports[src_node].reserve(start, nbytes, overhead)
         t_core = self.core.reserve(t_tx, nbytes)
         t_rx = self.recv_ports[dst_node].reserve(
             t_core + self.spec.latency, nbytes, overhead
         )
+        if tracer is not None and tracer.enabled:
+            tracer.complete(
+                "net.xfer", start, t_rx, f"nic{src_node}",
+                src=src, dst=dst, bytes=nbytes, rma=rma,
+            )
         return t_rx
 
     def transfer(

@@ -1,0 +1,201 @@
+"""Exporters: Chrome ``trace_event`` JSON, ASCII timelines, metrics.json.
+
+``chrome_trace`` produces the JSON object format Perfetto and
+``chrome://tracing`` load directly: one process, one thread (track) per
+rank plus the NIC/OST/memory hardware tracks, complete ("X") events with
+microsecond timestamps. ``ascii_timeline`` folds the same spans into a
+per-track, per-span busy-time table for terminal reports, and
+``metrics_json`` snapshots a :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanEvent, Tracer
+from repro.util.tables import render_table
+
+_TRACK_NUM = re.compile(r"\A(.*?)(\d+)\Z")
+
+#: Display order of track families: ranks first, then the engine row,
+#: then hardware (NIC, memory, OST) tracks.
+_FAMILY_ORDER = {"rank": 0, "proc": 0, "engine": 1, "nic": 2, "mem": 3, "ost": 4}
+
+
+def _track_key(track: str) -> tuple:
+    """Natural sort: rank2 before rank10, rank tracks before hardware."""
+    m = _TRACK_NUM.match(track)
+    prefix, num = (m.group(1), int(m.group(2))) if m else (track, -1)
+    return (_FAMILY_ORDER.get(prefix, 9), prefix, num)
+
+
+def track_ids(tracer: Tracer) -> dict[str, int]:
+    """Stable track -> tid assignment (ranks first, naturally sorted)."""
+    return {t: i for i, t in enumerate(sorted(tracer.tracks(), key=_track_key))}
+
+
+def chrome_trace(tracer: Tracer, *, pid: int = 0) -> dict:
+    """The tracer's events as a Chrome ``trace_event`` JSON object.
+
+    Load the written file in https://ui.perfetto.dev or
+    ``chrome://tracing``: virtual seconds are exported as microseconds
+    (the format's native unit), each track becomes a named thread.
+    """
+    tids = track_ids(tracer)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro simulated job"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    def us(t: float) -> float:
+        return round(t * 1e6, 3)
+
+    for e in sorted(tracer.spans, key=lambda s: (s.start, s.track)):
+        events.append(
+            {
+                "name": e.name,
+                "cat": e.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": us(e.start),
+                "dur": us(e.end - e.start),
+                "pid": pid,
+                "tid": tids[e.track],
+                "args": e.args,
+            }
+        )
+    for e in tracer.instants:
+        events.append(
+            {
+                "name": e.name,
+                "cat": e.name.split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": us(e.start),
+                "pid": pid,
+                "tid": tids[e.track],
+                "args": e.args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write :func:`chrome_trace` output to *path*."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+
+
+# ----------------------------------------------------------------------
+# ASCII timeline
+# ----------------------------------------------------------------------
+
+
+def _fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.1f}"
+
+
+def ascii_timeline(tracer: Tracer, *, max_rows: int = 60) -> str:
+    """Per-(track, span) busy-time table of the whole trace.
+
+    One row per distinct span name on each track: occurrence count, total
+    busy virtual time, and the share of the trace horizon it covers.
+    Rows beyond *max_rows* are folded into a trailing summary line.
+    """
+    if not tracer.spans:
+        return "(no spans recorded)"
+    horizon = max(e.end for e in tracer.spans) or 1.0
+    agg: dict[tuple[str, str], list] = {}
+    for e in tracer.spans:
+        row = agg.setdefault((e.track, e.name), [0, 0.0, e.start])
+        row[0] += 1
+        row[1] += e.duration
+        row[2] = min(row[2], e.start)
+    ordered = sorted(
+        agg.items(), key=lambda kv: (_track_key(kv[0][0]), kv[1][2], kv[0][1])
+    )
+    rows = [
+        [track, name, count, _fmt_us(busy), f"{100.0 * busy / horizon:.1f}%"]
+        for (track, name), (count, busy, _first) in ordered[:max_rows]
+    ]
+    table = render_table(
+        ["track", "span", "count", "busy (us)", "share"],
+        rows,
+        title=f"span timeline ({len(tracer.spans)} spans, "
+        f"horizon {_fmt_us(horizon)} us)",
+    )
+    hidden = len(ordered) - max_rows
+    if hidden > 0:
+        table += f"\n... and {hidden} more (track, span) rows"
+    return table
+
+
+# ----------------------------------------------------------------------
+# metrics.json
+# ----------------------------------------------------------------------
+
+
+def metrics_json(
+    registry: MetricsRegistry,
+    *,
+    tcio: Optional[dict[str, int]] = None,
+) -> dict:
+    """JSON-ready metrics snapshot.
+
+    *tcio* is the rank-0 TCIO handle's registry view with dotted metric
+    names (see ``TcioStats.as_metrics``); it lands under the ``"tcio"``
+    key as plain integers so the file matches the legacy
+    ``TcioStats.as_dict()`` evidence byte for byte.
+    """
+    out = registry.flat()
+    if tcio is not None:
+        out["tcio"] = dict(sorted(tcio.items()))
+    return out
+
+
+def write_metrics_json(
+    registry: MetricsRegistry,
+    path: str,
+    *,
+    tcio: Optional[dict[str, int]] = None,
+) -> None:
+    """Write :func:`metrics_json` output to *path* (pretty-printed)."""
+    with open(path, "w") as fh:
+        json.dump(metrics_json(registry, tcio=tcio), fh, indent=1, sort_keys=True)
+
+
+__all__ = [
+    "SpanEvent",
+    "ascii_timeline",
+    "chrome_trace",
+    "metrics_json",
+    "track_ids",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -15,10 +15,16 @@ class PfsFile:
     against a reference writer.
     """
 
-    def __init__(self, name: str, layout: StripeLayout, lock_contention_penalty: float = 0.0):
+    def __init__(
+        self,
+        name: str,
+        layout: StripeLayout,
+        lock_contention_penalty: float = 0.0,
+        trace=None,
+    ):
         self.name = name
         self.layout = layout
-        self.locks = LockManager(layout.stripe_size, lock_contention_penalty)
+        self.locks = LockManager(layout.stripe_size, lock_contention_penalty, trace)
         self._data = bytearray()
 
     @property

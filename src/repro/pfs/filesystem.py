@@ -72,7 +72,7 @@ class Pfs:
             n_osts=self.spec.n_osts,
         )
         self._next_first_ost = (self._next_first_ost + count) % self.spec.n_osts
-        f = PfsFile(name, layout, self.spec.lock_contention_penalty)
+        f = PfsFile(name, layout, self.spec.lock_contention_penalty, self.trace)
         self._files[name] = f
         return f
 
@@ -147,6 +147,9 @@ class PfsClient:
         grant = f.locks.acquire(owner, LockMode.EXCLUSIVE, extent)
         if f.locks.cache_hits == hits_before:
             proc.charge(self.pfs.spec.lock_latency)
+        trace = self.pfs.trace
+        tracer = trace.tracer if trace is not None else None
+        emit = tracer is not None and tracer.enabled
         # read phase
         now = engine.now
         link_done = self._link.reserve(now, extent.length)
@@ -154,10 +157,13 @@ class PfsClient:
         for ost_idx, ost_pieces in f.layout.split_by_ost(extent).items():
             ost = self.pfs.osts[ost_idx]
             for piece in ost_pieces:
-                finish = max(
-                    finish,
-                    ost.reserve(link_done, piece.length, write=False, client=owner),
-                )
+                t = ost.reserve(link_done, piece.length, write=False, client=owner)
+                if emit:
+                    tracer.complete(
+                        "ost.read", ost.last_start, t, f"ost{ost_idx}",
+                        bytes=piece.length, client=owner,
+                    )
+                finish = max(finish, t)
         buf = bytearray(f.read_bytes(extent.start, extent.length))
         for off, data in pieces:
             buf[off - extent.start : off - extent.start + len(data)] = data
@@ -167,10 +173,15 @@ class PfsClient:
         for ost_idx, ost_pieces in f.layout.split_by_ost(extent).items():
             ost = self.pfs.osts[ost_idx]
             for piece in ost_pieces:
-                w_finish = max(
-                    w_finish,
-                    ost.reserve(link_done, piece.length, write=True, client=owner),
-                )
+                t = ost.reserve(link_done, piece.length, write=True, client=owner)
+                if emit:
+                    tracer.complete(
+                        "ost.write", ost.last_start, t, f"ost{ost_idx}",
+                        bytes=piece.length, client=owner,
+                    )
+                w_finish = max(w_finish, t)
+        if emit:
+            tracer.complete("pfs.sieved_write", now, w_finish, bytes=extent.length)
         f.write_bytes(extent.start, bytes(buf))
         if w_finish > engine.now:
             proc.charge(w_finish - engine.now)
@@ -215,6 +226,9 @@ class PfsClient:
         try:
             # 2. The client link and the OSTs both reserve the transfer;
             #    completion is the max over all per-OST pieces.
+            tracer = trace.tracer if trace is not None else None
+            emit = tracer is not None and tracer.enabled
+            op = "ost.write" if write else "ost.read"
             start = engine.now
             finish = start
             link_done = self._link.reserve(start, nbytes)
@@ -222,8 +236,18 @@ class PfsClient:
                 ost = self.pfs.osts[ost_idx]
                 for piece in pieces:
                     t = ost.reserve(link_done, piece.length, write=write, client=owner)
+                    if emit:
+                        tracer.complete(
+                            op, ost.last_start, t, f"ost{ost_idx}",
+                            bytes=piece.length, client=owner,
+                        )
                     finish = max(finish, t)
             finish = max(finish, link_done)
+            if emit:
+                tracer.complete(
+                    "pfs.write" if write else "pfs.read", start, finish,
+                    bytes=nbytes,
+                )
 
             # 3. Data lands/loads instantaneously at the commit point; the
             #    caller's timeline advances to `finish` lazily, and the
@@ -240,6 +264,9 @@ class PfsClient:
                 released = True
             if trace is not None:
                 trace.count("pfs.write" if write else "pfs.read", nbytes)
+                trace.registry.histogram(
+                    "pfs.write_bytes" if write else "pfs.read_bytes"
+                ).observe(nbytes)
             return result
         finally:
             if not released:

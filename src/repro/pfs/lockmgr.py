@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
+from repro.obs.spans import NULL_TRACER
 from repro.sim.engine import current_process
 from repro.sim.process import SimProcess
 from repro.util.errors import PfsError
@@ -67,18 +68,26 @@ class LockManager:
     superlinearly with client count.
     """
 
-    def __init__(self, granularity: int, contention_penalty: float = 0.0):
+    def __init__(
+        self, granularity: int, contention_penalty: float = 0.0, trace=None
+    ):
         if granularity < 1:
             raise PfsError("lock granularity must be positive")
         if contention_penalty < 0:
             raise PfsError("contention penalty must be >= 0")
         self.granularity = granularity
         self.contention_penalty = contention_penalty
+        self.trace = trace  # optional TraceRecorder hub
+        self._tracer = trace.tracer if trace is not None else NULL_TRACER
         self._held: list[LockGrant] = []
         self._queue: Deque[_Waiting] = deque()
         self.acquires = 0
         self.cache_hits = 0  # served from a cached grant, no server trip
         self.waits = 0  # acquires that had to block (contention counter)
+
+    def _count(self, name: str) -> None:
+        if self.trace is not None:
+            self.trace.count(name)
 
     # ------------------------------------------------------------------
     def _conflicts(self, mode: LockMode, extent: Extent, owner: int) -> bool:
@@ -141,18 +150,24 @@ class LockManager:
         if cached is not None and not self._blocked_by_queue(rounded, owner):
             cached.in_use += 1
             self.cache_hits += 1
+            self._count("pfs.lock.cache_hit")
             return cached
         self.acquires += 1
+        self._count("pfs.lock.acquire")
         proc = current_process()
         if not self._blocked_by_queue(rounded, owner):
             revoked = self._revoke_idle_conflicts(mode, rounded, owner)
-            if revoked and self.contention_penalty:
-                proc.charge(revoked * self.contention_penalty)
+            if revoked:
+                if self.contention_penalty:
+                    proc.charge(revoked * self.contention_penalty)
+                if self.trace is not None:
+                    self.trace.count("pfs.lock.revoke", revoked)
             if not self._conflicts(mode, rounded, owner):
                 grant = LockGrant(owner, mode, rounded)
                 self._held.append(grant)
                 return grant
         self.waits += 1
+        self._count("pfs.lock.wait")
         if self.contention_penalty:
             conflicts = sum(
                 1 for g in self._held if g.owner != owner and g.extent.overlaps(rounded)
@@ -162,7 +177,8 @@ class LockManager:
             proc.charge(conflicts * self.contention_penalty)
         waiting = _Waiting(owner, mode, rounded, proc)
         self._queue.append(waiting)
-        proc.block(f"pfs.lock({mode.value}, {rounded})")
+        with self._tracer.span("pfs.lock_wait", mode=mode.value, owner=owner):
+            proc.block(f"pfs.lock({mode.value}, {rounded})")
         assert waiting.grant is not None
         return waiting.grant
 

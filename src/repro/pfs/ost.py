@@ -40,6 +40,7 @@ class Ost:
         "client_scaling",
         "clients",
         "busy_until",
+        "last_start",
         "read_requests",
         "write_requests",
         "bytes_read",
@@ -72,6 +73,8 @@ class Ost:
         self.client_scaling = client_scaling
         self.clients: set[int] = set()
         self.busy_until = 0.0
+        self.last_start = 0.0  # service start of the latest request
+
         self.read_requests = 0
         self.write_requests = 0
         self.bytes_read = 0
@@ -91,6 +94,7 @@ class Ost:
             self.clients.add(client)
             overhead *= 1.0 + self.client_scaling * len(self.clients)
         start = arrival if arrival > self.busy_until else self.busy_until
+        self.last_start = start
         service = overhead + nbytes / rate
         if noise:
             request_no = self.write_requests + self.read_requests

@@ -116,6 +116,11 @@ class Engine:
         self._finished = False
         self._failure: BaseException | None = None
         self.trace = trace
+        if trace is not None:
+            # Spans record on this engine's virtual clock; rebinding keeps
+            # the timeline monotonic across sequential engines (write job,
+            # then read job) sharing one recorder.
+            trace.tracer.bind_clock(lambda: self.now)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -180,6 +185,7 @@ class Engine:
         if self._finished:
             raise SimulationError("engine already ran")
         self._running = True
+        started = self.now
         try:
             for proc in self._processes:
                 proc._start()
@@ -205,6 +211,11 @@ class Engine:
             self._finished = until is None
             if self._finished:
                 self._reap()
+        if self.trace is not None:
+            self.trace.complete(
+                "engine.run", started, self.now, "engine",
+                processes=len(self._processes),
+            )
         return self.now
 
     def _pop(self) -> tuple[float, Callable[[], None]] | None:

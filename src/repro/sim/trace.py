@@ -1,30 +1,38 @@
-"""Counters and event traces for simulated runs.
+"""The observability hub threaded through simulated runs.
 
 Experiments assert *mechanisms*, not just end-to-end times: e.g. that OCIO's
 all-to-all exchange opens O(P^2) point-to-point connections while TCIO's
-one-sided flushes open O(P), or that lazy loading coalesces reads. Substrate
-layers increment named counters on a :class:`TraceRecorder`; tests and
-benchmark reports read them back.
+one-sided flushes open O(P), or that lazy loading coalesces reads.
+
+:class:`TraceRecorder` is the single handle every substrate layer receives.
+It now fronts the first-class observability subsystem in :mod:`repro.obs`:
+
+* counters live in a hierarchical :class:`~repro.obs.metrics.MetricsRegistry`
+  (``recorder.registry``) — the old ``count``/``get``/``summary`` surface is
+  preserved as a thin delegation layer;
+* spans go to a :class:`~repro.obs.spans.Tracer` (``recorder.tracer``) on
+  the engine's virtual clock, with the current simulated process resolving
+  the default track (one track per rank);
+* the optional flat event log (``record_events=True``) is unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Optional
+
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.spans import Tracer
+
+__all__ = ["Counter", "TraceEvent", "TraceRecorder"]
 
 
-@dataclass
-class Counter:
-    """A (count, total) accumulator, e.g. (#messages, total bytes)."""
+def _current_track() -> str:
+    """Default span track: the running simulated process, else the engine."""
+    from repro.sim.engine import _tls
 
-    count: int = 0
-    total: float = 0.0
-
-    def add(self, amount: float = 0.0) -> None:
-        """Count one occurrence of *amount* units."""
-        self.count += 1
-        self.total += amount
+    proc = getattr(_tls, "process", None)
+    return proc.name if proc is not None else "engine"
 
 
 @dataclass
@@ -37,16 +45,33 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects counters and (optionally) a full event log."""
+    """Collects counters, spans, and (optionally) a full event log."""
 
-    def __init__(self, *, record_events: bool = False):
-        self.counters: dict[str, Counter] = defaultdict(Counter)
+    def __init__(
+        self,
+        *,
+        record_events: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        if self.tracer.track_of is None:
+            self.tracer.track_of = _current_track
         self.record_events = record_events
         self.events: list[TraceEvent] = []
 
+    # ------------------------------------------------------------------
+    # counters (legacy surface, now registry-backed)
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> dict[str, Counter]:
+        """Name -> Counter mapping of every counter seen so far."""
+        return self.registry.counters()
+
     def count(self, name: str, amount: float = 0.0) -> None:
         """Increment counter *name* by one occurrence of *amount* units."""
-        self.counters[name].add(amount)
+        self.registry.counter(name).add(amount)
 
     def event(self, time: float, name: str, **detail: object) -> None:
         """Count and (when enabled) record a timestamped event."""
@@ -55,16 +80,37 @@ class TraceRecorder:
             self.events.append(TraceEvent(time, name, dict(detail)))
 
     def __getitem__(self, name: str) -> Counter:
-        return self.counters[name]
+        return self.registry.counter(name)
 
     def get(self, name: str) -> Counter:
         """Counter for *name* without creating it (zero counter if absent)."""
-        return self.counters.get(name, Counter())
+        metric = self.registry.get(name)
+        return metric if isinstance(metric, Counter) else Counter()
 
     def names(self) -> Iterator[str]:
         """Counter names, sorted."""
-        return iter(sorted(self.counters))
+        return iter(sorted(self.registry.counters()))
 
     def summary(self) -> dict[str, tuple[int, float]]:
         """Mapping of counter name to (count, total)."""
-        return {name: (c.count, c.total) for name, c in sorted(self.counters.items())}
+        return {
+            name: (c.count, c.total)
+            for name, c in sorted(self.registry.counters().items())
+        }
+
+    # ------------------------------------------------------------------
+    # spans (delegated to the tracer)
+    # ------------------------------------------------------------------
+    def span(self, name: str, track: Optional[str] = None, **args):
+        """Open a virtual-time span (no-op context manager when disabled)."""
+        return self.tracer.span(name, track, **args)
+
+    def complete(
+        self, name: str, start: float, end: float, track: Optional[str] = None, **args
+    ) -> None:
+        """Record an analytically-timed interval (clock-space bounds)."""
+        self.tracer.complete(name, start, end, track, **args)
+
+    def instant(self, name: str, track: Optional[str] = None, **args) -> None:
+        """Record a zero-duration marker."""
+        self.tracer.instant(name, track, **args)

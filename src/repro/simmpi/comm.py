@@ -360,6 +360,7 @@ class Communicator:
             world.engine.schedule_at(t, lambda: world.arrive(dest, env))
         if world.trace is not None:
             world.trace.count("mpi.send", len(payload))
+            world.trace.registry.histogram("mpi.msg_bytes").observe(len(payload))
         return req
 
     def send(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT) -> None:
@@ -406,7 +407,12 @@ class Communicator:
     ) -> bytes:
         """Blocking receive; returns the payload bytes."""
         req = self.irecv(source, tag, context=context)
-        payload = req.wait()
+        hub = self.world.trace
+        if hub is not None:
+            with hub.span("mpi.recv", source=source, tag=tag):
+                payload = req.wait()
+        else:
+            payload = req.wait()
         if status is not None:
             status.source = req.status.source
             status.tag = req.status.tag

@@ -69,12 +69,13 @@ class _TargetLock:
 class _Epoch:
     """Origin-side state for one lock..unlock access epoch."""
 
-    __slots__ = ("target", "lock_type", "last_completion")
+    __slots__ = ("target", "lock_type", "last_completion", "start")
 
-    def __init__(self, target: int, lock_type: int):
+    def __init__(self, target: int, lock_type: int, start: float = 0.0):
         self.target = target
         self.lock_type = lock_type
         self.last_completion = 0.0
+        self.start = start  # engine time the lock was granted
 
 
 class Window:
@@ -142,7 +143,7 @@ class Window:
         )
         if world.trace is not None:
             world.trace.count("rma.lock")
-        self._epochs[target] = _Epoch(target, lock_type)
+        self._epochs[target] = _Epoch(target, lock_type, world.engine.now)
 
     def unlock(self, target: int) -> None:
         """MPI_Win_unlock: complete all epoch ops, then release the lock."""
@@ -168,6 +169,11 @@ class Window:
         world.engine.schedule_at(release_at, state.release)
         if world.trace is not None:
             world.trace.count("rma.unlock")
+            world.trace.complete(
+                "rma.epoch", epoch.start, max(world.engine.now, release_at),
+                target=target,
+                mode="excl" if epoch.lock_type == LOCK_EXCLUSIVE else "shared",
+            )
 
     # ------------------------------------------------------------------
     # data movement
@@ -205,6 +211,7 @@ class Window:
         if world.trace is not None:
             world.trace.count("rma.put", total)
             world.trace.count("rma.put_blocks", len(blocks))
+            world.trace.registry.histogram("rma.put_bytes").observe(total)
 
     def get(self, target: int, target_offset: int, nbytes: int) -> bytes:
         """MPI_Get of one contiguous block (epoch-blocking convenience)."""

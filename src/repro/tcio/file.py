@@ -27,6 +27,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.memsim.memory import Allocation
+from repro.obs.spans import NULL_TRACER
 from repro.simmpi import collectives
 from repro.simmpi.datatypes import BYTE, Datatype
 from repro.simmpi.mpi import RankEnv
@@ -106,57 +107,87 @@ class TcioFile:
         self.stats = TcioStats()
         self._closed = False
         self._position = 0
+        hub = getattr(env.world, "trace", None)
+        self._tracer = hub.tracer if hub is not None else NULL_TRACER
 
-        pfs = env.pfs
-        if mode == TCIO_WRONLY:
-            self.pfs_file = pfs.create(name)
-            if self.pfs_file.size:
-                # Write handles have fresh-file semantics: dirty segments
-                # are written back whole, so stale bytes must not survive.
-                self.pfs_file.truncate(0)
+        with self._tracer.span("tcio.open", file=name):
+            pfs = env.pfs
+            if mode == TCIO_WRONLY:
+                self.pfs_file = pfs.create(name)
+                if self.pfs_file.size:
+                    # Write handles have fresh-file semantics: dirty segments
+                    # are written back whole, so stale bytes must not survive.
+                    self.pfs_file.truncate(0)
+            else:
+                self.pfs_file = pfs.lookup(name)
+
+            node = env.world.node_of[env.rank]
+            self.client = pfs.client(node)
+            segment_size = config.resolve_segment_size(
+                self.pfs_file.layout.stripe_size
+            )
+            self.mapping = SegmentMapping(segment_size, self.comm.size)
+
+            # Collectively shared metadata: every rank reaches this setdefault
+            # inside the collective open. Opens are collective and ordered, so
+            # each rank's per-name open counter agrees globally and keys one
+            # fresh directory per open generation (a handle never sees stale
+            # dirty/loaded state from an earlier open of the same name).
+            seq_key = ("tcio-openseq", name, env.rank)  # env.rank: world rank
+            gen = env.world.shared.get(seq_key, 0)
+            env.world.shared[seq_key] = gen + 1
+            self.directory: SegmentDirectory = env.world.shared.setdefault(
+                ("tcio-dir", name, gen), SegmentDirectory()
+            )
+
+            # Simulated memory: one level-1 buffer + this rank's level-2 share.
+            memory = env.world.memory
+            self._allocs: list[Allocation] = [
+                memory.allocate(env.rank, segment_size, "tcio.level1"),
+                memory.allocate(
+                    env.rank,
+                    config.segments_per_process * segment_size,
+                    "tcio.level2",
+                ),
+            ]
+
+            self.level1 = Level1Buffer(segment_size)
+            self.readlog = ReadLog(segment_size * config.read_window_segments)
+            self.level2 = Level2Buffer(
+                self.comm,
+                self.mapping,
+                config.segments_per_process,
+                self.directory,
+                self.stats,
+                use_rma=config.use_rma,
+                combine_indexed=config.combine_indexed,
+                tracer=self._tracer,
+            )
+            collectives.barrier(self.comm)
+
+    # ------------------------------------------------------------------
+    # context-manager protocol
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TcioFile":
+        """``with tcio_open(...) as fh:`` — the handle itself."""
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Collective close on clean exit; local-only abort on exception.
+
+        ``close()`` is collective (barriers, allreduce): calling it while
+        unwinding an exception on one rank would deadlock the others, so a
+        failing body gets its simulated memory released and the handle
+        marked closed without any communication.
+        """
+        if self._closed:
+            return False
+        if exc_type is None:
+            self.close()
         else:
-            self.pfs_file = pfs.lookup(name)
-
-        node = env.world.node_of[env.rank]
-        self.client = pfs.client(node)
-        segment_size = config.resolve_segment_size(self.pfs_file.layout.stripe_size)
-        self.mapping = SegmentMapping(segment_size, self.comm.size)
-
-        # Collectively shared metadata: every rank reaches this setdefault
-        # inside the collective open. Opens are collective and ordered, so
-        # each rank's per-name open counter agrees globally and keys one
-        # fresh directory per open generation (a handle never sees stale
-        # dirty/loaded state from an earlier open of the same name).
-        seq_key = ("tcio-openseq", name, env.rank)  # env.rank is the world rank
-        gen = env.world.shared.get(seq_key, 0)
-        env.world.shared[seq_key] = gen + 1
-        self.directory: SegmentDirectory = env.world.shared.setdefault(
-            ("tcio-dir", name, gen), SegmentDirectory()
-        )
-
-        # Simulated memory: one level-1 buffer + this rank's level-2 share.
-        memory = env.world.memory
-        self._allocs: list[Allocation] = [
-            memory.allocate(env.rank, segment_size, "tcio.level1"),
-            memory.allocate(
-                env.rank,
-                config.segments_per_process * segment_size,
-                "tcio.level2",
-            ),
-        ]
-
-        self.level1 = Level1Buffer(segment_size)
-        self.readlog = ReadLog(segment_size * config.read_window_segments)
-        self.level2 = Level2Buffer(
-            self.comm,
-            self.mapping,
-            config.segments_per_process,
-            self.directory,
-            self.stats,
-            use_rma=config.use_rma,
-            combine_indexed=config.combine_indexed,
-        )
-        collectives.barrier(self.comm)
+            self._abort()
+        return False
 
     # ------------------------------------------------------------------
     # positioning
@@ -212,8 +243,8 @@ class TcioFile:
         end = offset + len(payload)
         if end > self.directory.eof:
             self.directory.eof = end
-        self.stats.write_calls += 1
-        self.stats.written_bytes += len(payload)
+        self.stats.inc("write_calls")
+        self.stats.inc("written_bytes", len(payload))
         return len(payload)
 
     def _flush_level1(self) -> None:
@@ -250,8 +281,8 @@ class TcioFile:
         self.readlog.record(
             PendingRead(dest=view, dest_offset=0, file_offset=offset, length=nbytes)
         )
-        self.stats.read_calls += 1
-        self.stats.read_bytes += nbytes
+        self.stats.inc("read_calls")
+        self.stats.inc("read_bytes", nbytes)
         if not self.config.lazy_reads:
             self.fetch()
         return nbytes
@@ -269,7 +300,11 @@ class TcioFile:
         pending = self.readlog.drain()
         if not pending:
             return
-        self.stats.fetches += 1
+        self.stats.inc("fetches")
+        with self._tracer.span("tcio.fetch", requests=len(pending)):
+            self._fetch_pending(pending)
+
+    def _fetch_pending(self, pending: list[PendingRead]) -> None:
         # Group the requested byte ranges by global segment.
         by_segment: dict[int, list[tuple[int, int, memoryview]]] = {}
         for req in pending:
@@ -349,38 +384,48 @@ class TcioFile:
     def flush(self) -> None:
         """tcio_flush: collective level-1 drain ("invokes MPI_Barrier")."""
         self._check_open()
-        if self.mode == TCIO_WRONLY:
-            self._flush_level1()
-        collectives.barrier(self.comm)
+        with self._tracer.span("tcio.flush"):
+            if self.mode == TCIO_WRONLY:
+                self._flush_level1()
+            collectives.barrier(self.comm)
 
     def close(self) -> None:
         """tcio_close: synchronize, then level-2 -> file system."""
         self._check_open()
-        if self.mode == TCIO_WRONLY:
-            self._flush_level1()
-            # "issues MPI_barrier to synchronize among processes before
-            # outputting data from the level-2 buffers to file system."
-            collectives.barrier(self.comm)
-            eof = collectives.allreduce(self.comm, self.directory.eof, max)
-            self.directory.eof = eof
-            for gseg in self.level2.owned_dirty_segments():
-                extent = self.mapping.segment_extent(gseg)
-                stop = min(extent.stop, eof)
-                if stop <= extent.start:
-                    continue
-                slot = self.level2.local_slot(gseg)
-                self.client.write(
-                    self.pfs_file,
-                    extent.start,
-                    slot[: stop - extent.start].tobytes(),
-                    owner=self.env.rank,
-                )
-                self.stats.segment_writebacks += 1
-            collectives.barrier(self.comm)
-        else:
-            if not self.readlog.empty:
-                self.fetch()
-            collectives.barrier(self.comm)
+        with self._tracer.span("tcio.close", file=self.name):
+            if self.mode == TCIO_WRONLY:
+                self._flush_level1()
+                # "issues MPI_barrier to synchronize among processes before
+                # outputting data from the level-2 buffers to file system."
+                collectives.barrier(self.comm)
+                eof = collectives.allreduce(self.comm, self.directory.eof, max)
+                self.directory.eof = eof
+                for gseg in self.level2.owned_dirty_segments():
+                    extent = self.mapping.segment_extent(gseg)
+                    stop = min(extent.stop, eof)
+                    if stop <= extent.start:
+                        continue
+                    slot = self.level2.local_slot(gseg)
+                    with self._tracer.span("tcio.writeback", segment=gseg):
+                        self.client.write(
+                            self.pfs_file,
+                            extent.start,
+                            slot[: stop - extent.start].tobytes(),
+                            owner=self.env.rank,
+                        )
+                    self.stats.inc("segment_writebacks")
+                collectives.barrier(self.comm)
+            else:
+                if not self.readlog.empty:
+                    self.fetch()
+                collectives.barrier(self.comm)
+            self._release()
+
+    def _abort(self) -> None:
+        """Tear the handle down locally (no collectives; exception path)."""
+        self._release()
+
+    def _release(self) -> None:
         memory = self.env.world.memory
         for alloc in self._allocs:
             memory.free(alloc)

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.spans import NULL_TRACER, Tracer
 from repro.sim.sync import SimEvent
 from repro.simmpi.comm import Communicator
 from repro.simmpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Window
@@ -52,6 +53,7 @@ class Level2Buffer:
         *,
         use_rma: bool = True,
         combine_indexed: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         self.comm = comm
         self.rank = comm.rank
@@ -60,6 +62,7 @@ class Level2Buffer:
         self.segments_per_process = segments_per_process
         self.directory = directory
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.use_rma = use_rma
         self.combine_indexed = combine_indexed
         self.capacity = segments_per_process * self.segment_size
@@ -105,29 +108,34 @@ class Level2Buffer:
             slot = self.local_slot(global_segment)
             for disp, length, payload in blocks:
                 slot[disp : disp + length] = np.frombuffer(payload, dtype=np.uint8)
-            self.stats.local_flushes += 1
+            self.stats.inc("local_flushes")
         else:
-            targets = [(base + disp, payload) for disp, _length, payload in blocks]
-            if not self.use_rma:
-                # Ablation: pay two-sided receive-side matching costs.
-                finish = self.comm.world.charge_matching(owner)
-                from repro.sim.engine import current_process
+            with self.tracer.span(
+                "tcio.push", segment=global_segment, target=owner, bytes=nbytes
+            ):
+                targets = [
+                    (base + disp, payload) for disp, _length, payload in blocks
+                ]
+                if not self.use_rma:
+                    # Ablation: pay two-sided receive-side matching costs.
+                    finish = self.comm.world.charge_matching(owner)
+                    from repro.sim.engine import current_process
 
-                now = self.comm.world.engine.now
-                if finish > now:
-                    current_process().sleep(finish - now)
-            self.window.lock(owner, LOCK_EXCLUSIVE)
-            if self.combine_indexed:
-                self.window.put_indexed(targets, owner)
-            else:
-                # Ablation: one Put per block ("a large number of network
-                # connections, which would in turn degrade performance").
-                for off, payload in targets:
-                    self.window.put(payload, owner, off)
-            self.window.unlock(owner)
-            self.stats.remote_flushes += 1
-            self.stats.put_blocks += len(blocks)
-        self.stats.flushed_bytes += nbytes
+                    now = self.comm.world.engine.now
+                    if finish > now:
+                        current_process().sleep(finish - now)
+                self.window.lock(owner, LOCK_EXCLUSIVE)
+                if self.combine_indexed:
+                    self.window.put_indexed(targets, owner)
+                else:
+                    # Ablation: one Put per block ("a large number of network
+                    # connections, which would in turn degrade performance").
+                    for off, payload in targets:
+                        self.window.put(payload, owner, off)
+                self.window.unlock(owner)
+            self.stats.inc("remote_flushes")
+            self.stats.inc("put_blocks", len(blocks))
+        self.stats.inc("flushed_bytes", nbytes)
         self.directory.dirty.add(global_segment)
 
     # ------------------------------------------------------------------
@@ -152,26 +160,30 @@ class Level2Buffer:
         event = SimEvent(f"tcio.load(seg={global_segment})", sticky=True)
         d.loading[global_segment] = event
         extent = self.mapping.segment_extent(global_segment)
-        payload = pfs_read(extent)
-        owner = self.mapping.owner_of_segment(global_segment)
-        base = self._slot_base(global_segment)
-        if owner == self.rank:
-            self.local_slot(global_segment)[: len(payload)] = np.frombuffer(
-                payload, dtype=np.uint8
-            )
-        else:
-            self.window.lock(owner, LOCK_EXCLUSIVE)
-            self.window.put(payload, owner, base)
-            self.window.unlock(owner)
-        # The loaded flag may only become visible once the put has landed;
-        # unlock charges the drain lazily, so settle before publishing.
-        from repro.sim.engine import current_process
+        with self.tracer.span(
+            "tcio.segment_load", segment=global_segment, bytes=extent.length
+        ):
+            payload = pfs_read(extent)
+            owner = self.mapping.owner_of_segment(global_segment)
+            base = self._slot_base(global_segment)
+            if owner == self.rank:
+                self.local_slot(global_segment)[: len(payload)] = np.frombuffer(
+                    payload, dtype=np.uint8
+                )
+            else:
+                self.window.lock(owner, LOCK_EXCLUSIVE)
+                self.window.put(payload, owner, base)
+                self.window.unlock(owner)
+            # The loaded flag may only become visible once the put has
+            # landed; unlock charges the drain lazily, so settle before
+            # publishing.
+            from repro.sim.engine import current_process
 
-        current_process().settle()
+            current_process().settle()
         d.loaded.add(global_segment)
         del d.loading[global_segment]
         event.fire()
-        self.stats.segment_loads += 1
+        self.stats.inc("segment_loads")
         return payload
 
     def pull_blocks(
@@ -187,21 +199,25 @@ class Level2Buffer:
         if owner == self.rank:
             slot = self.local_slot(global_segment)
             out = [(disp, slot[disp : disp + ln].tobytes()) for disp, ln in ranges]
-            self.stats.local_gets += len(ranges)
+            self.stats.inc("local_gets", len(ranges))
             return out
-        self.window.lock(owner, LOCK_SHARED)
-        if self.combine_indexed:
-            got = self.window.get_indexed(
-                [(base + disp, ln) for disp, ln in ranges], owner
-            )
-        else:
-            got = [
-                (base + disp, self.window.get(owner, base + disp, ln))
-                for disp, ln in ranges
-            ]
-        self.window.unlock(owner)
-        self.stats.get_blocks += len(ranges)
-        self.stats.fetched_bytes += sum(ln for _, ln in ranges)
+        nbytes = sum(ln for _, ln in ranges)
+        with self.tracer.span(
+            "tcio.pull", segment=global_segment, target=owner, bytes=nbytes
+        ):
+            self.window.lock(owner, LOCK_SHARED)
+            if self.combine_indexed:
+                got = self.window.get_indexed(
+                    [(base + disp, ln) for disp, ln in ranges], owner
+                )
+            else:
+                got = [
+                    (base + disp, self.window.get(owner, base + disp, ln))
+                    for disp, ln in ranges
+                ]
+            self.window.unlock(owner)
+        self.stats.inc("get_blocks", len(ranges))
+        self.stats.inc("fetched_bytes", nbytes)
         return [(off - base, data) for off, data in got]
 
     # ------------------------------------------------------------------

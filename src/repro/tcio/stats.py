@@ -1,41 +1,120 @@
-"""Per-handle operation counters (exported for experiments and tests)."""
+"""Per-handle operation counters (exported for experiments and tests).
+
+``TcioStats`` used to be a bag of integer dataclass fields. It is now a
+thin **compatibility view** over a per-handle
+:class:`~repro.obs.metrics.MetricsRegistry`: the library increments dotted
+metrics (``tcio.flush.remote``, ``tcio.write.bytes``, ...) through
+:meth:`TcioStats.inc`, and the legacy surface — ``stats.as_dict()``, the
+``flushes`` property — reads the same registry, so existing benchmark
+assertions keep working and the registry is the single source of truth.
+
+Direct access to the old integer fields (``stats.remote_flushes``,
+``stats.write_calls = 3``) still works but emits ``DeprecationWarning``;
+new code should read ``stats.registry`` (or ``stats.as_dict()``).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Legacy field -> dotted registry metric, in the historical field order
+#: (``as_dict`` preserves this order, and its key set is exactly this).
+FIELD_METRICS: dict[str, str] = {
+    "write_calls": "tcio.write.calls",
+    "read_calls": "tcio.read.calls",
+    "written_bytes": "tcio.write.bytes",
+    "read_bytes": "tcio.read.bytes",
+    "local_flushes": "tcio.flush.local",  # level-1 drains landing locally
+    "remote_flushes": "tcio.flush.remote",  # level-1 drains shipped via Put
+    "put_blocks": "tcio.flush.put_blocks",  # blocks combined into those Puts
+    "local_gets": "tcio.fetch.local_gets",
+    "get_blocks": "tcio.fetch.get_blocks",
+    "flushed_bytes": "tcio.flush.bytes",
+    "fetched_bytes": "tcio.fetch.bytes",
+    "segment_loads": "tcio.segment.loads",  # whole-segment lazy loads
+    "segment_writebacks": "tcio.segment.writebacks",  # whole-segment close writes
+    "fetches": "tcio.fetch.rounds",  # explicit or overflow fetch rounds
+}
 
 
-@dataclass
 class TcioStats:
     """What one TCIO handle did — the mechanism evidence behind the figures."""
 
-    write_calls: int = 0
-    read_calls: int = 0
-    written_bytes: int = 0
-    read_bytes: int = 0
-    local_flushes: int = 0  # level-1 drains landing in this rank's own slot
-    remote_flushes: int = 0  # level-1 drains shipped with one-sided Puts
-    put_blocks: int = 0  # blocks combined into those Puts
-    local_gets: int = 0
-    get_blocks: int = 0
-    flushed_bytes: int = 0
-    fetched_bytes: int = 0
-    segment_loads: int = 0  # storage reads of whole segments (lazy loading)
-    segment_writebacks: int = 0  # storage writes of whole segments at close
-    fetches: int = 0  # explicit or overflow-triggered fetch rounds
-    extra: dict[str, int] = field(default_factory=dict)
+    __slots__ = ("registry", "extra")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        object.__setattr__(self, "extra", {})
+
+    # ------------------------------------------------------------------
+    # the library's mutation/read paths (no deprecation)
+    # ------------------------------------------------------------------
+    def inc(self, fld: str, n: int = 1) -> None:
+        """Increment the legacy-named counter *fld* by *n*."""
+        self.registry.counter(FIELD_METRICS[fld]).inc(n)
+
+    def value(self, fld: str) -> int:
+        """The legacy-named counter's current integer value."""
+        metric = self.registry.get(FIELD_METRICS[fld])
+        return int(metric.count) if metric is not None else 0
 
     @property
     def flushes(self) -> int:
         """Total level-1 drains (local + remote)."""
-        return self.local_flushes + self.remote_flushes
+        return self.value("local_flushes") + self.value("remote_flushes")
 
     def as_dict(self) -> dict[str, int]:
-        """All counters as a plain dict."""
-        out = {
-            k: v
-            for k, v in self.__dict__.items()
-            if isinstance(v, int)
-        }
+        """All counters as a plain dict (the stable legacy key set).
+
+        Iterates the explicit field table, never ``isinstance`` filtering
+        over ``__dict__``, so the key set cannot silently drift (e.g. a
+        future ``bool`` field sneaking in as an ``int``).
+        """
+        out = {fld: self.value(fld) for fld in FIELD_METRICS}
         out.update(self.extra)
         return out
+
+    def as_metrics(self) -> dict[str, int]:
+        """The same view keyed by dotted registry names (for metrics.json)."""
+        return {metric: self.value(fld) for fld, metric in FIELD_METRICS.items()}
+
+    # ------------------------------------------------------------------
+    # deprecated legacy field access
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> int:
+        # Only reached when normal lookup fails, i.e. for legacy fields.
+        if name in FIELD_METRICS:
+            warnings.warn(
+                f"reading TcioStats.{name} directly is deprecated; use "
+                f"stats.as_dict()[{name!r}] or "
+                f"stats.registry.counter({FIELD_METRICS[name]!r})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.value(name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in FIELD_METRICS:
+            warnings.warn(
+                f"assigning TcioStats.{name} directly is deprecated; use "
+                f"stats.inc({name!r}, n) or "
+                f"stats.registry.counter({FIELD_METRICS[name]!r})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            counter = self.registry.counter(FIELD_METRICS[name])
+            counter.count = int(value)
+            counter.total = float(value)
+            return
+        object.__setattr__(self, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TcioStats({self.as_dict()!r})"

@@ -1,7 +1,5 @@
 """ArtConfig / run_art driver tests."""
 
-import pytest
-
 from repro.art import ArtConfig, ArtIoMethod, ArtWorkload, run_art
 from repro.art.app import ArtResult
 from tests.conftest import make_test_cluster

@@ -1,7 +1,5 @@
 """Smoke test of the EXPERIMENTS.md generator at the tiny scale."""
 
-from pathlib import Path
-
 from repro.experiments.common import SMOKE
 from repro.experiments.report import generate_report, main
 

@@ -1,12 +1,10 @@
 """Cross-method equivalence on randomized workloads (hypothesis)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.art import ArtConfig, ArtIoMethod, ArtWorkload, run_art
+from repro.art import ArtConfig, ArtIoMethod, ArtWorkload
 from repro.bench import BenchConfig, Method, run_benchmark
-from repro.bench.synthetic import reference_file_contents
 from tests.conftest import make_test_cluster
 
 
@@ -49,7 +47,6 @@ class TestArtRestartElasticity:
     @pytest.mark.parametrize("dump_procs,restart_procs", [(4, 2), (2, 6), (3, 5)])
     def test_restart_on_different_process_count(self, dump_procs, restart_procs):
         from repro.art.app import dump_snapshot, restart_snapshot
-        from repro.art.io_common import build_local_segments
         from repro.simmpi.mpi import run_mpi
 
         workload = ArtWorkload(n_segments=10, cell_scale=128)

@@ -5,8 +5,6 @@ connection counts, lock behaviour, storage request aggregation — using
 trace counters and the post-mortem analyzer, independent of calibration.
 """
 
-import pytest
-
 from repro.analysis import analyze_run
 from repro.art import ArtConfig, ArtIoMethod, ArtWorkload
 from repro.art.app import run_art

@@ -2,12 +2,10 @@
 
 import struct
 
-import numpy as np
 import pytest
 
 from repro.mpiio import MpiFile
 from repro.simmpi import BYTE, Contiguous, run_mpi
-from repro.simmpi import collectives as coll
 from repro.tcio import TCIO_RDONLY, TCIO_WRONLY, TcioConfig, TcioFile
 from tests.conftest import make_test_cluster
 

@@ -1,6 +1,5 @@
 """Two-phase collective I/O (OCIO) tests: domains, exchange, correctness."""
 
-import numpy as np
 import pytest
 
 from repro.mpiio import IoHints, MODE_CREATE, MODE_RDWR, MpiFile

@@ -69,7 +69,7 @@ class TestDeliveryTime:
 
     def test_core_is_shared_across_senders(self):
         engine, fabric = make_fabric(connection_setup=0.0, latency=0.0, per_message_overhead=0.0)
-        t1 = fabric.delivery_time(0, 2, 4000)
+        fabric.delivery_time(0, 2, 4000)
         t2 = fabric.delivery_time(1, 3, 4000)
         # both fit their own NICs in 4s, but the core serializes 8000 bytes
         assert t2 >= 2.0

@@ -1,7 +1,5 @@
 """NetworkSpec presets and derived quantities."""
 
-import pytest
-
 from repro.netsim.model import INSTANT, NetworkSpec
 
 

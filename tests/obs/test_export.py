@@ -1,0 +1,118 @@
+"""Exporters: Chrome trace_event schema, track ordering, metrics.json."""
+
+import json
+
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace,
+    metrics_json,
+    track_ids,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    clock = [0.0]
+    t = Tracer(enabled=True, clock=lambda: clock[0])
+    t.complete("tcio.flush", 0.0, 2e-6, "rank0", bytes=128)
+    t.complete("tcio.flush", 1e-6, 3e-6, "rank1")
+    t.complete("net.xfer", 0.5e-6, 2.5e-6, "nic0", src=0, dst=1)
+    t.complete("ost.write", 2e-6, 4e-6, "ost0")
+    t.instant("barrier", "rank0")
+    return t
+
+
+class TestTrackIds:
+    def test_ranks_before_hardware_natural_order(self):
+        t = Tracer(enabled=True, clock=lambda: 0.0)
+        for track in ("ost0", "rank10", "nic1", "rank2", "engine", "mem0"):
+            t.complete("x", 0.0, 1.0, track)
+        ordered = list(track_ids(t))
+        assert ordered == ["rank2", "rank10", "engine", "nic1", "mem0", "ost0"]
+
+    def test_ids_are_dense_from_zero(self):
+        tids = track_ids(_sample_tracer())
+        assert sorted(tids.values()) == list(range(len(tids)))
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = chrome_trace(_sample_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        for e in events:
+            assert isinstance(e["pid"], int)
+            assert isinstance(e["tid"], int)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 4
+        for e in xs:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["cat"] == e["name"].split(".", 1)[0]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+
+    def test_metadata_names_every_track(self):
+        doc = chrome_trace(_sample_tracer())
+        meta_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert meta_names == {"rank0", "rank1", "nic0", "ost0"}
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace(_sample_tracer())
+        flush0 = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "tcio.flush" and e["ts"] == 0.0
+        )
+        assert flush0["dur"] == 2.0  # 2e-6 virtual seconds -> 2 us
+
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sample_tracer(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestAsciiTimeline:
+    def test_empty_tracer(self):
+        assert ascii_timeline(Tracer(enabled=True)) == "(no spans recorded)"
+
+    def test_aggregates_per_track_and_span(self):
+        out = ascii_timeline(_sample_tracer())
+        assert "tcio.flush" in out
+        assert "net.xfer" in out
+        assert "4 spans" in out  # the instant is not a span
+
+    def test_row_folding(self):
+        t = Tracer(enabled=True, clock=lambda: 0.0)
+        for i in range(10):
+            t.complete(f"s{i}", 0.0, 1.0, "rank0")
+        out = ascii_timeline(t, max_rows=4)
+        assert "and 6 more" in out
+
+
+class TestMetricsJson:
+    def test_tcio_section_is_sorted_passthrough(self):
+        r = MetricsRegistry()
+        r.counter("net.msg").inc(3)
+        doc = metrics_json(r, tcio={"tcio.write.calls": 7, "tcio.read.calls": 1})
+        assert doc["tcio"] == {"tcio.read.calls": 1, "tcio.write.calls": 7}
+        assert doc["counters"]["net.msg"]["count"] == 3
+
+    def test_no_tcio_key_without_stats(self):
+        assert "tcio" not in metrics_json(MetricsRegistry())
+
+    def test_written_file_is_json(self, tmp_path):
+        r = MetricsRegistry()
+        r.histogram("h").observe(5)
+        path = tmp_path / "metrics.json"
+        write_metrics_json(r, str(path), tcio={"tcio.write.calls": 2})
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"counters", "gauges", "histograms", "tcio"}

@@ -1,0 +1,100 @@
+"""End-to-end observability: real runs feed the registry and the tracer.
+
+Reruns the Figure 5 mechanism comparison through the new stack and
+asserts the counters land under their dotted names in the shared
+:class:`MetricsRegistry`, that every rank emits spans on its own track,
+and that the O(P^2)-connections-vs-O(P)-puts story survives the stats
+redesign intact.
+"""
+
+from repro.bench import BenchConfig, Method, run_benchmark
+from repro.obs.export import chrome_trace
+from repro.obs.spans import Tracer
+from repro.sim.trace import TraceRecorder
+from tests.conftest import make_test_cluster
+
+NPROCS = 8
+LEN = 128
+
+
+def traced_bench(method: Method) -> TraceRecorder:
+    recorder = TraceRecorder(tracer=Tracer(enabled=True))
+    cfg = BenchConfig(method=method, len_array=LEN, nprocs=NPROCS, file_name="m")
+    result = run_benchmark(
+        cfg,
+        cluster=make_test_cluster(),
+        trace=recorder,
+        do_write=True,
+        do_read=False,
+        verify=False,
+    )
+    assert not result.failed, result.fail_reason
+    return recorder
+
+
+class TestMechanismCounters:
+    """Counters now live in the registry; the causal story is unchanged."""
+
+    def test_ocio_exchange_is_all_to_all(self):
+        """OCIO's exchange sends O(P^2) messages and opens far more
+        connections than TCIO's one-sided traffic at the same P."""
+        ocio = traced_bench(Method.OCIO).registry
+        tcio = traced_bench(Method.TCIO).registry
+        assert ocio.counter("mpi.send").count >= NPROCS * (NPROCS - 1)
+        ocio_conns = ocio.counter("net.connection").count
+        tcio_conns = tcio.counter("net.connection").count
+        assert ocio_conns > 2 * tcio_conns
+
+    def test_tcio_moves_data_with_one_sided_puts(self):
+        registry = traced_bench(Method.TCIO).registry
+        puts = registry.counter("rma.put")
+        assert puts.count > 0
+        assert registry.counter("rma.put_blocks").total > puts.count
+
+    def test_byte_histograms_populated(self):
+        registry = traced_bench(Method.TCIO).registry
+        h = registry.get("rma.put_bytes")
+        assert h is not None and h.count > 0
+        assert registry.get("pfs.write_bytes").count > 0
+
+    def test_legacy_counter_api_reads_the_registry(self):
+        recorder = traced_bench(Method.TCIO)
+        assert recorder.get("rma.put").count == (
+            recorder.registry.counter("rma.put").count
+        )
+
+
+class TestSpanCoverage:
+    def test_every_rank_emits_spans_on_its_own_track(self):
+        tracer = traced_bench(Method.TCIO).tracer
+        tracks = set(tracer.tracks())
+        for rank in range(NPROCS):
+            assert f"rank{rank}" in tracks
+        per_rank = {t: 0 for t in tracks}
+        for e in tracer.spans:
+            per_rank[e.track] += 1
+        for rank in range(NPROCS):
+            assert per_rank[f"rank{rank}"] >= 1
+
+    def test_hardware_and_engine_tracks_present(self):
+        tracer = traced_bench(Method.TCIO).tracer
+        tracks = set(tracer.tracks())
+        assert "engine" in tracks
+        assert any(t.startswith("ost") for t in tracks)
+
+    def test_spans_are_well_formed_and_exportable(self):
+        tracer = traced_bench(Method.TCIO).tracer
+        assert all(e.end >= e.start for e in tracer.spans)
+        doc = chrome_trace(tracer)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(tracer.spans)
+
+    def test_disabled_recorder_collects_no_spans(self):
+        recorder = TraceRecorder()
+        cfg = BenchConfig(method=Method.TCIO, len_array=LEN, nprocs=4, file_name="m")
+        run_benchmark(
+            cfg, cluster=make_test_cluster(), trace=recorder,
+            do_write=True, do_read=False, verify=False,
+        )
+        assert recorder.tracer.spans == []
+        assert recorder.registry.counter("rma.put").count > 0

@@ -1,0 +1,156 @@
+"""MetricsRegistry: counters, gauges, and the log2 histogram buckets."""
+
+import pytest
+
+from repro.obs.metrics import (
+    N_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_add_records_occurrences_and_units(self):
+        c = Counter()
+        c.add(3.0)
+        c.add(4.0)
+        assert c.count == 2
+        assert c.total == 7.0
+
+    def test_inc_bumps_both_together(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.count == 6
+        assert c.total == 6.0
+        assert c.value == 6
+
+    def test_merge(self):
+        a, b = Counter(2, 10.0), Counter(3, 5.0)
+        a.merge_from(b)
+        assert (a.count, a.total) == (5, 15.0)
+
+    def test_as_json(self):
+        assert Counter(1, 2.5).as_json() == {"count": 1, "total": 2.5}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(7.0)
+        g.add(-2.0)
+        assert g.value == 5.0
+
+    def test_merge_keeps_high_water(self):
+        a, b = Gauge(3.0), Gauge(9.0)
+        a.merge_from(b)
+        assert a.value == 9.0
+
+
+class TestHistogramBuckets:
+    """The fixed log2 edges: bucket 0 = [0, 1], bucket k = (2^(k-1), 2^k]."""
+
+    def test_zero_and_one_share_bucket_zero(self):
+        assert Histogram.bucket_index(0) == 0
+        assert Histogram.bucket_index(1) == 0
+
+    def test_two_starts_bucket_one(self):
+        assert Histogram.bucket_index(2) == 1
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 10, 20])
+    def test_power_of_two_lands_in_its_bucket(self, k):
+        assert Histogram.bucket_index(2 ** k) == k
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 10, 20])
+    def test_power_of_two_plus_one_spills_to_next(self, k):
+        assert Histogram.bucket_index(2 ** k + 1) == k + 1
+
+    def test_fractional_values_use_ceiling(self):
+        assert Histogram.bucket_index(1.5) == 1
+        assert Histogram.bucket_index(2.5) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.bucket_index(-1)
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert Histogram.bucket_index(2 ** 200) == N_BUCKETS - 1
+
+    def test_upper_bounds(self):
+        assert Histogram.upper_bound(0) == 1
+        assert Histogram.upper_bound(5) == 32
+
+    def test_observe_tracks_stats(self):
+        h = Histogram()
+        for v in (0, 1, 2, 1024):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 1027
+        assert (h.min, h.max) == (0, 1024)
+        j = h.as_json()
+        assert j["buckets"] == {"1": 2, "2": 1, "1024": 1}
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(4)
+        b.observe(1000)
+        a.merge_from(b)
+        assert a.count == 2
+        assert (a.min, a.max) == (4, 1000)
+
+
+class TestRegistry:
+    def test_create_on_first_use(self):
+        r = MetricsRegistry()
+        r.counter("tcio.flush.remote").inc()
+        assert "tcio.flush.remote" in r
+        assert r.counter("tcio.flush.remote").count == 1
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a.b")
+        with pytest.raises(TypeError):
+            r.gauge("a.b")
+
+    def test_bad_names_rejected(self):
+        r = MetricsRegistry()
+        for bad in ("", ".x", "x.", "A.b", "a b", "a..b"):
+            with pytest.raises(ValueError):
+                r.counter(bad)
+
+    def test_get_never_creates(self):
+        r = MetricsRegistry()
+        assert r.get("nope") is None
+        assert len(r) == 0
+
+    def test_subtree_slices_by_dotted_prefix(self):
+        r = MetricsRegistry()
+        for name in ("tcio.flush.local", "tcio.flush.remote", "tcio.write.calls",
+                     "net.msg", "tcio_other.x"):
+            r.counter(name)
+        assert set(r.subtree("tcio.flush")) == {
+            "tcio.flush.local", "tcio.flush.remote"
+        }
+        assert "tcio_other.x" not in r.subtree("tcio")
+
+    def test_merge_accumulates_per_rank_scopes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(2)
+        b.counter("x").inc(3)
+        b.histogram("h").observe(8)
+        a.merge(b)
+        assert a.counter("x").count == 5
+        assert a.histogram("h").count == 1
+
+    def test_flat_groups_by_kind(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g").set(2.0)
+        r.histogram("h").observe(3)
+        flat = r.flat()
+        assert set(flat) == {"counters", "gauges", "histograms"}
+        assert flat["counters"]["c"]["count"] == 1
+        assert flat["gauges"]["g"]["value"] == 2.0
+        assert flat["histograms"]["h"]["count"] == 1

@@ -1,11 +1,8 @@
 """Locked read-modify-write (data sieving) at the PFS layer."""
 
-import pytest
-
 from repro.pfs.filesystem import Pfs
 from repro.pfs.spec import LustreSpec
 from repro.sim.engine import Engine
-from repro.util.errors import PfsError
 
 
 def make_world():
@@ -60,7 +57,6 @@ class TestWriteSieved:
         """The regression the locked RMW exists for: two clients whose
         bounding extents overlap but whose data is disjoint."""
         engine, pfs = make_world()
-        f = None
 
         def writer(owner, pieces):
             def body():

@@ -212,7 +212,7 @@ class TestDatatypeProperties:
 
     @given(datatypes())
     def test_pack_unpack_roundtrip_on_typemap_bytes(self, t):
-        span = max(t.extent, max((o + l for o, l in t.segments), default=0))
+        span = max(t.extent, max((o + n for o, n in t.segments), default=0))
         if t.size == 0:
             return
         rng = np.random.default_rng(7)

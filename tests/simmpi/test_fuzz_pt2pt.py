@@ -1,6 +1,5 @@
 """Randomized point-to-point traffic against a python-dict oracle."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.simmpi import run_mpi

@@ -4,7 +4,7 @@ import pytest
 
 from repro.simmpi import run_mpi
 from repro.simmpi.mpi import MpiWorld
-from repro.util.errors import MpiError, OutOfMemoryError, SimulationError
+from repro.util.errors import MpiError, OutOfMemoryError
 from tests.conftest import make_test_cluster
 
 

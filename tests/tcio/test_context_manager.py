@@ -1,0 +1,106 @@
+"""TcioFile as a context manager: clean close, exception abort."""
+
+import pytest
+
+from repro.simmpi import run_mpi
+from repro.tcio import (
+    TCIO_RDONLY,
+    TCIO_WRONLY,
+    TcioConfig,
+    tcio_fetch,
+    tcio_open,
+    tcio_read_at,
+    tcio_write_at,
+)
+from repro.util.errors import TcioError
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn, **kw):
+    kw.setdefault("cluster", make_test_cluster())
+    return run_mpi(n, fn, **kw)
+
+
+def cfg_for(total, nranks, segment=64):
+    return TcioConfig.sized_for(total, nranks, segment)
+
+
+class TestCleanExit:
+    def test_with_block_closes_and_writes_back(self):
+        def main(env):
+            with tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)) as fh:
+                tcio_write_at(fh, env.rank * 8, bytes([65 + env.rank]) * 8)
+            assert fh._closed
+            with pytest.raises(TcioError):
+                fh.write(b"late")
+            return fh.stats.as_dict()
+
+        res = run(2, main)
+        assert res.pfs.lookup("f").contents() == b"A" * 8 + b"B" * 8
+        assert res.returns[0]["write_calls"] == 1
+
+    def test_round_trip_write_then_read(self):
+        def main(env):
+            cfg = cfg_for(64, env.size, 16)
+            with tcio_open(env, "f", TCIO_WRONLY, cfg) as fh:
+                tcio_write_at(fh, env.rank * 4, b"%04d" % env.rank)
+            with tcio_open(env, "f", TCIO_RDONLY, cfg) as fh:
+                buf = bytearray(4)
+                tcio_read_at(fh, env.rank * 4, buf)
+                tcio_fetch(fh)
+            return bytes(buf)
+
+        res = run(2, main)
+        assert res.returns == [b"0000", b"0001"]
+
+    def test_enter_returns_the_handle(self):
+        def main(env):
+            fh = tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
+            with fh as entered:
+                assert entered is fh
+            return True
+
+        assert all(run(2, main).returns)
+
+    def test_reentering_closed_handle_raises(self):
+        def main(env):
+            fh = tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
+            with fh:
+                pass
+            try:
+                with fh:
+                    pass
+            except TcioError:
+                return "raised"
+            return "no error"
+
+        assert run(2, main).returns == ["raised", "raised"]
+
+
+class TestExceptionExit:
+    def test_abort_releases_without_collectives(self):
+        """A body failing on every rank must unwind, not deadlock in a
+        collective close, and must free the handle's simulated memory."""
+
+        def main(env):
+            with pytest.raises(RuntimeError, match="boom"):
+                with tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)) as fh:
+                    tcio_write_at(fh, env.rank * 8, b"x" * 8)
+                    raise RuntimeError("boom")
+            assert fh._closed
+            assert fh._allocs == []
+            return True
+
+        res = run(2, main)
+        assert all(res.returns)
+        memory = res.world.memory
+        for node in range(memory.n_nodes):  # nothing leaked anywhere
+            assert memory.breakdown(node) == {}
+
+    def test_exception_propagates(self):
+        def main(env):
+            with tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)):
+                raise ValueError("surface me")
+
+        with pytest.raises(ValueError, match="surface me"):
+            run(2, main)

@@ -15,9 +15,7 @@ from repro.tcio import (
     TcioConfig,
     TcioFile,
     tcio_close,
-    tcio_fetch,
     tcio_open,
-    tcio_read_at,
     tcio_seek,
     tcio_write,
     tcio_write_at,
@@ -182,7 +180,7 @@ class TestReadPath:
             bufs = [bytearray(4) for _ in range(4)]
             for i, b in enumerate(bufs):
                 fh.read_at(i * 64, b)  # each lands in a different segment
-            fetches_before_close = fh.stats.fetches
+            fetches_before_close = fh.stats.value("fetches")
             fh.close()
             return fetches_before_close
 

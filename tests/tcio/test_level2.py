@@ -24,7 +24,7 @@ class TestPushBlocks:
                 fh.write_at(0, b"x" * 16)  # segment 0: owned by rank 0
                 fh.write_at(16, b"y" * 16)  # segment 1: owned by rank 1
             fh.close()
-            return fh.stats.local_flushes, fh.stats.remote_flushes
+            return fh.stats.value("local_flushes"), fh.stats.value("remote_flushes")
 
         res = run(2, main)
         assert res.returns[0] == (1, 1)
@@ -40,7 +40,7 @@ class TestPushBlocks:
                 fh.write_at(70, b"b")
                 fh.write_at(80, b"c")
             fh.close()
-            return fh.stats.remote_flushes, fh.stats.put_blocks
+            return fh.stats.value("remote_flushes"), fh.stats.value("put_blocks")
 
         res = run(2, main)
         flushes, blocks = res.returns[0]
@@ -94,7 +94,7 @@ class TestReadProtocol:
             fh.read_at(0, buf)  # everyone wants segment 0
             fh.fetch()
             fh.close()
-            return fh.stats.segment_loads
+            return fh.stats.value("segment_loads")
 
         res = run(4, main)
         assert sum(res.returns) == 1  # one load for the whole job
@@ -112,7 +112,7 @@ class TestReadProtocol:
             fh.close()
             assert all(bytes(b) == bytes((i * 64 + k) % 251 for k in range(4))
                        for i, b in enumerate(bufs))
-            return fh.stats.segment_loads
+            return fh.stats.value("segment_loads")
 
         res = run(4, main)
         assert sum(res.returns) == 4

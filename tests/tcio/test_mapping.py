@@ -92,15 +92,15 @@ class TestMappingProperties:
     def test_locate_covers_range_exactly(self, offset, length, segment_size, nranks):
         m = SegmentMapping(segment_size, nranks)
         locs = list(m.locate(offset, length))
-        assert sum(l.length for l in locs) == length
+        assert sum(loc.length for loc in locs) == length
         pos = offset
-        for l in locs:
-            assert m.rank_of(pos) == l.rank
-            assert m.segment_of(pos) == l.segment
-            assert m.disp_of(pos) == l.disp
+        for loc in locs:
+            assert m.rank_of(pos) == loc.rank
+            assert m.segment_of(pos) == loc.segment
+            assert m.disp_of(pos) == loc.disp
             # no piece crosses a segment boundary
-            assert l.disp + l.length <= segment_size
-            pos += l.length
+            assert loc.disp + loc.length <= segment_size
+            pos += loc.length
 
     @given(st.integers(1, 100), st.integers(1, 32))
     def test_round_robin_balance(self, nsegs_per_rank, nranks):

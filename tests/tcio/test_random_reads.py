@@ -1,6 +1,5 @@
 """Property test: arbitrary lazy-read patterns return exact file bytes."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.simmpi import run_mpi

@@ -1,9 +1,6 @@
 """Post-mortem utilization analysis and ASCII chart tests."""
 
-import pytest
-
 from repro.analysis import analyze_run, ascii_chart, log_scale_chart
-from repro.bench import BenchConfig, Method
 from repro.simmpi import run_mpi
 from repro.simmpi import collectives as coll
 from tests.conftest import make_test_cluster
@@ -74,9 +71,8 @@ class TestAsciiChart:
     def test_log_scale_orders_magnitudes(self):
         out = log_scale_chart([1, 2], {"a": [1.0, 1000.0]}, height=10)
         lines = out.splitlines()
-        row_low = next(i for i, l in enumerate(lines) if "o" in l and i > 0)
         # the 1000.0 point sits far above the 1.0 point
-        rows_with_marks = [i for i, l in enumerate(lines) if "o" in l]
+        rows_with_marks = [i for i, line in enumerate(lines) if "o" in line]
         assert max(rows_with_marks) - min(rows_with_marks) >= 5
 
     def test_empty_series(self):

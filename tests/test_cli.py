@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -26,6 +28,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table III" in out
         assert "statement ratio" in out
+
+    def test_trace_bench_tiny(self, capsys, tmp_path):
+        out_dir = tmp_path / "traced"
+        assert main(["trace", "bench", "--tiny", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "span timeline" in out
+        trace = json.loads((out_dir / "bench.trace.json").read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        metrics = json.loads((out_dir / "bench.metrics.json").read_text())
+        assert "tcio" in metrics and "counters" in metrics
+
+    def test_trace_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "fig999"])
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
