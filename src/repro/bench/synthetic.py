@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.bench.config import BenchConfig, Method
 from repro.cluster.spec import ClusterSpec
+from repro.faults import FaultPlan, FaultSpec
 from repro.mpiio import MpiFile, MODE_CREATE, MODE_RDONLY, MODE_RDWR
 from repro.simmpi import collectives
 from repro.simmpi.datatypes import BYTE, Contiguous
@@ -210,6 +211,9 @@ class BenchResult:
     fail_reason: str = ""
     tcio_stats: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    #: Phase name -> bound FaultPlan (only when faults were requested);
+    #: gives callers the injection timeline and fallback log.
+    fault_plans: dict = field(default_factory=dict)
 
     @property
     def write_throughput(self) -> Optional[float]:
@@ -234,6 +238,8 @@ def run_benchmark(
     do_read: bool = True,
     verify: bool = True,
     trace: Optional[TraceRecorder] = None,
+    faults: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
 ) -> BenchResult:
     """Run one (method, parameters) point; returns timings + verification.
 
@@ -244,9 +250,23 @@ def run_benchmark(
     reference contents if only reading). A simulated OOM (the Fig. 6/7
     48 GB failure) is reported as ``failed=True,
     fail_reason='out of memory'`` instead of raising.
+
+    ``faults`` arms fault injection: each phase gets a fresh
+    :class:`FaultPlan` derived from ``fault_seed`` (scoped ``"write"`` /
+    ``"read"`` so the phases draw independent but reproducible fault
+    streams); the bound plans land in ``result.fault_plans``. Byte
+    verification runs exactly as in fault-free mode — a faulted run must
+    still produce the reference file.
     """
     result = BenchResult(config=cfg)
     written: Optional[bytes] = None
+
+    def make_plan(phase: str) -> Optional[FaultPlan]:
+        if faults is None:
+            return None
+        plan = FaultPlan(faults, fault_seed, scope=phase)
+        result.fault_plans[phase] = plan
+        return plan
 
     def phase_main(phase: str):
         def main(env: RankEnv):
@@ -280,7 +300,11 @@ def run_benchmark(
     try:
         if do_write:
             run: MpiRunResult = run_mpi(
-                cfg.nprocs, phase_main("write"), cluster=cluster, trace=trace
+                cfg.nprocs,
+                phase_main("write"),
+                cluster=cluster,
+                trace=trace,
+                faults=make_plan("write"),
             )
             result.elapsed += run.elapsed
             result.write_seconds = max(t for t, _ in run.returns)
@@ -309,6 +333,7 @@ def run_benchmark(
                 cluster=cluster,
                 trace=trace,
                 pfs_init=seed,
+                faults=make_plan("read"),
             )
             result.elapsed += run.elapsed
             result.read_seconds = max(t for t, _ in run.returns)

@@ -8,6 +8,8 @@ Commands
 ``fig910``    — regenerate Figures 9 & 10 (ART vs vanilla MPI-IO).
 ``table3``    — regenerate Table III and the Program 2/3 effort metrics.
 ``bench``     — run one synthetic-benchmark point and print its result.
+``faults``    — rerun the benchmark under seeded fault injection and
+                verify byte-correct recovery (see docs/faults.md).
 ``trace``     — rerun a scaled-down experiment with span tracing on and
                 write Chrome-trace + metrics JSON (see docs/observability.md).
 ``report``    — run the full campaign and write EXPERIMENTS.md.
@@ -121,6 +123,21 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run one fault-injected benchmark point and verify recovery."""
+    from repro.faults.runner import run_faulted
+
+    return run_faulted(
+        args.target,
+        seed=args.seed,
+        rate=args.rate,
+        procs=args.procs,
+        len_array=args.len,
+        method=args.method,
+        lock_timeout=args.lock_timeout,
+    )
+
+
 def cmd_trace(args) -> int:
     """Run one scaled-down experiment with tracing; write trace/metrics."""
     from repro.obs.runner import run_traced
@@ -162,6 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--types", default="i,d", help="TYPEarray codes")
     p.add_argument("--access", type=int, default=1, help="SIZEaccess")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "faults", help="benchmark under seeded fault injection + verification"
+    )
+    p.add_argument(
+        "target", choices=["bench", "ocio", "tcio", "mpiio"],
+        help="'bench' uses --method; a method name runs that method",
+    )
+    p.add_argument("--seed", type=int, default=1, help="fault plan seed")
+    p.add_argument("--rate", type=float, default=0.05, help="injection rate")
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--len", type=int, default=256, help="LENarray (elements)")
+    p.add_argument("--method", default="tcio", help="ocio | tcio | mpiio")
+    p.add_argument(
+        "--lock-timeout", type=float, default=2e-3,
+        help="extent-lock wait bound (simulated seconds)",
+    )
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
         "trace", help="scaled-down experiment with tracing -> Chrome trace JSON"

@@ -1,0 +1,13 @@
+"""Deterministic fault injection and recovery (see docs/faults.md).
+
+``FaultSpec`` describes rates and knobs, ``FaultPlan`` binds one spec +
+seed to one simulated job, ``RetryPolicy`` tunes the bounded-backoff
+recovery loop, and ``pfs_retry`` wraps storage calls against lock-grant
+timeouts. Pass a plan to :func:`repro.simmpi.run_mpi` (or a spec to
+:func:`repro.bench.run_benchmark`) to run a job under faults.
+"""
+
+from repro.faults.plan import FaultPlan, FaultSpec, Injection
+from repro.faults.retry import RetryPolicy, pfs_retry
+
+__all__ = ["FaultPlan", "FaultSpec", "Injection", "RetryPolicy", "pfs_retry"]

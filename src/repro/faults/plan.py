@@ -1,0 +1,255 @@
+"""Deterministic, seeded fault injection for the simulated stack.
+
+A :class:`FaultSpec` says *what can go wrong and how often*; a
+:class:`FaultPlan` binds one spec + seed to one simulated job and makes
+every injection decision from named RNG streams
+(``seeded_rng(seed, "faults", scope, stream)``), so identical seeds
+reproduce identical injection timelines event-for-event. The plan also
+owns the retry loop (:meth:`FaultPlan.retry_call`) so backoff jitter
+draws from the same deterministic streams, and it mirrors every decision
+into the observability layer: counters ``faults.injected.<kind>``,
+``faults.retries`` and ``faults.fallbacks``, plus ``faults.backoff``
+spans in the Chrome trace.
+
+Injection kinds
+---------------
+``net.drop``     transient message loss; the fabric re-sends after a
+                 delivery timeout (the message still arrives, late).
+``net.spike``    a per-message latency spike on an inter-node link.
+``ost.slow``     an OST chosen at plan-install time serves every request
+                 ``slow_factor`` times slower.
+``ost.stall``    one request of one OST hangs for ``ost_stall_seconds``.
+``lock.timeout`` an extent-lock request expired before its grant.
+``rma.put`` / ``rma.get``  a one-sided transfer failed retryably (either
+                 probabilistically or because the target rank is in
+                 ``unreachable_ranks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple, Type, TypeVar, Union
+
+from repro.faults.retry import RetryPolicy
+from repro.sim.engine import current_process
+from repro.util.errors import PfsError, RetryBudgetExceeded
+from repro.util.rng import seeded_rng
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What can fail, how often, and how recovery is tuned.
+
+    All rates are per-decision probabilities in ``[0, 1]``; a rate of 0
+    disables that injection point entirely (and, for ``lock_timeout``,
+    a value of 0 disables lock expiry).
+    """
+
+    # network (netsim/fabric.py)
+    drop_rate: float = 0.0
+    drop_timeout: float = 5e-4  # retransmission delay of a dropped message
+    spike_rate: float = 0.0
+    spike_seconds: float = 2e-4
+    # storage servers (pfs/ost.py)
+    slow_osts: int = 0  # how many OSTs run degraded for the whole job
+    slow_factor: float = 8.0
+    ost_stall_rate: float = 0.0
+    ost_stall_seconds: float = 1e-3
+    # lock manager (pfs/lockmgr.py); 0 = never time out
+    lock_timeout: float = 0.0
+    # one-sided transfers (simmpi/rma.py)
+    rma_fail_rate: float = 0.0
+    rma_fail_delay: float = 5e-5  # origin-side cost of a failed put/get
+    unreachable_ranks: Tuple[int, ...] = ()  # RMA targets that always fail
+    # diagnostics / recovery
+    audit_locks: bool = False
+    retry: RetryPolicy = RetryPolicy()
+
+    def validate(self) -> None:
+        for name in ("drop_rate", "spike_rate", "ost_stall_rate", "rma_fail_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise PfsError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_osts < 0 or self.slow_factor < 1.0:
+            raise PfsError("slow_osts must be >= 0 and slow_factor >= 1")
+        if min(self.drop_timeout, self.spike_seconds, self.ost_stall_seconds,
+               self.lock_timeout, self.rma_fail_delay) < 0:
+            raise PfsError("fault durations must be >= 0")
+        self.retry.validate()
+
+    @classmethod
+    def from_rate(cls, rate: float, **overrides) -> "FaultSpec":
+        """A uniform spec: every probabilistic injection point runs at *rate*."""
+        spec = cls(
+            drop_rate=rate,
+            spike_rate=rate,
+            ost_stall_rate=rate,
+            rma_fail_rate=rate,
+        )
+        return replace(spec, **overrides) if overrides else spec
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One injected fault: when, what kind, and the sorted detail items."""
+
+    time: float
+    kind: str
+    detail: Tuple[Tuple[str, object], ...]
+
+
+class FaultPlan:
+    """One job's bound fault schedule: spec + seed + named RNG streams.
+
+    A plan is single-job state (it accumulates the injection timeline and
+    holds per-stream generators); the benchmark harness builds a fresh
+    plan per phase with a distinct ``scope`` so the write and read jobs
+    draw from independent streams of the same root seed.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int, *, scope: str = "run"):
+        spec.validate()
+        self.spec = spec
+        self.seed = int(seed)
+        self.scope = str(scope)
+        self.injections: list[Injection] = []
+        self.fallbacks: list[Tuple[str, Tuple[Tuple[str, object], ...]]] = []
+        self._streams: dict = {}
+        self._engine = None
+        self._trace = None
+        self._slow_osts: Optional[frozenset] = None
+
+    def bind(self, engine, trace) -> None:
+        """Attach the plan to one job's engine (for timestamps) and trace."""
+        self._engine = engine
+        self._trace = trace
+
+    # ------------------------------------------------------------------
+    # deterministic decisions
+    # ------------------------------------------------------------------
+    def _rng(self, stream: str):
+        gen = self._streams.get(stream)
+        if gen is None:
+            gen = self._streams[stream] = seeded_rng(
+                self.seed, "faults", self.scope, stream
+            )
+        return gen
+
+    def _decide(self, stream: str, rate: float) -> bool:
+        return rate > 0.0 and float(self._rng(stream).random()) < rate
+
+    def _now(self) -> float:
+        return self._engine.now if self._engine is not None else 0.0
+
+    def record(self, kind: str, **detail) -> None:
+        """Append one injection to the timeline and count it."""
+        self.injections.append(
+            Injection(self._now(), kind, tuple(sorted(detail.items())))
+        )
+        if self._trace is not None:
+            self._trace.count(f"faults.injected.{kind}")
+
+    def timeline(self) -> list[Tuple[float, str, Tuple[Tuple[str, object], ...]]]:
+        """The injections so far as comparable tuples (reproducibility checks)."""
+        return [(i.time, i.kind, i.detail) for i in self.injections]
+
+    def injected(self, kind: str) -> int:
+        """How many injections of *kind* the plan has made."""
+        return sum(1 for i in self.injections if i.kind == kind)
+
+    # ------------------------------------------------------------------
+    # injection points (called by the instrumented layers)
+    # ------------------------------------------------------------------
+    def network_penalty(self, src: int, dst: int, nbytes: int) -> float:
+        """Extra inter-node delivery delay for one message (0.0 = clean)."""
+        spec = self.spec
+        extra = 0.0
+        if self._decide("net.spike", spec.spike_rate):
+            self.record("net.spike", src=src, dst=dst)
+            extra += spec.spike_seconds
+        if self._decide("net.drop", spec.drop_rate):
+            # A dropped message is retransmitted after a delivery timeout:
+            # it still arrives (two-sided matching stays deadlock-free),
+            # just a retransmission window later.
+            self.record("net.drop", src=src, dst=dst, bytes=nbytes)
+            extra += spec.drop_timeout
+        return extra
+
+    def slow_osts_for(self, n_osts: int) -> frozenset:
+        """Which OSTs run degraded (chosen once per plan, recorded)."""
+        if self._slow_osts is None:
+            k = min(self.spec.slow_osts, n_osts)
+            if k > 0:
+                picks = self._rng("ost.slow").choice(n_osts, size=k, replace=False)
+                chosen = frozenset(int(i) for i in picks)
+                for index in sorted(chosen):
+                    self.record("ost.slow", ost=index, factor=self.spec.slow_factor)
+            else:
+                chosen = frozenset()
+            self._slow_osts = chosen
+        return self._slow_osts
+
+    def ost_stall(self, index: int, write: bool) -> float:
+        """Extra service time for one OST request (0.0 = clean)."""
+        if self._decide("ost.stall", self.spec.ost_stall_rate):
+            self.record("ost.stall", ost=index, write=write)
+            return self.spec.ost_stall_seconds
+        return 0.0
+
+    def rma_fault(self, op: str, origin: int, target: int) -> bool:
+        """Whether this put/get fails retryably (records the injection)."""
+        if origin != target and target in self.spec.unreachable_ranks:
+            self.record(f"rma.{op}", origin=origin, target=target, unreachable=True)
+            return True
+        if self._decide(f"rma.{op}", self.spec.rma_fail_rate):
+            self.record(f"rma.{op}", origin=origin, target=target, unreachable=False)
+            return True
+        return False
+
+    def note_lock_timeout(self, owner: int, extent) -> None:
+        """A lock acquire expired (the lock manager reports it here)."""
+        self.record("lock.timeout", owner=owner, start=extent.start, stop=extent.stop)
+
+    def note_fallback(self, what: str, **detail) -> None:
+        """A degradation event: recovery gave up retrying and took the
+        independent path. Counted (``faults.fallbacks``), not part of the
+        *injection* timeline (it is a response, not a fault)."""
+        self.fallbacks.append((what, tuple(sorted(detail.items()))))
+        if self._trace is not None:
+            self._trace.count("faults.fallbacks")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def retry_call(
+        self,
+        op: Callable[[int], T],
+        *,
+        retry_on: Union[Type[BaseException], Tuple[Type[BaseException], ...]],
+        what: str,
+    ) -> T:
+        """Run ``op(attempt)`` under the spec's retry policy.
+
+        Failed attempts sleep a jittered exponential backoff on the
+        virtual clock (visible as ``faults.backoff`` spans) and count
+        ``faults.retries``; once the budget is spent the last error is
+        wrapped in :class:`RetryBudgetExceeded`.
+        """
+        policy = self.spec.retry
+        last = policy.max_attempts - 1
+        for attempt in range(policy.max_attempts):
+            try:
+                return op(attempt)
+            except retry_on as exc:
+                if attempt == last:
+                    raise RetryBudgetExceeded(what, policy.max_attempts) from exc
+                delay = policy.backoff(attempt, self._rng("retry"))
+                if self._trace is not None:
+                    self._trace.count("faults.retries")
+                    with self._trace.span("faults.backoff", what=what, attempt=attempt):
+                        current_process().sleep(delay)
+                else:
+                    current_process().sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.faults.retry import pfs_retry
 from repro.util.intervals import Extent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,9 +30,16 @@ def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         return
     pieces = mf.view.map_pieces(stream_pos, len(data))
     rank = mf.env.rank
+    world = mf.env.world
     if len(pieces) == 1:
         ext, _ = pieces[0]
-        mf.client.write(mf.pfs_file, ext.start, data, owner=rank)
+        pfs_retry(
+            world,
+            "mpiio.write",
+            lambda t: mf.client.write(
+                mf.pfs_file, ext.start, data, owner=rank, lock_timeout=t
+            ),
+        )
         return
     bounding = Extent(pieces[0][0].start, pieces[-1][0].stop)
     useful = sum(e.length for e, _ in pieces)
@@ -41,17 +49,31 @@ def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         # storage operations must be atomic against other sieving writers
         # whose bounding extents overlap ours).
         _copy_cost(mf, useful)
-        mf.client.write_sieved(
-            mf.pfs_file,
-            [(ext.start, data[mem_off : mem_off + ext.length]) for ext, mem_off in pieces],
-            owner=rank,
+        sieved = [
+            (ext.start, data[mem_off : mem_off + ext.length])
+            for ext, mem_off in pieces
+        ]
+        pfs_retry(
+            world,
+            "mpiio.sieve_write",
+            lambda t: mf.client.write_sieved(
+                mf.pfs_file, sieved, owner=rank, lock_timeout=t
+            ),
         )
-        if mf.env.world.trace is not None:
-            mf.env.world.trace.count("mpiio.sieve_write", useful)
+        if world.trace is not None:
+            world.trace.count("mpiio.sieve_write", useful)
         return
     for ext, mem_off in pieces:
-        mf.client.write(
-            mf.pfs_file, ext.start, data[mem_off : mem_off + ext.length], owner=rank
+        pfs_retry(
+            world,
+            "mpiio.write",
+            lambda t, _ext=ext, _off=mem_off: mf.client.write(
+                mf.pfs_file,
+                _ext.start,
+                data[_off : _off + _ext.length],
+                owner=rank,
+                lock_timeout=t,
+            ),
         )
 
 
@@ -61,23 +83,44 @@ def read_view(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
         return b""
     pieces = mf.view.map_pieces(stream_pos, nbytes)
     rank = mf.env.rank
+    world = mf.env.world
     if len(pieces) == 1:
         ext, _ = pieces[0]
-        return mf.client.read(mf.pfs_file, ext.start, ext.length, owner=rank)
+        return pfs_retry(
+            world,
+            "mpiio.read",
+            lambda t: mf.client.read(
+                mf.pfs_file, ext.start, ext.length, owner=rank, lock_timeout=t
+            ),
+        )
     bounding = Extent(pieces[0][0].start, pieces[-1][0].stop)
     useful = sum(e.length for e, _ in pieces)
     out = bytearray(nbytes)
     hints = mf.hints
     if hints.ds_read and useful >= hints.ds_hole_threshold * bounding.length:
-        blob = mf.client.read(mf.pfs_file, bounding.start, bounding.length, owner=rank)
+        blob = pfs_retry(
+            world,
+            "mpiio.sieve_read",
+            lambda t: mf.client.read(
+                mf.pfs_file, bounding.start, bounding.length,
+                owner=rank, lock_timeout=t,
+            ),
+        )
         for ext, mem_off in pieces:
             lo = ext.start - bounding.start
             out[mem_off : mem_off + ext.length] = blob[lo : lo + ext.length]
         _copy_cost(mf, useful)
-        if mf.env.world.trace is not None:
-            mf.env.world.trace.count("mpiio.sieve_read", useful)
+        if world.trace is not None:
+            world.trace.count("mpiio.sieve_read", useful)
     else:
         for ext, mem_off in pieces:
-            chunk = mf.client.read(mf.pfs_file, ext.start, ext.length, owner=rank)
+            chunk = pfs_retry(
+                world,
+                "mpiio.read",
+                lambda t, _ext=ext: mf.client.read(
+                    mf.pfs_file, _ext.start, _ext.length,
+                    owner=rank, lock_timeout=t,
+                ),
+            )
             out[mem_off : mem_off + ext.length] = chunk
     return bytes(out)

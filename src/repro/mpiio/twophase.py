@@ -23,6 +23,7 @@ from __future__ import annotations
 import bisect
 from typing import Optional, TYPE_CHECKING
 
+from repro.faults.retry import pfs_retry
 from repro.obs.spans import NULL_TRACER
 from repro.simmpi import collectives
 from repro.simmpi.comm import CTX_COLL, pack_object, unpack_object, wait_all
@@ -172,8 +173,13 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
             with tracer.span("ocio.io", bytes=my_domain.length):
                 if covered < my_domain.length:
                     # Holes in the domain: read-modify-write preserves them.
-                    existing = mf.client.read(
-                        mf.pfs_file, my_domain.start, my_domain.length, owner=rank
+                    existing = pfs_retry(
+                        world,
+                        "ocio.io.read",
+                        lambda t: mf.client.read(
+                            mf.pfs_file, my_domain.start, my_domain.length,
+                            owner=rank, lock_timeout=t,
+                        ),
                     )
                     merged = bytearray(existing)
                     for lst in incoming:
@@ -181,8 +187,14 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
                             lo = off - my_domain.start
                             merged[lo : lo + len(block)] = block
                     tempbuf = merged
-                mf.client.write(
-                    mf.pfs_file, my_domain.start, bytes(tempbuf), owner=rank
+                payload = bytes(tempbuf)
+                pfs_retry(
+                    world,
+                    "ocio.io.write",
+                    lambda t: mf.client.write(
+                        mf.pfs_file, my_domain.start, payload,
+                        owner=rank, lock_timeout=t,
+                    ),
                 )
         world.memory.free(alloc)
     else:
@@ -226,8 +238,13 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
         needed = any(in_reqs[src] for src in range(size))
         if needed and my_domain.length > 0:
             alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
-            blob = mf.client.read(
-                mf.pfs_file, my_domain.start, my_domain.length, owner=rank
+            blob = pfs_retry(
+                world,
+                "ocio.read.domain",
+                lambda t: mf.client.read(
+                    mf.pfs_file, my_domain.start, my_domain.length,
+                    owner=rank, lock_timeout=t,
+                ),
             )
             for src in range(size):
                 if not in_reqs[src]:
@@ -351,8 +368,13 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
                         covered += len(block)
                 _copy_cost(mf, covered)
                 if covered < sl.length:
-                    existing = mf.client.read(
-                        mf.pfs_file, sl.start, sl.length, owner=rank
+                    existing = pfs_retry(
+                        world,
+                        "ocio.rounds.read",
+                        lambda t, _sl=sl: mf.client.read(
+                            mf.pfs_file, _sl.start, _sl.length,
+                            owner=rank, lock_timeout=t,
+                        ),
                     )
                     merged = bytearray(existing)
                     for lst in incoming:
@@ -360,7 +382,14 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
                             lo = off - sl.start
                             merged[lo : lo + len(block)] = block
                     chunk = merged
-                mf.client.write(mf.pfs_file, sl.start, bytes(chunk), owner=rank)
+                payload = bytes(chunk)
+                pfs_retry(
+                    world,
+                    "ocio.rounds.write",
+                    lambda t, _sl=sl, _p=payload: mf.client.write(
+                        mf.pfs_file, _sl.start, _p, owner=rank, lock_timeout=t
+                    ),
+                )
     if alloc is not None:
         world.memory.free(alloc)
     if world.trace is not None:

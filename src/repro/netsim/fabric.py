@@ -27,6 +27,10 @@ class Fabric:
     node_of: per-rank node index (ranks on one node share its NIC ports).
     trace: optional trace recorder (counters ``net.msg``, ``net.bytes``,
         ``net.connection``, ``net.intranode``).
+    faults: optional bound :class:`repro.faults.FaultPlan`; inter-node
+        messages may then suffer latency spikes and transient drops
+        (modelled as retransmission after a delivery timeout — the
+        message still arrives, so two-sided matching cannot wedge).
     """
 
     def __init__(
@@ -35,12 +39,14 @@ class Fabric:
         spec: NetworkSpec,
         node_of: Sequence[int],
         trace: Optional[TraceRecorder] = None,
+        faults=None,
     ):
         spec.validate()
         self.engine = engine
         self.spec = spec
         self.node_of = list(node_of)
         self.trace = trace
+        self.faults = faults
         n_nodes = (max(self.node_of) + 1) if self.node_of else 1
         self.send_ports = [
             ReservationServer(f"nic{n}.tx", spec.link_bandwidth, spec.per_message_overhead)
@@ -113,6 +119,10 @@ class Fabric:
         t_rx = self.recv_ports[dst_node].reserve(
             t_core + self.spec.latency, nbytes, overhead
         )
+        if self.faults is not None:
+            penalty = self.faults.network_penalty(src, dst, nbytes)
+            if penalty > 0.0:
+                t_rx += penalty
         if tracer is not None and tracer.enabled:
             tracer.complete(
                 "net.xfer", start, t_rx, f"nic{src_node}",

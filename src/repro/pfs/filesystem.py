@@ -56,6 +56,30 @@ class Pfs:
         ]
         self._files: dict[str, PfsFile] = {}
         self._next_first_ost = 0
+        self.faults = None  # optional FaultPlan (see install_faults)
+
+    def install_faults(self, plan) -> None:
+        """Arm this file system with a bound :class:`FaultPlan`.
+
+        Chooses the plan's slow OSTs (recorded as ``ost.slow`` injections),
+        hands every OST the plan for per-request stalls, and switches
+        existing files' lock managers to audited/reporting mode. Call
+        before time starts (run_mpi does, before ``pfs_init``).
+        """
+        self.faults = plan
+        if plan is None:
+            return
+        for index in plan.slow_osts_for(len(self.osts)):
+            self.osts[index].fault_factor = plan.spec.slow_factor
+        for ost in self.osts:
+            ost.faults = plan
+        for f in self._files.values():
+            self._arm_locks(f)
+
+    def _arm_locks(self, f: PfsFile) -> None:
+        if self.faults is not None:
+            f.locks.audit = f.locks.audit or self.faults.spec.audit_locks
+            f.locks.on_timeout = self.faults.note_lock_timeout
 
     # ------------------------------------------------------------------
     # namespace
@@ -73,6 +97,7 @@ class Pfs:
         )
         self._next_first_ost = (self._next_first_ost + count) % self.spec.n_osts
         f = PfsFile(name, layout, self.spec.lock_contention_penalty, self.trace)
+        self._arm_locks(f)
         self._files[name] = f
         return f
 
@@ -112,13 +137,39 @@ class PfsClient:
         self._link = pfs._client_links[node]
 
     # ------------------------------------------------------------------
-    def write(self, file: PfsFile | str, offset: int, data: bytes | memoryview, *, owner: int = 0) -> None:
-        """Synchronous write of one contiguous extent."""
-        self._transfer(file, offset, data=data, nbytes=len(data), write=True, owner=owner)
+    def write(
+        self,
+        file: PfsFile | str,
+        offset: int,
+        data: bytes | memoryview,
+        *,
+        owner: int = 0,
+        lock_timeout: Optional[float] = None,
+    ) -> None:
+        """Synchronous write of one contiguous extent.
 
-    def read(self, file: PfsFile | str, offset: int, nbytes: int, *, owner: int = 0) -> bytes:
+        ``lock_timeout`` bounds the extent-lock wait (LockTimeout past it);
+        None waits unboundedly, as before.
+        """
+        self._transfer(
+            file, offset, data=data, nbytes=len(data), write=True, owner=owner,
+            lock_timeout=lock_timeout,
+        )
+
+    def read(
+        self,
+        file: PfsFile | str,
+        offset: int,
+        nbytes: int,
+        *,
+        owner: int = 0,
+        lock_timeout: Optional[float] = None,
+    ) -> bytes:
         """Synchronous read of one contiguous extent (holes read as zeros)."""
-        return self._transfer(file, offset, data=None, nbytes=nbytes, write=False, owner=owner)
+        return self._transfer(
+            file, offset, data=None, nbytes=nbytes, write=False, owner=owner,
+            lock_timeout=lock_timeout,
+        )
 
     def write_sieved(
         self,
@@ -126,6 +177,7 @@ class PfsClient:
         pieces: list[tuple[int, bytes]],
         *,
         owner: int = 0,
+        lock_timeout: Optional[float] = None,
     ) -> None:
         """Data-sieving write: read-modify-write of the bounding extent
         under ONE exclusive lock.
@@ -144,7 +196,9 @@ class PfsClient:
         stop_off = max(off + len(b) for off, b in pieces)
         extent = Extent(start_off, stop_off)
         hits_before = f.locks.cache_hits
-        grant = f.locks.acquire(owner, LockMode.EXCLUSIVE, extent)
+        grant = f.locks.acquire(
+            owner, LockMode.EXCLUSIVE, extent, timeout=lock_timeout
+        )
         if f.locks.cache_hits == hits_before:
             proc.charge(self.pfs.spec.lock_latency)
         trace = self.pfs.trace
@@ -204,6 +258,7 @@ class PfsClient:
         nbytes: int,
         write: bool,
         owner: int,
+        lock_timeout: Optional[float] = None,
     ) -> bytes:
         f = self._resolve(file)
         proc = current_process()
@@ -219,7 +274,7 @@ class PfsClient:
         #    trip, and contended acquires park the caller inside acquire().
         mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
         hits_before = f.locks.cache_hits
-        grant = f.locks.acquire(owner, mode, extent)
+        grant = f.locks.acquire(owner, mode, extent, timeout=lock_timeout)
         if f.locks.cache_hits == hits_before:
             proc.charge(self.pfs.spec.lock_latency)
         released = False

@@ -22,7 +22,7 @@ from typing import Deque, Optional
 from repro.obs.spans import NULL_TRACER
 from repro.sim.engine import current_process
 from repro.sim.process import SimProcess
-from repro.util.errors import PfsError
+from repro.util.errors import LockTimeout, PfsError
 from repro.util.intervals import Extent
 
 
@@ -69,7 +69,8 @@ class LockManager:
     """
 
     def __init__(
-        self, granularity: int, contention_penalty: float = 0.0, trace=None
+        self, granularity: int, contention_penalty: float = 0.0, trace=None,
+        *, audit: bool = False,
     ):
         if granularity < 1:
             raise PfsError("lock granularity must be positive")
@@ -84,10 +85,26 @@ class LockManager:
         self.acquires = 0
         self.cache_hits = 0  # served from a cached grant, no server trip
         self.waits = 0  # acquires that had to block (contention counter)
+        self.timeouts = 0  # acquires that expired before their grant
+        #: When auditing, every grant-set mutation is appended here as
+        #: ``(event, owner, mode, start, stop)`` in engine order, for the
+        #: invariant checker (:func:`verify_lock_history`). Events:
+        #: ``grant`` (immediate), ``grant_queued`` (after waiting),
+        #: ``release``, ``revoke``, ``wait``, ``timeout``.
+        self.audit = audit
+        self.history: list[tuple[str, int, str, int, int]] = []
+        #: Optional callback invoked with ``(owner, extent)`` when a
+        #: timed acquire expires (the fault plan hooks this to record
+        #: the injection).
+        self.on_timeout = None
 
     def _count(self, name: str) -> None:
         if self.trace is not None:
             self.trace.count(name)
+
+    def _note(self, event: str, owner: int, mode: LockMode, extent: Extent) -> None:
+        if self.audit:
+            self.history.append((event, owner, mode.value, extent.start, extent.stop))
 
     # ------------------------------------------------------------------
     def _conflicts(self, mode: LockMode, extent: Extent, owner: int) -> bool:
@@ -131,11 +148,19 @@ class LockManager:
             if g.mode is LockMode.EXCLUSIVE or mode is LockMode.EXCLUSIVE:
                 g.released = True
                 self._held.remove(g)
+                self._note("revoke", g.owner, g.mode, g.extent)
                 revoked += 1
         return revoked
 
     # ------------------------------------------------------------------
-    def acquire(self, owner: int, mode: LockMode, extent: Extent) -> LockGrant:
+    def acquire(
+        self,
+        owner: int,
+        mode: LockMode,
+        extent: Extent,
+        *,
+        timeout: Optional[float] = None,
+    ) -> LockGrant:
         """Block until the (rounded) extent lock is granted.
 
         A cached grant of the same owner covering the extent is reused for
@@ -144,6 +169,11 @@ class LockManager:
         waited for FIFO. Must run inside a simulated process; the caller
         charges the lock-server round trip separately (the filesystem
         layer does).
+
+        With ``timeout`` set, a request still queued after that much
+        virtual time is withdrawn — the queue entry is removed (no orphan
+        blocks later waiters) and :class:`LockTimeout` raised, so callers
+        can retry with backoff.
         """
         rounded = extent.align_down(self.granularity)
         cached = self._cached_match(owner, mode, rounded)
@@ -165,6 +195,7 @@ class LockManager:
             if not self._conflicts(mode, rounded, owner):
                 grant = LockGrant(owner, mode, rounded)
                 self._held.append(grant)
+                self._note("grant", owner, mode, rounded)
                 return grant
         self.waits += 1
         self._count("pfs.lock.wait")
@@ -177,9 +208,33 @@ class LockManager:
             proc.charge(conflicts * self.contention_penalty)
         waiting = _Waiting(owner, mode, rounded, proc)
         self._queue.append(waiting)
+        self._note("wait", owner, mode, rounded)
+        timer = None
+        if timeout is not None and timeout > 0:
+            def expire() -> None:
+                # Only meaningful while still queued without a grant; a
+                # grant racing the timer wins (the timer is cancelled on
+                # the normal path, but an engine-context _drain may have
+                # granted in the same instant).
+                if waiting.grant is not None or waiting not in self._queue:
+                    return
+                self._queue.remove(waiting)
+                self.timeouts += 1
+                self._count("pfs.lock.timeout")
+                self._note("timeout", owner, mode, rounded)
+                if self.on_timeout is not None:
+                    self.on_timeout(owner, rounded)
+                # Our queue slot no longer blocks anyone behind us.
+                self._drain()
+                waiting.proc.wake()
+
+            timer = proc.engine.schedule(timeout, expire)
         with self._tracer.span("pfs.lock_wait", mode=mode.value, owner=owner):
             proc.block(f"pfs.lock({mode.value}, {rounded})")
-        assert waiting.grant is not None
+        if waiting.grant is None:
+            raise LockTimeout(owner, rounded, timeout)
+        if timer is not None:
+            timer.cancel()
         return waiting.grant
 
     def done(self, grant: LockGrant) -> None:
@@ -198,6 +253,7 @@ class LockManager:
             raise PfsError("lock released twice")
         grant.released = True
         self._held.remove(grant)
+        self._note("release", grant.owner, grant.mode, grant.extent)
         self._drain()
 
     def _drain(self) -> None:
@@ -211,6 +267,7 @@ class LockManager:
             grant = LockGrant(head.owner, head.mode, head.extent)
             self._held.append(grant)
             head.grant = grant
+            self._note("grant_queued", head.owner, head.mode, head.extent)
             head.proc.wake()
 
     # ------------------------------------------------------------------
@@ -223,3 +280,57 @@ class LockManager:
     def queued_count(self) -> int:
         """Number of requests waiting FIFO."""
         return len(self._queue)
+
+
+def verify_lock_history(
+    history: list[tuple[str, int, str, int, int]], *, expect_drained: bool = True
+) -> None:
+    """Replay an audit history and raise PfsError on any invariant breach.
+
+    Checked invariants:
+
+    - **Mutual exclusion**: no grant ever coexists with a conflicting
+      grant of another owner (overlapping extents, either exclusive).
+    - **Balanced lifecycle**: every ``release``/``revoke`` matches a live
+      grant, and every ``grant_queued``/``timeout`` consumes a matching
+      ``wait`` entry.
+    - **No orphans** (when ``expect_drained``): at the end of the history
+      no ``wait`` entry remains unresolved — in particular, a timed-out
+      request must have left the queue.
+    """
+
+    def conflict(a, b) -> bool:
+        (ao, am, a0, a1), (bo, bm, b0, b1) = a, b
+        if ao == bo or a1 <= b0 or b1 <= a0:
+            return False
+        return am == "exclusive" or bm == "exclusive"
+
+    active: list[tuple[int, str, int, int]] = []
+    waiting: list[tuple[int, str, int, int]] = []
+    for i, (event, owner, mode, start, stop) in enumerate(history):
+        key = (owner, mode, start, stop)
+        if event in ("grant", "grant_queued"):
+            for held in active:
+                if conflict(key, held):
+                    raise PfsError(
+                        f"history[{i}]: grant {key} conflicts with held {held}"
+                    )
+            active.append(key)
+            if event == "grant_queued":
+                if key not in waiting:
+                    raise PfsError(f"history[{i}]: grant_queued without wait: {key}")
+                waiting.remove(key)
+        elif event in ("release", "revoke"):
+            if key not in active:
+                raise PfsError(f"history[{i}]: {event} of unheld grant {key}")
+            active.remove(key)
+        elif event == "wait":
+            waiting.append(key)
+        elif event == "timeout":
+            if key not in waiting:
+                raise PfsError(f"history[{i}]: timeout without wait: {key}")
+            waiting.remove(key)
+        else:
+            raise PfsError(f"history[{i}]: unknown event {event!r}")
+    if expect_drained and waiting:
+        raise PfsError(f"orphaned lock-queue entries at end of history: {waiting}")

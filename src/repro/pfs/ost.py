@@ -38,6 +38,8 @@ class Ost:
         "write_noise",
         "read_noise",
         "client_scaling",
+        "fault_factor",
+        "faults",
         "clients",
         "busy_until",
         "last_start",
@@ -71,6 +73,8 @@ class Ost:
         self.write_noise = write_noise
         self.read_noise = read_noise
         self.client_scaling = client_scaling
+        self.fault_factor = 1.0  # whole-job degradation of a "slow" OST
+        self.faults = None  # optional FaultPlan, installed by the Pfs
         self.clients: set[int] = set()
         self.busy_until = 0.0
         self.last_start = 0.0  # service start of the latest request
@@ -99,6 +103,10 @@ class Ost:
         if noise:
             request_no = self.write_requests + self.read_requests
             service *= 1.0 + noise * _noise_fraction(self.index, request_no)
+        if self.fault_factor != 1.0:
+            service *= self.fault_factor
+        if self.faults is not None:
+            service += self.faults.ost_stall(self.index, write)
         self.busy_until = start + service
         self.busy_time += service
         if write:

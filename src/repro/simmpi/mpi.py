@@ -37,6 +37,7 @@ class MpiWorld:
         memory: MemoryTracker,
         pfs: "Optional[Pfs]" = None,
         trace: Optional[TraceRecorder] = None,
+        faults=None,
     ):
         if nranks < 1:
             raise MpiError("need at least one rank")
@@ -46,7 +47,8 @@ class MpiWorld:
         if len(self.node_of) != nranks:
             raise MpiError("node_of must have one entry per rank")
         self.trace = trace
-        self.fabric = Fabric(engine, network, self.node_of, trace)
+        self.faults = faults  # optional bound FaultPlan
+        self.fabric = Fabric(engine, network, self.node_of, trace, faults)
         self.memory = memory
         self.pfs = pfs
         self._mailboxes = [Mailbox() for _ in range(nranks)]
@@ -238,6 +240,7 @@ def run_mpi(
     trace: Optional[TraceRecorder] = None,
     until: Optional[float] = None,
     pfs_init: Optional[Callable[["Pfs"], None]] = None,
+    faults=None,
 ) -> MpiRunResult:
     """Run *main* on *nranks* simulated ranks; returns results and timings.
 
@@ -246,6 +249,9 @@ def run_mpi(
     hold ``nranks`` (12 ranks per node, as on the paper's testbed).
     ``pfs_init`` pre-populates the fresh file system before time starts
     (e.g. a restart job reading a snapshot an earlier job produced).
+    ``faults`` is an optional :class:`repro.faults.FaultPlan`; it is bound
+    to this job's engine/trace and installed into the fabric and the PFS
+    before any rank starts.
     """
     from repro.cluster.lonestar import make_lonestar
 
@@ -258,9 +264,13 @@ def run_mpi(
         )
     trace = trace if trace is not None else TraceRecorder()
     engine = Engine(trace=trace)
+    if faults is not None:
+        faults.bind(engine, trace)
     node_of = [r // cluster.cores_per_node for r in range(nranks)]
     memory = MemoryTracker(cluster.memory_per_node, node_of)
     pfs = cluster.build_pfs(engine, trace)
+    if faults is not None:
+        pfs.install_faults(faults)
     if pfs_init is not None:
         pfs_init(pfs)
     world = MpiWorld(
@@ -271,6 +281,7 @@ def run_mpi(
         memory,
         pfs=pfs,
         trace=trace,
+        faults=faults,
     )
     returns: list[Any] = [None] * nranks
 

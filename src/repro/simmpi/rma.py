@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.sim.engine import current_process
 from repro.sim.process import SimProcess
-from repro.util.errors import RmaError
+from repro.util.errors import RmaError, RmaTransientError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simmpi.comm import Communicator
@@ -201,6 +201,7 @@ class Window:
                     f"put outside window: [{off},{off + len(block)}) of {len(remote)}"
                 )
         captured = [(off, bytes(b)) for off, b in blocks]
+        self._maybe_fail("put", target_w)
 
         def land() -> None:
             for off, block in captured:
@@ -238,6 +239,7 @@ class Window:
                 raise RmaError(f"get outside window: [{off},{off + ln}) of {len(remote)}")
             total += ln
 
+        self._maybe_fail("get", target_w)
         # Request travels to the target; data is snapshotted there, then
         # streams back to the origin.
         t_req = world.fabric.control_delay(self.my_world_rank, target_w, rma=True)
@@ -306,6 +308,14 @@ class Window:
         collectives.barrier(self.comm)
 
     # ------------------------------------------------------------------
+    def _maybe_fail(self, op: str, target_w: int) -> None:
+        """Injected transient put/get failure (before anything is scheduled,
+        so the epoch stays consistent and the caller may simply retry)."""
+        plan = getattr(self.world, "faults", None)
+        if plan is not None and plan.rma_fault(op, self.my_world_rank, target_w):
+            current_process().charge(plan.spec.rma_fail_delay)
+            raise RmaTransientError(op, self.my_world_rank, target_w)
+
     def _require_epoch(self, target: int) -> _Epoch:
         self._check_target(target)
         epoch = self._epochs.get(target)

@@ -26,6 +26,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.faults.retry import pfs_retry
 from repro.memsim.memory import Allocation
 from repro.obs.spans import NULL_TRACER
 from repro.simmpi import collectives
@@ -36,7 +37,7 @@ from repro.tcio.level2 import Level2Buffer, SegmentDirectory
 from repro.tcio.mapping import SegmentMapping
 from repro.tcio.params import TcioConfig
 from repro.tcio.stats import TcioStats
-from repro.util.errors import TcioError
+from repro.util.errors import RetryBudgetExceeded, TcioError
 from repro.util.intervals import Extent
 
 TCIO_RDONLY = 0x1
@@ -109,6 +110,11 @@ class TcioFile:
         self._position = 0
         hub = getattr(env.world, "trace", None)
         self._tracer = hub.tracer if hub is not None else NULL_TRACER
+        self._plan = getattr(env.world, "faults", None)
+        #: Segment owners whose RMA target stayed unreachable past the
+        #: retry budget; later flushes to them skip straight to the
+        #: independent-write fallback instead of burning retries again.
+        self._unreachable_owners: set[int] = set()
 
         with self._tracer.span("tcio.open", file=name):
             pfs = env.pfs
@@ -252,7 +258,46 @@ class TcioFile:
             self.level1.aligned_segment = None
             return
         gseg, blocks = self.level1.take()
-        self.level2.push_blocks(gseg, blocks)
+        owner = self.mapping.owner_of_segment(gseg)
+        if owner in self._unreachable_owners:
+            self._fallback_flush(gseg, blocks)
+            return
+        try:
+            self.level2.push_blocks(gseg, blocks)
+        except RetryBudgetExceeded:
+            # Graceful degradation: the segment owner is unreachable past
+            # the retry budget, so this rank's data goes to the file
+            # system directly (independent-write fallback) — the
+            # collective never wedges on a dead peer.
+            self._unreachable_owners.add(owner)
+            self._fallback_flush(gseg, blocks)
+
+    def _fallback_flush(self, gseg: int, blocks: list) -> None:
+        """Write one drained level-1 buffer straight to the PFS.
+
+        The written byte ranges are published in the shared directory so
+        the segment owner's whole-segment writeback at close skips them
+        (otherwise it would overwrite these bytes with slot zeros).
+        """
+        seg_start = self.mapping.segment_extent(gseg).start
+        ranges = self.directory.fallback_ranges.setdefault(gseg, [])
+        nbytes = sum(length for _, length, _ in blocks)
+        with self._tracer.span(
+            "tcio.fallback_flush", segment=gseg, bytes=nbytes, rank=self.env.rank
+        ):
+            for disp, length, payload in blocks:
+                pfs_retry(
+                    self.env.world,
+                    "tcio.fallback_flush",
+                    lambda t, _off=seg_start + disp, _p=payload: self.client.write(
+                        self.pfs_file, _off, _p,
+                        owner=self.env.rank, lock_timeout=t,
+                    ),
+                )
+                ranges.append((disp, disp + length))
+        if self._plan is not None:
+            self._plan.note_fallback("tcio.flush", segment=gseg, rank=self.env.rank)
+        self.stats.inc("flushed_bytes", nbytes)
 
     # ------------------------------------------------------------------
     # reads (lazy by default)
@@ -352,8 +397,13 @@ class TcioFile:
         """Make sure *gseg* is resident in level 2 (maybe loading it)."""
 
         def pfs_read(ext: Extent) -> bytes:
-            return self.client.read(
-                self.pfs_file, ext.start, ext.length, owner=self.env.rank
+            return pfs_retry(
+                self.env.world,
+                "tcio.segment_load",
+                lambda t: self.client.read(
+                    self.pfs_file, ext.start, ext.length,
+                    owner=self.env.rank, lock_timeout=t,
+                ),
             )
 
         return self.level2.ensure_loaded(gseg, pfs_read)
@@ -364,19 +414,56 @@ class TcioFile:
         requests: list[tuple[int, int, memoryview]],
         raw: Optional[bytes] = None,
     ) -> None:
-        if raw is None:
+        if raw is None and gseg not in self.directory.direct:
             raw = self._ensure_segment(gseg)
         if raw is not None:
-            # This rank performed the load: serve straight from the bytes.
+            # This rank performed the load: serve straight from the bytes
+            # (works for degraded segments too — the loader has the data).
             for disp, length, dest in requests:
                 dest[:] = raw[disp : disp + length]
             self._charge_memcpy(sum(ln for _, ln, _ in requests))
             return
+        if gseg in self.directory.direct:
+            # Degraded segment: its owner was unreachable, nothing is
+            # cached in level 2 — read straight from the file system.
+            self._fallback_fetch(gseg, requests)
+            return
         ranges = [(disp, length) for disp, length, _ in requests]
-        blocks = self.level2.pull_blocks(gseg, ranges)
+        try:
+            blocks = self.level2.pull_blocks(gseg, ranges)
+        except RetryBudgetExceeded:
+            self.directory.direct.add(gseg)
+            if self._plan is not None:
+                self._plan.note_fallback(
+                    "tcio.fetch", segment=gseg, rank=self.env.rank
+                )
+            self._fallback_fetch(gseg, requests)
+            return
         for (disp, length, dest), (_got_disp, data) in zip(requests, blocks):
             dest[:] = data[:length]
         self._charge_memcpy(sum(ln for _, ln, _ in requests))
+
+    def _fallback_fetch(
+        self, gseg: int, requests: list[tuple[int, int, memoryview]]
+    ) -> None:
+        """Serve read requests of a degraded segment directly from the PFS."""
+        seg_start = self.mapping.segment_extent(gseg).start
+        nbytes = sum(ln for _, ln, _ in requests)
+        with self._tracer.span(
+            "tcio.fallback_fetch", segment=gseg, bytes=nbytes, rank=self.env.rank
+        ):
+            for disp, length, dest in requests:
+                data = pfs_retry(
+                    self.env.world,
+                    "tcio.fallback_fetch",
+                    lambda t, _off=seg_start + disp, _n=length: self.client.read(
+                        self.pfs_file, _off, _n,
+                        owner=self.env.rank, lock_timeout=t,
+                    ),
+                )
+                dest[:] = data
+        self.stats.inc("fetched_bytes", nbytes)
+        self._charge_memcpy(nbytes)
 
     # ------------------------------------------------------------------
     # flush / close (collective)
@@ -407,12 +494,21 @@ class TcioFile:
                         continue
                     slot = self.level2.local_slot(gseg)
                     with self._tracer.span("tcio.writeback", segment=gseg):
-                        self.client.write(
-                            self.pfs_file,
-                            extent.start,
-                            slot[: stop - extent.start].tobytes(),
-                            owner=self.env.rank,
-                        )
+                        # Skip byte ranges some rank already wrote directly
+                        # (fallback flushes): the slot holds zeros there, and
+                        # a whole-segment write would clobber their data.
+                        for lo, hi in self._writeback_pieces(
+                            gseg, stop - extent.start
+                        ):
+                            pfs_retry(
+                                self.env.world,
+                                "tcio.writeback",
+                                lambda t, _off=extent.start + lo,
+                                _p=slot[lo:hi].tobytes(): self.client.write(
+                                    self.pfs_file, _off, _p,
+                                    owner=self.env.rank, lock_timeout=t,
+                                ),
+                            )
                     self.stats.inc("segment_writebacks")
                 collectives.barrier(self.comm)
             else:
@@ -431,6 +527,34 @@ class TcioFile:
             memory.free(alloc)
         self._allocs = []
         self._closed = True
+
+    def _writeback_pieces(self, gseg: int, limit: int) -> list[tuple[int, int]]:
+        """The [lo, hi) slot ranges to write back for one owned segment.
+
+        The complement, within ``[0, limit)``, of the segment's published
+        fallback ranges (the whole range when no fallback happened).
+        """
+        skips = self.directory.fallback_ranges.get(gseg)
+        if not skips:
+            return [(0, limit)]
+        merged: list[list[int]] = []
+        for start, stop in sorted(skips):
+            start, stop = max(0, min(start, limit)), max(0, min(stop, limit))
+            if stop <= start:
+                continue
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], stop)
+            else:
+                merged.append([start, stop])
+        pieces: list[tuple[int, int]] = []
+        pos = 0
+        for start, stop in merged:
+            if start > pos:
+                pieces.append((pos, start))
+            pos = stop
+        if pos < limit:
+            pieces.append((pos, limit))
+        return pieces
 
     # ------------------------------------------------------------------
     def _charge_memcpy(self, nbytes: int) -> None:

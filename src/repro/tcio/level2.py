@@ -27,7 +27,7 @@ from repro.simmpi.comm import Communicator
 from repro.simmpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Window
 from repro.tcio.mapping import SegmentMapping
 from repro.tcio.stats import TcioStats
-from repro.util.errors import TcioError
+from repro.util.errors import RetryBudgetExceeded, RmaTransientError, TcioError
 
 
 @dataclass
@@ -38,6 +38,14 @@ class SegmentDirectory:
     loaded: set[int] = field(default_factory=set)  # global segments with file data
     loading: dict[int, SimEvent] = field(default_factory=dict)
     eof: int = 0  # high-water mark of written offsets (all ranks)
+    #: Degradation state (fault recovery): segments whose owner was
+    #: unreachable past the retry budget. ``direct`` segments bypass
+    #: level 2 on reads (every rank goes straight to the PFS);
+    #: ``fallback_ranges[g]`` lists (start, stop) byte ranges within
+    #: segment *g* that some rank already wrote directly to the PFS, so
+    #: the owner's whole-segment writeback must skip them.
+    direct: set[int] = field(default_factory=set)
+    fallback_ranges: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
 
 
 class Level2Buffer:
@@ -68,6 +76,15 @@ class Level2Buffer:
         self.capacity = segments_per_process * self.segment_size
         self.data = np.zeros(self.capacity, dtype=np.uint8)
         self.window = Window(comm, self.data)
+        self.faults = getattr(comm.world, "faults", None)
+
+    def _retry_rma(self, what: str, op):
+        """Run one RMA sequence, retrying transient failures when faults
+        are armed (RetryBudgetExceeded propagates to the recovery layer in
+        tcio/file.py). Without a fault plan: a plain call."""
+        if self.faults is None:
+            return op(0)
+        return self.faults.retry_call(op, retry_on=RmaTransientError, what=what)
 
     # ------------------------------------------------------------------
     # placement helpers
@@ -124,15 +141,22 @@ class Level2Buffer:
                     now = self.comm.world.engine.now
                     if finish > now:
                         current_process().sleep(finish - now)
-                self.window.lock(owner, LOCK_EXCLUSIVE)
-                if self.combine_indexed:
-                    self.window.put_indexed(targets, owner)
-                else:
-                    # Ablation: one Put per block ("a large number of network
-                    # connections, which would in turn degrade performance").
-                    for off, payload in targets:
-                        self.window.put(payload, owner, off)
-                self.window.unlock(owner)
+
+                def attempt(_attempt: int) -> None:
+                    self.window.lock(owner, LOCK_EXCLUSIVE)
+                    try:
+                        if self.combine_indexed:
+                            self.window.put_indexed(targets, owner)
+                        else:
+                            # Ablation: one Put per block ("a large number of
+                            # network connections, which would in turn degrade
+                            # performance").
+                            for off, payload in targets:
+                                self.window.put(payload, owner, off)
+                    finally:
+                        self.window.unlock(owner)
+
+                self._retry_rma(f"tcio.push(seg={global_segment})", attempt)
             self.stats.inc("remote_flushes")
             self.stats.inc("put_blocks", len(blocks))
         self.stats.inc("flushed_bytes", nbytes)
@@ -151,7 +175,11 @@ class Level2Buffer:
         concurrently) loaded.
         """
         d = self.directory
-        if global_segment in d.loaded or global_segment in d.dirty:
+        if (
+            global_segment in d.loaded
+            or global_segment in d.dirty
+            or global_segment in d.direct
+        ):
             return None
         event = d.loading.get(global_segment)
         if event is not None:
@@ -166,21 +194,41 @@ class Level2Buffer:
             payload = pfs_read(extent)
             owner = self.mapping.owner_of_segment(global_segment)
             base = self._slot_base(global_segment)
+            degraded = False
             if owner == self.rank:
                 self.local_slot(global_segment)[: len(payload)] = np.frombuffer(
                     payload, dtype=np.uint8
                 )
             else:
-                self.window.lock(owner, LOCK_EXCLUSIVE)
-                self.window.put(payload, owner, base)
-                self.window.unlock(owner)
+
+                def attempt(_attempt: int) -> None:
+                    self.window.lock(owner, LOCK_EXCLUSIVE)
+                    try:
+                        self.window.put(payload, owner, base)
+                    finally:
+                        self.window.unlock(owner)
+
+                try:
+                    self._retry_rma(f"tcio.load(seg={global_segment})", attempt)
+                except RetryBudgetExceeded:
+                    # The owner is unreachable: don't cache in level 2 at
+                    # all — mark the segment direct so every reader goes
+                    # straight to the PFS (the data IS in the file).
+                    degraded = True
             # The loaded flag may only become visible once the put has
             # landed; unlock charges the drain lazily, so settle before
             # publishing.
             from repro.sim.engine import current_process
 
             current_process().settle()
-        d.loaded.add(global_segment)
+        if degraded:
+            d.direct.add(global_segment)
+            if self.faults is not None:
+                self.faults.note_fallback(
+                    "tcio.load", segment=global_segment, owner=owner
+                )
+        else:
+            d.loaded.add(global_segment)
         del d.loading[global_segment]
         event.fire()
         self.stats.inc("segment_loads")
@@ -205,17 +253,22 @@ class Level2Buffer:
         with self.tracer.span(
             "tcio.pull", segment=global_segment, target=owner, bytes=nbytes
         ):
-            self.window.lock(owner, LOCK_SHARED)
-            if self.combine_indexed:
-                got = self.window.get_indexed(
-                    [(base + disp, ln) for disp, ln in ranges], owner
-                )
-            else:
-                got = [
-                    (base + disp, self.window.get(owner, base + disp, ln))
-                    for disp, ln in ranges
-                ]
-            self.window.unlock(owner)
+
+            def attempt(_attempt: int) -> list[tuple[int, bytes]]:
+                self.window.lock(owner, LOCK_SHARED)
+                try:
+                    if self.combine_indexed:
+                        return self.window.get_indexed(
+                            [(base + disp, ln) for disp, ln in ranges], owner
+                        )
+                    return [
+                        (base + disp, self.window.get(owner, base + disp, ln))
+                        for disp, ln in ranges
+                    ]
+                finally:
+                    self.window.unlock(owner)
+
+            got = self._retry_rma(f"tcio.pull(seg={global_segment})", attempt)
         self.stats.inc("get_blocks", len(ranges))
         self.stats.inc("fetched_bytes", nbytes)
         return [(off - base, data) for off, data in got]

@@ -41,12 +41,58 @@ class RmaError(MpiError):
     """Invalid one-sided access: unlocked window, out-of-range target..."""
 
 
+class RmaTransientError(RmaError):
+    """An injected, retryable one-sided transfer failure.
+
+    Models a lost completion / NIC-level failure of a put or get: the
+    epoch is still consistent, so the origin may simply retry the
+    operation (possibly in a fresh lock epoch).
+    """
+
+    def __init__(self, op: str, origin: int, target: int):
+        self.op = op
+        self.origin = origin
+        self.target = target
+        super().__init__(f"transient RMA {op} failure: origin {origin} -> target {target}")
+
+
 class DatatypeError(MpiError):
     """Malformed derived datatype definition."""
 
 
 class PfsError(ReproError):
     """Parallel-file-system failure (unknown file, bad extent, mode error)."""
+
+
+class LockTimeout(PfsError):
+    """An extent-lock request expired before the grant arrived.
+
+    The waiter is removed from the lock queue (no orphaned entry is left
+    behind); callers typically retry with backoff via a
+    :class:`repro.faults.RetryPolicy`.
+    """
+
+    def __init__(self, owner: int, extent, timeout: float):
+        self.owner = owner
+        self.extent = extent
+        self.timeout = timeout
+        super().__init__(
+            f"lock request of owner {owner} on {extent} timed out after {timeout:g}s"
+        )
+
+
+class RetryBudgetExceeded(ReproError):
+    """An operation kept failing after exhausting its retry budget.
+
+    Carries the final underlying error as ``__cause__``; recovery layers
+    catch this to trigger graceful degradation (e.g. TCIO's
+    independent-write fallback).
+    """
+
+    def __init__(self, what: str, attempts: int):
+        self.what = what
+        self.attempts = attempts
+        super().__init__(f"{what}: still failing after {attempts} attempts")
 
 
 class MpiIoError(ReproError):

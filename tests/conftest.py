@@ -64,6 +64,18 @@ def make_instant_cluster(**kwargs) -> ClusterSpec:
     return replace(base, network=INSTANT)
 
 
+def run_small(n, fn, **kw):
+    """Run *fn* on *n* ranks of the default small test cluster.
+
+    The shared replacement for the per-module ``run()`` helpers the tcio
+    and mpiio test files used to copy around.
+    """
+    from repro.simmpi import run_mpi
+
+    kw.setdefault("cluster", make_test_cluster())
+    return run_mpi(n, fn, **kw)
+
+
 @pytest.fixture
 def test_cluster() -> ClusterSpec:
     return make_test_cluster()
@@ -72,3 +84,18 @@ def test_cluster() -> ClusterSpec:
 @pytest.fixture
 def instant_cluster() -> ClusterSpec:
     return make_instant_cluster()
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    """The default small test cluster (4 nodes x 4 cores, 8 OSTs)."""
+    return make_test_cluster()
+
+
+@pytest.fixture
+def seeded_rng(request):
+    """A per-test deterministic RNG: seeded from the test's own node id,
+    so results are stable under any test ordering or selection."""
+    from repro.util.rng import seeded_rng as make_rng
+
+    return make_rng(0, "tests", request.node.name)

@@ -4,17 +4,11 @@ import pytest
 
 from repro.mpiio import IoHints, MODE_CREATE, MODE_RDWR, MpiFile
 from repro.mpiio.twophase import FileDomains
-from repro.simmpi import run_mpi
 from repro.simmpi import collectives as coll
 from repro.simmpi.datatypes import BYTE, Contiguous
 from repro.util.errors import MpiIoError
 from repro.util.intervals import Extent
-from tests.conftest import make_test_cluster
-
-
-def run(n, fn, **kw):
-    kw.setdefault("cluster", make_test_cluster())
-    return run_mpi(n, fn, **kw)
+from tests.conftest import run_small as run
 
 
 class TestFileDomains:

@@ -21,12 +21,7 @@ from repro.tcio import (
     tcio_write_at,
 )
 from repro.util.errors import TcioError
-from tests.conftest import make_test_cluster
-
-
-def run(n, fn, **kw):
-    kw.setdefault("cluster", make_test_cluster())
-    return run_mpi(n, fn, **kw)
+from tests.conftest import make_test_cluster, run_small as run
 
 
 def cfg_for(total, nranks, segment=64):

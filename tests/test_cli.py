@@ -23,6 +23,16 @@ class TestCli:
         assert main(["bench", "--method", "0", "--procs", "4", "--len", "64"]) == 0
         assert "OCIO" in capsys.readouterr().out
 
+    def test_faults_bench(self, capsys):
+        assert main(
+            ["faults", "bench", "--seed", "1", "--rate", "0.2",
+             "--procs", "4", "--len", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faulted TCIO" in out
+        assert "verified OK" in out
+        assert "injected=" in out
+
     def test_table3(self, capsys):
         assert main(["table3"]) == 0
         out = capsys.readouterr().out
