@@ -196,6 +196,29 @@ class TestOcioKnobs:
         assert all_aggs > 0 and few_aggs > 0
 
 
+class TestNodeAggregation:
+    """repro.topo's leader routing vs the paper's flat exchanges.
+
+    The acceptance bar from docs/topology.md: at 64 ranks with 4 ranks
+    per node and node-collapsible blocks (block = stripe / 4), routing
+    cross-node traffic through per-node leaders must cut both fabric
+    messages and connections by >= 2x for TCIO and OCIO, byte-identical.
+    """
+
+    def test_node_mode_halves_messages_and_connections(self, benchmark):
+        from repro.experiments.topo_ablation import run_topo_ablation
+
+        data = once(benchmark, run_topo_ablation, procs=64, cores_per_node=4)
+        print("\n" + data.render())
+        assert data.check()
+        for method in ("TCIO", "OCIO"):
+            flat, node = data.row(method, "flat"), data.row(method, "node")
+            assert flat.messages >= 2 * node.messages, method
+            assert flat.connections >= 2 * node.connections, method
+            # Fewer, larger messages must not blow up the simulated time.
+            assert node.seconds <= flat.seconds * 1.25, method
+
+
 class TestRoundsTradeOff:
     """ROMIO's cb_buffer_size rounds: memory bounded, exchanges multiplied."""
 

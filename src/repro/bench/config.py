@@ -55,8 +55,14 @@ class BenchConfig:
     size_access: int = 1
     nprocs: int = 2
     file_name: str = "bench.dat"
+    #: Intra-node aggregation mode: "flat" (the paper's designs as-is) or
+    #: "node" (route cross-node traffic through per-node leaders — maps to
+    #: TcioConfig.aggregation and IoHints.cb_aggregation; docs/topology.md).
+    aggregation: str = "flat"
 
     def __post_init__(self) -> None:
+        if self.aggregation not in ("flat", "node"):
+            raise BenchmarkError("aggregation must be 'flat' or 'node'")
         if self.num_arrays < 1:
             raise BenchmarkError("NUMarray must be >= 1")
         if self.len_array < 1:

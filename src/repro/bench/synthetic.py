@@ -11,7 +11,7 @@ Every run verifies the shared file byte-for-byte against
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -19,7 +19,7 @@ import numpy as np
 from repro.bench.config import BenchConfig, Method
 from repro.cluster.spec import ClusterSpec
 from repro.faults import FaultPlan, FaultSpec
-from repro.mpiio import MpiFile, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpiio import IoHints, MpiFile, MODE_CREATE, MODE_RDONLY, MODE_RDWR
 from repro.simmpi import collectives
 from repro.simmpi.datatypes import BYTE, Contiguous
 from repro.simmpi.mpi import MpiRunResult, RankEnv, run_mpi
@@ -85,6 +85,11 @@ def _combine_buffer(cfg: BenchConfig, rank: int, env: RankEnv) -> bytes:
     return blocks.tobytes()
 
 
+def _bench_hints(cfg: BenchConfig) -> IoHints:
+    """The collective-I/O hints a benchmark config implies."""
+    return IoHints(cb_aggregation=cfg.aggregation)
+
+
 def _ocio_write(env: RankEnv, cfg: BenchConfig) -> None:
     """Program 2: combine + file view + one collective write."""
     rank, P = env.rank, env.size
@@ -93,7 +98,7 @@ def _ocio_write(env: RankEnv, cfg: BenchConfig) -> None:
     buf = _combine_buffer(cfg, rank, env)
     etype = Contiguous(cfg.block_size, BYTE)
     filetype = etype.vector(cfg.len_array // cfg.size_access, 1, P)
-    fh = MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE)
+    fh = MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE, _bench_hints(cfg))
     fh.set_view(rank * cfg.block_size, etype, filetype)
     fh.write_all(buf)
     fh.close()
@@ -106,7 +111,7 @@ def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
     combine_alloc = memory.allocate(rank, cfg.bytes_per_process, "app.combine")
     etype = Contiguous(cfg.block_size, BYTE)
     filetype = etype.vector(cfg.len_array // cfg.size_access, 1, P)
-    fh = MpiFile.open(env, cfg.file_name, MODE_RDONLY)
+    fh = MpiFile.open(env, cfg.file_name, MODE_RDONLY, _bench_hints(cfg))
     fh.set_view(rank * cfg.block_size, etype, filetype)
     data = fh.read_all(cfg.len_array // cfg.size_access, etype)
     fh.close()
@@ -119,7 +124,19 @@ def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
 
 def _tcio_config(cfg: BenchConfig, env: RankEnv) -> TcioConfig:
     stripe = env.pfs.spec.stripe_size
-    return TcioConfig.sized_for(cfg.total_bytes, env.size, stripe)
+    sized = TcioConfig.sized_for(cfg.total_bytes, env.size, stripe)
+    if cfg.aggregation == "flat":
+        return sized
+    # Node mode: size the staging buffer to hold a whole node's share of
+    # the file, so no deposit has to fall back on capacity in a single
+    # write-then-close run (the benchmark has no mid-run flush).
+    node_of = env.world.node_of[: env.size]
+    ranks_per_node = max(node_of.count(n) for n in set(node_of))
+    return replace(
+        sized,
+        aggregation="node",
+        staging_segments=max(32, sized.segments_per_process * ranks_per_node),
+    )
 
 
 def _tcio_write(env: RankEnv, cfg: BenchConfig) -> dict:

@@ -103,6 +103,7 @@ def cmd_bench(args) -> int:
         len_array=args.len,
         size_access=args.access,
         nprocs=args.procs,
+        aggregation=args.aggregation,
     )
     result = run_benchmark(cfg)
     if result.failed:
@@ -135,7 +136,21 @@ def cmd_faults(args) -> int:
         len_array=args.len,
         method=args.method,
         lock_timeout=args.lock_timeout,
+        aggregation=args.aggregation,
     )
+
+
+def cmd_topo(args) -> int:
+    """Run the flat-vs-node aggregation ablation and check the reduction."""
+    from repro.experiments.topo_ablation import run_topo_ablation
+
+    data = run_topo_ablation(
+        procs=args.procs,
+        cores_per_node=args.cores_per_node,
+        len_array=args.len,
+    )
+    print(data.render())
+    return 0 if data.check() else 1
 
 
 def cmd_trace(args) -> int:
@@ -178,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arrays", type=int, default=2, help="NUMarray")
     p.add_argument("--types", default="i,d", help="TYPEarray codes")
     p.add_argument("--access", type=int, default=1, help="SIZEaccess")
+    p.add_argument(
+        "--aggregation", choices=["flat", "node"], default="flat",
+        help="intra-node aggregation mode (docs/topology.md)",
+    )
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -196,7 +215,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--lock-timeout", type=float, default=2e-3,
         help="extent-lock wait bound (simulated seconds)",
     )
+    p.add_argument(
+        "--aggregation", choices=["flat", "node"], default="flat",
+        help="intra-node aggregation mode (docs/topology.md)",
+    )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "topo", help="flat-vs-node aggregation ablation (message counts)"
+    )
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument(
+        "--cores-per-node", type=int, default=4, help="simulated ranks per node"
+    )
+    p.add_argument("--len", type=int, default=1024, help="LENarray (elements)")
+    p.set_defaults(fn=cmd_topo)
 
     p = sub.add_parser(
         "trace", help="scaled-down experiment with tracing -> Chrome trace JSON"

@@ -12,6 +12,7 @@ from repro.experiments.fig6_7_filesize import run_fig6_7, Fig67Data
 from repro.experiments.fig9_10_art import run_fig9_10, Fig910Data
 from repro.experiments.table3_comparison import build_table3
 from repro.experiments.programs_loc import program_listings
+from repro.experiments.topo_ablation import run_topo_ablation, TopoAblationData
 
 __all__ = [
     "ExperimentScale",
@@ -25,4 +26,6 @@ __all__ = [
     "Fig910Data",
     "build_table3",
     "program_listings",
+    "run_topo_ablation",
+    "TopoAblationData",
 ]

@@ -28,6 +28,7 @@ def run_faulted(
     access: int = 1,
     method: str = "tcio",
     lock_timeout: float = 2e-3,
+    aggregation: str = "flat",
 ) -> int:
     """Run one fault-injected benchmark point; 0 when it verified."""
     from repro.bench import BenchConfig, Method, run_benchmark
@@ -42,6 +43,7 @@ def run_faulted(
         len_array=len_array,
         size_access=access,
         nprocs=procs,
+        aggregation=aggregation,
     )
     # Rank 1 owns global segment 1 under TCIO's g % P placement whenever
     # the file spans at least two segments, so making it unreachable

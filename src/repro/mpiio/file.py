@@ -61,6 +61,7 @@ class MpiFile:
         self.view = FileView()
         self._position = 0  # individual file pointer, in etypes
         self._closed = False
+        self._nodex = None  # lazy NodeExchange (hints.cb_aggregation="node")
         node = env.world.node_of[env.rank]
         self.client: PfsClient = env.pfs.client(node)
 

@@ -36,6 +36,15 @@ class IoHints:
         many bytes (ROMIO's ``cb_buffer_size``); ``None`` reproduces the
         paper's memory model where the temp buffer holds the whole file
         domain (the Fig. 6 OOM).
+    cb_aggregation:
+        ``"flat"`` (default, the paper's OCIO) exchanges data rank-to-
+        aggregator over the fabric, counts first. ``"node"`` stages
+        remote-bound pieces in a per-node buffer and lets one leader per
+        node ship a single coalesced message per remote aggregator over a
+        fixed, data-independent edge set (no counts exchange), and spreads
+        the ``cb_nodes`` aggregators round-robin across nodes instead of
+        packing them onto the lowest ranks. See ``docs/topology.md``.
+        Incompatible with ``cb_rounds_buffer`` (rounds stay flat-only).
     """
 
     ds_read: bool = True
@@ -44,6 +53,7 @@ class IoHints:
     cb_nodes: Optional[int] = None
     cb_align_stripes: bool = True
     cb_rounds_buffer: Optional[int] = None
+    cb_aggregation: str = "flat"
 
     def validate(self) -> None:
         """Raise ValueError on out-of-range hints."""
@@ -53,3 +63,9 @@ class IoHints:
             raise ValueError("cb_nodes must be >= 1")
         if self.cb_rounds_buffer is not None and self.cb_rounds_buffer < 1:
             raise ValueError("cb_rounds_buffer must be >= 1")
+        if self.cb_aggregation not in ("flat", "node"):
+            raise ValueError("cb_aggregation must be 'flat' or 'node'")
+        if self.cb_aggregation == "node" and self.cb_rounds_buffer is not None:
+            raise ValueError(
+                "cb_aggregation='node' is incompatible with cb_rounds_buffer"
+            )

@@ -27,6 +27,13 @@ from repro.faults.retry import pfs_retry
 from repro.obs.spans import NULL_TRACER
 from repro.simmpi import collectives
 from repro.simmpi.comm import CTX_COLL, pack_object, unpack_object, wait_all
+from repro.topo import (
+    NodeTopology,
+    StagingBuffer,
+    charge_staging_copy,
+    coalesce_blocks,
+    split_by_node,
+)
 from repro.util.errors import MpiIoError
 from repro.util.intervals import Extent
 
@@ -82,6 +89,114 @@ class FileDomains:
         return out
 
 
+def spread_aggregators(topo: NodeTopology, naggs: int) -> list[int]:
+    """Topology-aware aggregator placement: round-robin across nodes.
+
+    The flat path puts the ``cb_nodes`` aggregators on ranks
+    ``0..naggs-1``, which packs them onto the first few nodes — every
+    exchange message then converges on those NICs. Taking the k-th rank
+    of each node in turn (leaders first) spreads the aggregators over as
+    many nodes as possible, and guarantees one aggregator per node
+    whenever ``naggs >= n_nodes``.
+    """
+    per_node = [topo.ranks_on_node(n) for n in topo.nodes]
+    out: list[int] = []
+    k = 0
+    while len(out) < naggs:
+        for members in per_node:
+            if k < len(members):
+                out.append(members[k])
+                if len(out) == naggs:
+                    break
+        k += 1
+    return out
+
+
+class NodeExchange:
+    """Per-handle state of the node-aggregated exchange (``cb_aggregation``).
+
+    The exchange replaces the flat counts-alltoall + rank-to-aggregator
+    data pattern with a **fixed, data-independent edge set**:
+
+    * ranks sharing the aggregator's node send to it directly (intra-node);
+    * every other node contributes exactly one message, sent by its leader,
+      who coalesces the node's staged pieces (``repro.topo``);
+    * a node whose leader is in the *down* set (``FaultSpec.
+      unreachable_ranks`` — static and globally known, so every rank
+      computes the same edges) degrades to flat: its members each send
+      directly instead of staging.
+
+    Because the edges are known from topology alone, every edge is always
+    sent (possibly empty) and the counts exchange disappears — that
+    alltoall alone costs P(P-1) messages regardless of payload.
+    """
+
+    def __init__(self, mf: "MpiFile"):
+        comm = mf.comm
+        self.comm = comm
+        self.topo = NodeTopology.from_comm(comm)
+        self.node_comm = split_by_node(comm, self.topo)
+        self.node = self.topo.node_of_rank(comm.rank)
+        self.leader = self.topo.leader_of(self.node)  # comm rank
+        self.is_leader = comm.rank == self.leader
+        plan = getattr(mf.env.world, "faults", None)
+        self.down: set[int] = (
+            set(plan.spec.unreachable_ranks) if plan is not None else set()
+        )
+        self.stage: StagingBuffer = mf.env.world.shared.setdefault(
+            ("ocio-stage", comm._comm_id, self.node),
+            StagingBuffer(self.node, comm.world_rank(self.leader)),
+        )
+        self._seq = 0
+
+    @property
+    def active(self) -> bool:
+        """False on a single node — everything is intra-node already."""
+        return self.topo.n_nodes > 1
+
+    def next_seq(self) -> int:
+        """A per-collective-call staging-key counter (lockstep on all ranks)."""
+        self._seq += 1
+        return self._seq
+
+    def leader_down(self, node: int) -> bool:
+        """True when *node*'s leader is in the static down set."""
+        return self.comm.world_rank(self.topo.leader_of(node)) in self.down
+
+    def routes_direct(self, sender: int, agg: int) -> bool:
+        """Whether *sender* messages aggregator *agg* itself (comm ranks)."""
+        return self.topo.same_node(sender, agg) or self.leader_down(
+            self.topo.node_of_rank(sender)
+        )
+
+    def senders_for(self, agg: int) -> list[int]:
+        """The comm ranks expected to message aggregator *agg* (fixed edges)."""
+        out: list[int] = []
+        a_node = self.topo.node_of_rank(agg)
+        for n in self.topo.nodes:
+            members = self.topo.ranks_on_node(n)
+            if n == a_node:
+                out.extend(r for r in members if r != agg)
+            elif self.leader_down(n):
+                out.extend(members)
+            else:
+                out.append(self.topo.leader_of(n))
+        return out
+
+
+def _get_node_exchange(mf: "MpiFile") -> Optional[NodeExchange]:
+    """The handle's NodeExchange, or None when the flat path applies.
+
+    Built lazily at the first collective call (its ``split_by_node`` is
+    collective, and every rank reaches this point in lockstep).
+    """
+    if mf.hints.cb_aggregation != "node":
+        return None
+    if mf._nodex is None:
+        mf._nodex = NodeExchange(mf)
+    return mf._nodex if mf._nodex.active else None
+
+
 def _setup(mf: "MpiFile", stream_pos: int, nbytes: int):
     """Common prologue: local pieces, global region, file domains."""
     comm = mf.comm
@@ -110,6 +225,9 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     """Collective write of *data* at view stream position *stream_pos*."""
     if mf.hints.cb_rounds_buffer is not None:
         return write_all_rounds(mf, stream_pos, data)
+    nx = _get_node_exchange(mf)
+    if nx is not None:
+        return _write_all_node(mf, stream_pos, data, nx)
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
@@ -207,8 +325,133 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     collectives.barrier(comm)
 
 
+def _write_all_node(
+    mf: "MpiFile", stream_pos: int, data: bytes, nx: NodeExchange
+) -> None:
+    """Collective write with node-aggregated exchange (see NodeExchange)."""
+    comm = mf.comm
+    rank = comm.rank
+    world = mf.env.world
+    tracer = world.trace.tracer if world.trace is not None else NULL_TRACER
+    t0 = world.engine.now
+    pieces, domains = _setup(mf, stream_pos, len(data))
+    if domains is None:
+        collectives.barrier(comm)
+        return
+    aggs = spread_aggregators(nx.topo, domains.naggs)
+    my_agg = {a: i for i, a in enumerate(aggs)}.get(rank)
+
+    # ---- split local pieces by file domain --------------------------
+    send_lists: dict[int, list[tuple[int, bytes]]] = {}
+    for ext, mem_off in pieces:
+        for di, piece in domains.split(ext):
+            block = data[
+                mem_off + (piece.start - ext.start) : mem_off + (piece.stop - ext.start)
+            ]
+            send_lists.setdefault(di, []).append((piece.start, block))
+    _copy_cost(mf, sum(e.length for e, _ in pieces))  # pack into messages
+
+    # ---- stage remote-bound pieces with the node leader -------------
+    seq = nx.next_seq()
+    tag = collectives._next_tag(comm)
+    for di, agg in enumerate(aggs):
+        lst = send_lists.get(di)
+        if not lst or nx.routes_direct(rank, agg):
+            continue
+        nbytes = sum(len(b) for _, b in lst)
+        charge_staging_copy(world, mf.env.rank, nbytes)
+        alloc = world.memory.allocate(mf.env.rank, nbytes, "topo.staging")
+        nx.stage.deposit(("w", seq, di), lst, nbytes, allocation=alloc)
+    collectives.barrier(nx.node_comm)  # deposits visible to the leader
+
+    # ---- fixed-edge exchange ----------------------------------------
+    my_domain: Optional[Extent] = None
+    tempbuf = None
+    alloc = None
+    recv_reqs = []
+    if my_agg is not None:
+        my_domain = domains.domain(my_agg)
+        alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
+        tempbuf = bytearray(my_domain.length)
+        recv_reqs = [
+            (src, comm.irecv(src, tag, context=CTX_COLL))
+            for src in nx.senders_for(rank)
+        ]
+    for di, agg in enumerate(aggs):  # direct edges: always send, even empty
+        if agg != rank and nx.routes_direct(rank, agg):
+            comm.isend(
+                pack_object(send_lists.get(di, [])), agg, tag, context=CTX_COLL
+            )
+    if nx.is_leader and not nx.leader_down(nx.node):
+        # One coalesced message per remote-node aggregator (always sent:
+        # the edge set is fixed, so empty drains still close the edge).
+        for di, agg in enumerate(aggs):
+            if nx.topo.node_of_rank(agg) == nx.node:
+                continue
+            staged = nx.stage.drain(("w", seq, di))
+            nbytes = sum(len(b) for _, b in staged)
+            if nbytes:
+                charge_staging_copy(world, mf.env.rank, nbytes)  # pickup
+            merged = coalesce_blocks(staged)
+            comm.isend(pack_object(merged), agg, tag, context=CTX_COLL)
+            for stale in nx.stage.drain_allocs(("w", seq, di)):
+                world.memory.free(stale)
+            if world.trace is not None:
+                world.trace.count("topo.drain.messages")
+                world.trace.count("topo.drain.bytes", nbytes)
+
+    # ---- aggregator assembly + I/O phase ----------------------------
+    if my_domain is not None and tempbuf is not None:
+        local = send_lists.get(my_agg, [])
+        with tracer.span("topo.exchange", peers=len(recv_reqs)):
+            wait_all([req for _, req in recv_reqs])
+        incoming = [local] + [unpack_object(req.payload) for _, req in recv_reqs]
+        covered = 0
+        for lst in incoming:
+            for off, block in lst:
+                lo = off - my_domain.start
+                tempbuf[lo : lo + len(block)] = block
+                covered += len(block)
+        _copy_cost(mf, covered)
+        if my_domain.length > 0:
+            with tracer.span("ocio.io", bytes=my_domain.length):
+                if covered < my_domain.length:
+                    existing = pfs_retry(
+                        world,
+                        "ocio.io.read",
+                        lambda t: mf.client.read(
+                            mf.pfs_file, my_domain.start, my_domain.length,
+                            owner=rank, lock_timeout=t,
+                        ),
+                    )
+                    merged_buf = bytearray(existing)
+                    for lst in incoming:
+                        for off, block in lst:
+                            lo = off - my_domain.start
+                            merged_buf[lo : lo + len(block)] = block
+                    tempbuf = merged_buf
+                payload = bytes(tempbuf)
+                pfs_retry(
+                    world,
+                    "ocio.io.write",
+                    lambda t: mf.client.write(
+                        mf.pfs_file, my_domain.start, payload,
+                        owner=rank, lock_timeout=t,
+                    ),
+                )
+        world.memory.free(alloc)
+
+    if world.trace is not None:
+        world.trace.count("ocio.write_all", len(data))
+        world.trace.complete("ocio.write_all", t0, world.engine.now, bytes=len(data))
+    collectives.barrier(comm)
+
+
 def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
     """Collective read; returns the requested view-stream bytes."""
+    nx = _get_node_exchange(mf)
+    if nx is not None:
+        return _read_all_node(mf, stream_pos, nbytes, nx)
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
@@ -274,6 +517,129 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
             by_offset[off] = block
     for ext, mem_off in pieces:
         for _agg, piece in domains.split(ext):
+            block = by_offset[piece.start]
+            lo = mem_off + (piece.start - ext.start)
+            out[lo : lo + len(block)] = block
+    _copy_cost(mf, sum(e.length for e, _ in pieces))
+    if world.trace is not None:
+        world.trace.count("ocio.read_all", nbytes)
+        world.trace.complete("ocio.read_all", t0, world.engine.now, bytes=nbytes)
+    return bytes(out)
+
+
+def _read_all_node(
+    mf: "MpiFile", stream_pos: int, nbytes: int, nx: NodeExchange
+) -> bytes:
+    """Collective read with node-aggregated requests (see NodeExchange).
+
+    Requests ride the same fixed edge set as the write exchange — same-node
+    ranks ask their aggregator directly, every other node's leader merges
+    its members' requests into one message. Request messages are lists of
+    ``(src, [(offset, length), ...])`` pairs so the aggregator can reply to
+    each requester directly; replies exist only for nonempty requests (the
+    requester knows whether it asked, so the edge needs no counts round).
+    """
+    comm = mf.comm
+    rank, size = comm.rank, comm.size
+    world = mf.env.world
+    t0 = world.engine.now
+    pieces, domains = _setup(mf, stream_pos, nbytes)
+    if domains is None:
+        return b""
+    aggs = spread_aggregators(nx.topo, domains.naggs)
+    my_agg = {a: i for i, a in enumerate(aggs)}.get(rank)
+
+    request_lists: dict[int, list[tuple[int, int]]] = {}
+    for ext, _mem in pieces:
+        for di, piece in domains.split(ext):
+            request_lists.setdefault(di, []).append((piece.start, piece.length))
+
+    # ---- ship requests over the fixed edges -------------------------
+    seq = nx.next_seq()
+    tag = collectives._next_tag(comm)  # requests
+    tag2 = collectives._next_tag(comm)  # replies
+    for di, agg in enumerate(aggs):
+        lst = request_lists.get(di)
+        if lst and not nx.routes_direct(rank, agg):
+            nx.stage.deposit(("r", seq, di), [(rank, lst)], 0)
+    collectives.barrier(nx.node_comm)
+
+    req_reqs = []
+    if my_agg is not None:
+        req_reqs = [
+            (src, comm.irecv(src, tag, context=CTX_COLL))
+            for src in nx.senders_for(rank)
+        ]
+    for di, agg in enumerate(aggs):  # direct request edges: always send
+        if agg != rank and nx.routes_direct(rank, agg):
+            lst = request_lists.get(di)
+            comm.isend(
+                pack_object([(rank, lst)] if lst else []),
+                agg, tag, context=CTX_COLL,
+            )
+    if nx.is_leader and not nx.leader_down(nx.node):
+        for di, agg in enumerate(aggs):
+            if nx.topo.node_of_rank(agg) == nx.node:
+                continue
+            merged = nx.stage.drain(("r", seq, di))
+            comm.isend(pack_object(merged), agg, tag, context=CTX_COLL)
+            if world.trace is not None:
+                world.trace.count("topo.drain.messages")
+
+    # Reply irecvs: one per aggregator this rank asked (nonempty only).
+    reply_reqs = [
+        (aggs[di], comm.irecv(aggs[di], tag2, context=CTX_COLL))
+        for di in sorted(request_lists)
+        if aggs[di] != rank
+    ]
+
+    # ---- aggregators read their domains and serve --------------------
+    served_local: list[tuple[int, bytes]] = []
+    if my_agg is not None:
+        my_domain = domains.domain(my_agg)
+        wait_all([req for _, req in req_reqs])
+        in_pairs: list[tuple[int, list[tuple[int, int]]]] = []
+        local = request_lists.get(my_agg)
+        if local:
+            in_pairs.append((rank, local))
+        for _src, req in req_reqs:
+            in_pairs.extend(unpack_object(req.payload))
+        if in_pairs and my_domain.length > 0:
+            alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
+            blob = pfs_retry(
+                world,
+                "ocio.read.domain",
+                lambda t: mf.client.read(
+                    mf.pfs_file, my_domain.start, my_domain.length,
+                    owner=rank, lock_timeout=t,
+                ),
+            )
+            for src, lst in in_pairs:
+                blocks = [
+                    (off, blob[off - my_domain.start : off - my_domain.start + ln])
+                    for off, ln in lst
+                ]
+                _copy_cost(mf, sum(ln for _, ln in lst))
+                if src == rank:
+                    served_local = blocks
+                else:
+                    comm.isend(pack_object(blocks), src, tag2, context=CTX_COLL)
+            world.memory.free(alloc)
+
+    # ---- assemble the local result ------------------------------------
+    received: dict[int, list[tuple[int, bytes]]] = {}
+    if served_local:
+        received[rank] = served_local
+    wait_all([req for _, req in reply_reqs])
+    for agg, req in reply_reqs:
+        received[agg] = unpack_object(req.payload)
+    out = bytearray(nbytes)
+    by_offset: dict[int, bytes] = {}
+    for blocks in received.values():
+        for off, block in blocks:
+            by_offset[off] = block
+    for ext, mem_off in pieces:
+        for _di, piece in domains.split(ext):
             block = by_offset[piece.start]
             lo = mem_off + (piece.start - ext.start)
             out[lo : lo + len(block)] = block

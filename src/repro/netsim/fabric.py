@@ -148,3 +148,20 @@ class Fabric:
         """Delivery time for a zero-payload control message (handshakes,
         lock requests). Shares ports/latency but carries no data bytes."""
         return self.delivery_time(src, dst, 0, rma=rma)
+
+    def staging_copy(self, rank: int, nbytes: int) -> float:
+        """Reserve *rank*'s node memory engine for one staging memcpy.
+
+        Intra-node aggregation (``repro.topo``) moves data between ranks of
+        one node through shared staging buffers. Those copies contend with
+        intra-node messages for the node's memcpy bandwidth, but they are
+        not fabric messages: they count ``topo.staging.bytes`` instead of
+        ``net.msg``/``net.intranode``. Returns the absolute completion time.
+        """
+        if nbytes < 0:
+            raise SimulationError("negative staging copy size")
+        node = self._node(rank)
+        t = self.memory[node].reserve(self.engine.now, nbytes, None)
+        if self.trace is not None and nbytes > 0:
+            self.trace.count("topo.staging.bytes", nbytes)
+        return t

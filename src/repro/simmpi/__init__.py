@@ -29,7 +29,14 @@ from repro.simmpi.datatypes import (
     type_from_code,
 )
 from repro.simmpi.comm import Communicator, Request, Status, ANY_SOURCE, ANY_TAG, wait_all
-from repro.simmpi.group import GroupSpec, SubCommunicator, comm_split, comm_from_ranks
+from repro.simmpi.group import (
+    COMM_TYPE_SHARED,
+    GroupSpec,
+    SubCommunicator,
+    comm_split,
+    comm_split_type,
+    comm_from_ranks,
+)
 from repro.simmpi.rma import Window, LOCK_EXCLUSIVE, LOCK_SHARED
 from repro.simmpi.mpi import MpiWorld, MpiRunResult, run_mpi
 
@@ -59,6 +66,8 @@ __all__ = [
     "GroupSpec",
     "SubCommunicator",
     "comm_split",
+    "comm_split_type",
+    "COMM_TYPE_SHARED",
     "comm_from_ranks",
     "ANY_SOURCE",
     "ANY_TAG",

@@ -29,6 +29,7 @@ import numpy as np
 from repro.faults.retry import pfs_retry
 from repro.memsim.memory import Allocation
 from repro.obs.spans import NULL_TRACER
+from repro.sim.engine import current_process
 from repro.simmpi import collectives
 from repro.simmpi.datatypes import BYTE, Datatype
 from repro.simmpi.mpi import RankEnv
@@ -37,7 +38,14 @@ from repro.tcio.level2 import Level2Buffer, SegmentDirectory
 from repro.tcio.mapping import SegmentMapping
 from repro.tcio.params import TcioConfig
 from repro.tcio.stats import TcioStats
-from repro.util.errors import RetryBudgetExceeded, TcioError
+from repro.topo import (
+    NodeTopology,
+    StagingBuffer,
+    charge_staging_copy,
+    coalesce_blocks,
+    split_by_node,
+)
+from repro.util.errors import RetryBudgetExceeded, RmaTransientError, TcioError
 from repro.util.intervals import Extent
 
 TCIO_RDONLY = 0x1
@@ -115,6 +123,13 @@ class TcioFile:
         #: retry budget; later flushes to them skip straight to the
         #: independent-write fallback instead of burning retries again.
         self._unreachable_owners: set[int] = set()
+        #: Node-aggregation state (``config.aggregation == "node"``); all
+        #: None/False on the flat path or when the job spans one node.
+        self._topo: Optional[NodeTopology] = None
+        self._node_comm = None
+        self._staging: Optional[StagingBuffer] = None
+        self._leader_world = -1
+        self._staging_degraded = False
 
         with self._tracer.span("tcio.open", file=name):
             pfs = env.pfs
@@ -169,7 +184,41 @@ class TcioFile:
                 combine_indexed=config.combine_indexed,
                 tracer=self._tracer,
             )
+            if (
+                config.aggregation == "node"
+                and mode == TCIO_WRONLY
+                and self.comm.size > 1
+            ):
+                self._setup_staging(segment_size, gen)
             collectives.barrier(self.comm)
+
+    def _setup_staging(self, segment_size: int, gen: int) -> None:
+        """Arm the node-aggregation drain path (``aggregation="node"``).
+
+        One staging buffer per node, published through ``world.shared``
+        and keyed by the open generation; the node's leader (lowest comm
+        rank on the node) backs it with simulated memory and drains it at
+        every collective point. A single-node job keeps the flat path —
+        every flush is intra-node already.
+        """
+        topo = NodeTopology.from_comm(self.comm)
+        if topo.n_nodes < 2:
+            return
+        self._topo = topo
+        self._node_comm = split_by_node(self.comm, topo)
+        my_node = topo.node_of_rank(self.comm.rank)
+        self._leader_world = self.comm.world_rank(topo.leader_of(my_node))
+        capacity = self.config.staging_segments * segment_size
+        self._staging = self.env.world.shared.setdefault(
+            ("tcio-stage", self.name, gen, my_node),
+            StagingBuffer(my_node, self._leader_world, capacity=capacity),
+        )
+        if self.env.rank == self._leader_world:
+            self._allocs.append(
+                self.env.world.memory.allocate(
+                    self.env.rank, capacity, "topo.staging"
+                )
+            )
 
     # ------------------------------------------------------------------
     # context-manager protocol
@@ -259,6 +308,15 @@ class TcioFile:
             return
         gseg, blocks = self.level1.take()
         owner = self.mapping.owner_of_segment(gseg)
+        if (
+            self._staging is not None
+            and not self._staging_degraded
+            and owner != self.comm.rank
+            and owner not in self._unreachable_owners
+            and not self._topo.same_node(owner, self.comm.rank)
+        ):
+            if self._try_stage(gseg, owner, blocks):
+                return
         if owner in self._unreachable_owners:
             self._fallback_flush(gseg, blocks)
             return
@@ -271,6 +329,127 @@ class TcioFile:
             # collective never wedges on a dead peer.
             self._unreachable_owners.add(owner)
             self._fallback_flush(gseg, blocks)
+
+    def _try_stage(self, gseg: int, owner: int, blocks: list) -> bool:
+        """Deposit one drained level-1 buffer into the node staging buffer.
+
+        Returns False — and the caller takes the flat path — when the
+        deposit would overflow the staging capacity, or when the node
+        leader stays unreachable past the retry budget (after which the
+        whole handle degrades to flat: protocol agreement with the leader
+        is gone, burning more retries buys nothing).
+        """
+        stage = self._staging
+        nbytes = sum(length for _, length, _ in blocks)
+        if stage.would_overflow(nbytes):
+            self._count("topo.staging.overflow", nbytes)
+            return False
+        self.level2._slot_base(gseg)  # capacity check before committing
+        if self._plan is not None and self.env.rank != self._leader_world:
+            # A deposit crosses node memory shared with the leader; treat
+            # it like an RMA toward the leader for fault purposes.
+            def attempt(_attempt: int) -> None:
+                if self._plan.rma_fault(
+                    "staging", self.env.rank, self._leader_world
+                ):
+                    current_process().charge(self._plan.spec.rma_fail_delay)
+                    raise RmaTransientError(
+                        "staging", self.env.rank, self._leader_world
+                    )
+
+            try:
+                self._plan.retry_call(
+                    attempt,
+                    retry_on=RmaTransientError,
+                    what=f"topo.deposit(seg={gseg})",
+                )
+            except RetryBudgetExceeded:
+                self._staging_degraded = True
+                self._plan.note_fallback(
+                    "topo.deposit", rank=self.env.rank,
+                    leader=self._leader_world,
+                )
+                return False
+        charge_staging_copy(self.env.world, self.env.rank, nbytes)
+        stage.deposit(
+            owner,
+            [(gseg, disp, payload) for disp, _length, payload in blocks],
+            nbytes,
+        )
+        self._count("topo.deposit.bytes", nbytes)
+        self._count("topo.deposit.blocks", len(blocks))
+        self._observe_occupancy(stage)
+        return True
+
+    def _node_drain(self) -> None:
+        """Collective staging drain: the leader ships coalesced deposits.
+
+        Runs at every collective point (flush/close) after the local
+        level-1 drain. A node barrier makes every member's deposits
+        visible; then the leader issues one merged indexed RMA sequence
+        per remote owner — or falls back to direct PFS writes for owners
+        that stay unreachable past the retry budget.
+        """
+        if self._staging is None:
+            return
+        collectives.barrier(self._node_comm)
+        if self._node_comm.rank != 0:
+            return
+        stage = self._staging
+        for owner in stage.keys():
+            pieces = stage.drain(owner)
+            if not pieces:
+                continue
+            nbytes = sum(len(payload) for _, _, payload in pieces)
+            if owner in self._unreachable_owners:
+                self._drain_fallback(owner, pieces)
+                continue
+            # Leader-side pickup: reading the deposits out of node memory
+            # to build the merged message is a second memcpy pass.
+            charge_staging_copy(self.env.world, self.env.rank, nbytes)
+            win_blocks = coalesce_blocks(
+                [
+                    (self.level2._slot_base(g) + disp, payload)
+                    for g, disp, payload in pieces
+                ]
+            )
+            try:
+                self.level2.push_window_blocks(owner, win_blocks)
+            except RetryBudgetExceeded:
+                self._unreachable_owners.add(owner)
+                if self._plan is not None:
+                    self._plan.note_fallback(
+                        "topo.drain", owner=owner, rank=self.env.rank
+                    )
+                self._drain_fallback(owner, pieces)
+                continue
+            for g in sorted({g for g, _, _ in pieces}):
+                self.directory.dirty.add(g)
+            self._count("topo.drain.messages", 1)
+            self._count("topo.drain.bytes", nbytes)
+
+    def _drain_fallback(self, owner: int, pieces: list) -> None:
+        """Write one owner's staged deposits straight to the PFS.
+
+        Reuses the flat fallback machinery segment by segment, so the
+        written ranges are published and the (unreachable) owner's
+        writeback skips them.
+        """
+        by_seg: dict[int, list[tuple[int, int, bytes]]] = {}
+        for g, disp, payload in pieces:
+            by_seg.setdefault(g, []).append((disp, len(payload), payload))
+        for g in sorted(by_seg):
+            self._fallback_flush(g, by_seg[g])
+
+    def _count(self, name: str, amount: float = 0.0) -> None:
+        hub = getattr(self.env.world, "trace", None)
+        if hub is not None:
+            hub.count(name, amount)
+
+    def _observe_occupancy(self, stage: StagingBuffer) -> None:
+        hub = getattr(self.env.world, "trace", None)
+        if hub is not None:
+            hub.registry.histogram("topo.staging.occupancy").observe(stage.used)
 
     def _fallback_flush(self, gseg: int, blocks: list) -> None:
         """Write one drained level-1 buffer straight to the PFS.
@@ -474,6 +653,7 @@ class TcioFile:
         with self._tracer.span("tcio.flush"):
             if self.mode == TCIO_WRONLY:
                 self._flush_level1()
+                self._node_drain()
             collectives.barrier(self.comm)
 
     def close(self) -> None:
@@ -482,6 +662,7 @@ class TcioFile:
         with self._tracer.span("tcio.close", file=self.name):
             if self.mode == TCIO_WRONLY:
                 self._flush_level1()
+                self._node_drain()
                 # "issues MPI_barrier to synchronize among processes before
                 # outputting data from the level-2 buffers to file system."
                 collectives.barrier(self.comm)

@@ -162,6 +162,43 @@ class Level2Buffer:
         self.stats.inc("flushed_bytes", nbytes)
         self.directory.dirty.add(global_segment)
 
+    def push_window_blocks(
+        self, owner: int, blocks: list[tuple[int, bytes]]
+    ) -> None:
+        """Leader drain: one indexed Put of pre-coalesced window blocks.
+
+        ``blocks`` is ``[(window offset, payload), ...]`` already merged
+        across this node's depositors (``repro.topo``) — the hierarchical
+        counterpart of :meth:`push_blocks`, shipping many ranks' flushes
+        to *owner* in a single RMA sequence. Same retry semantics:
+        :class:`RetryBudgetExceeded` propagates to the caller's fallback.
+        """
+        if not blocks:
+            return
+        nbytes = sum(len(payload) for _, payload in blocks)
+        if owner == self.rank:
+            for off, payload in blocks:
+                self.data[off : off + len(payload)] = np.frombuffer(
+                    payload, dtype=np.uint8
+                )
+            self.stats.inc("local_flushes")
+        else:
+            with self.tracer.span(
+                "topo.drain", target=owner, bytes=nbytes, blocks=len(blocks)
+            ):
+
+                def attempt(_attempt: int) -> None:
+                    self.window.lock(owner, LOCK_EXCLUSIVE)
+                    try:
+                        self.window.put_indexed(blocks, owner)
+                    finally:
+                        self.window.unlock(owner)
+
+                self._retry_rma(f"topo.drain(owner={owner})", attempt)
+            self.stats.inc("remote_flushes")
+            self.stats.inc("put_blocks", len(blocks))
+        self.stats.inc("flushed_bytes", nbytes)
+
     # ------------------------------------------------------------------
     # read path: reader-loads-and-caches, then one-sided gets
     # ------------------------------------------------------------------

@@ -53,6 +53,19 @@ class TcioConfig:
         The paper specifies only the trigger ("the file domain of cached
         reads exceeds the size of the level-1 buffer"), not the width;
         set 1 for the strictest reading (ablation).
+    aggregation:
+        ``"flat"`` (default, the paper's design) drains every level-1
+        flush straight to the segment owner over the fabric. ``"node"``
+        routes flushes whose owner lives on another node through the
+        node's staging buffer instead: one leader per node coalesces them
+        into a single indexed RMA per remote owner at the next collective
+        point (``tcio_flush``/``tcio_close``). See ``docs/topology.md``.
+        Write handles only; reads always use the flat path. Must agree
+        across the ranks of one collective open.
+    staging_segments:
+        Capacity of the per-node staging buffer, in segments (only used
+        with ``aggregation="node"``; allocated on the leader's ``memsim``
+        budget). Deposits that would overflow fall back to the flat path.
     """
 
     segment_size: Optional[int] = None
@@ -61,6 +74,8 @@ class TcioConfig:
     combine_indexed: bool = True
     lazy_reads: bool = True
     read_window_segments: int = 64
+    aggregation: str = "flat"
+    staging_segments: int = 32
 
     def validate(self) -> None:
         """Raise TcioError on out-of-range parameters."""
@@ -70,6 +85,10 @@ class TcioConfig:
             raise TcioError("segments_per_process must be positive")
         if self.read_window_segments < 1:
             raise TcioError("read_window_segments must be positive")
+        if self.aggregation not in ("flat", "node"):
+            raise TcioError("aggregation must be 'flat' or 'node'")
+        if self.staging_segments < 1:
+            raise TcioError("staging_segments must be positive")
 
     def resolve_segment_size(self, lock_granularity: int) -> int:
         """The effective segment size (explicit or the lock granularity)."""

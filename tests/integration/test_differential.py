@@ -14,18 +14,23 @@ bytes the explicit paths do, just cheaper.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.bench.config import BenchConfig, Method
 from repro.bench.synthetic import (
     _mpiio_write,
+    _ocio_read,
     _ocio_write,
     _tcio_read,
     _tcio_write,
     reference_file_contents,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.simmpi import run_mpi
 from repro.util.rng import seeded_rng
+from tests.conftest import make_test_cluster
 
 SEEDS = range(20)
 
@@ -47,15 +52,22 @@ def random_workload(seed: int) -> BenchConfig:
     )
 
 
-def write_phase(cfg: BenchConfig, cluster) -> bytes:
+def write_phase(cfg: BenchConfig, cluster, faults=None) -> bytes:
     """One write job with *cfg*'s method; returns the shared file's bytes."""
     writer = {
         Method.OCIO: _ocio_write,
         Method.TCIO: _tcio_write,
         Method.MPIIO: _mpiio_write,
     }[cfg.method]
-    res = run_mpi(cfg.nprocs, lambda env: writer(env, cfg), cluster=cluster)
+    res = run_mpi(
+        cfg.nprocs, lambda env: writer(env, cfg), cluster=cluster, faults=faults
+    )
     return res.pfs.lookup(cfg.file_name).contents()
+
+
+def multi_node_cluster():
+    """Two ranks per node, so the differential workloads span nodes."""
+    return make_test_cluster(nodes=4, cores_per_node=2)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -87,3 +99,63 @@ def test_three_paths_agree_and_tcio_round_trips(seed, small_cluster):
         cluster=small_cluster,
         pfs_init=seed_fs,
     )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_node_aggregation_matches_flat(seed):
+    """Node-aggregated TCIO and OCIO move exactly the flat paths' bytes.
+
+    Same seeded workloads as the flat differential, but on a cluster with
+    two ranks per node (so multi-rank runs actually cross nodes) and with
+    ``aggregation="node"`` — the leader-staged exchange must be invisible
+    in the file contents, write and read.
+    """
+    cluster = multi_node_cluster()
+    cfg = replace(random_workload(seed), aggregation="node")
+    expected = reference_file_contents(cfg)
+
+    for method in (Method.TCIO, Method.OCIO):
+        got = write_phase(cfg.with_method(method), cluster)
+        assert got == expected, f"seed {seed}: node-mode {method.name} differs"
+
+    def seed_fs(pfs) -> None:
+        pfs.create(cfg.file_name).write_bytes(0, expected)
+
+    # read paths: both raise on any byte mismatch
+    run_mpi(
+        cfg.nprocs,
+        lambda env: _tcio_read(env, cfg.with_method(Method.TCIO), True),
+        cluster=cluster,
+        pfs_init=seed_fs,
+    )
+    run_mpi(
+        cfg.nprocs,
+        lambda env: _ocio_read(env, cfg.with_method(Method.OCIO), True),
+        cluster=cluster,
+        pfs_init=seed_fs,
+    )
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_node_aggregation_survives_unreachable_leader(seed):
+    """An unreachable node leader degrades staging to the flat path.
+
+    Rank 0 leads node 0; making it an always-failing RMA target forces
+    TCIO deposits toward it to exhaust their retry budget and OCIO to
+    route node 0's traffic around its leader — both must still produce
+    the reference bytes and record the degradation.
+    """
+    cluster = multi_node_cluster()
+    cfg = replace(random_workload(seed), nprocs=4, aggregation="node")
+    expected = reference_file_contents(cfg)
+    spec = FaultSpec(unreachable_ranks=(0,))
+
+    for method in (Method.TCIO, Method.OCIO):
+        plan = FaultPlan(spec, seed, scope=f"node-{method.name}")
+        got = write_phase(cfg.with_method(method), cluster, faults=plan)
+        assert got == expected, (
+            f"seed {seed}: {method.name} with a down leader diverged"
+        )
+        if method is Method.TCIO:
+            # deposits toward the dead leader gave up and fell back
+            assert any(what.startswith("topo.") for what, _ in plan.fallbacks)

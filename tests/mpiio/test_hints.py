@@ -30,3 +30,45 @@ class TestHints:
     def test_hints_are_immutable(self):
         with pytest.raises(Exception):
             IoHints().ds_read = False
+
+    def test_cb_aggregation_values(self):
+        IoHints(cb_aggregation="flat").validate()
+        IoHints(cb_aggregation="node").validate()
+        with pytest.raises(ValueError):
+            IoHints(cb_aggregation="tree").validate()
+
+    def test_node_aggregation_excludes_rounds(self):
+        # rounds exchange stays flat-only (docs/topology.md)
+        with pytest.raises(ValueError):
+            IoHints(cb_aggregation="node", cb_rounds_buffer=256).validate()
+        IoHints(cb_aggregation="flat", cb_rounds_buffer=256).validate()
+
+
+class TestSpreadAggregators:
+    def _topo(self, node_of):
+        from repro.topo import NodeTopology
+
+        return NodeTopology.from_node_of(node_of)
+
+    def test_leaders_first_round_robin(self):
+        from repro.mpiio.twophase import spread_aggregators
+
+        topo = self._topo([0, 0, 1, 1, 2, 2])
+        # one aggregator per node: the leaders, in node order
+        assert spread_aggregators(topo, 3) == [0, 2, 4]
+        # second pass takes each node's next rank
+        assert spread_aggregators(topo, 6) == [0, 2, 4, 1, 3, 5]
+
+    def test_partial_rounds(self):
+        from repro.mpiio.twophase import spread_aggregators
+
+        topo = self._topo([0, 0, 1, 1])
+        assert spread_aggregators(topo, 3) == [0, 2, 1]
+
+    def test_uneven_nodes(self):
+        from repro.mpiio.twophase import spread_aggregators
+
+        topo = self._topo([0, 0, 0, 1])
+        aggs = spread_aggregators(topo, 4)
+        assert sorted(aggs) == [0, 1, 2, 3]
+        assert aggs[:2] == [0, 3]  # both leaders placed before repeats

@@ -33,6 +33,25 @@ class TestCli:
         assert "verified OK" in out
         assert "injected=" in out
 
+    def test_bench_node_aggregation(self, capsys):
+        assert main(
+            ["bench", "--method", "tcio", "--procs", "4", "--len", "64",
+             "--aggregation", "node"]
+        ) == 0
+        assert "write:" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_aggregation(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--aggregation", "tree"])
+
+    def test_topo_ablation(self, capsys):
+        assert main(
+            ["topo", "--procs", "16", "--cores-per-node", "4", "--len", "512"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "topo ablation" in out
+        assert "node/flat reduction" in out
+
     def test_table3(self, capsys):
         assert main(["table3"]) == 0
         out = capsys.readouterr().out

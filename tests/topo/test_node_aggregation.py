@@ -1,0 +1,146 @@
+"""End-to-end node-aggregation tests: fewer messages, same bytes.
+
+The workload shape is the node-collapsible one from docs/topology.md:
+every access block is ``stripe / ranks_per_node`` bytes and consecutive
+ranks interleave, so one node's ranks fill each stripe-sized segment
+together and the leader can collapse the node's cross-node traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.mpiio import IoHints, MODE_CREATE, MODE_RDONLY, MODE_RDWR, MpiFile
+from repro.simmpi.datatypes import BYTE, Contiguous
+from repro.tcio import TCIO_WRONLY, TcioConfig, TcioFile
+from tests.conftest import make_test_cluster, run_small
+
+NPROCS = 16
+CORES = 4
+BLK = 4096 // CORES  # stripe // ranks_per_node
+NBLOCKS = 8
+
+
+def _cluster(**kw):
+    kw.setdefault("nodes", NPROCS // CORES)
+    kw.setdefault("cores_per_node", CORES)
+    return make_test_cluster(**kw)
+
+
+def _payload(rank: int, i: int) -> bytes:
+    return bytes([(rank * NBLOCKS + i) % 251]) * BLK
+
+
+def _expected(nprocs: int = NPROCS) -> bytes:
+    return b"".join(
+        _payload(r, i) for i in range(NBLOCKS) for r in range(nprocs)
+    )
+
+
+def _tcio_cfg(env, aggregation: str, staging_segments: int | None = None):
+    total = NPROCS * NBLOCKS * BLK
+    cfg = TcioConfig.sized_for(total, env.size, env.pfs.spec.stripe_size)
+    if aggregation == "flat":
+        return cfg
+    return replace(
+        cfg,
+        aggregation="node",
+        staging_segments=staging_segments
+        or max(32, cfg.segments_per_process * CORES),
+    )
+
+
+def _tcio_write(aggregation: str, staging_segments: int | None = None, **run_kw):
+    def main(env):
+        fh = TcioFile(
+            env, "na.dat", TCIO_WRONLY,
+            _tcio_cfg(env, aggregation, staging_segments),
+        )
+        for i in range(NBLOCKS):
+            fh.write_at((i * env.size + env.rank) * BLK, _payload(env.rank, i))
+        fh.close()
+
+    run_kw.setdefault("cluster", _cluster())
+    return run_small(NPROCS, main, **run_kw)
+
+
+def _ocio_write(aggregation: str, **run_kw):
+    def main(env):
+        hints = IoHints(cb_aggregation=aggregation)
+        etype = Contiguous(BLK, BYTE)
+        filetype = etype.vector(NBLOCKS, 1, env.size)
+        fh = MpiFile.open(env, "na.dat", MODE_RDWR | MODE_CREATE, hints)
+        fh.set_view(env.rank * BLK, etype, filetype)
+        fh.write_all(b"".join(_payload(env.rank, i) for i in range(NBLOCKS)))
+        fh.close()
+
+    run_kw.setdefault("cluster", _cluster())
+    return run_small(NPROCS, main, **run_kw)
+
+
+def _msgs(res) -> int:
+    return int(res.trace.summary().get("net.msg", (0, 0))[0])
+
+
+class TestTcioNodeAggregation:
+    def test_fewer_messages_same_bytes(self):
+        flat = _tcio_write("flat")
+        node = _tcio_write("node")
+        assert flat.pfs.lookup("na.dat").contents() == _expected()
+        assert node.pfs.lookup("na.dat").contents() == _expected()
+        assert _msgs(node) < _msgs(flat)
+
+    def test_topo_counters_recorded(self):
+        summary = _tcio_write("node").trace.summary()
+        assert summary.get("topo.deposit.bytes", (0, 0))[1] > 0
+        assert summary.get("topo.drain.messages", (0, 0))[0] > 0
+        assert summary.get("topo.staging.bytes", (0, 0))[1] > 0
+
+    def test_overflow_falls_back_flat_and_stays_correct(self):
+        res = _tcio_write("node", staging_segments=1)
+        summary = res.trace.summary()
+        assert summary.get("topo.staging.overflow", (0, 0))[0] > 0
+        assert res.pfs.lookup("na.dat").contents() == _expected()
+
+    def test_single_node_is_a_noop(self):
+        res = _tcio_write(
+            "node", cluster=_cluster(nodes=1, cores_per_node=NPROCS)
+        )
+        summary = res.trace.summary()
+        assert summary.get("topo.deposit.bytes", (0, 0))[1] == 0
+        assert res.pfs.lookup("na.dat").contents() == _expected()
+
+
+class TestOcioNodeAggregation:
+    def test_fewer_messages_same_bytes(self):
+        flat = _ocio_write("flat")
+        node = _ocio_write("node")
+        assert flat.pfs.lookup("na.dat").contents() == _expected()
+        assert node.pfs.lookup("na.dat").contents() == _expected()
+        assert _msgs(node) < _msgs(flat)
+
+    def test_node_read_roundtrip(self):
+        def seed(pfs):
+            pfs.create("na.dat").write_bytes(0, _expected())
+
+        def main(env):
+            hints = IoHints(cb_aggregation="node")
+            etype = Contiguous(BLK, BYTE)
+            filetype = etype.vector(NBLOCKS, 1, env.size)
+            fh = MpiFile.open(env, "na.dat", MODE_RDONLY, hints)
+            fh.set_view(env.rank * BLK, etype, filetype)
+            data = fh.read_all(NBLOCKS, etype)
+            fh.close()
+            return data
+
+        res = run_small(NPROCS, main, cluster=_cluster(), pfs_init=seed)
+        for rank, data in enumerate(res.returns):
+            assert data == b"".join(_payload(rank, i) for i in range(NBLOCKS))
+
+    def test_single_node_is_a_noop(self):
+        res = _ocio_write(
+            "node", cluster=_cluster(nodes=1, cores_per_node=NPROCS)
+        )
+        summary = res.trace.summary()
+        assert summary.get("topo.drain.messages", (0, 0))[0] == 0
+        assert res.pfs.lookup("na.dat").contents() == _expected()

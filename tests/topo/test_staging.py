@@ -1,0 +1,105 @@
+"""Unit tests for repro.topo.staging: bins, capacity, and coalescing."""
+
+from __future__ import annotations
+
+from repro.topo import StagingBuffer, charge_staging_copy, coalesce_blocks
+
+
+class TestStagingBuffer:
+    def test_deposit_and_drain_roundtrip(self):
+        stage = StagingBuffer(node=0, leader_world_rank=0)
+        stage.deposit("a", [(0, b"xy")], 2)
+        stage.deposit("a", [(4, b"z")], 1)
+        stage.deposit("b", [(8, b"qq")], 2)
+        assert stage.used == 5
+        assert stage.keys() == ["a", "b"]
+        assert stage.drain("a") == [(0, b"xy"), (4, b"z")]
+        assert stage.used == 2
+        assert stage.drain("a") == []  # draining twice is harmless
+        assert stage.drain("b") == [(8, b"qq")]
+        assert stage.used == 0
+
+    def test_capacity_and_overflow(self):
+        stage = StagingBuffer(node=0, leader_world_rank=0, capacity=10)
+        assert not stage.would_overflow(10)
+        stage.deposit("k", ["p"], 8)
+        assert stage.would_overflow(3)
+        assert not stage.would_overflow(2)
+        stage.drain("k")
+        assert not stage.would_overflow(10)
+
+    def test_unbounded_never_overflows(self):
+        stage = StagingBuffer(node=0, leader_world_rank=0)
+        assert not stage.would_overflow(1 << 40)
+
+    def test_peak_tracks_high_water_mark(self):
+        stage = StagingBuffer(node=0, leader_world_rank=0)
+        stage.deposit("a", ["x"], 7)
+        stage.deposit("b", ["y"], 5)
+        stage.drain("a")
+        stage.deposit("c", ["z"], 1)
+        assert stage.used == 6
+        assert stage.peak == 12
+
+    def test_drain_allocs_collects_attachments(self):
+        stage = StagingBuffer(node=0, leader_world_rank=0)
+        stage.deposit("k", ["x"], 4, allocation="alloc1")
+        stage.deposit("k", ["y"], 4, allocation="alloc2")
+        stage.deposit("k", ["z"], 4)
+        assert stage.drain_allocs("k") == ["alloc1", "alloc2"]
+        assert stage.drain_allocs("k") == []
+
+    def test_keys_sorted_for_deterministic_drain(self):
+        stage = StagingBuffer(node=0, leader_world_rank=0)
+        for key in (3, 1, 2):
+            stage.deposit(key, ["x"], 1)
+        assert stage.keys() == [1, 2, 3]
+
+
+class TestChargeStagingCopy:
+    def test_charges_memory_time_without_messages(self):
+        from tests.conftest import make_test_cluster, run_small
+
+        def main(env):
+            t0 = env.now
+            charge_staging_copy(env.world, env.rank, 1 << 20)
+            return env.now - t0
+
+        res = run_small(2, main, cluster=make_test_cluster())
+        assert all(dt > 0 for dt in res.returns)
+        summary = res.trace.summary()
+        assert summary.get("net.msg", (0, 0))[0] == 0
+        assert summary.get("topo.staging.bytes", (0, 0))[1] == 2 * (1 << 20)
+
+    def test_zero_bytes_is_free(self):
+        from tests.conftest import make_test_cluster, run_small
+
+        def main(env):
+            t0 = env.now
+            charge_staging_copy(env.world, env.rank, 0)
+            return env.now - t0
+
+        res = run_small(1, main, cluster=make_test_cluster())
+        assert res.returns == [0.0]
+
+
+class TestCoalesceBlocks:
+    def test_empty(self):
+        assert coalesce_blocks([]) == []
+        assert coalesce_blocks([(3, b"")]) == []
+
+    def test_touching_pieces_merge(self):
+        out = coalesce_blocks([(0, b"ab"), (2, b"cd"), (10, b"z")])
+        assert out == [(0, b"abcd"), (10, b"z")]
+
+    def test_out_of_order_input(self):
+        out = coalesce_blocks([(4, b"cd"), (0, b"ab"), (2, b"xy")])
+        assert out == [(0, b"abxycd")]
+
+    def test_overlap_later_deposit_wins(self):
+        out = coalesce_blocks([(0, b"aaaa"), (1, b"BB")])
+        assert out == [(0, b"aBBa")]
+
+    def test_gap_preserved(self):
+        out = coalesce_blocks([(0, b"a"), (2, b"b")])
+        assert out == [(0, b"a"), (2, b"b")]
