@@ -11,6 +11,7 @@ Every run verifies the shared file byte-for-byte against
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -226,6 +227,9 @@ class BenchResult:
     read_seconds: Optional[float] = None
     failed: bool = False
     fail_reason: str = ""
+    #: SHA-256 of the shared file the write phase produced (byte-identity
+    #: evidence for the parallel campaign runner's differential tests).
+    file_sha256: str = ""
     tcio_stats: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     #: Phase name -> bound FaultPlan (only when faults were requested);
@@ -330,6 +334,7 @@ def run_benchmark(
                 {f"write.{k}": v for k, v in run.trace.summary().items()}
             )
             written = run.pfs.lookup(cfg.file_name).contents()
+            result.file_sha256 = hashlib.sha256(written).hexdigest()
             if verify:
                 expected = reference_file_contents(cfg)
                 if written != expected:

@@ -12,7 +12,12 @@ Commands
                 verify byte-correct recovery (see docs/faults.md).
 ``trace``     — rerun a scaled-down experiment with span tracing on and
                 write Chrome-trace + metrics JSON (see docs/observability.md).
-``report``    — run the full campaign and write EXPERIMENTS.md.
+``report``    — run the full campaign and write EXPERIMENTS.md
+                (``--jobs N`` fans the points across a process pool).
+``perf``      — host-performance tools (see docs/performance.md):
+                ``perf profile`` merges cProfile across rank threads,
+                ``perf bench`` runs the pinned regression gate,
+                ``perf campaign`` pre-runs/caches experiment points.
 """
 
 from __future__ import annotations
@@ -165,7 +170,78 @@ def cmd_report(args) -> int:
     """Run the full campaign and write EXPERIMENTS.md."""
     from repro.experiments import report
 
-    return report.main(["--output", args.output] + (["--smoke"] if args.smoke else []))
+    argv = ["--output", args.output]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return report.main(argv)
+
+
+def cmd_perf_profile(args) -> int:
+    """Profile one target across the engine and every rank thread."""
+    from repro.perf.profile import run_profile
+
+    run_profile(
+        args.target,
+        method=args.method,
+        procs=args.procs,
+        len_array=args.len,
+        sort=args.sort,
+        limit=args.limit,
+        out=args.out,
+    )
+    return 0
+
+
+def cmd_perf_bench(args) -> int:
+    """Run the pinned host-performance gate; compare against a baseline."""
+    from repro.perf import hostbench
+
+    report = hostbench.run_hostbench(
+        names=args.points or None,
+        repeat=args.repeat,
+        fresh_process=not args.in_process,
+    )
+    if args.out:
+        hostbench.write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        baseline = hostbench.load_report(args.baseline)
+        problems = hostbench.compare_reports(
+            baseline, report, tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def cmd_perf_campaign(args) -> int:
+    """Run (and cache) experiment point grids through the pool runner."""
+    from repro.perf.cache import ResultCache
+    from repro.perf.campaign import CampaignRunner
+    from repro.perf.points import EXPERIMENTS, all_points
+
+    experiments = (
+        tuple(args.experiments.split(",")) if args.experiments else EXPERIMENTS
+    )
+    unknown = [e for e in experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown} (choose from {list(EXPERIMENTS)})")
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    jobs = None if args.jobs in (None, 0) else args.jobs
+    runner = CampaignRunner(jobs, cache=cache, verbose=True)
+    runner.run(all_points(_scale_arg(args), experiments))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,7 +322,71 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="full campaign -> EXPERIMENTS.md")
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.add_argument("--smoke", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan points across N worker processes (0 = one per CPU)",
+    )
+    p.add_argument("--cache-dir", default=None, help="result cache directory")
+    p.add_argument("--no-cache", action="store_true", help="disable the cache")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("perf", help="host-performance tools (docs/performance.md)")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    pp = perf_sub.add_parser(
+        "profile", help="cProfile a target, merged across all rank threads"
+    )
+    pp.add_argument(
+        "target", choices=["bench", "fig5", "fig67", "fig910", "topo"],
+        help="'bench' profiles one point; figures profile their SMOKE grid",
+    )
+    pp.add_argument("--method", default="tcio", help="ocio | tcio | mpiio")
+    pp.add_argument("--procs", type=int, default=None, help="simulated ranks")
+    pp.add_argument("--len", type=int, default=None, help="LENarray (elements)")
+    pp.add_argument("--sort", default="tottime", help="pstats sort key")
+    pp.add_argument("--limit", type=int, default=25, help="rows to print")
+    pp.add_argument("--out", default=None, help="dump raw pstats here")
+    pp.set_defaults(fn=cmd_perf_profile)
+
+    pb = perf_sub.add_parser(
+        "bench", help="pinned host-perf gate -> BENCH_*.json (+ comparison)"
+    )
+    pb.add_argument("--out", default=None, help="write the report JSON here")
+    pb.add_argument(
+        "--baseline", default=None,
+        help="compare against this committed BENCH_*.json; exit 1 on regression",
+    )
+    pb.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative wall-clock slack vs the baseline (default 0.25)",
+    )
+    pb.add_argument(
+        "--repeat", type=int, default=1, help="keep the fastest of N runs"
+    )
+    pb.add_argument(
+        "--in-process", action="store_true",
+        help="measure in this process (no spawn; RSS covers the parent)",
+    )
+    pb.add_argument(
+        "--points", nargs="*", default=None, help="subset of pinned point names"
+    )
+    pb.set_defaults(fn=cmd_perf_bench)
+
+    pc = perf_sub.add_parser(
+        "campaign", help="run/cache experiment point grids via the pool runner"
+    )
+    pc.add_argument("--smoke", action="store_true", help="tiny grids")
+    pc.add_argument(
+        "--experiments", default=None,
+        help="comma-separated subset of fig5,fig67,fig910,topo",
+    )
+    pc.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default/0: one per CPU)",
+    )
+    pc.add_argument("--cache-dir", default=None, help="result cache directory")
+    pc.add_argument("--no-cache", action="store_true", help="disable the cache")
+    pc.set_defaults(fn=cmd_perf_campaign)
     return parser
 
 

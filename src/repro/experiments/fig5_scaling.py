@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.charts import log_scale_chart
-from repro.bench import BenchConfig, Method, run_benchmark
-from repro.experiments.common import FULL, ExperimentScale, widening_gap
+from repro.experiments.common import FULL, ExperimentScale, resolve_points, widening_gap
+from repro.perf.points import Point, points_for
 from repro.util.tables import render_series
 from repro.util.units import MIB
 
@@ -97,31 +97,34 @@ def run_fig5(
     *,
     verify: bool = True,
     verbose: bool = False,
+    runner=None,
 ) -> Fig5Data:
-    """Regenerate both Fig. 5 panels; returns the series."""
+    """Regenerate both Fig. 5 panels; returns the series.
+
+    *runner* (a ``points -> {point: result}`` callable, e.g. a
+    :class:`repro.perf.campaign.CampaignRunner`) replaces the default
+    serial in-process execution; the grid itself always comes from
+    :func:`repro.perf.points.points_for`, so every runner computes the
+    same points.
+    """
+    results = resolve_points(points_for("fig5", scale), runner, verify=verify)
     data = Fig5Data(proc_counts=list(scale.proc_counts))
     for series in (data.write, data.read):
         series["TCIO"] = []
         series["OCIO"] = []
     for nprocs in scale.proc_counts:
-        for method in (Method.TCIO, Method.OCIO):
-            cfg = BenchConfig(
-                method=method,
-                num_arrays=2,
-                type_codes="i,d",
-                len_array=scale.len_array,
-                size_access=1,
-                nprocs=nprocs,
-                file_name=f"fig5_{method.name}_{nprocs}.dat",
+        for method in ("TCIO", "OCIO"):
+            point = Point.make(
+                "fig5", method=method, nprocs=nprocs, len_array=scale.len_array
             )
-            result = run_benchmark(cfg, verify=verify)
-            data.write[method.name].append(result.write_throughput)
-            data.read[method.name].append(result.read_throughput)
+            result = results[point]
+            data.write[method].append(result["write_throughput"])
+            data.read[method].append(result["read_throughput"])
             if verbose:  # pragma: no cover - console convenience
-                wt = result.write_throughput or 0.0
-                rt = result.read_throughput or 0.0
+                wt = result["write_throughput"] or 0.0
+                rt = result["read_throughput"] or 0.0
                 print(
-                    f"fig5 {method.name} P={nprocs}: "
+                    f"fig5 {method} P={nprocs}: "
                     f"write {wt / MIB:.1f} MB/s, read {rt / MIB:.1f} MB/s"
                 )
     return data

@@ -13,8 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.bench import BenchConfig, Method, run_benchmark
-from repro.experiments.common import FULL, ExperimentScale, paper_size_label
+from repro.experiments.common import (
+    FULL,
+    ExperimentScale,
+    paper_size_label,
+    resolve_points,
+)
+from repro.perf.points import Point, points_for
 from repro.util.tables import render_series
 from repro.util.units import MIB
 
@@ -69,41 +74,40 @@ def run_fig6_7(
     *,
     verify: bool = True,
     verbose: bool = False,
+    runner=None,
 ) -> Fig67Data:
-    """Regenerate Figs. 6 and 7; returns both series plus failure flags."""
+    """Regenerate Figs. 6 and 7; returns both series plus failure flags.
+
+    *runner* swaps in a pooled/cached executor; see :func:`run_fig5`.
+    """
+    results = resolve_points(points_for("fig67", scale), runner, verify=verify)
     data = Fig67Data()
-    for method in (Method.TCIO, Method.OCIO):
-        data.write[method.name] = []
-        data.read[method.name] = []
-        data.failures[method.name] = []
-        data.fail_reasons[method.name] = []
+    for method in ("TCIO", "OCIO"):
+        data.write[method] = []
+        data.read[method] = []
+        data.failures[method] = []
+        data.fail_reasons[method] = []
     nprocs = scale.filesize_procs
     for len_array in scale.filesize_lens:
         label = paper_size_label(len_array, nprocs)
         data.size_labels.append(label)
-        for method in (Method.TCIO, Method.OCIO):
-            cfg = BenchConfig(
-                method=method,
-                num_arrays=2,
-                type_codes="i,d",
-                len_array=len_array,
-                size_access=1,
-                nprocs=nprocs,
-                file_name=f"fig67_{method.name}_{len_array}.dat",
+        for method in ("TCIO", "OCIO"):
+            point = Point.make(
+                "fig67", method=method, nprocs=nprocs, len_array=len_array
             )
-            result = run_benchmark(cfg, verify=verify)
-            data.write[method.name].append(result.write_throughput)
-            data.read[method.name].append(result.read_throughput)
-            data.failures[method.name].append(result.failed)
-            data.fail_reasons[method.name].append(result.fail_reason)
+            result = results[point]
+            data.write[method].append(result["write_throughput"])
+            data.read[method].append(result["read_throughput"])
+            data.failures[method].append(result["failed"])
+            data.fail_reasons[method].append(result["fail_reason"])
             if verbose:  # pragma: no cover
-                if result.failed:
-                    print(f"fig6/7 {method.name} {label}: FAILED ({result.fail_reason})")
+                if result["failed"]:
+                    print(f"fig6/7 {method} {label}: FAILED ({result['fail_reason']})")
                 else:
                     print(
-                        f"fig6/7 {method.name} {label}: "
-                        f"write {(result.write_throughput or 0) / MIB:.1f} MB/s, "
-                        f"read {(result.read_throughput or 0) / MIB:.1f} MB/s"
+                        f"fig6/7 {method} {label}: "
+                        f"write {(result['write_throughput'] or 0) / MIB:.1f} MB/s, "
+                        f"read {(result['read_throughput'] or 0) / MIB:.1f} MB/s"
                     )
     return data
 

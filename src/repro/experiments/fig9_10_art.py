@@ -17,9 +17,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.charts import log_scale_chart
-from repro.art import ArtConfig, ArtIoMethod, ArtWorkload, run_art
-from repro.cluster.lonestar import make_lonestar
-from repro.experiments.common import FULL, ExperimentScale
+from repro.experiments.common import FULL, ExperimentScale, resolve_points
+from repro.perf.points import Point, points_for
 from repro.util.tables import render_series
 from repro.util.units import MIB
 
@@ -103,17 +102,18 @@ def run_fig9_10(
     *,
     verify: bool = True,
     verbose: bool = False,
+    runner=None,
 ) -> Fig910Data:
-    """Regenerate Figs. 9 and 10."""
+    """Regenerate Figs. 9 and 10.
+
+    *runner* swaps in a pooled/cached executor; see :func:`run_fig5`.
+    """
+    results = resolve_points(points_for("fig910", scale), runner, verify=verify)
     data = Fig910Data(proc_counts=list(scale.art_proc_counts))
-    labels = {ArtIoMethod.TCIO: "TCIO", ArtIoMethod.MPIIO: "MPI-IO"}
-    for label in labels.values():
+    for label in ("TCIO", "MPI-IO"):
         data.dump[label] = []
         data.restart[label] = []
         data.capped[label] = []
-    workload = ArtWorkload(
-        n_segments=scale.art_segments, cell_scale=scale.art_cell_scale
-    )
     # The cap is calibrated against the full workload; reduced campaigns
     # run uncapped (their vanilla runs are proportionally shorter anyway).
     full_workload = (scale.art_segments, scale.art_cell_scale) == (
@@ -122,28 +122,24 @@ def run_fig9_10(
     )
     cap = WALL_CAP_SIM_SECONDS if full_workload else float("inf")
     for nprocs in scale.art_proc_counts:
-        for method, label in labels.items():
-            cfg = ArtConfig(
-                workload=workload,
-                method=method,
-                nprocs=nprocs,
-                file_name=f"fig910_{label}_{nprocs}.dat",
-                verify=verify,
-                per_array_cost=0.5e-6,
+        for label in ("TCIO", "MPI-IO"):
+            point = Point.make(
+                "fig910", method=label, nprocs=nprocs,
+                segments=scale.art_segments, cell_scale=scale.art_cell_scale,
             )
-            result = run_art(cfg, cluster=make_lonestar(nranks=nprocs))
-            data.snapshot_bytes = result.snapshot_bytes
-            over_cap = result.dump_seconds + result.restart_seconds > cap
+            result = results[point]
+            data.snapshot_bytes = result["snapshot_bytes"]
+            over_cap = result["dump_seconds"] + result["restart_seconds"] > cap
             data.capped[label].append(over_cap)
-            data.dump[label].append(None if over_cap else result.dump_throughput)
+            data.dump[label].append(None if over_cap else result["dump_throughput"])
             data.restart[label].append(
-                None if over_cap else result.restart_throughput
+                None if over_cap else result["restart_throughput"]
             )
             if verbose:  # pragma: no cover
                 print(
                     f"fig9/10 {label} P={nprocs}: "
-                    f"dump {result.dump_throughput / MIB:.2f} MB/s, "
-                    f"restart {result.restart_throughput / MIB:.2f} MB/s"
+                    f"dump {result['dump_throughput'] / MIB:.2f} MB/s, "
+                    f"restart {result['restart_throughput'] / MIB:.2f} MB/s"
                     + (" [over 90-min cap]" if over_cap else "")
                 )
     return data

@@ -24,8 +24,20 @@ def _check(label: str, ok: bool) -> str:
     return f"* {'PASS' if ok else 'FAIL'}: {label}"
 
 
-def generate_report(scale: ExperimentScale = FULL, *, verbose: bool = True) -> str:
-    """Run the whole campaign; returns the EXPERIMENTS.md body."""
+def generate_report(
+    scale: ExperimentScale = FULL,
+    *,
+    verbose: bool = True,
+    runner=None,
+) -> str:
+    """Run the whole campaign; returns the EXPERIMENTS.md body.
+
+    *runner* (default: serial in-process) executes every figure's point
+    grid; pass a :class:`repro.perf.campaign.CampaignRunner` to fan the
+    points across a process pool and reuse cached results — the output
+    is byte-identical either way (simulated time does not depend on host
+    execution order).
+    """
     t_start = time.time()
     sections: list[str] = []
 
@@ -68,7 +80,7 @@ def generate_report(scale: ExperimentScale = FULL, *, verbose: bool = True) -> s
     )
 
     # ---- Fig. 5 -------------------------------------------------------
-    fig5 = run_fig5(scale, verbose=verbose)
+    fig5 = run_fig5(scale, verbose=verbose, runner=runner)
     checks = [
         _check(
             "write: OCIO >= TCIO at small scale, TCIO wins at large scale "
@@ -89,7 +101,7 @@ def generate_report(scale: ExperimentScale = FULL, *, verbose: bool = True) -> s
     )
 
     # ---- Fig. 6/7 -----------------------------------------------------
-    fig67 = run_fig6_7(scale, verbose=verbose)
+    fig67 = run_fig6_7(scale, verbose=verbose, runner=runner)
     checks = [
         _check(
             "OCIO fails only at the largest (48 GB-equivalent) dataset",
@@ -108,7 +120,7 @@ def generate_report(scale: ExperimentScale = FULL, *, verbose: bool = True) -> s
     )
 
     # ---- Fig. 9/10 ----------------------------------------------------
-    fig910 = run_fig9_10(scale, verbose=verbose)
+    fig910 = run_fig9_10(scale, verbose=verbose, runner=runner)
     speedups_w = [s for s in fig910.tcio_speedup("dump") if s is not None]
     speedups_r = [s for s in fig910.tcio_speedup("restart") if s is not None]
     checks = [
@@ -135,10 +147,23 @@ def generate_report(scale: ExperimentScale = FULL, *, verbose: bool = True) -> s
         f"```\n{fig910.render()}\n```\n\n" + "\n".join(checks)
     )
 
-    sections.append(
+    footer = (
         f"---\n\nCampaign wall-clock: {time.time() - t_start:.0f} s "
         f"(simulation host time)."
     )
+    jobs = getattr(runner, "jobs", None)
+    cache = getattr(runner, "cache", None)
+    if jobs is not None:
+        footer += f" Runner: {jobs} worker process(es)"
+        if cache is not None:
+            footer += f"; cache {cache.hits} hit(s), {cache.misses} miss(es)"
+        footer += "."
+        if cache is not None:
+            footer += (
+                " A warm-cache rerun regenerates this file in under a"
+                " second."
+            )
+    sections.append(footer)
     return "\n\n".join(sections) + "\n"
 
 
@@ -149,9 +174,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default="EXPERIMENTS.md", help="path to write the report"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan points across N worker processes (default: serial; "
+        "0 = one worker per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk result cache directory (default: .repro-cache when "
+        "--jobs is given; no caching otherwise)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
     args = parser.parse_args(argv)
     scale = SMOKE if args.smoke else FULL
-    body = generate_report(scale)
+    runner = None
+    if args.jobs is not None or args.cache_dir is not None:
+        from repro.perf.cache import ResultCache
+        from repro.perf.campaign import CampaignRunner
+
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        jobs = None if args.jobs in (None, 0) else args.jobs
+        runner = CampaignRunner(jobs, cache=cache, verbose=True)
+    body = generate_report(scale, runner=runner)
     Path(args.output).write_text(body)
     print(f"wrote {args.output}")
     return 0

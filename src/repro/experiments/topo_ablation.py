@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bench import BenchConfig, Method, run_benchmark
+from repro.bench import BenchConfig, Method
 from repro.cluster.spec import ClusterSpec
 from repro.netsim.model import NetworkSpec
 from repro.pfs.spec import LustreSpec
@@ -158,30 +158,41 @@ def run_topo_ablation(
     procs: int = 64,
     cores_per_node: int = 4,
     len_array: int = 1024,
+    *,
+    runner=None,
 ) -> TopoAblationData:
-    """Measure flat vs node write-phase traffic for TCIO and OCIO."""
-    cluster = ablation_cluster(procs, cores_per_node)
+    """Measure flat vs node write-phase traffic for TCIO and OCIO.
+
+    *runner* swaps in a pooled/cached executor (see
+    :func:`repro.experiments.fig5_scaling.run_fig5`); point execution
+    lives in :func:`repro.perf.points.run_point`.
+    """
+    from repro.experiments.common import resolve_points
+    from repro.perf.points import Point
+
     data = TopoAblationData(procs=procs, cores_per_node=cores_per_node)
-    for method in METHODS:
-        for aggregation in ("flat", "node"):
-            cfg = ablation_config(
-                method, aggregation, procs, cores_per_node,
-                cluster.lustre.stripe_size, len_array,
-            )
-            result = run_benchmark(cfg, cluster=cluster, do_read=False)
-            if result.failed:  # pragma: no cover - surfaced by check()
-                raise RuntimeError(
-                    f"{method.name}/{aggregation}: {result.fail_reason}"
-                )
-            data.rows.append(TopoRow(
-                method=method.name,
-                aggregation=aggregation,
-                messages=int(result.counters.get("write.net.msg", (0, 0))[0]),
-                connections=int(
-                    result.counters.get("write.net.connection", (0, 0))[0]
-                ),
-                seconds=result.write_seconds or 0.0,
-            ))
+    grid = [
+        (method.name, aggregation)
+        for method in METHODS
+        for aggregation in ("flat", "node")
+    ]
+    points = {
+        pair: Point.make(
+            "topo", method=pair[0], aggregation=pair[1], nprocs=procs,
+            cores_per_node=cores_per_node, len_array=len_array,
+        )
+        for pair in grid
+    }
+    results = resolve_points(list(points.values()), runner)
+    for method_name, aggregation in grid:
+        result = results[points[(method_name, aggregation)]]
+        data.rows.append(TopoRow(
+            method=method_name,
+            aggregation=aggregation,
+            messages=result["messages"],
+            connections=result["connections"],
+            seconds=result["write_seconds"] or 0.0,
+        ))
     return data
 
 

@@ -1,0 +1,137 @@
+"""On-disk result cache for campaign points.
+
+A cache entry is one JSON file named by the SHA-256 of the point's
+canonical key: the experiment name, its sorted parameters, and a *config
+hash* covering everything that could change a result — the calibrated
+cluster preset (every cost constant), the scale factors, and a schema
+version bumped on intentional result-format changes. Editing the machine
+model therefore invalidates the whole cache automatically; editing docs
+does not.
+
+Entries store the point result verbatim plus provenance (when it ran and
+how long it took on the host), so a warm rerun of the FULL campaign costs
+milliseconds per point instead of seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+#: Bump to invalidate every cached result (result-shape changes).
+CACHE_SCHEMA = 1
+
+#: Default cache location (overridable per-call or via REPRO_CACHE_DIR).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def config_hash() -> str:
+    """Hash of the simulation configuration that determines results.
+
+    Covers the calibrated Lonestar preset (all per-event cost constants,
+    via the dataclass's repr), both global scale factors, and the cache
+    schema version. Any calibration change yields a different hash, so
+    stale results can never be served.
+    """
+    from repro.cluster.lonestar import (
+        LONESTAR_SCALE,
+        LONESTAR_STRIPE_SCALE,
+        make_lonestar,
+    )
+
+    spec = make_lonestar()
+    parts = [
+        f"schema={CACHE_SCHEMA}",
+        f"scale={LONESTAR_SCALE}",
+        f"stripe_scale={LONESTAR_STRIPE_SCALE}",
+        repr(dataclasses.asdict(spec)),
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """A directory of point results keyed by (experiment, params, config).
+
+    Parameters
+    ----------
+    root: cache directory (created on first put). Defaults to
+        ``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the working dir.
+    """
+
+    def __init__(self, root: "str | Path | None" = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self._config = config_hash()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(self, point) -> str:
+        """The content-addressed key of one point under this config."""
+        body = json.dumps(
+            {
+                "config": self._config,
+                "experiment": point.experiment,
+                "params": dict(point.params),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def _path(self, point) -> Path:
+        return self.root / f"{self.key(point)}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, point) -> Optional[dict]:
+        """The cached result for *point*, or ``None`` on a miss.
+
+        Unreadable or truncated entries (e.g. a killed writer) count as
+        misses and are overwritten by the next :meth:`put`.
+        """
+        path = self._path(point)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, point, result: dict, *, host_seconds: float = 0.0) -> None:
+        """Store *result* for *point* (atomic rename, crash-safe)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(point)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "experiment": point.experiment,
+            "params": dict(point.params),
+            "config": self._config,
+            "result": result,
+            "meta": {"created": time.time(), "host_seconds": host_seconds},
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for p in self.root.iterdir() if p.suffix == ".json")
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in list(self.root.iterdir()):
+                if p.suffix in (".json", ".tmp"):
+                    p.unlink(missing_ok=True)
+                    removed += 1
+        return removed

@@ -1,0 +1,229 @@
+"""Experiment points: the independent unit of campaign work.
+
+Every figure of the paper's evaluation decomposes into a grid of
+*points* — one (method, parameters) simulation each — that share nothing
+at run time: the simulated jobs build their own engine, file system and
+fabric, and determinism comes from the virtual clock, not from execution
+order. That makes a point the natural unit to fan across a process pool
+and to cache on disk.
+
+A :class:`Point` is a frozen, picklable value object; :func:`run_point`
+executes one and returns a plain JSON-able dict (what the cache stores
+and what the figure assemblers consume). The per-experiment grids live
+here too (:func:`points_for`), so the serial harnesses, the pool runner
+and the tests all enumerate exactly the same work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+EXPERIMENTS = ("fig5", "fig67", "fig910", "topo")
+
+
+@dataclass(frozen=True)
+class Point:
+    """One independent simulation of a campaign.
+
+    ``params`` is a sorted tuple of (name, scalar) pairs so points hash,
+    compare, pickle and JSON-serialize deterministically.
+    """
+
+    experiment: str
+    params: tuple[tuple[str, object], ...]
+
+    @classmethod
+    def make(cls, experiment: str, **params: object) -> "Point":
+        """Build a point with canonical (sorted) parameter order."""
+        if experiment not in EXPERIMENTS:
+            raise ValueError(f"unknown experiment {experiment!r}")
+        return cls(experiment, tuple(sorted(params.items())))
+
+    def get(self, name: str, default: object = None) -> object:
+        """One parameter's value (or *default*)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def label(self) -> str:
+        """A compact human-readable id (progress lines, bench reports)."""
+        parts = [f"{k}={v}" for k, v in self.params]
+        return f"{self.experiment}({', '.join(parts)})"
+
+    def as_spec(self) -> dict:
+        """A JSON-able spec (what pool workers receive)."""
+        return {"experiment": self.experiment, "params": dict(self.params)}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Point":
+        """Rebuild a point from :meth:`as_spec` output."""
+        return cls.make(spec["experiment"], **spec["params"])
+
+
+# ----------------------------------------------------------------------
+# grids (one entry per figure point, enumeration order = figure order)
+# ----------------------------------------------------------------------
+
+
+def points_for(experiment: str, scale=None) -> list[Point]:
+    """The grid of points one experiment runs at *scale* (default FULL)."""
+    from repro.experiments.common import FULL
+
+    scale = scale if scale is not None else FULL
+    points: list[Point] = []
+    if experiment == "fig5":
+        for nprocs in scale.proc_counts:
+            for method in ("TCIO", "OCIO"):
+                points.append(Point.make(
+                    "fig5", method=method, nprocs=nprocs,
+                    len_array=scale.len_array,
+                ))
+    elif experiment == "fig67":
+        for len_array in scale.filesize_lens:
+            for method in ("TCIO", "OCIO"):
+                points.append(Point.make(
+                    "fig67", method=method, nprocs=scale.filesize_procs,
+                    len_array=len_array,
+                ))
+    elif experiment == "fig910":
+        for nprocs in scale.art_proc_counts:
+            for method in ("TCIO", "MPI-IO"):
+                points.append(Point.make(
+                    "fig910", method=method, nprocs=nprocs,
+                    segments=scale.art_segments,
+                    cell_scale=scale.art_cell_scale,
+                ))
+    elif experiment == "topo":
+        for method in ("TCIO", "OCIO"):
+            for aggregation in ("flat", "node"):
+                points.append(Point.make(
+                    "topo", method=method, aggregation=aggregation,
+                    nprocs=64, cores_per_node=4, len_array=1024,
+                ))
+    else:
+        raise ValueError(f"unknown experiment {experiment!r}")
+    return points
+
+
+def all_points(scale=None, experiments=EXPERIMENTS) -> list[Point]:
+    """Every point of the selected experiments, in campaign order."""
+    out: list[Point] = []
+    for experiment in experiments:
+        out.extend(points_for(experiment, scale))
+    return out
+
+
+# ----------------------------------------------------------------------
+# execution (pure: point in, JSON-able result out)
+# ----------------------------------------------------------------------
+
+
+def _run_bench_point(point: Point, *, verify: bool = True) -> dict:
+    """A fig5/fig67 point: one synthetic-benchmark (method, P, LEN) run."""
+    from repro.bench import BenchConfig, Method, run_benchmark
+
+    method = str(point.get("method"))
+    nprocs = int(point.get("nprocs"))  # type: ignore[arg-type]
+    len_array = int(point.get("len_array"))  # type: ignore[arg-type]
+    cfg = BenchConfig(
+        method=Method.parse(method),
+        num_arrays=2,
+        type_codes="i,d",
+        len_array=len_array,
+        size_access=1,
+        nprocs=nprocs,
+        file_name=f"{point.experiment}_{method}_{nprocs}_{len_array}.dat",
+    )
+    result = run_benchmark(cfg, verify=verify)
+    return {
+        "write_throughput": result.write_throughput,
+        "read_throughput": result.read_throughput,
+        "write_seconds": result.write_seconds,
+        "read_seconds": result.read_seconds,
+        "failed": result.failed,
+        "fail_reason": result.fail_reason,
+        "file_sha256": result.file_sha256,
+    }
+
+
+def _run_art_point(point: Point, *, verify: bool = True) -> dict:
+    """A fig910 point: one ART dump+restart (method, P) run."""
+    from repro.art import ArtConfig, ArtIoMethod, ArtWorkload, run_art
+    from repro.cluster.lonestar import make_lonestar
+
+    label = str(point.get("method"))
+    method = ArtIoMethod.TCIO if label == "TCIO" else ArtIoMethod.MPIIO
+    nprocs = int(point.get("nprocs"))  # type: ignore[arg-type]
+    workload = ArtWorkload(
+        n_segments=int(point.get("segments")),  # type: ignore[arg-type]
+        cell_scale=int(point.get("cell_scale")),  # type: ignore[arg-type]
+    )
+    cfg = ArtConfig(
+        workload=workload,
+        method=method,
+        nprocs=nprocs,
+        file_name=f"fig910_{label}_{nprocs}.dat",
+        verify=verify,
+        per_array_cost=0.5e-6,
+    )
+    result = run_art(cfg, cluster=make_lonestar(nranks=nprocs))
+    return {
+        "dump_throughput": result.dump_throughput,
+        "restart_throughput": result.restart_throughput,
+        "dump_seconds": result.dump_seconds,
+        "restart_seconds": result.restart_seconds,
+        "snapshot_bytes": result.snapshot_bytes,
+    }
+
+
+def _run_topo_point(point: Point, *, verify: bool = True) -> dict:
+    """A topo-ablation point: one (method, aggregation) write phase."""
+    from repro.bench import Method, run_benchmark
+    from repro.experiments.topo_ablation import ablation_cluster, ablation_config
+
+    procs = int(point.get("nprocs"))  # type: ignore[arg-type]
+    cores_per_node = int(point.get("cores_per_node"))  # type: ignore[arg-type]
+    cluster = ablation_cluster(procs, cores_per_node)
+    cfg = ablation_config(
+        Method.parse(str(point.get("method"))),
+        str(point.get("aggregation")),
+        procs,
+        cores_per_node,
+        cluster.lustre.stripe_size,
+        int(point.get("len_array")),  # type: ignore[arg-type]
+    )
+    result = run_benchmark(cfg, cluster=cluster, do_read=False, verify=verify)
+    if result.failed:  # pragma: no cover - surfaced by the ablation check
+        raise RuntimeError(f"{point.label()}: {result.fail_reason}")
+    return {
+        "messages": int(result.counters.get("write.net.msg", (0, 0))[0]),
+        "connections": int(result.counters.get("write.net.connection", (0, 0))[0]),
+        "write_seconds": result.write_seconds,
+        "file_sha256": result.file_sha256,
+    }
+
+
+_RUNNERS = {
+    "fig5": _run_bench_point,
+    "fig67": _run_bench_point,
+    "fig910": _run_art_point,
+    "topo": _run_topo_point,
+}
+
+
+def run_point(point: Point, *, verify: bool = True) -> dict:
+    """Execute one point in this process; returns its JSON-able result."""
+    return _RUNNERS[point.experiment](point, verify=verify)
+
+
+def run_spec(spec: dict, *, verify: bool = True) -> dict:
+    """Worker-side entry: :func:`run_point` on a :meth:`Point.as_spec`."""
+    return run_point(Point.from_spec(spec), verify=verify)
+
+
+def result_sha256(result: dict) -> Optional[str]:
+    """The output-bytes hash a point recorded, if its kind records one."""
+    value = result.get("file_sha256")
+    return str(value) if value else None

@@ -1,0 +1,124 @@
+"""``python -m repro perf profile <target>``: whole-simulator cProfile.
+
+Rank programs execute on worker threads behind the engine's baton, so a
+plain ``cProfile`` of the main thread attributes all rank work to
+``lock.acquire`` (the engine waiting for the baton) and hides the real
+hot paths. This hook profiles *every* thread: one ``cProfile.Profile``
+wraps the engine loop, and one more wraps each rank thread via
+:func:`repro.sim.process.set_thread_hook`; the per-thread stats merge
+into a single report. The baton guarantees only one thread runs at a
+time, so merged tottime is directly comparable to wall-clock.
+
+This is the tool the hot-path optimization pass is guided by — see
+docs/performance.md for a worked example.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from repro.perf.points import Point, points_for, run_point
+
+TARGETS = ("bench", "fig5", "fig67", "fig910", "topo")
+
+
+class _RankProfiles:
+    """Collects one cProfile per simulated-process thread."""
+
+    def __init__(self) -> None:
+        self.profiles: list[cProfile.Profile] = []
+
+    @contextmanager
+    def hook(self, _proc):
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            # The baton serializes rank threads, so no lock is needed.
+            self.profiles.append(profile)
+
+
+def profile_points(
+    points: Sequence[Point],
+) -> tuple[pstats.Stats, float]:
+    """Run *points* serially under an all-threads profiler.
+
+    Returns the merged :class:`pstats.Stats` plus total host seconds.
+    """
+    from repro.sim import process as process_mod
+
+    collector = _RankProfiles()
+    main_profile = cProfile.Profile()
+    process_mod.set_thread_hook(collector.hook)
+    t0 = time.perf_counter()
+    try:
+        main_profile.enable()
+        try:
+            for point in points:
+                run_point(point)
+        finally:
+            main_profile.disable()
+    finally:
+        process_mod.set_thread_hook(None)
+    wall = time.perf_counter() - t0
+    stats = pstats.Stats(main_profile)
+    for profile in collector.profiles:
+        stats.add(profile)
+    return stats, wall
+
+
+def target_points(
+    target: str,
+    *,
+    method: str = "tcio",
+    procs: Optional[int] = None,
+    len_array: Optional[int] = None,
+) -> list[Point]:
+    """The point list one profile target runs (SMOKE-sized grids)."""
+    from repro.experiments.common import SMOKE
+
+    if target == "bench":
+        return [Point.make(
+            "fig5",
+            method={"tcio": "TCIO", "ocio": "OCIO"}.get(method, method.upper()),
+            nprocs=procs or 16,
+            len_array=len_array or 2048,
+        )]
+    if target in ("fig5", "fig67", "fig910", "topo"):
+        return points_for(target, SMOKE)
+    raise ValueError(f"unknown profile target {target!r} (want one of {TARGETS})")
+
+
+def run_profile(
+    target: str,
+    *,
+    method: str = "tcio",
+    procs: Optional[int] = None,
+    len_array: Optional[int] = None,
+    sort: str = "tottime",
+    limit: int = 25,
+    out: Optional[str] = None,
+) -> pstats.Stats:
+    """Profile one target and print the top-*limit* functions by *sort*.
+
+    ``out`` additionally dumps the merged stats to a ``.pstats`` file
+    loadable with ``pstats.Stats(path)`` or snakeviz-style viewers.
+    """
+    points = target_points(
+        target, method=method, procs=procs, len_array=len_array
+    )
+    print(f"profiling {len(points)} point(s): "
+          + ", ".join(p.label() for p in points))
+    stats, wall = profile_points(points)
+    print(f"host wall-clock: {wall:.2f} s (all threads merged)\n")
+    stats.sort_stats(sort).print_stats(limit)
+    if out is not None:
+        stats.dump_stats(out)
+        print(f"wrote {out}")
+    return stats

@@ -22,6 +22,18 @@ if TYPE_CHECKING:  # pragma: no cover
 # 1 MiB is plenty for our call depths and keeps 1024-rank simulations cheap.
 _STACK_SIZE = 1 << 20
 
+#: Optional context-manager factory wrapped around every rank program.
+#: Rank code runs on worker threads, so an ordinary main-thread profiler
+#: never sees it; ``repro.perf.profile`` installs a per-thread cProfile
+#: through this hook. ``None`` (the default) costs one attribute read.
+_thread_hook: Optional[Callable[["SimProcess"], Any]] = None
+
+
+def set_thread_hook(hook: Optional[Callable[["SimProcess"], Any]]) -> None:
+    """Install (or clear, with ``None``) the rank-thread wrapper hook."""
+    global _thread_hook
+    _thread_hook = hook
+
 
 class _Killed(BaseException):
     """Raised inside a process thread to unwind it during engine teardown."""
@@ -76,7 +88,12 @@ class SimProcess:
         try:
             if not self._killed:
                 self.start_time = self.engine.now
-                self._target()
+                hook = _thread_hook
+                if hook is None:
+                    self._target()
+                else:
+                    with hook(self):
+                        self._target()
         except _Killed:
             pass
         except BaseException as exc:  # noqa: BLE001 - forwarded to engine

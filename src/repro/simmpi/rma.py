@@ -96,6 +96,19 @@ class Window:
             raise RmaError("window buffer must be writable")
         self.win_id = self.world.register_window(self.my_world_rank, view)
         self._epochs: dict[int, _Epoch] = {}
+        # Metric objects resolved once per window: every level-2 flush and
+        # fetch passes through lock/put/get, and the by-name registry
+        # lookups were visible in whole-run profiles.
+        trace = self.world.trace
+        if trace is not None:
+            registry = trace.registry
+            self._c_lock = registry.counter("rma.lock")
+            self._c_unlock = registry.counter("rma.unlock")
+            self._c_put = registry.counter("rma.put")
+            self._c_put_blocks = registry.counter("rma.put_blocks")
+            self._c_get = registry.counter("rma.get")
+            self._c_get_blocks = registry.counter("rma.get_blocks")
+            self._h_put_bytes = registry.histogram("rma.put_bytes")
         # MPI_Win_create is collective; synchronize so no rank races ahead
         # and touches a window a peer has not exposed yet.
         from repro.simmpi import collectives
@@ -142,7 +155,7 @@ class Window:
             else spec.rma_shared_epoch_overhead
         )
         if world.trace is not None:
-            world.trace.count("rma.lock")
+            self._c_lock.add()
         self._epochs[target] = _Epoch(target, lock_type, world.engine.now)
 
     def unlock(self, target: int) -> None:
@@ -168,7 +181,7 @@ class Window:
         )
         world.engine.schedule_at(release_at, state.release)
         if world.trace is not None:
-            world.trace.count("rma.unlock")
+            self._c_unlock.add()
             world.trace.complete(
                 "rma.epoch", epoch.start, max(world.engine.now, release_at),
                 target=target,
@@ -210,9 +223,9 @@ class Window:
         t = world.fabric.transfer(self.my_world_rank, target_w, total, land, rma=True)
         epoch.last_completion = max(epoch.last_completion, t)
         if world.trace is not None:
-            world.trace.count("rma.put", total)
-            world.trace.count("rma.put_blocks", len(blocks))
-            world.trace.registry.histogram("rma.put_bytes").observe(total)
+            self._c_put.add(total)
+            self._c_put_blocks.add(len(blocks))
+            self._h_put_bytes.observe(total)
 
     def get(self, target: int, target_offset: int, nbytes: int) -> bytes:
         """MPI_Get of one contiguous block (epoch-blocking convenience)."""
@@ -257,8 +270,8 @@ class Window:
         proc.block(f"rma.get(target={target}, bytes={total})")
         epoch.last_completion = max(epoch.last_completion, world.engine.now)
         if world.trace is not None:
-            world.trace.count("rma.get", total)
-            world.trace.count("rma.get_blocks", len(blocks))
+            self._c_get.add(total)
+            self._c_get_blocks.add(len(blocks))
         return result
 
     # ------------------------------------------------------------------

@@ -285,17 +285,30 @@ class TcioFile:
         payload = _as_payload(data, count, datatype)
         if not payload:
             return 0
-        self._charge_memcpy(len(payload))
+        length = len(payload)
+        self._charge_memcpy(length)
+        # Inlined mapping.locate: the same segment-boundary walk without a
+        # BlockLocation allocation per piece — write_at is the simulator's
+        # single hottest entry point (one call per application block).
+        level1 = self.level1
+        seg_size = self.mapping.segment_size
         pos = 0
-        for loc in self.mapping.locate(offset, len(payload)):
-            gseg = loc.segment * self.mapping.nranks + loc.rank
-            if not self.level1.accepts(gseg):
-                self._flush_level1()
-            if self.level1.aligned_segment is None:
-                self.level1.align(gseg)
-            self.level1.place(loc.disp, payload[pos : pos + loc.length])
-            pos += loc.length
-        end = offset + len(payload)
+        cur = offset
+        end = offset + length
+        while cur < end:
+            gseg = cur // seg_size
+            seg_end = (gseg + 1) * seg_size
+            take = (end if end < seg_end else seg_end) - cur
+            if level1.aligned_segment != gseg:
+                if level1.aligned_segment is not None:
+                    self._flush_level1()
+                level1.align(gseg)
+            level1.place(
+                cur - gseg * seg_size,
+                payload if take == length else payload[pos : pos + take],
+            )
+            pos += take
+            cur += take
         if end > self.directory.eof:
             self.directory.eof = end
         self.stats.inc("write_calls")

@@ -43,20 +43,28 @@ FIELD_METRICS: dict[str, str] = {
 class TcioStats:
     """What one TCIO handle did — the mechanism evidence behind the figures."""
 
-    __slots__ = ("registry", "extra")
+    __slots__ = ("registry", "extra", "_counters")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         object.__setattr__(
             self, "registry", registry if registry is not None else MetricsRegistry()
         )
         object.__setattr__(self, "extra", {})
+        # Counter objects memoized per handle: ``inc`` runs a few times per
+        # application I/O call, and the name translation + registry lookup
+        # showed up in whole-run profiles.
+        object.__setattr__(self, "_counters", {})
 
     # ------------------------------------------------------------------
     # the library's mutation/read paths (no deprecation)
     # ------------------------------------------------------------------
     def inc(self, fld: str, n: int = 1) -> None:
         """Increment the legacy-named counter *fld* by *n*."""
-        self.registry.counter(FIELD_METRICS[fld]).inc(n)
+        counter = self._counters.get(fld)
+        if counter is None:
+            counter = self.registry.counter(FIELD_METRICS[fld])
+            self._counters[fld] = counter
+        counter.inc(n)
 
     def value(self, fld: str) -> int:
         """The legacy-named counter's current integer value."""

@@ -8,6 +8,7 @@ level-1 buffer tracks the file domain of cached blocks.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -84,6 +85,11 @@ class Extent:
         return f"[{self.start},{self.stop})"
 
 
+def _start_of(extent: Extent) -> int:
+    """Bisect key (module-level: no per-call lambda allocation)."""
+    return extent.start
+
+
 class ExtentSet:
     """A normalized (sorted, disjoint, merged) set of extents.
 
@@ -135,10 +141,32 @@ class ExtentSet:
         return Extent(self._extents[0].start, self._extents[-1].stop)
 
     def add(self, extent: Extent) -> None:
-        """Insert an extent (renormalizing in place)."""
+        """Insert an extent (renormalizing in place).
+
+        Bisect insertion with a local splice — O(log n) to find the
+        affected run plus one list splice — instead of re-sorting the
+        whole set per insert. Lock managers and sieving analyses call
+        ``add`` once per request, so this is a simulator hot path.
+        """
         if extent.is_empty():
             return
-        self._extents = self._normalize([*self._extents, extent])
+        extents = self._extents
+        lo, stop = extent.start, extent.stop
+        i = bisect_left(extents, lo, key=_start_of)
+        # A left neighbor that overlaps or touches [lo, stop) joins the
+        # merge window (members are disjoint, so at most one can).
+        if i > 0 and extents[i - 1].stop >= lo:
+            i -= 1
+            lo = extents[i].start
+        # Absorb every member starting inside (or adjacent to) the window,
+        # widening it when an absorbed member extends past stop.
+        j = i
+        n = len(extents)
+        while j < n and extents[j].start <= stop:
+            if extents[j].stop > stop:
+                stop = extents[j].stop
+            j += 1
+        extents[i:j] = [Extent(lo, stop)]
 
     def union(self, other: "ExtentSet | Extent") -> "ExtentSet":
         """The normalized union with another set or extent."""
@@ -146,14 +174,27 @@ class ExtentSet:
         return ExtentSet([*self._extents, *other_items])
 
     def intersect(self, other: "ExtentSet | Extent") -> "ExtentSet":
-        """The normalized intersection with another set or extent."""
-        other_items = [other] if isinstance(other, Extent) else list(other)
+        """The normalized intersection with another set or extent.
+
+        Linear two-pointer merge over the two sorted disjoint runs
+        (a single ``Extent`` is one run) instead of the old all-pairs
+        scan — O(n + m), not O(n * m).
+        """
+        a_run = self._extents
+        b_run = [other] if isinstance(other, Extent) else other._extents
         out: list[Extent] = []
-        for a in self._extents:
-            for b in other_items:
-                piece = a.intersect(b)
-                if not piece.is_empty():
-                    out.append(piece)
+        ai = bi = 0
+        na, nb = len(a_run), len(b_run)
+        while ai < na and bi < nb:
+            a, b = a_run[ai], b_run[bi]
+            start = a.start if a.start > b.start else b.start
+            stop = a.stop if a.stop < b.stop else b.stop
+            if start < stop:
+                out.append(Extent(start, stop))
+            if a.stop <= b.stop:
+                ai += 1
+            else:
+                bi += 1
         return ExtentSet(out)
 
     def subtract(self, other: "ExtentSet | Extent") -> "ExtentSet":
@@ -174,10 +215,15 @@ class ExtentSet:
         return ExtentSet(remaining)
 
     def covers(self, extent: Extent) -> bool:
-        """True when *extent* is fully contained in the set."""
+        """True when *extent* is fully contained in the set.
+
+        Members are disjoint and merged, so coverage means one single
+        member spans the extent — a binary search, no set algebra.
+        """
         if extent.is_empty():
             return True
-        return not ExtentSet([extent]).subtract(self)
+        i = bisect_right(self._extents, extent.start, key=_start_of) - 1
+        return i >= 0 and self._extents[i].stop >= extent.stop
 
     def overlaps(self, extent: Extent) -> bool:
         """True when any member extent overlaps *extent*."""

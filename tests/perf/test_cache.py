@@ -1,0 +1,67 @@
+"""The on-disk result cache: round trips, invalidation, crash safety."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.cache import ResultCache, config_hash
+from repro.perf.points import Point
+
+POINT = Point.make("fig5", method="TCIO", nprocs=4, len_array=64)
+RESULT = {"write_throughput": 1.0, "file_sha256": "ab" * 32}
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(POINT) is None
+        cache.put(POINT, RESULT, host_seconds=1.5)
+        assert cache.get(POINT) == RESULT
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_key_distinguishes_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        other = Point.make("fig5", method="OCIO", nprocs=4, len_array=64)
+        assert cache.key(POINT) != cache.key(other)
+        cache.put(POINT, RESULT)
+        assert cache.get(other) is None
+
+    def test_key_is_stable_across_instances(self, tmp_path):
+        assert ResultCache(tmp_path).key(POINT) == ResultCache(tmp_path).key(POINT)
+
+    def test_config_hash_invalidation(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, RESULT)
+        stale = ResultCache(tmp_path)
+        # Simulate a calibration change: the key no longer matches the
+        # entry written under the old configuration.
+        monkeypatch.setattr(stale, "_config", "0" * 16)
+        assert stale.get(POINT) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, RESULT)
+        path = cache._path(POINT)
+        path.write_text(path.read_text()[:10])
+        assert cache.get(POINT) is None
+
+    def test_entry_carries_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, RESULT, host_seconds=2.0)
+        entry = json.loads(cache._path(POINT).read_text())
+        assert entry["experiment"] == "fig5"
+        assert entry["meta"]["host_seconds"] == 2.0
+        assert entry["config"] == config_hash()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(POINT, RESULT)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get(POINT) is None
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "from-env"

@@ -148,3 +148,33 @@ class TestExtentSetProperties:
         assert a.covers(e) or (e.is_empty() and a.is_empty())
         assert a.start % unit == 0
         assert a.stop % unit == 0 or a.is_empty()
+
+
+class TestFastPathsMatchReference:
+    """The bisect/merge rewrites must match the normalize-everything
+    semantics exactly (these are simulator hot paths; see docs/performance.md)."""
+
+    @given(st.lists(extents(), max_size=15))
+    def test_incremental_add_equals_batch_normalize(self, items):
+        incremental = ExtentSet()
+        for e in items:
+            incremental.add(e)
+        assert incremental == ExtentSet(items)
+
+    @given(st.lists(extents(), max_size=12), extents())
+    def test_covers_matches_subtract_definition(self, items, probe):
+        s = ExtentSet(items)
+        assert s.covers(probe) == (not ExtentSet([probe]).subtract(s))
+
+    @given(st.lists(extents(), max_size=10), st.lists(extents(), max_size=10))
+    def test_intersect_matches_all_pairs(self, xs, ys):
+        a, b = ExtentSet(xs), ExtentSet(ys)
+        brute = ExtentSet(
+            x.intersect(y) for x in a for y in b
+        )
+        assert a.intersect(b) == brute
+
+    @given(st.lists(extents(), max_size=10), extents())
+    def test_intersect_single_extent_matches_set(self, xs, probe):
+        s = ExtentSet(xs)
+        assert s.intersect(probe) == s.intersect(ExtentSet([probe]))
