@@ -59,10 +59,16 @@ class BenchConfig:
     #: "node" (route cross-node traffic through per-node leaders — maps to
     #: TcioConfig.aggregation and IoHints.cb_aggregation; docs/topology.md).
     aggregation: str = "flat"
+    #: TCIO durability mode: "off" (the paper's design) or "epoch" (the
+    #: journaled two-phase flush protocol — maps to TcioConfig.journal;
+    #: docs/faults.md). Ignored by OCIO/MPI-IO methods.
+    journal: str = "off"
 
     def __post_init__(self) -> None:
         if self.aggregation not in ("flat", "node"):
             raise BenchmarkError("aggregation must be 'flat' or 'node'")
+        if self.journal not in ("off", "epoch"):
+            raise BenchmarkError("journal must be 'off' or 'epoch'")
         if self.num_arrays < 1:
             raise BenchmarkError("NUMarray must be >= 1")
         if self.len_array < 1:

@@ -126,6 +126,8 @@ def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
 def _tcio_config(cfg: BenchConfig, env: RankEnv) -> TcioConfig:
     stripe = env.pfs.spec.stripe_size
     sized = TcioConfig.sized_for(cfg.total_bytes, env.size, stripe)
+    if cfg.journal != "off":
+        sized = replace(sized, journal=cfg.journal)
     if cfg.aggregation == "flat":
         return sized
     # Node mode: size the staging buffer to hold a whole node's share of

@@ -9,7 +9,11 @@ Commands
 ``table3``    — regenerate Table III and the Program 2/3 effort metrics.
 ``bench``     — run one synthetic-benchmark point and print its result.
 ``faults``    — rerun the benchmark under seeded fault injection and
-                verify byte-correct recovery (see docs/faults.md).
+                verify byte-correct recovery (see docs/faults.md);
+                ``--crash-at`` runs the fail-stop crash-differential
+                matrix instead.
+``fsck``      — journaled faulted run + per-byte classification of the
+                shared file (committed/torn/untracked/fallback/lost).
 ``trace``     — rerun a scaled-down experiment with span tracing on and
                 write Chrome-trace + metrics JSON (see docs/observability.md).
 ``report``    — run the full campaign and write EXPERIMENTS.md
@@ -131,8 +135,12 @@ def cmd_bench(args) -> int:
 
 def cmd_faults(args) -> int:
     """Run one fault-injected benchmark point and verify recovery."""
-    from repro.faults.runner import run_faulted
+    from repro.faults.runner import run_crash_campaign, run_faulted
 
+    if args.crash_at is not None:
+        return run_crash_campaign(
+            args.crash_at, seed=args.seed, procs=args.crash_procs
+        )
     return run_faulted(
         args.target,
         seed=args.seed,
@@ -141,6 +149,21 @@ def cmd_faults(args) -> int:
         len_array=args.len,
         method=args.method,
         lock_timeout=args.lock_timeout,
+        aggregation=args.aggregation,
+    )
+
+
+def cmd_fsck(args) -> int:
+    """Journaled faulted run + per-byte verification of the shared file."""
+    from repro.faults.runner import run_fsck
+
+    return run_fsck(
+        args.file,
+        seed=args.seed,
+        rate=args.rate,
+        procs=args.procs,
+        len_array=args.len,
+        journal=args.journal,
         aggregation=args.aggregation,
     )
 
@@ -279,8 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="benchmark under seeded fault injection + verification"
     )
     p.add_argument(
-        "target", choices=["bench", "ocio", "tcio", "mpiio"],
+        "target", nargs="?", default="bench",
+        choices=["bench", "ocio", "tcio", "mpiio"],
         help="'bench' uses --method; a method name runs that method",
+    )
+    p.add_argument(
+        "--crash-at", default=None, metavar="STEP",
+        help="run the crash-differential matrix instead: kill rank 1 at "
+             "this protocol step ('each-step' runs all five; docs/faults.md)",
+    )
+    p.add_argument(
+        "--crash-procs", type=int, default=4,
+        help="ranks for the crash matrix (only with --crash-at)",
     )
     p.add_argument("--seed", type=int, default=1, help="fault plan seed")
     p.add_argument("--rate", type=float, default=0.05, help="injection rate")
@@ -296,6 +329,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="intra-node aggregation mode (docs/topology.md)",
     )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "fsck", help="journaled faulted run + per-byte file verification"
+    )
+    p.add_argument("file", help="shared file name inside the simulated PFS")
+    p.add_argument("--seed", type=int, default=1, help="fault plan seed")
+    p.add_argument("--rate", type=float, default=0.05, help="injection rate")
+    p.add_argument("--procs", type=int, default=16)
+    p.add_argument("--len", type=int, default=256, help="LENarray (elements)")
+    p.add_argument(
+        "--journal", choices=["off", "epoch"], default="epoch",
+        help="TCIO durability mode (docs/faults.md)",
+    )
+    p.add_argument(
+        "--aggregation", choices=["flat", "node"], default="flat",
+        help="intra-node aggregation mode (docs/topology.md)",
+    )
+    p.set_defaults(fn=cmd_fsck)
 
     p = sub.add_parser(
         "topo", help="flat-vs-node aggregation ablation (message counts)"

@@ -1,0 +1,294 @@
+"""The crash-differential harness: kill a rank at every protocol step.
+
+One *cell* of the matrix runs a fixed two-phase TCIO workload (phase 1
+writes a low region, ``tcio_flush`` commits epoch 1, phase 2 writes a
+disjoint higher region, ``tcio_close`` commits epoch 2), crashes one rank
+at a chosen protocol step, recovers the surviving PFS image with
+:func:`repro.crash.recover.recover`, and checks the result byte-for-byte
+against a crash-free reference run:
+
+* crash at ``pre-deposit`` / ``post-deposit`` / ``mid-flush`` /
+  ``pre-commit`` (all during epoch 2, the last occurrence of the step)
+  → the recovered file must equal the crash-free file truncated to the
+  epoch-1 eof — phase 2 is gone, phase 1 is intact;
+* crash at ``post-commit`` → epoch 2 committed first, so the recovered
+  file must equal the full crash-free file.
+
+Each cell also runs :func:`repro.crash.fsck.fsck` on the recovered image
+and requires it *clean* (zero torn, zero untracked bytes).
+
+Crashes are aimed deterministically: a crash-free *counting run* with an
+idle :class:`~repro.faults.plan.FaultPlan` tallies how often the victim
+rank reaches each step (``plan.step_hits``), and the armed run sets
+``crash_after`` to that count — the last occurrence, which falls in the
+close-time epoch. Same seed + same spec → same crash, every time.
+
+A final ``journal="off"`` cell shows what the journal buys: the same
+crash without it loses deposited bytes, and fsck (fed the aborted run's
+in-memory directory as a :class:`~repro.crash.fsck.CrashContext`) must
+detect and report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.crash.fsck import CrashContext, FsckReport, fsck
+from repro.crash.recover import RecoveryReport, recover
+
+#: Every protocol step a crash point guards, in protocol order. The first
+#: two bracket the level-1 deposit (they fire in any journal mode); the
+#: last three exist only inside the epoched flush protocol.
+STEPS = ("pre-deposit", "post-deposit", "mid-flush", "pre-commit", "post-commit")
+
+#: Steps recovery discards phase 2 for (the crash lands before the
+#: epoch-2 commit mark is durable).
+ROLLBACK_STEPS = ("pre-deposit", "post-deposit", "mid-flush", "pre-commit")
+
+SEGMENT = 64  # small segments: every rank owns several, deposits go remote
+PER_RANK = 96  # per-rank bytes per phase; crosses a segment boundary
+
+
+def _pattern(rank: int, phase: int, n: int) -> bytes:
+    """Deterministic, rank/phase-distinct payload bytes."""
+    start = (rank * 31 + phase * 101) % 251
+    return bytes((start + i) % 251 + 1 for i in range(n))
+
+
+def _make_config(nranks: int, journal: str, aggregation: str):
+    from repro.tcio import TcioConfig
+
+    total = 2 * nranks * PER_RANK
+    base = TcioConfig.sized_for(total, nranks, SEGMENT)
+    return replace(base, journal=journal, aggregation=aggregation)
+
+
+def _make_main(name: str, config):
+    """The two-phase workload body (one closure per run)."""
+    from repro.tcio import TCIO_WRONLY, tcio_close, tcio_flush, tcio_open, tcio_write_at
+
+    def main(env):
+        nranks = env.size
+        fh = tcio_open(env, name, TCIO_WRONLY, config)
+        tcio_write_at(fh, env.rank * PER_RANK, _pattern(env.rank, 1, PER_RANK))
+        tcio_flush(fh)  # epoch 1: phase-1 region durable
+        base = nranks * PER_RANK
+        tcio_write_at(
+            fh, base + env.rank * PER_RANK, _pattern(env.rank, 2, PER_RANK)
+        )
+        tcio_close(fh)  # epoch 2: phase-2 region durable
+
+    return main
+
+
+def _run(name, config, nranks, cores_per_node, faults=None):
+    from repro.experiments.topo_ablation import ablation_cluster
+    from repro.simmpi import run_mpi
+
+    return run_mpi(
+        nranks,
+        _make_main(name, config),
+        cluster=ablation_cluster(nranks, cores_per_node),
+        faults=faults,
+    )
+
+
+@dataclass
+class CrashCell:
+    """One (step, aggregation mode) differential result."""
+
+    step: str
+    aggregation: str
+    journal: str
+    ok: bool
+    detail: str
+    crash_after: int
+    aborted: bool
+    recovery: Optional[RecoveryReport] = None
+    fsck: Optional[FsckReport] = None
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else "FAIL"
+        return (
+            f"crash@{self.step:<12} {self.aggregation:<4} "
+            f"journal={self.journal}: {state} — {self.detail}"
+        )
+
+
+@dataclass
+class CrashMatrixResult:
+    """All cells of one campaign."""
+
+    nranks: int
+    seed: int
+    cells: list[CrashCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def render(self) -> str:
+        lines = [f"crash matrix: {self.nranks} ranks, seed {self.seed}"]
+        lines += ["  " + cell.summary() for cell in self.cells]
+        lines.append(f"  => {'all clean' if self.ok else 'FAILURES'}")
+        return "\n".join(lines)
+
+
+def _count_step_hits(config, nranks, cores_per_node, seed, step, victim) -> int:
+    """Crash-free counting run: how often *victim* reaches *step*."""
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan(FaultSpec(), seed, scope="crash-count")
+    _run("count.dat", config, nranks, cores_per_node, faults=plan)
+    return plan.step_hits[(step, victim)]
+
+
+def run_crash_cell(
+    step: str,
+    *,
+    aggregation: str = "flat",
+    nranks: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    victim: int = 1,
+    reference: Optional[bytes] = None,
+) -> CrashCell:
+    """Run one journaled crash-differential cell (see module doc)."""
+    from repro.faults import FaultPlan, FaultSpec
+
+    name = "crash.dat"
+    config = _make_config(nranks, "epoch", aggregation)
+    if reference is None:
+        reference = crash_free_reference(
+            aggregation=aggregation, nranks=nranks, cores_per_node=cores_per_node
+        )
+    hits = _count_step_hits(config, nranks, cores_per_node, seed, step, victim)
+    if hits == 0:
+        return CrashCell(
+            step, aggregation, "epoch", False,
+            f"rank {victim} never reaches step", 0, False,
+        )
+
+    spec = FaultSpec(crash_rank=victim, crash_step=step, crash_after=hits)
+    plan = FaultPlan(spec, seed, scope="crash")
+    result = _run(name, config, nranks, cores_per_node, faults=plan)
+    if result.aborted is None:
+        return CrashCell(
+            step, aggregation, "epoch", False, "job did not abort", hits, False
+        )
+
+    report = recover(result.pfs, name)
+    check = fsck(
+        result.pfs, name, context=CrashContext.from_world(result.world, name)
+    )
+    eof_phase1 = nranks * PER_RANK
+    expected = reference[:eof_phase1] if step in ROLLBACK_STEPS else reference
+    recovered = result.pfs.lookup(name).contents()
+    ok = recovered == expected and check.clean
+    if recovered != expected:
+        detail = (
+            f"recovered image mismatch ({len(recovered)}b vs "
+            f"{len(expected)}b expected)"
+        )
+    elif not check.clean:
+        detail = check.summary()
+    else:
+        detail = (
+            f"epoch {report.committed_epoch} recovered, "
+            f"{report.replayed_bytes}b replayed, "
+            f"{report.skipped_uncommitted} uncommitted + "
+            f"{report.torn_records} torn discarded, fsck clean"
+        )
+    return CrashCell(
+        step, aggregation, "epoch", ok, detail, hits, True,
+        recovery=report, fsck=check,
+    )
+
+
+def run_journal_off_cell(
+    *,
+    aggregation: str = "flat",
+    nranks: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    victim: int = 1,
+) -> CrashCell:
+    """The control cell: same crash, no journal — fsck must report loss."""
+    from repro.faults import FaultPlan, FaultSpec
+
+    name = "crash.dat"
+    step = "post-deposit"  # the only close-time step that exists unjournaled
+    config = _make_config(nranks, "off", aggregation)
+    hits = _count_step_hits(config, nranks, cores_per_node, seed, step, victim)
+    if hits == 0:
+        return CrashCell(
+            step, aggregation, "off", False,
+            f"rank {victim} never reaches step", 0, False,
+        )
+    spec = FaultSpec(crash_rank=victim, crash_step=step, crash_after=hits)
+    plan = FaultPlan(spec, seed, scope="crash")
+    result = _run(name, config, nranks, cores_per_node, faults=plan)
+    if result.aborted is None:
+        return CrashCell(
+            step, aggregation, "off", False, "job did not abort", hits, False
+        )
+    check = fsck(
+        result.pfs, name, context=CrashContext.from_world(result.world, name)
+    )
+    ok = check.lost_bytes > 0
+    detail = (
+        f"{check.lost_bytes}b lost detected (no journal to recover from)"
+        if ok
+        else "expected lost bytes, fsck found none"
+    )
+    return CrashCell(step, aggregation, "off", ok, detail, hits, True, fsck=check)
+
+
+def crash_free_reference(
+    *, aggregation: str = "flat", nranks: int = 4, cores_per_node: int = 2
+) -> bytes:
+    """The full crash-free file image (journaled run, same workload)."""
+    config = _make_config(nranks, "epoch", aggregation)
+    result = _run("ref.dat", config, nranks, cores_per_node)
+    if result.aborted is not None:
+        raise RuntimeError(f"reference run aborted: {result.aborted}")
+    return result.pfs.lookup("ref.dat").contents()
+
+
+def run_crash_matrix(
+    *,
+    steps=STEPS,
+    modes=("flat", "node"),
+    nranks: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    victim: int = 1,
+    include_journal_off: bool = True,
+) -> CrashMatrixResult:
+    """The full campaign: every step × every aggregation mode."""
+    out = CrashMatrixResult(nranks=nranks, seed=seed)
+    for mode in modes:
+        reference = crash_free_reference(
+            aggregation=mode, nranks=nranks, cores_per_node=cores_per_node
+        )
+        for step in steps:
+            out.cells.append(
+                run_crash_cell(
+                    step,
+                    aggregation=mode,
+                    nranks=nranks,
+                    cores_per_node=cores_per_node,
+                    seed=seed,
+                    victim=victim,
+                    reference=reference,
+                )
+            )
+    if include_journal_off:
+        out.cells.append(
+            run_journal_off_cell(
+                nranks=nranks, cores_per_node=cores_per_node,
+                seed=seed, victim=victim,
+            )
+        )
+    return out

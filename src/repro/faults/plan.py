@@ -23,10 +23,15 @@ Injection kinds
 ``rma.put`` / ``rma.get``  a one-sided transfer failed retryably (either
                  probabilistically or because the target rank is in
                  ``unreachable_ranks``).
+``crash.rank`` / ``crash.node``  a fail-stop process (or whole-node) crash
+                 at a named protocol step; unlike every other kind this is
+                 not transient — the job aborts and recovery is offline
+                 (see ``repro.crash``).
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple, Type, TypeVar, Union
 
@@ -63,12 +68,23 @@ class FaultSpec:
     rma_fail_rate: float = 0.0
     rma_fail_delay: float = 5e-5  # origin-side cost of a failed put/get
     unreachable_ranks: Tuple[int, ...] = ()  # RMA targets that always fail
+    # fail-stop process crashes (``crash.rank`` / ``crash.node`` kinds).
+    # Targeted mode: crash_rank (or every rank of crash_node) dies at the
+    # ``crash_after``-th occurrence of protocol step ``crash_step`` (or of
+    # any step when None). Probabilistic mode: ``crash_rate`` rolls the
+    # seeded ``crash`` stream at every crash point.
+    crash_rank: Optional[int] = None
+    crash_node: Optional[int] = None
+    crash_step: Optional[str] = None
+    crash_after: int = 1  # die at the Nth matching step occurrence (1-based)
+    crash_rate: float = 0.0
     # diagnostics / recovery
     audit_locks: bool = False
     retry: RetryPolicy = RetryPolicy()
 
     def validate(self) -> None:
-        for name in ("drop_rate", "spike_rate", "ost_stall_rate", "rma_fail_rate"):
+        for name in ("drop_rate", "spike_rate", "ost_stall_rate", "rma_fail_rate",
+                     "crash_rate"):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
                 raise PfsError(f"{name} must be in [0, 1], got {rate}")
@@ -77,7 +93,20 @@ class FaultSpec:
         if min(self.drop_timeout, self.spike_seconds, self.ost_stall_seconds,
                self.lock_timeout, self.rma_fail_delay) < 0:
             raise PfsError("fault durations must be >= 0")
+        if self.crash_after < 1:
+            raise PfsError(f"crash_after must be >= 1, got {self.crash_after}")
+        if self.crash_rank is not None and self.crash_node is not None:
+            raise PfsError("crash_rank and crash_node are mutually exclusive")
         self.retry.validate()
+
+    @property
+    def crashes_armed(self) -> bool:
+        """Whether any fail-stop crash injection is configured."""
+        return (
+            self.crash_rank is not None
+            or self.crash_node is not None
+            or self.crash_rate > 0.0
+        )
 
     @classmethod
     def from_rate(cls, rate: float, **overrides) -> "FaultSpec":
@@ -116,6 +145,11 @@ class FaultPlan:
         self.scope = str(scope)
         self.injections: list[Injection] = []
         self.fallbacks: list[Tuple[str, Tuple[Tuple[str, object], ...]]] = []
+        #: ``(step, rank) -> occurrences`` of every crash point reached.
+        #: Crash campaigns run a crash-free counting pass first and read
+        #: this to aim ``crash_after`` at a specific occurrence.
+        self.step_hits: Counter = Counter()
+        self._crash_matches: Counter = Counter()
         self._streams: dict = {}
         self._engine = None
         self._trace = None
@@ -205,6 +239,38 @@ class FaultPlan:
             return True
         if self._decide(f"rma.{op}", self.spec.rma_fail_rate):
             self.record(f"rma.{op}", origin=origin, target=target, unreachable=False)
+            return True
+        return False
+
+    def crash_point(self, step: str, rank: int, node: int) -> bool:
+        """Whether *rank* dies (fail-stop) at this occurrence of *step*.
+
+        Every call is tallied into :attr:`step_hits` so counting runs can
+        enumerate a workload's crashable moments. Targeted specs count only
+        *matching* occurrences (right victim, right step) and fire at the
+        ``crash_after``-th; probabilistic specs roll the seeded ``crash``
+        stream. The caller (``MpiWorld.crash_point``) performs the kill.
+        """
+        self.step_hits[(step, rank)] += 1
+        spec = self.spec
+        if not spec.crashes_armed:
+            return False
+        if spec.crash_rank is not None or spec.crash_node is not None:
+            if spec.crash_rank is not None:
+                targeted, key = spec.crash_rank == rank, rank
+                kind = "crash.rank"
+            else:
+                targeted, key = spec.crash_node == node, node
+                kind = "crash.node"
+            if not targeted or (spec.crash_step is not None and spec.crash_step != step):
+                return False
+            self._crash_matches[key] += 1
+            if self._crash_matches[key] != spec.crash_after:
+                return False
+            self.record(kind, rank=rank, node=node, step=step)
+            return True
+        if self._decide("crash", spec.crash_rate):
+            self.record("crash.rank", rank=rank, node=node, step=step)
             return True
         return False
 

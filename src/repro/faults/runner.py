@@ -88,3 +88,86 @@ def run_faulted(
     if rate > 0 and total_injected == 0:
         print("WARNING: nonzero rate but no faults injected (run too small?)")
     return 0
+
+
+def run_crash_campaign(crash_at: str, *, seed: int = 7, procs: int = 4) -> int:
+    """``python -m repro faults --crash-at <step|each-step>``.
+
+    Runs the crash-differential matrix (docs/faults.md): kill rank 1 at
+    the named protocol step (or every step) in both aggregation modes,
+    recover, and compare against a crash-free reference; 0 when every
+    cell is byte-identical and fsck-clean.
+    """
+    from repro.crash import STEPS, run_crash_matrix
+
+    if crash_at != "each-step" and crash_at not in STEPS:
+        print(f"unknown crash step {crash_at!r} (choose from {list(STEPS)})")
+        return 2
+    steps = STEPS if crash_at == "each-step" else (crash_at,)
+    matrix = run_crash_matrix(steps=steps, nranks=procs, seed=seed)
+    print(matrix.render())
+    return 0 if matrix.ok else 1
+
+
+def run_fsck(
+    file_name: str,
+    *,
+    seed: int = 1,
+    rate: float = 0.05,
+    procs: int = 16,
+    len_array: int = 256,
+    journal: str = "epoch",
+    aggregation: str = "flat",
+) -> int:
+    """``python -m repro fsck <file>``: journaled faulted run + verify.
+
+    Runs the TCIO write phase of the synthetic benchmark with the usual
+    seeded fault soup armed and ``journal=<mode>``, keeps the simulated
+    PFS image, and classifies every byte of *file* with
+    :func:`repro.crash.fsck.fsck` (the in-memory segment directory rides
+    along as the :class:`~repro.crash.fsck.CrashContext`, so degraded
+    direct writes and volatile losses are accounted too). Exit 0 iff the
+    image verifies against the reference and fsck reports it clean.
+    """
+    from repro.bench import BenchConfig, Method
+    from repro.bench.synthetic import _tcio_write, reference_file_contents
+    from repro.crash import CrashContext, fsck, recover
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.simmpi import run_mpi
+
+    cfg = BenchConfig(
+        method=Method.TCIO,
+        len_array=len_array,
+        nprocs=procs,
+        file_name=file_name,
+        aggregation=aggregation,
+        journal=journal,
+    )
+    spec = FaultSpec.from_rate(
+        rate,
+        slow_osts=1,
+        unreachable_ranks=(1,) if procs > 1 else (),
+        audit_locks=True,
+    )
+    plan = FaultPlan(spec, seed, scope="write")
+    result = run_mpi(
+        cfg.nprocs, lambda env: _tcio_write(env, cfg), faults=plan
+    )
+    if result.aborted is not None:
+        print(f"FAILED: job aborted ({result.aborted})")
+        return 1
+    written = result.pfs.lookup(file_name).contents()
+    verified = written == reference_file_contents(cfg)
+
+    if journal != "off":
+        print(recover(result.pfs, file_name).summary())
+    report = fsck(
+        result.pfs, file_name, context=CrashContext.from_world(result.world, file_name)
+    )
+    print(report.summary())
+    print(
+        f"  verify vs reference: {'OK' if verified else 'MISMATCH'}  "
+        f"(journal={journal}, seed={seed}, rate={rate}, "
+        f"injected={len(plan.injections)})"
+    )
+    return 0 if verified and report.clean else 1

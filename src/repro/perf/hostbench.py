@@ -53,6 +53,12 @@ PINNED: dict[str, Point] = {
         "topo", method="TCIO", aggregation="node", nprocs=32,
         cores_per_node=4, len_array=512,
     ),
+    # Journaling overhead: the same point as bench-tcio-p16-len2048 with
+    # the epoched durability protocol on — the pair bounds what the
+    # write-ahead journal costs on the host (docs/faults.md).
+    "bench-tcio-journal-epoch-p16-len2048": Point.make(
+        "fig5", method="TCIO", nprocs=16, len_array=2048, journal="epoch"
+    ),
 }
 
 

@@ -127,6 +127,7 @@ def _run_bench_point(point: Point, *, verify: bool = True) -> dict:
     method = str(point.get("method"))
     nprocs = int(point.get("nprocs"))  # type: ignore[arg-type]
     len_array = int(point.get("len_array"))  # type: ignore[arg-type]
+    journal = str(point.get("journal") or "off")
     cfg = BenchConfig(
         method=Method.parse(method),
         num_arrays=2,
@@ -135,6 +136,7 @@ def _run_bench_point(point: Point, *, verify: bool = True) -> dict:
         size_access=1,
         nprocs=nprocs,
         file_name=f"{point.experiment}_{method}_{nprocs}_{len_array}.dat",
+        journal=journal,
     )
     result = run_benchmark(cfg, verify=verify)
     return {

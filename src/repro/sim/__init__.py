@@ -7,13 +7,14 @@ wait) is an event on the engine's heap. Ties are broken by insertion order,
 so simulations replay bit-identically.
 """
 
-from repro.sim.engine import Engine, current_engine, current_process
+from repro.sim.engine import Engine, ProcessCrashed, current_engine, current_process
 from repro.sim.process import SimProcess
 from repro.sim.sync import SimEvent, SimSemaphore, SimBarrier, SimMutex
 from repro.sim.trace import TraceRecorder, Counter
 
 __all__ = [
     "Engine",
+    "ProcessCrashed",
     "current_engine",
     "current_process",
     "SimProcess",

@@ -64,6 +64,22 @@ def current_process() -> "SimProcess":
     return proc
 
 
+class ProcessCrashed(BaseException):
+    """A simulated fail-stop process crash.
+
+    Derives from :class:`BaseException` (like the engine's internal kill
+    signal) so rank code with a generic ``except Exception`` cannot
+    accidentally survive its own death. Raised in-thread at a crash point,
+    or injected into a parked process via ``SimProcess.interrupt``.
+    """
+
+    def __init__(self, rank: int, where: str = ""):
+        self.rank = rank
+        self.where = where
+        detail = f" at {where}" if where else ""
+        super().__init__(f"rank {rank} crashed{detail} (fail-stop)")
+
+
 class Gate:
     """A one-shot handoff primitive built on a raw lock.
 
@@ -266,6 +282,24 @@ class Engine:
         """Force-terminate leftover process threads (after error/deadlock)."""
         for proc in self._processes:
             proc._kill()
+
+    def kill_process(self, process: "SimProcess", *, at: float | None = None) -> Timer:
+        """Schedule a fail-stop crash of *process* (at time *at*, default now).
+
+        The crash is delivered through the event heap like every other
+        action: if the process is parked in ``block()`` when the event
+        fires, :class:`ProcessCrashed` is raised at its wait point; a
+        process that already terminated (or crashed) is left alone.
+        """
+        index = self._processes.index(process)
+
+        def fire() -> None:
+            if not process.alive or process.crashed:
+                return
+            process.interrupt(ProcessCrashed(index, "killed"))
+
+        delay = 0.0 if at is None else at - self.now
+        return self.schedule(delay, fire)
 
     # ------------------------------------------------------------------
     # conveniences for assertions and reporting

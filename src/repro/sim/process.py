@@ -39,6 +39,11 @@ class _Killed(BaseException):
     """Raised inside a process thread to unwind it during engine teardown."""
 
 
+#: Re-exported here for convenience; defined next to the engine because the
+#: engine's kill path needs it and ``process`` already imports ``engine``.
+ProcessCrashed = _engine_mod.ProcessCrashed
+
+
 class SimProcess:
     """A simulated process: a rank program plus its scheduling state."""
 
@@ -51,8 +56,11 @@ class SimProcess:
         self._wake_value: Any = None
         self._blocked = False
         self._killed = False
+        self._interrupt_exc: Optional[BaseException] = None
+        self._pending_wake: Optional["_engine_mod.Timer"] = None
         self._pending_delay = 0.0  # lazily-charged local compute time
         self.alive = False
+        self.crashed = False
         self.wait_reason: Optional[str] = None
         self.start_time: float = 0.0
         self.end_time: Optional[float] = None
@@ -96,6 +104,10 @@ class SimProcess:
                         self._target()
         except _Killed:
             pass
+        except ProcessCrashed:
+            # A fail-stop crash is an *injected* outcome, not a bug in the
+            # simulation: mark the corpse and let the job-level layers react.
+            self.crashed = True
         except BaseException as exc:  # noqa: BLE001 - forwarded to engine
             self.engine._report_failure(exc)
         finally:
@@ -137,6 +149,10 @@ class SimProcess:
         self._resume_gate.wait()
         if self._killed:
             raise _Killed()
+        if self._interrupt_exc is not None:
+            exc, self._interrupt_exc = self._interrupt_exc, None
+            self.wait_reason = None
+            raise exc
         self.wait_reason = None
         value, self._wake_value = self._wake_value, None
         return value
@@ -149,10 +165,37 @@ class SimProcess:
         """
 
         def resume() -> None:
+            self._pending_wake = None
             if not self._blocked:
                 raise SimulationError(f"{self.name}: woken while not blocked")
             self._blocked = False
             self._wake_value = value
+            self.engine._enter_process(self)
+
+        self._pending_wake = self.engine.schedule(delay, resume)
+
+    def interrupt(self, exc: BaseException, *, delay: float = 0.0) -> None:
+        """Resume a parked process by raising *exc* inside its :meth:`block`.
+
+        Used to deliver fail-stop outcomes (:class:`ProcessCrashed`, peer
+        death) to processes parked on waits that will never complete. The
+        raise goes through the event heap like any wake; if the process was
+        resumed normally (or terminated) before the interrupt fires, the
+        interrupt is dropped — the process will observe the condition at
+        its next communication call instead.
+        """
+
+        def resume() -> None:
+            if not self.alive or not self._blocked:
+                return
+            if self._pending_wake is not None:
+                # The wait we are breaking may have a wake already queued
+                # (e.g. a sleep); left in the heap it would later fire on a
+                # process that is no longer blocked.
+                self._pending_wake.cancel()
+                self._pending_wake = None
+            self._blocked = False
+            self._interrupt_exc = exc
             self.engine._enter_process(self)
 
         self.engine.schedule(delay, resume)

@@ -47,6 +47,10 @@ def barrier(comm: Communicator) -> None:
     size = comm.size
     if size == 1:
         return
+    if comm.world.dead_ranks:
+        # Fail-stop: a dead participant means this barrier can never
+        # complete; surface it at entry rather than parking forever.
+        comm.world.check_alive(comm.rank, min(comm.world.dead_ranks), "mpi.barrier")
     tag = _next_tag(comm)
     proc = current_process()
     rounds = max(1, (size - 1).bit_length())

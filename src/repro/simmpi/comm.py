@@ -387,6 +387,8 @@ class Communicator:
     ) -> Request:
         """Nonblocking receive; returns a Request whose wait() yields bytes."""
         current_process().settle()
+        if source != ANY_SOURCE and self.world.dead_ranks:
+            self.world.check_alive(self._rank, source, "mpi.recv")
         req = Request("irecv")
         post = _PostedRecv(src=source, tag=tag, context=self._ctx(context), req=req)
         mailbox = self.world.mailbox(self._rank)
@@ -475,6 +477,8 @@ class Communicator:
     def _check_peer(self, rank: int) -> None:
         if not (0 <= rank < self.size):
             raise MpiError(f"peer rank {rank} outside communicator of size {self.size}")
+        if self.world.dead_ranks:
+            self.world.check_alive(self._rank, rank, "mpi.send")
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Communicator rank={self._rank}/{self.size} id={self._comm_id}>"

@@ -14,11 +14,11 @@ from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
 from repro.memsim.memory import MemoryTracker
 from repro.netsim.fabric import Fabric
 from repro.netsim.model import NetworkSpec
-from repro.sim.engine import Engine, current_process
+from repro.sim.engine import Engine, ProcessCrashed, current_process
 from repro.sim.trace import TraceRecorder
 from repro.simmpi.comm import Communicator, Mailbox, Request, Status, _Envelope
 from repro.simmpi.rma import _TargetLock
-from repro.util.errors import MpiError, SimulationError
+from repro.util.errors import DeadlockError, MpiError, RankUnreachable, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.spec import ClusterSpec
@@ -58,6 +58,10 @@ class MpiWorld:
         #: library-chosen tuples; creation must happen inside a collective
         #: (all ranks reach the same setdefault in the same order).
         self.shared: dict = {}
+        #: Ranks lost to fail-stop crashes. Communication entry points check
+        #: membership and raise :class:`RankUnreachable` instead of parking
+        #: a process on a wait that can never complete.
+        self.dead_ranks: set[int] = set()
         self._comm_counter = 0
         self._windows: dict[tuple[int, int], memoryview] = {}
         self._window_locks: dict[tuple[int, int], _TargetLock] = {}
@@ -164,6 +168,66 @@ class MpiWorld:
             self._window_locks[key] = _TargetLock()
         return self._window_locks[key]
 
+    # ------------------------------------------------------------------
+    # fail-stop crashes
+    # ------------------------------------------------------------------
+    def check_alive(self, origin: int, target: int, op: str) -> None:
+        """Raise :class:`RankUnreachable` if *target* died (fail-stop)."""
+        if target in self.dead_ranks:
+            raise RankUnreachable(origin, target, op)
+
+    def kill_ranks(self, ranks: Sequence[int], *, where: str = "") -> None:
+        """Mark *ranks* dead and interrupt every surviving parked rank.
+
+        Fail-stop semantics without ULFM: once the job has lost a member,
+        no outstanding coordination can complete, so every parked survivor
+        is resumed with :class:`RankUnreachable` at its wait point (the
+        interrupt goes through the event heap; a survivor resumed normally
+        first observes the dead set at its next communication call). The
+        first survivor to raise aborts the whole simulated job.
+        """
+        fresh = [r for r in ranks if r not in self.dead_ranks]
+        if not fresh:
+            return
+        self.dead_ranks.update(fresh)
+        if self.trace is not None:
+            self.trace.count("crash.ranks", len(fresh))
+        procs = self.engine.processes
+        for peer in range(min(self.nranks, len(procs))):
+            proc = procs[peer]
+            if peer in self.dead_ranks or not proc.alive:
+                continue
+            proc.interrupt(
+                RankUnreachable(peer, fresh[0], proc.wait_reason or where or "wait")
+            )
+
+    def crash_point(self, step: str, rank: int) -> None:
+        """Named protocol step hook for deterministic crash injection.
+
+        Instrumented libraries (TCIO's flush protocol) call this at every
+        step a crash campaign may target. With no bound fault plan this is
+        one attribute read; with a plan, the plan decides — deterministically,
+        from its seeded ``crash`` stream and step counters — whether *rank*
+        dies here, in which case the rank is marked dead, survivors are
+        interrupted, and :class:`ProcessCrashed` unwinds the calling thread.
+        """
+        plan = self.faults
+        if plan is None:
+            return
+        if rank in self.dead_ranks:
+            # A co-located victim of an earlier crash_node kill that was
+            # running (not parked) when it was marked dead: it must stop
+            # at its next protocol step, not keep mutating shared state.
+            raise ProcessCrashed(rank, step)
+        if plan.crash_point(step, rank, self.node_of[rank]):
+            if plan.spec.crash_node is not None:
+                node = self.node_of[rank]
+                victims = [r for r in range(self.nranks) if self.node_of[r] == node]
+            else:
+                victims = [rank]
+            self.kill_ranks(victims, where=step)
+            raise ProcessCrashed(rank, step)
+
     def charge_matching(self, dst: int) -> float:
         """Reserve *dst*'s matching engine for one two-sided message and
         return the completion time (ablation hook: lets TCIO's two-sided
@@ -224,12 +288,21 @@ class MpiRunResult:
     returns: list[Any]
     trace: TraceRecorder
     world: MpiWorld
+    #: ``None`` for a clean run; the job-aborting exception after a
+    #: fail-stop crash (the PFS/world snapshots remain inspectable, which
+    #: is how crash-recovery tooling gets at the post-crash file image).
+    aborted: Optional[BaseException] = None
 
     @property
     def pfs(self) -> "Pfs":
         """The job's parallel file system."""
         assert self.world.pfs is not None
         return self.world.pfs
+
+    @property
+    def dead_ranks(self) -> set[int]:
+        """Ranks lost to fail-stop crashes during the run."""
+        return set(self.world.dead_ranks)
 
 
 def run_mpi(
@@ -296,10 +369,28 @@ def run_mpi(
 
     for rank in range(nranks):
         engine.spawn(f"rank{rank}", make_target(rank))
-    elapsed = engine.run(until=until)
+    aborted: Optional[BaseException] = None
+    try:
+        elapsed = engine.run(until=until)
+    except (RankUnreachable, DeadlockError) as exc:
+        # A fail-stop crash aborts the whole job; the caller still gets the
+        # world and PFS back so recovery tooling can inspect the wreckage.
+        # Anything not explained by a crashed rank is a real bug: re-raise.
+        if not world.dead_ranks:
+            raise
+        aborted = exc
+        elapsed = engine.now
+    if world.dead_ranks and aborted is None:
+        # e.g. the only crashed rank was the last one still running, so no
+        # survivor ever raised; the job still did not complete normally.
+        aborted = RankUnreachable(
+            min(world.dead_ranks), min(world.dead_ranks), "job"
+        )
     # Only the *deterministic* host counter lands in the shared registry:
     # the number of engine events is a pure function of the workload, so
     # trace snapshots stay replay-identical. Wall-clock and events/sec are
     # measured by the ``perf bench`` harness outside the registry.
     trace.registry.counter("host.engine.events").inc(engine.events)
-    return MpiRunResult(elapsed=elapsed, returns=returns, trace=trace, world=world)
+    return MpiRunResult(
+        elapsed=elapsed, returns=returns, trace=trace, world=world, aborted=aborted
+    )

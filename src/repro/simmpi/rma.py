@@ -129,6 +129,8 @@ class Window:
         proc.settle()
         world = self.world
         target_w = self.comm.world_rank(target)
+        if world.dead_ranks:
+            world.check_alive(self.my_world_rank, target_w, "rma.lock")
         # The lock request is a control message to the target node.
         t_req = world.fabric.control_delay(self.my_world_rank, target_w, rma=True)
         state = world.window_lock(self.win_id, target_w)
@@ -324,6 +326,8 @@ class Window:
     def _maybe_fail(self, op: str, target_w: int) -> None:
         """Injected transient put/get failure (before anything is scheduled,
         so the epoch stays consistent and the caller may simply retry)."""
+        if self.world.dead_ranks:
+            self.world.check_alive(self.my_world_rank, target_w, f"rma.{op}")
         plan = getattr(self.world, "faults", None)
         if plan is not None and plan.rma_fault(op, self.my_world_rank, target_w):
             current_process().charge(plan.spec.rma_fail_delay)

@@ -111,10 +111,23 @@ def load_checkpoint(env: RankEnv, name: str) -> dict[str, np.ndarray]:
     cfg = TcioConfig.sized_for(max(pfs_size, stripe), env.size, stripe)
     fh = TcioFile(env, name, TCIO_RDONLY, cfg)
 
+    if pfs_size < _DIR_ENTRY:
+        fh.close()
+        raise TcioError(
+            f"checkpoint {name!r} is truncated: {pfs_size} bytes, but the "
+            f"rank-count header alone needs {_DIR_ENTRY} (offset 0)"
+        )
     head = bytearray(_DIR_ENTRY)
     fh.read_at(0, head)
     fh.fetch()
     (nranks,) = struct.unpack("<q", bytes(head))
+    if nranks < 1 or _DIR_ENTRY * (1 + nranks) > pfs_size:
+        fh.close()
+        raise TcioError(
+            f"checkpoint {name!r} header is corrupt: rank count {nranks} at "
+            f"offset 0 implies a {_DIR_ENTRY * (1 + max(nranks, 0))}-byte "
+            f"directory, file holds {pfs_size} bytes"
+        )
     if nranks != env.size:
         fh.close()
         raise TcioError(
@@ -124,8 +137,24 @@ def load_checkpoint(env: RankEnv, name: str) -> dict[str, np.ndarray]:
     fh.read_at(_DIR_ENTRY, directory)
     fh.fetch()
     sizes = list(struct.unpack(f"<{nranks}q", bytes(directory)))
+    body = _DIR_ENTRY * (1 + nranks)
+    for saver, size in enumerate(sizes):
+        entry_off = _DIR_ENTRY * (1 + saver)
+        if size < 0:
+            fh.close()
+            raise TcioError(
+                f"checkpoint {name!r} directory is corrupt: rank {saver}'s "
+                f"region size {size} at offset {entry_off} is negative"
+            )
+    if body + sum(sizes) > pfs_size:
+        fh.close()
+        raise TcioError(
+            f"checkpoint {name!r} region table is truncated: directory "
+            f"(offsets 0..{body}) promises {sum(sizes)} region bytes, file "
+            f"holds {pfs_size - body} past the directory"
+        )
 
-    offset = _DIR_ENTRY * (1 + nranks) + sum(sizes[: env.rank])
+    offset = body + sum(sizes[: env.rank])
     region = bytearray(sizes[env.rank])
     fh.read_at(offset, region)
     fh.fetch()

@@ -22,6 +22,7 @@ without file views or application-level combine buffers.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
 import numpy as np
@@ -139,6 +140,18 @@ class TcioFile:
                     # Write handles have fresh-file semantics: dirty segments
                     # are written back whole, so stale bytes must not survive.
                     self.pfs_file.truncate(0)
+                if config.journal == "epoch":
+                    # Same fresh-file semantics for the journal: records
+                    # from an earlier open of this name must not replay.
+                    from repro.crash.journal import commit_name, rank_journal
+
+                    journal = pfs.create(rank_journal(name, env.rank))
+                    if journal.size:
+                        journal.truncate(0)
+                    if self.comm.rank == 0:
+                        commit = pfs.create(commit_name(name))
+                        if commit.size:
+                            commit.truncate(0)
             else:
                 self.pfs_file = pfs.lookup(name)
 
@@ -160,6 +173,11 @@ class TcioFile:
             self.directory: SegmentDirectory = env.world.shared.setdefault(
                 ("tcio-dir", name, gen), SegmentDirectory()
             )
+            # Geometry mirror for offline crash tooling (fsck/recover dig
+            # the directory out of ``world.shared`` after an abort).
+            self.directory.segment_size = segment_size
+            self.directory.nranks = self.comm.size
+            self._journal_pos = 0  # append offset into this rank's journal
 
             # Simulated memory: one level-1 buffer + this rank's level-2 share.
             memory = env.world.memory
@@ -321,6 +339,14 @@ class TcioFile:
             return
         gseg, blocks = self.level1.take()
         owner = self.mapping.owner_of_segment(gseg)
+        # Crash points bracket the deposit: before it, this rank's level-1
+        # data dies with the rank; after it, the data sits in the owner's
+        # volatile level-2 memory (journaling decides whether it survives).
+        self._crash_point("pre-deposit")
+        self._deposit(gseg, owner, blocks)
+        self._crash_point("post-deposit")
+
+    def _deposit(self, gseg: int, owner: int, blocks: list) -> None:
         if (
             self._staging is not None
             and not self._staging_degraded
@@ -342,6 +368,11 @@ class TcioFile:
             # collective never wedges on a dead peer.
             self._unreachable_owners.add(owner)
             self._fallback_flush(gseg, blocks)
+
+    def _crash_point(self, step: str) -> None:
+        """Named crash-injection point (one attribute test when unfaulted)."""
+        if self._plan is not None:
+            self.env.world.crash_point(step, self.env.rank)
 
     def _try_stage(self, gseg: int, owner: int, blocks: list) -> bool:
         """Deposit one drained level-1 buffer into the node staging buffer.
@@ -474,6 +505,7 @@ class TcioFile:
         seg_start = self.mapping.segment_extent(gseg).start
         ranges = self.directory.fallback_ranges.setdefault(gseg, [])
         nbytes = sum(length for _, length, _ in blocks)
+        self._warn_data_at_risk(gseg, blocks)
         with self._tracer.span(
             "tcio.fallback_flush", segment=gseg, bytes=nbytes, rank=self.env.rank
         ):
@@ -490,6 +522,41 @@ class TcioFile:
         if self._plan is not None:
             self._plan.note_fallback("tcio.flush", segment=gseg, rank=self.env.rank)
         self.stats.inc("flushed_bytes", nbytes)
+
+    def _warn_data_at_risk(self, gseg: int, blocks: list) -> None:
+        """Detect the silent-loss hazard of degraded (fallback) flushes.
+
+        The ranges this fallback writes directly become skip ranges for
+        the owner's whole-segment writeback — including any bytes *other*
+        ranks already deposited into the (unreachable) owner's slot there.
+        Those deposits would silently never reach the file; count and warn
+        so the loss is at least detected and attributable.
+        """
+        at_risk = 0
+        victims: set[int] = set()
+        for disp, length, src in self.directory.deposited.get(gseg, ()):
+            if src == self.env.rank:
+                continue
+            for bdisp, blen, _payload in blocks:
+                lo, hi = max(disp, bdisp), min(disp + length, bdisp + blen)
+                if hi > lo:
+                    at_risk += hi - lo
+                    victims.add(src)
+        if at_risk:
+            self._count("faults.data_at_risk", at_risk)
+            warnings.warn(
+                f"tcio fallback flush of segment {gseg} overlaps {at_risk} "
+                f"bytes deposited by rank(s) {sorted(victims)} into the "
+                "unreachable owner's level-2 slot; those deposits will not "
+                "be written back",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            if self._plan is not None:
+                self._plan.record(
+                    "tcio.data_at_risk", segment=gseg, bytes=at_risk,
+                    rank=self.env.rank,
+                )
 
     # ------------------------------------------------------------------
     # reads (lazy by default)
@@ -661,13 +728,20 @@ class TcioFile:
     # flush / close (collective)
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        """tcio_flush: collective level-1 drain ("invokes MPI_Barrier")."""
+        """tcio_flush: collective level-1 drain ("invokes MPI_Barrier").
+
+        With ``journal="epoch"`` every flush is also a durability point:
+        the drained data is journaled, committed, and written back in
+        place as one epoch of the two-phase protocol.
+        """
         self._check_open()
         with self._tracer.span("tcio.flush"):
             if self.mode == TCIO_WRONLY:
                 self._flush_level1()
                 self._node_drain()
             collectives.barrier(self.comm)
+            if self.mode == TCIO_WRONLY and self.config.journal == "epoch":
+                self._flush_epoch()
 
     def close(self) -> None:
         """tcio_close: synchronize, then level-2 -> file system."""
@@ -679,37 +753,146 @@ class TcioFile:
                 # "issues MPI_barrier to synchronize among processes before
                 # outputting data from the level-2 buffers to file system."
                 collectives.barrier(self.comm)
-                eof = collectives.allreduce(self.comm, self.directory.eof, max)
-                self.directory.eof = eof
-                for gseg in self.level2.owned_dirty_segments():
-                    extent = self.mapping.segment_extent(gseg)
-                    stop = min(extent.stop, eof)
-                    if stop <= extent.start:
-                        continue
-                    slot = self.level2.local_slot(gseg)
-                    with self._tracer.span("tcio.writeback", segment=gseg):
-                        # Skip byte ranges some rank already wrote directly
-                        # (fallback flushes): the slot holds zeros there, and
-                        # a whole-segment write would clobber their data.
-                        for lo, hi in self._writeback_pieces(
-                            gseg, stop - extent.start
-                        ):
-                            pfs_retry(
-                                self.env.world,
-                                "tcio.writeback",
-                                lambda t, _off=extent.start + lo,
-                                _p=slot[lo:hi].tobytes(): self.client.write(
-                                    self.pfs_file, _off, _p,
-                                    owner=self.env.rank, lock_timeout=t,
-                                ),
-                            )
-                    self.stats.inc("segment_writebacks")
-                collectives.barrier(self.comm)
+                if self.config.journal == "epoch":
+                    self._flush_epoch()
+                else:
+                    eof = collectives.allreduce(self.comm, self.directory.eof, max)
+                    self.directory.eof = eof
+                    for gseg in self.level2.owned_dirty_segments():
+                        self._write_back_segment(gseg, eof)
+                        # Progress marker for crash tooling: fsck counts
+                        # dirty-but-unflushed segments as lost after a
+                        # journal-off crash.
+                        self.directory.flushed.add(gseg)
+                    collectives.barrier(self.comm)
             else:
                 if not self.readlog.empty:
                     self.fetch()
                 collectives.barrier(self.comm)
             self._release()
+
+    def _write_back_segment(self, gseg: int, eof: int) -> None:
+        """In-place PFS write of one owned dirty segment (clamped to eof)."""
+        extent = self.mapping.segment_extent(gseg)
+        stop = min(extent.stop, eof)
+        if stop <= extent.start:
+            return
+        slot = self.level2.local_slot(gseg)
+        with self._tracer.span("tcio.writeback", segment=gseg):
+            # Skip byte ranges some rank already wrote directly
+            # (fallback flushes): the slot holds zeros there, and
+            # a whole-segment write would clobber their data.
+            for lo, hi in self._writeback_pieces(gseg, stop - extent.start):
+                pfs_retry(
+                    self.env.world,
+                    "tcio.writeback",
+                    lambda t, _off=extent.start + lo,
+                    _p=slot[lo:hi].tobytes(): self.client.write(
+                        self.pfs_file, _off, _p,
+                        owner=self.env.rank, lock_timeout=t,
+                    ),
+                )
+        self.stats.inc("segment_writebacks")
+
+    def _flush_epoch(self) -> None:
+        """One epoch of the two-phase journaled writeback protocol.
+
+        Phase 1: every owner appends a write-ahead record (extents +
+        checksummed payload) per owned dirty-unflushed segment to its
+        per-rank journal file. Then, after a barrier proving every record
+        is durable, rank 0 appends the epoch's commit mark; only now does
+        the epoch count. Phase 2 writes the data in place — a crash
+        anywhere re-creates a committed prefix: ``repro.crash.recover``
+        replays journals up to the last commit mark and truncates to that
+        epoch's eof. See ``docs/faults.md``.
+        """
+        from repro.crash.journal import commit_name, pack_commit, rank_journal
+
+        d = self.directory
+        eof = collectives.allreduce(self.comm, d.eof, max)
+        d.eof = eof
+        todo = [g for g in self.level2.owned_dirty_segments() if g not in d.flushed]
+        total = collectives.allreduce(self.comm, len(todo), lambda a, b: a + b)
+        if total == 0:
+            collectives.barrier(self.comm)
+            return
+        epoch = d.committed_epoch + 1
+        with self._tracer.span("tcio.flush_epoch", epoch=epoch, segments=len(todo)):
+            journal = self.env.pfs.create(rank_journal(self.name, self.env.rank))
+            for gseg in todo:
+                self._journal_segment(journal, epoch, gseg, eof)
+            collectives.barrier(self.comm)
+            self._crash_point("pre-commit")
+            # This barrier is what makes "pre-commit" mean what it says:
+            # no rank may write the commit mark until every rank survived
+            # its pre-commit crash point (otherwise baton order could let
+            # rank 0 commit before the victim even reaches the point).
+            collectives.barrier(self.comm)
+            if self.comm.rank == 0:
+                commit = self.env.pfs.create(commit_name(self.name))
+                mark = pack_commit(epoch, eof)
+                pfs_retry(
+                    self.env.world,
+                    "tcio.journal.commit",
+                    lambda t, _off=commit.size, _p=mark: self.client.write(
+                        commit, _off, _p, owner=self.env.rank, lock_timeout=t,
+                    ),
+                )
+                # Journal metrics live only under dotted registry names:
+                # the legacy as_dict() key set is frozen by compat tests.
+                self.stats.registry.counter("tcio.journal.commits").inc()
+                self._count("crash.journal.commits", 1)
+            collectives.barrier(self.comm)
+            self._crash_point("post-commit")
+            for gseg in todo:
+                self._write_back_segment(gseg, eof)
+                d.flushed.add(gseg)
+            d.committed_epoch = epoch
+            collectives.barrier(self.comm)
+
+    def _journal_segment(self, journal, epoch: int, gseg: int, eof: int) -> None:
+        """Append one segment's write-ahead record to this rank's journal.
+
+        The record goes out as two PFS writes (header+extents, then the
+        checksummed payload) with a crash point between them, so a
+        mid-flush crash produces exactly the torn-record artifact the
+        recovery path must tolerate.
+        """
+        from repro.crash.journal import pack_record_head
+
+        extent = self.mapping.segment_extent(gseg)
+        stop = min(extent.stop, eof)
+        if stop <= extent.start:
+            return
+        slot = self.level2.local_slot(gseg)
+        pieces = self._writeback_pieces(gseg, stop - extent.start)
+        extents = [(extent.start + lo, extent.start + hi) for lo, hi in pieces]
+        payload = b"".join(slot[lo:hi].tobytes() for lo, hi in pieces)
+        head = pack_record_head(epoch, gseg, extents, payload)
+        with self._tracer.span(
+            "tcio.journal_record", segment=gseg, epoch=epoch, bytes=len(payload)
+        ):
+            pos = self._journal_pos
+            pfs_retry(
+                self.env.world,
+                "tcio.journal.head",
+                lambda t, _p=head: self.client.write(
+                    journal, pos, _p, owner=self.env.rank, lock_timeout=t,
+                ),
+            )
+            self._crash_point("mid-flush")
+            pfs_retry(
+                self.env.world,
+                "tcio.journal.payload",
+                lambda t, _p=payload: self.client.write(
+                    journal, pos + len(head), _p,
+                    owner=self.env.rank, lock_timeout=t,
+                ),
+            )
+        self._journal_pos = pos + len(head) + len(payload)
+        self.stats.registry.counter("tcio.journal.records").inc()
+        self.stats.registry.counter("tcio.journal.bytes").inc(len(head) + len(payload))
+        self._count("crash.journal.bytes", len(head) + len(payload))
 
     def _abort(self) -> None:
         """Tear the handle down locally (no collectives; exception path)."""

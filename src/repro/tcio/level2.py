@@ -46,6 +46,21 @@ class SegmentDirectory:
     #: the owner's whole-segment writeback must skip them.
     direct: set[int] = field(default_factory=set)
     fallback_ranges: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    #: Provenance of deposited write data: ``deposited[g]`` lists
+    #: ``(disp, length, src_rank)`` extents that *other* ranks pushed into
+    #: segment *g*'s owner slot. Crash tooling uses it to tell exactly
+    #: whose bytes sat in a dead rank's volatile memory, and the fallback
+    #: path checks it to report (not silently lose) data at risk.
+    deposited: dict[int, list[tuple[int, int, int]]] = field(default_factory=dict)
+    #: Epoched-durability state (``journal="epoch"``): the last epoch whose
+    #: commit mark landed in the PFS, and the segments already journaled +
+    #: written back by an earlier epoch (so later flushes skip them unless
+    #: they get dirtied again).
+    committed_epoch: int = 0
+    flushed: set[int] = field(default_factory=set)
+    #: Geometry mirror for offline crash tooling (set at collective open).
+    segment_size: int = 0
+    nranks: int = 0
 
 
 class Level2Buffer:
@@ -160,7 +175,12 @@ class Level2Buffer:
             self.stats.inc("remote_flushes")
             self.stats.inc("put_blocks", len(blocks))
         self.stats.inc("flushed_bytes", nbytes)
-        self.directory.dirty.add(global_segment)
+        d = self.directory
+        d.dirty.add(global_segment)
+        d.flushed.discard(global_segment)  # re-dirtied: next epoch re-journals
+        record = d.deposited.setdefault(global_segment, [])
+        for disp, length, _payload in blocks:
+            record.append((disp, length, self.rank))
 
     def push_window_blocks(
         self, owner: int, blocks: list[tuple[int, bytes]]
@@ -198,6 +218,16 @@ class Level2Buffer:
             self.stats.inc("remote_flushes")
             self.stats.inc("put_blocks", len(blocks))
         self.stats.inc("flushed_bytes", nbytes)
+        # Provenance: map each window block back to its global segment
+        # (slot s of rank o holds segment s * P + o). Staged blocks never
+        # cross a slot boundary (staging coalesces per segment).
+        d = self.directory
+        nprocs = self.comm.size
+        for off, payload in blocks:
+            slot, disp = divmod(off, self.segment_size)
+            g = slot * nprocs + owner
+            d.flushed.discard(g)
+            d.deposited.setdefault(g, []).append((disp, len(payload), self.rank))
 
     # ------------------------------------------------------------------
     # read path: reader-loads-and-caches, then one-sided gets

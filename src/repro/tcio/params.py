@@ -66,6 +66,15 @@ class TcioConfig:
         Capacity of the per-node staging buffer, in segments (only used
         with ``aggregation="node"``; allocated on the leader's ``memsim``
         budget). Deposits that would overflow fall back to the flat path.
+    journal:
+        Durability mode for flushes. ``"off"`` (default, the paper's
+        design) writes segments back in place with no crash protection.
+        ``"epoch"`` makes every flush an epoch of the two-phase journaled
+        protocol: owners append write-ahead records (extents + checksum)
+        to per-rank journal files before touching file data, and an epoch
+        only counts once its commit mark lands — ``repro.crash.recover``
+        can then rebuild a consistent image after a fail-stop crash. See
+        ``docs/faults.md``. Write handles only; must agree across ranks.
     """
 
     segment_size: Optional[int] = None
@@ -76,6 +85,7 @@ class TcioConfig:
     read_window_segments: int = 64
     aggregation: str = "flat"
     staging_segments: int = 32
+    journal: str = "off"
 
     def validate(self) -> None:
         """Raise TcioError on out-of-range parameters."""
@@ -89,6 +99,8 @@ class TcioConfig:
             raise TcioError("aggregation must be 'flat' or 'node'")
         if self.staging_segments < 1:
             raise TcioError("staging_segments must be positive")
+        if self.journal not in ("off", "epoch"):
+            raise TcioError("journal must be 'off' or 'epoch'")
 
     def resolve_segment_size(self, lock_granularity: int) -> int:
         """The effective segment size (explicit or the lock granularity)."""

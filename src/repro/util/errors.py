@@ -60,6 +60,25 @@ class DatatypeError(MpiError):
     """Malformed derived datatype definition."""
 
 
+class RankUnreachable(MpiError):
+    """A communication partner died from a fail-stop crash.
+
+    Raised at the entry of sends, one-sided accesses, and collectives when
+    the peer (or any collective participant) is in the world's dead set.
+    Fail-stop semantics without ULFM: the job cannot continue, so rank code
+    lets this propagate and the whole simulated job aborts deterministically
+    instead of hanging the baton scheduler.
+    """
+
+    def __init__(self, origin: int, target: int, op: str):
+        self.origin = origin
+        self.target = target
+        self.op = op
+        super().__init__(
+            f"{op}: rank {target} is unreachable (crashed), seen from rank {origin}"
+        )
+
+
 class PfsError(ReproError):
     """Parallel-file-system failure (unknown file, bad extent, mode error)."""
 

@@ -1,0 +1,219 @@
+"""The fail-stop failure model: engine kills, dead-rank surfacing, abort.
+
+Covers the simulation layers under ``repro.crash``: ``Engine.kill_process``
+/ ``SimProcess.interrupt`` semantics, ``MpiWorld.kill_ranks`` turning peer
+death into :class:`RankUnreachable` at communication entry points instead
+of a deadlock, ``run_mpi`` reporting the abort while keeping the world
+and PFS inspectable, and the deterministic ``crash_point`` targeting of
+:class:`FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.sim import Engine, ProcessCrashed
+from repro.simmpi import collectives, run_mpi
+from repro.util.errors import PfsError, RankUnreachable
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn, **kw):
+    kw.setdefault("cluster", make_test_cluster())
+    return run_mpi(n, fn, **kw)
+
+
+class TestEngineKill:
+    def test_kill_interrupts_a_parked_process(self):
+        engine = Engine()
+        seen = []
+
+        def victim():
+            from repro.sim.engine import current_process
+
+            try:
+                current_process().sleep(10.0)
+                seen.append("woke")
+            except ProcessCrashed as exc:
+                seen.append(("crashed", exc.rank))
+                raise
+
+        proc = engine.spawn("victim", victim)
+        engine.kill_process(proc, at=1.0)
+        engine.run()
+        assert seen == [("crashed", 0)]
+        assert proc.crashed and not proc.alive
+
+    def test_crash_is_not_an_engine_failure(self):
+        # A killed process unwinds with ProcessCrashed; the engine itself
+        # keeps running other work (abort is the MPI layer's decision).
+        engine = Engine()
+        ticks = []
+
+        def victim():
+            from repro.sim.engine import current_process
+
+            current_process().sleep(10.0)
+
+        proc = engine.spawn("victim", victim)
+        engine.kill_process(proc, at=1.0)
+        engine.schedule(5.0, lambda: ticks.append(engine.now))
+        engine.run()
+        assert ticks == [5.0]
+        assert proc.crashed
+
+    def test_kill_running_process_is_noop_after_exit(self):
+        engine = Engine()
+
+        def quick():
+            return None
+
+        proc = engine.spawn("quick", quick)
+        engine.kill_process(proc, at=5.0)  # fires after the process exited
+        engine.run()
+        assert not proc.crashed  # exited normally, never interrupted
+
+
+class TestDeadRankSurfacing:
+    def test_send_to_dead_rank_raises(self):
+        def main(env):
+            if env.rank == 1:
+                # the "dead" rank: its own barrier entry also surfaces the
+                # death (it is in dead_ranks), ending the job
+                with pytest.raises(RankUnreachable):
+                    collectives.barrier(env.comm)
+                return "unreachable"
+            env.world.kill_ranks([1], where="test")
+            with pytest.raises(RankUnreachable):
+                env.comm.send(b"x", 1)
+            return "survivor"
+
+        res = run(2, main)
+        assert res.aborted is not None
+        assert res.dead_ranks == {1}
+
+    def test_collective_with_dead_rank_raises(self):
+        def main(env):
+            if env.rank == 0:
+                env.world.kill_ranks([2], where="test")
+            # every survivor entering the barrier must see the death
+            # rather than wait for rank 2 forever
+            with pytest.raises(RankUnreachable):
+                collectives.barrier(env.comm)
+
+        res = run(4, main)
+        assert res.aborted is not None and res.dead_ranks == {2}
+
+    def test_parked_survivors_are_interrupted(self):
+        order = []
+
+        def main(env):
+            if env.rank == 0:
+                # rank 1 is already parked in the barrier when the kill
+                # lands; its wait must end in RankUnreachable, not hang.
+                env.compute(1e-3)
+                env.world.kill_ranks([2], where="test")
+                return "killer"
+            try:
+                collectives.barrier(env.comm)
+            except RankUnreachable as exc:
+                order.append((env.rank, exc.target))
+                raise
+
+        res = run(3, main)
+        assert res.aborted is not None
+        assert (1, 2) in order
+
+    def test_pfs_stays_inspectable_after_abort(self):
+        def main(env):
+            f = env.pfs.create("left-behind")
+            f.write_bytes(0, b"payload")
+            if env.rank == 0:
+                env.world.kill_ranks([1], where="test")
+            collectives.barrier(env.comm)
+
+        res = run(2, main)
+        assert res.aborted is not None
+        assert res.pfs.lookup("left-behind").contents() == b"payload"
+
+
+class TestCrashPointTargeting:
+    def test_counting_plan_tallies_without_crashing(self):
+        plan = FaultPlan(FaultSpec(), seed=3)
+
+        def main(env):
+            for _ in range(3):
+                env.world.crash_point("step-a", env.rank)
+            env.world.crash_point("step-b", env.rank)
+
+        res = run(2, main, faults=plan)
+        assert res.aborted is None
+        assert plan.step_hits[("step-a", 0)] == 3
+        assert plan.step_hits[("step-b", 1)] == 1
+
+    def test_crash_after_targets_the_nth_occurrence(self):
+        spec = FaultSpec(crash_rank=1, crash_step="step-a", crash_after=2)
+        plan = FaultPlan(spec, seed=3)
+        reached = []
+
+        def main(env):
+            for i in range(4):
+                if env.rank == 1:
+                    reached.append(i)
+                env.world.crash_point("step-a", env.rank)
+
+        res = run(2, main, faults=plan)
+        assert res.aborted is not None and res.dead_ranks == {1}
+        assert reached == [0, 1]  # died inside the 2nd occurrence
+        assert [inj.kind for inj in plan.injections] == ["crash.rank"]
+
+    def test_crash_node_kills_all_colocated_ranks(self):
+        spec = FaultSpec(crash_node=0, crash_step="step-a")
+        plan = FaultPlan(spec, seed=3)
+
+        def main(env):
+            env.world.crash_point("step-a", env.rank)
+            collectives.barrier(env.comm)
+
+        # test cluster: 4 cores per node, so node 0 = ranks 0..3
+        res = run(8, main, faults=plan)
+        assert res.aborted is not None
+        assert res.dead_ranks == {0, 1, 2, 3}
+
+    def test_same_seed_same_crash(self):
+        def once():
+            spec = FaultSpec(crash_rate=0.2)
+            plan = FaultPlan(spec, seed=11)
+
+            def main(env):
+                for _ in range(20):
+                    env.world.crash_point("roll", env.rank)
+
+            res = run(2, main, faults=plan)
+            return (
+                res.dead_ranks,
+                [(inj.kind, dict(inj.detail)) for inj in plan.injections],
+            )
+
+        assert once() == once()
+
+    def test_spec_validation(self):
+        with pytest.raises(PfsError):
+            FaultSpec(crash_after=0).validate()
+        with pytest.raises(PfsError):
+            FaultSpec(crash_rank=0, crash_node=0).validate()
+        with pytest.raises(PfsError):
+            FaultSpec(crash_rate=1.5).validate()
+
+    def test_crash_counter_in_trace(self):
+        spec = FaultSpec(crash_rank=1, crash_step="s")
+        plan = FaultPlan(spec, seed=3)
+
+        def main(env):
+            env.world.crash_point("s", env.rank)
+            collectives.barrier(env.comm)
+
+        res = run(2, main, faults=plan)
+        count, _ = res.trace.summary()["crash.ranks"]
+        assert count == 1

@@ -1,0 +1,108 @@
+"""The journal byte format: packing, parsing, torn-tail detection."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crash.journal import (
+    COMMIT_MAGIC,
+    commit_name,
+    committed_state,
+    is_journal_file,
+    iter_records,
+    pack_commit,
+    pack_record_head,
+    rank_journal,
+    read_commits,
+)
+
+
+def record(epoch, gseg, extents, payload):
+    return pack_record_head(epoch, gseg, extents, payload) + payload
+
+
+class TestNames:
+    def test_rank_journal_and_commit_names(self):
+        assert rank_journal("f.dat", 3) == "f.dat.journal.3"
+        assert commit_name("f.dat") == "f.dat.journal.commit"
+
+    def test_is_journal_file(self):
+        assert is_journal_file("f.dat.journal.0", "f.dat")
+        assert is_journal_file("f.dat.journal.12", "f.dat")
+        assert not is_journal_file("f.dat.journal.commit", "f.dat")
+        assert not is_journal_file("f.dat", "f.dat")
+        assert not is_journal_file("other.journal.0", "f.dat")
+        # another file's journal must not match a prefix of its name
+        assert not is_journal_file("f.dat2.journal.0", "f.dat")
+
+
+class TestRecords:
+    def test_roundtrip_single(self):
+        raw = record(1, 5, [(0, 4), (10, 13)], b"abcdXYZ")
+        (rec,) = iter_records(raw)
+        assert not rec.torn
+        assert (rec.epoch, rec.gseg) == (1, 5)
+        assert rec.extents == [(0, 4), (10, 13)]
+        assert rec.nbytes == 7
+        assert rec.piece(0) == b"abcd"
+        assert rec.piece(1) == b"XYZ"
+
+    def test_roundtrip_many(self):
+        raw = record(1, 0, [(0, 3)], b"aaa") + record(2, 4, [(64, 66)], b"zz")
+        recs = iter_records(raw)
+        assert [(r.epoch, r.gseg, r.torn) for r in recs] == [
+            (1, 0, False),
+            (2, 4, False),
+        ]
+
+    def test_short_payload_is_torn(self):
+        raw = record(1, 0, [(0, 8)], b"12345678")
+        (rec,) = iter_records(raw[:-3])  # payload cut mid-write
+        assert rec.torn
+
+    def test_corrupt_payload_is_torn(self):
+        raw = bytearray(record(1, 0, [(0, 8)], b"12345678"))
+        raw[-1] ^= 0xFF
+        (rec,) = iter_records(bytes(raw))
+        assert rec.torn
+
+    def test_truncated_extent_table_is_torn(self):
+        head = pack_record_head(1, 0, [(0, 4), (8, 12)], b"abcdwxyz")
+        (rec,) = iter_records(head[:-5])  # extent table cut mid-write
+        assert rec.torn and rec.extents == []
+
+    def test_torn_record_ends_parsing(self):
+        torn = record(1, 0, [(0, 8)], b"12345678")[:-2]
+        raw = torn + record(2, 1, [(8, 10)], b"ok")
+        recs = iter_records(raw)
+        assert len(recs) == 1 and recs[0].torn
+
+    def test_good_records_before_torn_tail_survive(self):
+        raw = record(1, 0, [(0, 2)], b"ok") + record(2, 1, [(2, 6)], b"late")[:-1]
+        recs = iter_records(raw)
+        assert [r.torn for r in recs] == [False, True]
+        assert recs[0].piece(0) == b"ok"
+
+    def test_bad_magic_stops(self):
+        assert iter_records(b"\x00" * 64) == []
+
+
+class TestCommits:
+    def test_committed_state_empty(self):
+        assert committed_state(b"") == (0, 0)
+
+    def test_marks_accumulate(self):
+        raw = pack_commit(1, 100) + pack_commit(2, 250)
+        assert read_commits(raw) == [(1, 100), (2, 250)]
+        assert committed_state(raw) == (2, 250)
+
+    def test_torn_tail_mark_ignored(self):
+        raw = pack_commit(1, 100) + pack_commit(2, 250)[:-3]
+        assert committed_state(raw) == (1, 100)
+
+    def test_corrupt_mark_crc_ignored(self):
+        bad = bytearray(pack_commit(2, 250))
+        bad[6] ^= 0xFF  # flip a payload byte; crc no longer matches
+        raw = pack_commit(1, 100) + bytes(bad)
+        assert committed_state(raw) == (1, 100)
+        assert struct.unpack_from("<I", bytes(bad))[0] == COMMIT_MAGIC

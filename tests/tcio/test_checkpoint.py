@@ -1,5 +1,7 @@
 """Checkpoint helper tests."""
 
+import struct
+
 import numpy as np
 import pytest
 
@@ -75,3 +77,71 @@ class TestCheckpointRoundTrip:
                 load_checkpoint(env, "ck")
 
         _run(2, load_job, cluster=make_test_cluster(), pfs_init=seed)
+
+
+def load_corrupt(blob: bytes, nranks: int = 2):
+    """Seed a (possibly mangled) checkpoint blob and load it on *nranks*."""
+    from repro.simmpi.mpi import run_mpi as _run
+
+    def seed(pfs):
+        pfs.create("ck").write_bytes(0, blob)
+
+    captured = []
+
+    def load_job(env):
+        with pytest.raises(TcioError) as exc:
+            load_checkpoint(env, "ck")
+        if env.rank == 0:
+            captured.append(str(exc.value))
+
+    _run(nranks, load_job, cluster=make_test_cluster(), pfs_init=seed)
+    return captured[0]
+
+
+def valid_blob(nranks: int = 2) -> bytes:
+    def save_job(env):
+        save_checkpoint(env, "ck", rank_arrays(env.rank))
+
+    return run(nranks, save_job).pfs.lookup("ck").contents()
+
+
+class TestCorruptHeaders:
+    """load_checkpoint must reject mangled files with attributable errors
+    (name, offset, expectation) instead of unpacking garbage."""
+
+    def test_truncated_below_header(self):
+        msg = load_corrupt(b"\x01\x02\x03")
+        assert "truncated" in msg and "offset 0" in msg
+
+    def test_zero_rank_count(self):
+        msg = load_corrupt(struct.pack("<q", 0) + b"\x00" * 64)
+        assert "corrupt" in msg and "rank count 0" in msg
+
+    def test_negative_rank_count(self):
+        msg = load_corrupt(struct.pack("<q", -3) + b"\x00" * 64)
+        assert "rank count -3" in msg
+
+    def test_rank_count_overruns_file(self):
+        # claims 1000 savers: the directory alone would need 8008 bytes
+        msg = load_corrupt(struct.pack("<q", 1000) + b"\x00" * 64)
+        assert "corrupt" in msg and "8008" in msg
+
+    def test_negative_region_size(self):
+        blob = bytearray(valid_blob(2))
+        struct.pack_into("<q", blob, 16, -5)  # rank 1's directory entry
+        msg = load_corrupt(bytes(blob))
+        assert "rank 1" in msg and "-5" in msg and "offset 16" in msg
+
+    def test_region_table_truncated(self):
+        blob = valid_blob(2)
+        msg = load_corrupt(blob[: len(blob) - 10])
+        assert "region table is truncated" in msg
+
+    def test_valid_blob_still_loads(self):
+        # control: the checks above must not reject a healthy file
+        def save_and_load(env):
+            save_checkpoint(env, "ck", rank_arrays(env.rank))
+            return sorted(load_checkpoint(env, "ck"))
+
+        res = run(2, save_and_load)
+        assert res.returns[0] == ["density", "flags", "scalar"]
