@@ -83,9 +83,11 @@ class TestSegmentSizeRule:
 
                 def main(env, seg=seg, total=total):
                     cfg = TcioConfig.sized_for(total, env.size, seg)
-                    fh = TcioFile(env, "im", TCIO_WRONLY, cfg)
-                    fh.write_at(env.rank * total // env.size, b"x" * (total // env.size))
-                    fh.close()
+                    fh = yield from TcioFile.open(env, "im", TCIO_WRONLY, cfg)
+                    yield from fh.write_at(
+                        env.rank * total // env.size, b"x" * (total // env.size)
+                    )
+                    yield from fh.close()
                     return len(fh.level2.owned_dirty_segments()) * seg
 
                 res = run_mpi(NPROCS, main, cluster=make_lonestar(nranks=NPROCS))

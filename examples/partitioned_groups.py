@@ -32,26 +32,26 @@ def payload(world_rank: int, i: int) -> bytes:
     return bytes([(world_rank * 37 + i * 11) % 251 + 1]) * BLOCK
 
 
-def write_group_file(env: RankEnv, comm, name: str) -> None:
+def write_group_file(env: RankEnv, comm, name: str):
     """The Fig. 2 interleaved pattern inside one (sub)communicator."""
     total = BLOCK * BLOCKS_PER_RANK * comm.size
     cfg = TcioConfig.sized_for(total, comm.size, env.pfs.spec.stripe_size)
-    fh = TcioFile(env, name, TCIO_WRONLY, cfg, comm=comm)
+    fh = yield from TcioFile.open(env, name, TCIO_WRONLY, cfg, comm=comm)
     world_rank = comm.world_rank(comm.rank)
     for i in range(BLOCKS_PER_RANK):
         offset = (i * comm.size + comm.rank) * BLOCK
-        fh.write_at(offset, payload(world_rank, i))
-    fh.close()
+        yield from fh.write_at(offset, payload(world_rank, i))
+    yield from fh.close()
 
 
-def partitioned(env: RankEnv) -> None:
+def partitioned(env: RankEnv):
     group_id = env.rank % GROUPS
-    sub = comm_split(env.comm, color=group_id)
-    write_group_file(env, sub, f"group{group_id}.dat")
+    sub = yield from comm_split(env.comm, color=group_id)
+    yield from write_group_file(env, sub, f"group{group_id}.dat")
 
 
-def monolithic(env: RankEnv) -> None:
-    write_group_file(env, env.comm, "global.dat")
+def monolithic(env: RankEnv):
+    yield from write_group_file(env, env.comm, "global.dat")
 
 
 def expected_group_file(group_id: int) -> bytes:

@@ -15,6 +15,7 @@ from repro.simmpi import run_mpi
 from repro.tcio import (
     TCIO_RDONLY,
     TCIO_WRONLY,
+    tcio_close,
     tcio_fetch,
     tcio_open,
     tcio_read_at,
@@ -31,26 +32,28 @@ def record_payload(rank: int, i: int) -> bytes:
     return np.full(RECORD_BYTES // 8, rank * 1000 + i, dtype=np.int64).tobytes()
 
 
-def main(env) -> str:
+def main(env):
     rank, nranks = env.rank, env.size
 
     # ---- write: each rank drops its records round-robin in the file ----
-    # The handle is a context manager: leaving the block runs the
-    # collective close (level-2 buffers drain to the file system).
-    with tcio_open(env, "quickstart.dat", TCIO_WRONLY) as fh:
-        for i in range(RECORDS_PER_RANK):
-            offset = (i * nranks + rank) * RECORD_BYTES
-            tcio_write_at(fh, offset, record_payload(rank, i))
+    # Rank programs are coroutines: every blocking call is a `yield from`.
+    # The collective close drains level-2 buffers to the file system.
+    fh = yield from tcio_open(env, "quickstart.dat", TCIO_WRONLY)
+    for i in range(RECORDS_PER_RANK):
+        offset = (i * nranks + rank) * RECORD_BYTES
+        yield from tcio_write_at(fh, offset, record_payload(rank, i))
+    yield from tcio_close(fh)
 
     # ---- read: lazy records, fetched in one shot -----------------------
     dests = []
-    with tcio_open(env, "quickstart.dat", TCIO_RDONLY) as fh:
-        for i in range(RECORDS_PER_RANK):
-            offset = (i * nranks + rank) * RECORD_BYTES
-            buf = bytearray(RECORD_BYTES)
-            tcio_read_at(fh, offset, buf)  # records metadata only
-            dests.append((i, buf))
-        tcio_fetch(fh)  # data actually moves here
+    fh = yield from tcio_open(env, "quickstart.dat", TCIO_RDONLY)
+    for i in range(RECORDS_PER_RANK):
+        offset = (i * nranks + rank) * RECORD_BYTES
+        buf = bytearray(RECORD_BYTES)
+        yield from tcio_read_at(fh, offset, buf)  # records metadata only
+        dests.append((i, buf))
+    yield from tcio_fetch(fh)  # data actually moves here
+    yield from tcio_close(fh)
 
     for i, buf in dests:
         assert bytes(buf) == record_payload(rank, i), f"rank {rank} record {i}"

@@ -36,14 +36,14 @@ def run_with_segment(segment_size: int):
     def main(env):
         cfg = TcioConfig.sized_for(total, env.size, segment_size)
         payload = np.full(256, env.rank, dtype=np.uint8).tobytes()
-        fh = TcioFile(env, "tuned.dat", TCIO_WRONLY, cfg)
+        fh = yield from TcioFile.open(env, "tuned.dat", TCIO_WRONLY, cfg)
         t0 = env.now
         blocks = BYTES_PER_RANK // len(payload)
         for i in range(blocks):
             offset = (i * env.size + env.rank) * len(payload)
-            fh.write_at(offset, payload)
-        fh.close()
-        env.settle()
+            yield from fh.write_at(offset, payload)
+        yield from fh.close()
+        yield from env.settle()
         owned = len(fh.level2.owned_dirty_segments())
         return env.now - t0, owned
 

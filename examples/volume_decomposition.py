@@ -48,7 +48,7 @@ def reference_volume() -> bytes:
     return (x * N * N + y * N + z).astype(np.float64).tobytes()
 
 
-def write_ocio(env) -> None:
+def write_ocio(env):
     """Subarray file view + collective write: Program-2-style."""
     thickness = N // NRANKS
     filetype = Subarray(
@@ -57,35 +57,35 @@ def write_ocio(env) -> None:
         starts=[0, env.rank * thickness, 0],
         base=DOUBLE,
     )
-    fh = MpiFile.open(env, "volume_ocio.dat")
-    fh.set_view(0, DOUBLE, filetype)
-    fh.write_all(local_slab(env.rank))
-    fh.close()
+    fh = yield from MpiFile.open(env, "volume_ocio.dat")
+    yield from fh.set_view(0, DOUBLE, filetype)
+    yield from fh.write_all(local_slab(env.rank))
+    yield from fh.close()
 
 
-def write_tcio(env) -> None:
+def write_tcio(env):
     """Positional writes of each contiguous x-row run: no view needed."""
     thickness = N // NRANKS
     slab = local_slab(env.rank)
     cfg = TcioConfig.sized_for(N * N * N * 8, env.size, env.pfs.spec.stripe_size)
-    fh = TcioFile(env, "volume_tcio.dat", TCIO_WRONLY, cfg)
+    fh = yield from TcioFile.open(env, "volume_tcio.dat", TCIO_WRONLY, cfg)
     for x in range(N):
         for local_y in range(thickness):
             y = env.rank * thickness + local_y
             offset = (x * N * N + y * N) * 8  # start of this z-run
-            fh.write_at(offset, slab[x, local_y, :])
-    fh.close()
+            yield from fh.write_at(offset, slab[x, local_y, :])
+    yield from fh.close()
 
 
-def write_vanilla(env) -> None:
+def write_vanilla(env):
     thickness = N // NRANKS
     slab = local_slab(env.rank)
-    fh = MpiFile.open(env, "volume_mpiio.dat")
+    fh = yield from MpiFile.open(env, "volume_mpiio.dat")
     for x in range(N):
         for local_y in range(thickness):
             y = env.rank * thickness + local_y
-            fh.write_at((x * N * N + y * N) * 8, slab[x, local_y, :])
-    fh.close()
+            yield from fh.write_at((x * N * N + y * N) * 8, slab[x, local_y, :])
+    yield from fh.close()
 
 
 def main() -> None:

@@ -75,29 +75,29 @@ class ArtResult:
         )
 
 
-def dump_snapshot(env: RankEnv, cfg: ArtConfig) -> tuple[float, dict, int]:
+def dump_snapshot(env: RankEnv, cfg: ArtConfig):
     """Run the dump phase on one rank; returns (seconds, stats, local bytes)."""
     local = build_local_segments(cfg.workload, env.rank, env.size)
-    collectives.barrier(env.comm)
+    yield from collectives.barrier(env.comm)
     t0 = env.now
     if cfg.method is ArtIoMethod.TCIO:
-        stats = io_tcio.dump(
+        stats = yield from io_tcio.dump(
             env, cfg.workload, local, cfg.file_name, per_array_cost=cfg.per_array_cost
         )
     else:
-        stats = io_mpiio.dump(
+        stats = yield from io_mpiio.dump(
             env, cfg.workload, local, cfg.file_name, per_array_cost=cfg.per_array_cost
         )
-    collectives.barrier(env.comm)
+    yield from collectives.barrier(env.comm)
     return env.now - t0, stats, local.total_bytes
 
 
-def restart_snapshot(env: RankEnv, cfg: ArtConfig) -> tuple[float, dict]:
+def restart_snapshot(env: RankEnv, cfg: ArtConfig):
     """Run the restart phase on one rank; returns (seconds, stats)."""
-    collectives.barrier(env.comm)
+    yield from collectives.barrier(env.comm)
     t0 = env.now
     if cfg.method is ArtIoMethod.TCIO:
-        stats = io_tcio.restart(
+        stats = yield from io_tcio.restart(
             env,
             cfg.workload,
             cfg.file_name,
@@ -105,14 +105,14 @@ def restart_snapshot(env: RankEnv, cfg: ArtConfig) -> tuple[float, dict]:
             per_array_cost=cfg.per_array_cost,
         )
     else:
-        stats = io_mpiio.restart(
+        stats = yield from io_mpiio.restart(
             env,
             cfg.workload,
             cfg.file_name,
             verify=cfg.verify,
             per_array_cost=cfg.per_array_cost,
         )
-    collectives.barrier(env.comm)
+    yield from collectives.barrier(env.comm)
     return env.now - t0, stats
 
 
@@ -126,8 +126,8 @@ def run_art(
     result = ArtResult(config=cfg)
 
     def main(env: RankEnv):
-        dump_s, dump_stats, local_bytes = dump_snapshot(env, cfg)
-        restart_s, restart_stats = restart_snapshot(env, cfg)
+        dump_s, dump_stats, local_bytes = yield from dump_snapshot(env, cfg)
+        restart_s, restart_stats = yield from restart_snapshot(env, cfg)
         return dump_s, restart_s, dump_stats, restart_stats, local_bytes
 
     run: MpiRunResult = run_mpi(cfg.nprocs, main, cluster=cluster, trace=trace)

@@ -34,23 +34,23 @@ def dump(
 ) -> dict:
     """Write the snapshot with one independent write per record array."""
     layout = FttRecordLayout()
-    all_sizes = _exchange_sizes(env.comm, workload, local)
+    all_sizes = yield from _exchange_sizes(env.comm, workload, local)
     offsets = record_offsets(all_sizes, workload.n_segments)
 
-    fh = MpiFile.open(env, name, MODE_RDWR | MODE_CREATE)
+    fh = yield from MpiFile.open(env, name, MODE_RDWR | MODE_CREATE)
     writes = 0
     if env.rank == 0:
-        fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
+        yield from fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
         writes += 1
     for seg, size in zip(local.segments, local.sizes):
-        fh.write_at(INDEX_ENTRY * (1 + seg), np.array([size], dtype=np.int64))
+        yield from fh.write_at(INDEX_ENTRY * (1 + seg), np.array([size], dtype=np.int64))
         writes += 1
     for seg, tree in zip(local.segments, local.trees):
         env.compute(per_array_cost * layout.array_count(tree))
         for off, data in layout.iter_write_ops(tree, offsets[seg]):
-            fh.write_at(off, data)
+            yield from fh.write_at(off, data)
             writes += 1
-    fh.close()
+    yield from fh.close()
     return {"write_calls": writes}
 
 
@@ -64,9 +64,9 @@ def restart(
 ) -> dict:
     """Read records back with per-array independent reads; verify trees."""
     layout = FttRecordLayout()
-    fh = MpiFile.open(env, name, MODE_RDONLY)
+    fh = yield from MpiFile.open(env, name, MODE_RDONLY)
     reads = 1
-    idx = fh.read_at(0, index_nbytes(workload.n_segments))
+    idx = yield from fh.read_at(0, index_nbytes(workload.n_segments))
     sizes = parse_index(idx, workload.n_segments)
     offsets = record_offsets(sizes, workload.n_segments)
 
@@ -74,11 +74,11 @@ def restart(
     trees: list[FttTree] = []
     for seg in my_segments:
         base = offsets[seg]
-        head = fh.read_at(base, header_prefix_nbytes())
+        head = yield from fh.read_at(base, header_prefix_nbytes())
         reads += 1
         _magic, _oct, nvars, depth, total_cells = np.frombuffer(head, np.int32)
         struct_len = int(depth) * 4 + int(total_cells)
-        struct_buf = fh.read_at(base + len(head), struct_len)
+        struct_buf = yield from fh.read_at(base + len(head), struct_len)
         reads += 1
         values_base = base + len(head) + struct_len
         pieces = []
@@ -86,11 +86,11 @@ def restart(
         env.compute(per_array_cost * (3 + int(total_cells) * int(nvars)))
         for _cell in range(int(total_cells)):
             for _v in range(int(nvars)):
-                pieces.append(fh.read_at(pos, 8))
+                pieces.append((yield from fh.read_at(pos, 8)))
                 reads += 1
                 pos += 8
         trees.append(layout.parse(head + struct_buf + b"".join(pieces)))
-    fh.close()
+    yield from fh.close()
 
     if verify:
         _verify_trees(workload, my_segments, trees)

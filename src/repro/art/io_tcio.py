@@ -54,15 +54,16 @@ def dump(
     """
     comm = env.comm
     layout = FttRecordLayout()
-    all_sizes = _exchange_sizes(comm, workload, local)
+    all_sizes = yield from _exchange_sizes(comm, workload, local)
     offsets = record_offsets(all_sizes, workload.n_segments)
     total = index_nbytes(workload.n_segments) + sum(all_sizes)
 
-    with TcioFile(env, name, TCIO_WRONLY, _tcio_config(env, total)) as fh:
+    fh = yield from TcioFile.open(env, name, TCIO_WRONLY, _tcio_config(env, total))
+    try:
         if env.rank == 0:
-            fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
+            yield from fh.write_at(0, np.array([workload.n_segments], dtype=np.int64))
         for seg, size in zip(local.segments, local.sizes):
-            fh.write_at(
+            yield from fh.write_at(
                 INDEX_ENTRY * (1 + seg), np.array([size], dtype=np.int64)
             )
         for seg, tree in zip(local.segments, local.trees):
@@ -70,7 +71,11 @@ def dump(
             arrays = layout.arrays(tree)
             env.compute(per_array_cost * len(arrays))
             for array in arrays:
-                fh.write(array.data)
+                yield from fh.write(array.data)
+    except BaseException:
+        fh.abort()
+        raise
+    yield from fh.close()
     return fh.stats.as_dict()
 
 
@@ -86,11 +91,12 @@ def restart(
     comm = env.comm
     layout = FttRecordLayout()
     pfs_size = env.pfs.lookup(name).size
-    with TcioFile(env, name, TCIO_RDONLY, _tcio_config(env, pfs_size)) as fh:
+    fh = yield from TcioFile.open(env, name, TCIO_RDONLY, _tcio_config(env, pfs_size))
+    try:
         # Phase 1: the index (sizes of every record).
         idx_buf = bytearray(index_nbytes(workload.n_segments))
-        fh.read_at(0, idx_buf)
-        fh.fetch()
+        yield from fh.read_at(0, idx_buf)
+        yield from fh.fetch()
         sizes = parse_index(bytes(idx_buf), workload.n_segments)
         offsets = record_offsets(sizes, workload.n_segments)
 
@@ -100,15 +106,15 @@ def restart(
             base = offsets[seg]
             # Phase 2: the record's descriptor header.
             head = bytearray(header_prefix_nbytes())
-            fh.read_at(base, head)
-            fh.fetch()
+            yield from fh.read_at(base, head)
+            yield from fh.fetch()
             magic, oct_, nvars, depth, total_cells = np.frombuffer(
                 bytes(head), np.int32
             )
             # Phase 3: level sizes + refinement flags.
             struct_buf = bytearray(int(depth) * 4 + int(total_cells))
-            fh.read_at(base + len(head), struct_buf)
-            fh.fetch()
+            yield from fh.read_at(base + len(head), struct_buf)
+            yield from fh.fetch()
             level_sizes = np.frombuffer(bytes(struct_buf[: int(depth) * 4]), np.int32)
             # Phase 4: each value array individually (the paper's small reads).
             values_base = base + len(head) + len(struct_buf)
@@ -118,10 +124,10 @@ def restart(
             for _cell in range(int(total_cells)):
                 for _v in range(int(nvars)):
                     b = bytearray(8)
-                    fh.read_at(pos, b)
+                    yield from fh.read_at(pos, b)
                     value_bufs.append(b)
                     pos += 8
-            fh.fetch()
+            yield from fh.fetch()
             # Reassemble and parse the full record.
             blob = (
                 bytes(head)
@@ -130,16 +136,20 @@ def restart(
             )
             trees.append(layout.parse(blob))
             del level_sizes, magic, oct_
+    except BaseException:
+        fh.abort()
+        raise
+    yield from fh.close()
 
     if verify:
         _verify_trees(workload, my_segments, trees)
     return fh.stats.as_dict()
 
 
-def _exchange_sizes(comm, workload: ArtWorkload, local: LocalSegments) -> list[int]:
+def _exchange_sizes(comm, workload: ArtWorkload, local: LocalSegments):
     """Allgather every record's serialized size (rank order -> file order)."""
     mine = list(zip(local.segments, local.sizes))
-    gathered = collectives.allgather(comm, mine)
+    gathered = yield from collectives.allgather(comm, mine)
     all_sizes = [0] * workload.n_segments
     for pairs in gathered:
         for seg, size in pairs:

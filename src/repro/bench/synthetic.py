@@ -91,31 +91,33 @@ def _bench_hints(cfg: BenchConfig) -> IoHints:
     return IoHints(cb_aggregation=cfg.aggregation)
 
 
-def _ocio_write(env: RankEnv, cfg: BenchConfig) -> None:
-    """Program 2: combine + file view + one collective write."""
+def _ocio_write(env: RankEnv, cfg: BenchConfig):
+    """Program 2: combine + file view + one collective write (coroutine)."""
     rank, P = env.rank, env.size
     memory = env.world.memory
     combine_alloc = memory.allocate(rank, cfg.bytes_per_process, "app.combine")
     buf = _combine_buffer(cfg, rank, env)
     etype = Contiguous(cfg.block_size, BYTE)
     filetype = etype.vector(cfg.len_array // cfg.size_access, 1, P)
-    fh = MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE, _bench_hints(cfg))
-    fh.set_view(rank * cfg.block_size, etype, filetype)
-    fh.write_all(buf)
-    fh.close()
+    fh = yield from MpiFile.open(
+        env, cfg.file_name, MODE_RDWR | MODE_CREATE, _bench_hints(cfg)
+    )
+    yield from fh.set_view(rank * cfg.block_size, etype, filetype)
+    yield from fh.write_all(buf)
+    yield from fh.close()
     memory.free(combine_alloc)
 
 
-def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
+def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool):
     rank, P = env.rank, env.size
     memory = env.world.memory
     combine_alloc = memory.allocate(rank, cfg.bytes_per_process, "app.combine")
     etype = Contiguous(cfg.block_size, BYTE)
     filetype = etype.vector(cfg.len_array // cfg.size_access, 1, P)
-    fh = MpiFile.open(env, cfg.file_name, MODE_RDONLY, _bench_hints(cfg))
-    fh.set_view(rank * cfg.block_size, etype, filetype)
-    data = fh.read_all(cfg.len_array // cfg.size_access, etype)
-    fh.close()
+    fh = yield from MpiFile.open(env, cfg.file_name, MODE_RDONLY, _bench_hints(cfg))
+    yield from fh.set_view(rank * cfg.block_size, etype, filetype)
+    data = yield from fh.read_all(cfg.len_array // cfg.size_access, etype)
+    yield from fh.close()
     # Scatter the combine buffer back into the arrays (charged memcpy).
     env.compute(cfg.bytes_per_process / env.world.fabric.spec.memcpy_bandwidth)
     if verify and data != _rank_blocks(cfg, rank).tobytes():
@@ -142,36 +144,37 @@ def _tcio_config(cfg: BenchConfig, env: RankEnv) -> TcioConfig:
     )
 
 
-def _tcio_write(env: RankEnv, cfg: BenchConfig) -> dict:
-    """Program 3: per-block POSIX-style writes; TCIO does the rest."""
+def _tcio_write(env: RankEnv, cfg: BenchConfig):
+    """Program 3: per-block POSIX-style writes; TCIO does the rest
+    (coroutine)."""
     arrays = make_arrays(cfg, env.rank)
     block = cfg.block_size
-    fh = TcioFile(env, cfg.file_name, TCIO_WRONLY, _tcio_config(cfg, env))
+    fh = yield from TcioFile.open(env, cfg.file_name, TCIO_WRONLY, _tcio_config(cfg, env))
     for i in range(0, cfg.len_array, cfg.size_access):
         pos = env.rank * block + (i // cfg.size_access) * block * env.size
         for arr in arrays:
-            fh.write_at(pos, arr[i : i + cfg.size_access])
+            yield from fh.write_at(pos, arr[i : i + cfg.size_access])
             pos += arr.dtype.itemsize * cfg.size_access
-    fh.close()
+    yield from fh.close()
     return fh.stats.as_dict()
 
 
-def _tcio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> dict:
+def _tcio_read(env: RankEnv, cfg: BenchConfig, verify: bool):
     rank, P = env.rank, env.size
     block = cfg.block_size
     sizes = [t.size for t in cfg.types]
     dests = [np.empty(cfg.len_array, dtype=t.np_dtype) for t in cfg.types]
     views = [memoryview(a).cast("B") for a in dests]
-    fh = TcioFile(env, cfg.file_name, TCIO_RDONLY, _tcio_config(cfg, env))
+    fh = yield from TcioFile.open(env, cfg.file_name, TCIO_RDONLY, _tcio_config(cfg, env))
     for i in range(0, cfg.len_array, cfg.size_access):
         pos = rank * block + (i // cfg.size_access) * block * P
         for j in range(cfg.num_arrays):
             width = sizes[j] * cfg.size_access
             lo = i * sizes[j]
-            fh.read_at(pos, views[j][lo : lo + width])
+            yield from fh.read_at(pos, views[j][lo : lo + width])
             pos += width
-    fh.fetch()
-    fh.close()
+    yield from fh.fetch()
+    yield from fh.close()
     if verify:
         for got, exp in zip(dests, make_arrays(cfg, rank)):
             if not np.array_equal(got, exp):
@@ -179,35 +182,35 @@ def _tcio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> dict:
     return fh.stats.as_dict()
 
 
-def _mpiio_write(env: RankEnv, cfg: BenchConfig) -> None:
-    """Vanilla MPI-IO: one independent write per block piece."""
+def _mpiio_write(env: RankEnv, cfg: BenchConfig):
+    """Vanilla MPI-IO: one independent write per block piece (coroutine)."""
     arrays = make_arrays(cfg, env.rank)
     block = cfg.block_size
-    fh = MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE)
+    fh = yield from MpiFile.open(env, cfg.file_name, MODE_RDWR | MODE_CREATE)
     for i in range(0, cfg.len_array, cfg.size_access):
         pos = env.rank * block + (i // cfg.size_access) * block * env.size
         for arr in arrays:
-            fh.write_at(pos, arr[i : i + cfg.size_access])
+            yield from fh.write_at(pos, arr[i : i + cfg.size_access])
             pos += arr.dtype.itemsize * cfg.size_access
-    fh.close()
+    yield from fh.close()
 
 
-def _mpiio_read(env: RankEnv, cfg: BenchConfig, verify: bool) -> None:
+def _mpiio_read(env: RankEnv, cfg: BenchConfig, verify: bool):
     rank, P = env.rank, env.size
     block = cfg.block_size
     sizes = [t.size for t in cfg.types]
     dests = [np.empty(cfg.len_array, dtype=t.np_dtype) for t in cfg.types]
     views = [memoryview(a).cast("B") for a in dests]
-    fh = MpiFile.open(env, cfg.file_name, MODE_RDONLY)
+    fh = yield from MpiFile.open(env, cfg.file_name, MODE_RDONLY)
     for i in range(0, cfg.len_array, cfg.size_access):
         pos = rank * block + (i // cfg.size_access) * block * P
         for j in range(cfg.num_arrays):
             width = sizes[j] * cfg.size_access
             lo = i * sizes[j]
-            got = fh.read_at(pos, width)
+            got = yield from fh.read_at(pos, width)
             views[j][lo : lo + width] = np.frombuffer(got, dtype=np.uint8)
             pos += width
-    fh.close()
+    yield from fh.close()
     if verify:
         for got, exp in zip(dests, make_arrays(cfg, rank)):
             if not np.array_equal(got, exp):
@@ -298,23 +301,23 @@ def run_benchmark(
                 env.rank, cfg.bytes_per_process, "app.arrays"
             )
             stats: dict = {}
-            collectives.barrier(env.comm)
+            yield from collectives.barrier(env.comm)
             t0 = env.now
             if phase == "write":
                 if cfg.method is Method.OCIO:
-                    _ocio_write(env, cfg)
+                    yield from _ocio_write(env, cfg)
                 elif cfg.method is Method.TCIO:
-                    stats = _tcio_write(env, cfg)
+                    stats = yield from _tcio_write(env, cfg)
                 else:
-                    _mpiio_write(env, cfg)
+                    yield from _mpiio_write(env, cfg)
             else:
                 if cfg.method is Method.OCIO:
-                    _ocio_read(env, cfg, verify)
+                    yield from _ocio_read(env, cfg, verify)
                 elif cfg.method is Method.TCIO:
-                    stats = _tcio_read(env, cfg, verify)
+                    stats = yield from _tcio_read(env, cfg, verify)
                 else:
-                    _mpiio_read(env, cfg, verify)
-            collectives.barrier(env.comm)
+                    yield from _mpiio_read(env, cfg, verify)
+            yield from collectives.barrier(env.comm)
             memory.free(arrays_alloc)
             return env.now - t0, stats
 

@@ -70,14 +70,16 @@ def _make_main(name: str, config):
 
     def main(env):
         nranks = env.size
-        fh = tcio_open(env, name, TCIO_WRONLY, config)
-        tcio_write_at(fh, env.rank * PER_RANK, _pattern(env.rank, 1, PER_RANK))
-        tcio_flush(fh)  # epoch 1: phase-1 region durable
+        fh = yield from tcio_open(env, name, TCIO_WRONLY, config)
+        yield from tcio_write_at(
+            fh, env.rank * PER_RANK, _pattern(env.rank, 1, PER_RANK)
+        )
+        yield from tcio_flush(fh)  # epoch 1: phase-1 region durable
         base = nranks * PER_RANK
-        tcio_write_at(
+        yield from tcio_write_at(
             fh, base + env.rank * PER_RANK, _pattern(env.rank, 2, PER_RANK)
         )
-        tcio_close(fh)  # epoch 2: phase-2 region durable
+        yield from tcio_close(fh)  # epoch 2: phase-2 region durable
 
     return main
 

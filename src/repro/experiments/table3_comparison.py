@@ -49,7 +49,7 @@ def _memory_breakdown(nprocs: int = 4, len_array: int = 1024) -> dict[str, dict[
         )
 
         def main(env: RankEnv):
-            fn(env, cfg)
+            return fn(env, cfg)
 
         run = run_mpi(nprocs, main, cluster=cluster)
         node0 = 0

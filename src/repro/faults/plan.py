@@ -36,7 +36,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple, Type, TypeVar, Union
 
 from repro.faults.retry import RetryPolicy
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.util.errors import PfsError, RetryBudgetExceeded
 from repro.util.rng import seeded_rng
 
@@ -295,19 +295,23 @@ class FaultPlan:
         *,
         retry_on: Union[Type[BaseException], Tuple[Type[BaseException], ...]],
         what: str,
-    ) -> T:
-        """Run ``op(attempt)`` under the spec's retry policy.
+    ):
+        """Run ``op(attempt)`` under the spec's retry policy (coroutine).
 
-        Failed attempts sleep a jittered exponential backoff on the
-        virtual clock (visible as ``faults.backoff`` spans) and count
+        ``op(attempt)`` may be a plain callable *or* return a coroutine
+        (the normal case for storage/RMA operations) — both are driven
+        uniformly. Failed attempts sleep a jittered exponential backoff on
+        the virtual clock (visible as ``faults.backoff`` spans) and count
         ``faults.retries``; once the budget is spent the last error is
         wrapped in :class:`RetryBudgetExceeded`.
         """
+        from repro.sim.api import run_coroutine
+
         policy = self.spec.retry
         last = policy.max_attempts - 1
         for attempt in range(policy.max_attempts):
             try:
-                return op(attempt)
+                return (yield from run_coroutine(op(attempt)))
             except retry_on as exc:
                 if attempt == last:
                     raise RetryBudgetExceeded(what, policy.max_attempts) from exc
@@ -315,7 +319,7 @@ class FaultPlan:
                 if self._trace is not None:
                     self._trace.count("faults.retries")
                     with self._trace.span("faults.backoff", what=what, attempt=attempt):
-                        current_process().sleep(delay)
+                        yield from active_process().sleep(delay)
                 else:
-                    current_process().sleep(delay)
+                    yield from active_process().sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -54,22 +54,25 @@ class RetryPolicy:
         return delay
 
 
-def pfs_retry(world, what: str, op: Callable[[Optional[float]], T]) -> T:
+def pfs_retry(world, what: str, op: Callable[[Optional[float]], T]):
     """Run storage operation *op* with lock-timeout retries when faults are on.
 
-    ``op(lock_timeout)`` performs the actual transfer, passing the timeout
-    through to the PFS client. Without an active fault plan (or with lock
-    timeouts disabled) this is a plain call with ``lock_timeout=None`` —
+    Coroutine: ``result = yield from pfs_retry(...)``. ``op(lock_timeout)``
+    performs the actual transfer (itself usually a coroutine), passing the
+    timeout through to the PFS client. Without an active fault plan (or
+    with lock timeouts disabled) this drives ``op(None)`` directly —
     bit-identical to the pre-fault behaviour. Under a plan, timed-out
     acquires back off and retry; the final attempt waits unboundedly so
     the operation always completes once the queue drains.
     """
+    from repro.sim.api import run_coroutine
+
     plan = getattr(world, "faults", None)
     if plan is None or plan.spec.lock_timeout <= 0.0:
-        return op(None)
+        return (yield from run_coroutine(op(None)))
     last = plan.spec.retry.max_attempts - 1
-    return plan.retry_call(
+    return (yield from plan.retry_call(
         lambda attempt: op(plan.spec.lock_timeout if attempt < last else None),
         retry_on=LockTimeout,
         what=what,
-    )
+    ))

@@ -75,8 +75,10 @@ class MpiFile:
         name: str,
         mode: int = MODE_RDWR | MODE_CREATE,
         hints: Optional[IoHints] = None,
-    ) -> "MpiFile":
-        """Collective open; every rank of the communicator must call it."""
+    ):
+        """Collective open (coroutine): ``mf = yield from MpiFile.open(...)``.
+
+        Every rank of the communicator must call it."""
         hints = hints or IoHints()
         hints.validate()
         if not (mode & (MODE_RDONLY | MODE_WRONLY | MODE_RDWR)):
@@ -86,13 +88,13 @@ class MpiFile:
         else:
             pfs_file = env.pfs.lookup(name)
         handle = cls(env, pfs_file, mode, hints)
-        collectives.barrier(handle.comm)
+        yield from collectives.barrier(handle.comm)
         return handle
 
-    def close(self) -> None:
-        """Collective close (synchronizes, like MPI_File_close)."""
+    def close(self):
+        """Collective close (coroutine; synchronizes, like MPI_File_close)."""
         self._check_open()
-        collectives.barrier(self.comm)
+        yield from collectives.barrier(self.comm)
         self._closed = True
 
     # ------------------------------------------------------------------
@@ -103,12 +105,12 @@ class MpiFile:
         displacement: int = 0,
         etype: Datatype = BYTE,
         filetype: Optional[Datatype] = None,
-    ) -> None:
-        """MPI_File_set_view: collective; resets the individual pointer."""
+    ):
+        """MPI_File_set_view: collective coroutine; resets the pointer."""
         self._check_open()
         self.view = FileView(displacement, etype, filetype)
         self._position = 0
-        collectives.barrier(self.comm)
+        yield from collectives.barrier(self.comm)
 
     def seek(self, offset_etypes: int, whence: int = 0) -> None:
         """MPI_File_seek: whence 0=set, 1=cur, 2=end (end in etypes of view)."""
@@ -141,32 +143,46 @@ class MpiFile:
     # independent I/O
     # ------------------------------------------------------------------
     def write_at(self, offset_etypes: int, data: object, count: Optional[int] = None,
-                 datatype: Datatype = BYTE) -> int:
-        """Independent write at an explicit view offset; returns bytes written."""
+                 datatype: Datatype = BYTE):
+        """Independent write at an explicit view offset (coroutine);
+        returns bytes written."""
         self._check_open(writing=True)
         payload = self._prepare(data, count, datatype)
-        independent.write_view(self, self.view.byte_offset(offset_etypes), payload)
+        yield from independent.write_view(
+            self, self.view.byte_offset(offset_etypes), payload
+        )
         return len(payload)
 
-    def read_at(self, offset_etypes: int, count: int, datatype: Datatype = BYTE) -> bytes:
-        """Independent read at an explicit view offset; returns raw bytes."""
+    def read_at(self, offset_etypes: int, count: int, datatype: Datatype = BYTE):
+        """Independent read at an explicit view offset (coroutine);
+        returns raw bytes."""
         self._check_open(reading=True)
         nbytes = count * datatype.size
-        return independent.read_view(self, self.view.byte_offset(offset_etypes), nbytes)
+        return (
+            yield from independent.read_view(
+                self, self.view.byte_offset(offset_etypes), nbytes
+            )
+        )
 
-    def write(self, data: object, count: Optional[int] = None, datatype: Datatype = BYTE) -> int:
-        """Independent write at the individual pointer (advances it)."""
+    def write(self, data: object, count: Optional[int] = None, datatype: Datatype = BYTE):
+        """Independent write at the individual pointer (coroutine;
+        advances it)."""
         self._check_open(writing=True)
         payload = self._prepare(data, count, datatype)
-        independent.write_view(self, self.view.byte_offset(self._position), payload)
+        yield from independent.write_view(
+            self, self.view.byte_offset(self._position), payload
+        )
         self._advance(len(payload))
         return len(payload)
 
-    def read(self, count: int, datatype: Datatype = BYTE) -> bytes:
-        """Independent read at the individual pointer (advances it)."""
+    def read(self, count: int, datatype: Datatype = BYTE):
+        """Independent read at the individual pointer (coroutine;
+        advances it)."""
         self._check_open(reading=True)
         nbytes = count * datatype.size
-        out = independent.read_view(self, self.view.byte_offset(self._position), nbytes)
+        out = yield from independent.read_view(
+            self, self.view.byte_offset(self._position), nbytes
+        )
         self._advance(nbytes)
         return out
 
@@ -174,33 +190,45 @@ class MpiFile:
     # collective I/O (OCIO)
     # ------------------------------------------------------------------
     def write_at_all(self, offset_etypes: int, data: object, count: Optional[int] = None,
-                     datatype: Datatype = BYTE) -> int:
-        """MPI_File_write_at_all: ROMIO-style two-phase collective write."""
+                     datatype: Datatype = BYTE):
+        """MPI_File_write_at_all: two-phase collective write (coroutine)."""
         self._check_open(writing=True)
         payload = self._prepare(data, count, datatype)
-        twophase.write_all(self, self.view.byte_offset(offset_etypes), payload)
+        yield from twophase.write_all(
+            self, self.view.byte_offset(offset_etypes), payload
+        )
         return len(payload)
 
     def write_all(self, data: object, count: Optional[int] = None,
-                  datatype: Datatype = BYTE) -> int:
-        """MPI_File_write_all at the individual pointer (Program 2 step 11)."""
+                  datatype: Datatype = BYTE):
+        """MPI_File_write_all at the individual pointer (coroutine;
+        Program 2 step 11)."""
         self._check_open(writing=True)
         payload = self._prepare(data, count, datatype)
-        twophase.write_all(self, self.view.byte_offset(self._position), payload)
+        yield from twophase.write_all(
+            self, self.view.byte_offset(self._position), payload
+        )
         self._advance(len(payload))
         return len(payload)
 
-    def read_at_all(self, offset_etypes: int, count: int, datatype: Datatype = BYTE) -> bytes:
-        """MPI_File_read_at_all: two-phase collective read."""
+    def read_at_all(self, offset_etypes: int, count: int, datatype: Datatype = BYTE):
+        """MPI_File_read_at_all: two-phase collective read (coroutine)."""
         self._check_open(reading=True)
         nbytes = count * datatype.size
-        return twophase.read_all(self, self.view.byte_offset(offset_etypes), nbytes)
+        return (
+            yield from twophase.read_all(
+                self, self.view.byte_offset(offset_etypes), nbytes
+            )
+        )
 
-    def read_all(self, count: int, datatype: Datatype = BYTE) -> bytes:
-        """MPI_File_read_all at the individual pointer (advances it)."""
+    def read_all(self, count: int, datatype: Datatype = BYTE):
+        """MPI_File_read_all at the individual pointer (coroutine;
+        advances it)."""
         self._check_open(reading=True)
         nbytes = count * datatype.size
-        out = twophase.read_all(self, self.view.byte_offset(self._position), nbytes)
+        out = yield from twophase.read_all(
+            self, self.view.byte_offset(self._position), nbytes
+        )
         self._advance(nbytes)
         return out
 
@@ -208,23 +236,28 @@ class MpiFile:
     # shared pointers, nonblocking ops, size management
     # ------------------------------------------------------------------
     def write_shared(self, data: object, count: Optional[int] = None,
-                     datatype: Datatype = BYTE) -> int:
-        """MPI_File_write_shared: write at the shared file pointer.
+                     datatype: Datatype = BYTE):
+        """MPI_File_write_shared: write at the shared file pointer
+        (coroutine).
 
         Returns the etype offset the write landed at.
         """
         self._check_open(writing=True)
         from repro.mpiio import shared
 
-        return shared.write_shared(self, self._prepare(data, count, datatype))
+        return (
+            yield from shared.write_shared(
+                self, self._prepare(data, count, datatype)
+            )
+        )
 
-    def read_shared(self, count: int) -> tuple[int, bytes]:
-        """MPI_File_read_shared: read at the shared pointer; returns
-        (etype offset, data)."""
+    def read_shared(self, count: int):
+        """MPI_File_read_shared: read at the shared pointer (coroutine);
+        returns (etype offset, data)."""
         self._check_open(reading=True)
         from repro.mpiio import shared
 
-        return shared.read_shared(self, count)
+        return (yield from shared.read_shared(self, count))
 
     def iwrite_at(self, offset_etypes: int, data: object,
                   count: Optional[int] = None, datatype: Datatype = BYTE):
@@ -241,28 +274,29 @@ class MpiFile:
 
         return shared.iread_at(self, offset_etypes, count)
 
-    def set_size(self, nbytes: int) -> None:
-        """MPI_File_set_size (collective): truncate or zero-extend."""
+    def set_size(self, nbytes: int):
+        """MPI_File_set_size (collective coroutine): truncate or extend."""
         self._check_open()
         if nbytes < 0:
             raise MpiIoError("negative file size")
         self.pfs_file.truncate(nbytes)
-        collectives.barrier(self.comm)
+        yield from collectives.barrier(self.comm)
 
-    def preallocate(self, nbytes: int) -> None:
-        """MPI_File_preallocate (collective): ensure at least *nbytes*."""
+    def preallocate(self, nbytes: int):
+        """MPI_File_preallocate (collective coroutine): at least *nbytes*."""
         self._check_open()
         if nbytes < 0:
             raise MpiIoError("negative preallocation")
         if nbytes > self.pfs_file.size:
             self.pfs_file.truncate(nbytes)
-        collectives.barrier(self.comm)
+        yield from collectives.barrier(self.comm)
 
-    def sync(self) -> None:
+    def sync(self):
         """MPI_File_sync: flush (a no-op here: writes commit at their
-        simulated completion time) plus the collective synchronization."""
+        simulated completion time) plus the collective synchronization
+        (coroutine)."""
         self._check_open()
-        collectives.barrier(self.comm)
+        yield from collectives.barrier(self.comm)
 
     # ------------------------------------------------------------------
     def _prepare(self, data: object, count: Optional[int], datatype: Datatype) -> bytes:

@@ -24,8 +24,8 @@ def _copy_cost(mf: "MpiFile", nbytes: int) -> None:
         mf.env.compute(nbytes / mf.env.world.fabric.spec.memcpy_bandwidth)
 
 
-def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
-    """Write *data* at view stream position *stream_pos*."""
+def write_view(mf: "MpiFile", stream_pos: int, data: bytes):
+    """Write *data* at view stream position *stream_pos* (coroutine)."""
     if not data:
         return
     pieces = mf.view.map_pieces(stream_pos, len(data))
@@ -33,7 +33,7 @@ def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     world = mf.env.world
     if len(pieces) == 1:
         ext, _ = pieces[0]
-        pfs_retry(
+        yield from pfs_retry(
             world,
             "mpiio.write",
             lambda t: mf.client.write(
@@ -53,7 +53,7 @@ def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
             (ext.start, data[mem_off : mem_off + ext.length])
             for ext, mem_off in pieces
         ]
-        pfs_retry(
+        yield from pfs_retry(
             world,
             "mpiio.sieve_write",
             lambda t: mf.client.write_sieved(
@@ -64,7 +64,7 @@ def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
             world.trace.count("mpiio.sieve_write", useful)
         return
     for ext, mem_off in pieces:
-        pfs_retry(
+        yield from pfs_retry(
             world,
             "mpiio.write",
             lambda t, _ext=ext, _off=mem_off: mf.client.write(
@@ -77,8 +77,9 @@ def write_view(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         )
 
 
-def read_view(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
-    """Read *nbytes* of the view stream starting at *stream_pos*."""
+def read_view(mf: "MpiFile", stream_pos: int, nbytes: int):
+    """Read *nbytes* of the view stream starting at *stream_pos*
+    (coroutine)."""
     if nbytes == 0:
         return b""
     pieces = mf.view.map_pieces(stream_pos, nbytes)
@@ -86,19 +87,19 @@ def read_view(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
     world = mf.env.world
     if len(pieces) == 1:
         ext, _ = pieces[0]
-        return pfs_retry(
+        return (yield from pfs_retry(
             world,
             "mpiio.read",
             lambda t: mf.client.read(
                 mf.pfs_file, ext.start, ext.length, owner=rank, lock_timeout=t
             ),
-        )
+        ))
     bounding = Extent(pieces[0][0].start, pieces[-1][0].stop)
     useful = sum(e.length for e, _ in pieces)
     out = bytearray(nbytes)
     hints = mf.hints
     if hints.ds_read and useful >= hints.ds_hole_threshold * bounding.length:
-        blob = pfs_retry(
+        blob = yield from pfs_retry(
             world,
             "mpiio.sieve_read",
             lambda t: mf.client.read(
@@ -114,7 +115,7 @@ def read_view(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
             world.trace.count("mpiio.sieve_read", useful)
     else:
         for ext, mem_off in pieces:
-            chunk = pfs_retry(
+            chunk = yield from pfs_retry(
                 world,
                 "mpiio.read",
                 lambda t, _ext=ext: mf.client.read(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
+from repro.sim.api import run_coroutine
 from repro.simmpi.comm import Request
 from repro.util.errors import MpiIoError
 
@@ -38,28 +39,30 @@ def _shared_pointer(mf: "MpiFile") -> _SharedPointer:
     return ptr
 
 
-def write_shared(mf: "MpiFile", data: bytes) -> int:
+def write_shared(mf: "MpiFile", data: bytes):
     """Write at the shared pointer; atomically claims the region.
 
-    All ranks must use identical views (MPI's requirement for shared
-    pointers); offsets are claimed in arrival order at the (zero-cost)
-    pointer, then the write proceeds independently.
+    Coroutine. All ranks must use identical views (MPI's requirement for
+    shared pointers); offsets are claimed in arrival order at the
+    (zero-cost) pointer, then the write proceeds independently.
     """
     if len(data) % mf.view.etype.size != 0:
         raise MpiIoError("shared write must be a whole number of etypes")
     ptr = _shared_pointer(mf)
     offset = ptr.position
     ptr.position += len(data) // mf.view.etype.size
-    mf.write_at(offset, data)
+    yield from mf.write_at(offset, data)
     return offset
 
 
-def read_shared(mf: "MpiFile", count: int) -> tuple[int, bytes]:
-    """Read ``count`` etypes at the shared pointer; returns (offset, data)."""
+def read_shared(mf: "MpiFile", count: int):
+    """Read ``count`` etypes at the shared pointer (coroutine); returns
+    (offset, data)."""
     ptr = _shared_pointer(mf)
     offset = ptr.position
     ptr.position += count
-    return offset, mf.read_at(offset, count, mf.view.etype)
+    data = yield from mf.read_at(offset, count, mf.view.etype)
+    return offset, data
 
 
 # ----------------------------------------------------------------------
@@ -82,15 +85,15 @@ class IoRequest(Request):
         self._thunk = thunk
         self.result = None
 
-    def progress(self) -> None:
-        """Run the deferred operation now if it has not run yet."""
+    def progress(self):
+        """Run the deferred operation now if it has not run yet (coroutine)."""
         if not self.done:
-            self.result = self._thunk()
+            self.result = yield from run_coroutine(self._thunk())
             self._complete()
 
     def wait(self) -> Optional[bytes]:  # type: ignore[override]
-        """Run the operation if needed and return its result."""
-        self.progress()
+        """Run the operation if needed and return its result (coroutine)."""
+        yield from self.progress()
         return self.result
 
 

@@ -131,11 +131,11 @@ class NodeExchange:
     alltoall alone costs P(P-1) messages regardless of payload.
     """
 
-    def __init__(self, mf: "MpiFile"):
+    def __init__(self, mf: "MpiFile", node_comm):
         comm = mf.comm
         self.comm = comm
         self.topo = NodeTopology.from_comm(comm)
-        self.node_comm = split_by_node(comm, self.topo)
+        self.node_comm = node_comm
         self.node = self.topo.node_of_rank(comm.rank)
         self.leader = self.topo.leader_of(self.node)  # comm rank
         self.is_leader = comm.rank == self.leader
@@ -148,6 +148,13 @@ class NodeExchange:
             StagingBuffer(self.node, comm.world_rank(self.leader)),
         )
         self._seq = 0
+
+    @classmethod
+    def create(cls, mf: "MpiFile"):
+        """Collective construction (coroutine): the node split barriers."""
+        topo = NodeTopology.from_comm(mf.comm)
+        node_comm = yield from split_by_node(mf.comm, topo)
+        return cls(mf, node_comm)
 
     @property
     def active(self) -> bool:
@@ -184,26 +191,27 @@ class NodeExchange:
         return out
 
 
-def _get_node_exchange(mf: "MpiFile") -> Optional[NodeExchange]:
+def _get_node_exchange(mf: "MpiFile"):
     """The handle's NodeExchange, or None when the flat path applies.
 
-    Built lazily at the first collective call (its ``split_by_node`` is
-    collective, and every rank reaches this point in lockstep).
+    Coroutine, built lazily at the first collective call (its
+    ``split_by_node`` is collective, and every rank reaches this point in
+    lockstep).
     """
     if mf.hints.cb_aggregation != "node":
         return None
     if mf._nodex is None:
-        mf._nodex = NodeExchange(mf)
+        mf._nodex = yield from NodeExchange.create(mf)
     return mf._nodex if mf._nodex.active else None
 
 
 def _setup(mf: "MpiFile", stream_pos: int, nbytes: int):
-    """Common prologue: local pieces, global region, file domains."""
+    """Common prologue (coroutine): pieces, global region, file domains."""
     comm = mf.comm
     pieces = mf.view.map_pieces(stream_pos, nbytes) if nbytes else []
     lo = pieces[0][0].start if pieces else None
     hi = pieces[-1][0].stop if pieces else None
-    ranges = collectives.allgather(comm, (lo, hi))
+    ranges = yield from collectives.allgather(comm, (lo, hi))
     los = [lo_ for lo_, _ in ranges if lo_ is not None]
     his = [h for _, h in ranges if h is not None]
     if not los:
@@ -221,21 +229,22 @@ def _copy_cost(mf: "MpiFile", nbytes: int) -> None:
         mf.env.compute(nbytes / mf.env.world.fabric.spec.memcpy_bandwidth)
 
 
-def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
-    """Collective write of *data* at view stream position *stream_pos*."""
+def write_all(mf: "MpiFile", stream_pos: int, data: bytes):
+    """Collective write of *data* at view stream position *stream_pos*
+    (coroutine)."""
     if mf.hints.cb_rounds_buffer is not None:
-        return write_all_rounds(mf, stream_pos, data)
-    nx = _get_node_exchange(mf)
+        return (yield from write_all_rounds(mf, stream_pos, data))
+    nx = yield from _get_node_exchange(mf)
     if nx is not None:
-        return _write_all_node(mf, stream_pos, data, nx)
+        return (yield from _write_all_node(mf, stream_pos, data, nx))
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
     tracer = world.trace.tracer if world.trace is not None else NULL_TRACER
     t0 = world.engine.now
-    pieces, domains = _setup(mf, stream_pos, len(data))
+    pieces, domains = yield from _setup(mf, stream_pos, len(data))
     if domains is None:
-        collectives.barrier(comm)
+        yield from collectives.barrier(comm)
         return
 
     # ---- split local pieces by file domain --------------------------
@@ -250,7 +259,7 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     out_counts = [0] * size
     for agg, lst in send_lists.items():
         out_counts[agg] = sum(len(b) for _, b in lst)
-    in_counts = collectives.alltoall(comm, out_counts)
+    in_counts = yield from collectives.alltoall(comm, out_counts)
 
     tag = collectives._next_tag(comm)
     my_domain: Optional[Extent] = None
@@ -262,20 +271,20 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         # the allocation that OOMs at the paper's 48 GB point.
         alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
         tempbuf = bytearray(my_domain.length)
-    recv_reqs = [
-        (src, comm.irecv(src, tag, context=CTX_COLL))
-        for src in range(size)
-        if in_counts[src] > 0 and src != rank
-    ]
+    recv_reqs = []
+    for src in range(size):
+        if in_counts[src] > 0 and src != rank:
+            req = yield from comm.irecv(src, tag, context=CTX_COLL)
+            recv_reqs.append((src, req))
     for agg, lst in send_lists.items():
         if agg != rank:
-            comm.isend(pack_object(lst), agg, tag, context=CTX_COLL)
+            yield from comm.isend(pack_object(lst), agg, tag, context=CTX_COLL)
 
     covered = 0
     if my_domain is not None and tempbuf is not None:
         local = send_lists.get(rank, [])
         with tracer.span("ocio.exchange", peers=len(recv_reqs)):
-            wait_all([req for _, req in recv_reqs])
+            yield from wait_all([req for _, req in recv_reqs])
         incoming = [local] + [
             unpack_object(req.payload) for _, req in recv_reqs
         ]
@@ -291,7 +300,7 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
             with tracer.span("ocio.io", bytes=my_domain.length):
                 if covered < my_domain.length:
                     # Holes in the domain: read-modify-write preserves them.
-                    existing = pfs_retry(
+                    existing = yield from pfs_retry(
                         world,
                         "ocio.io.read",
                         lambda t: mf.client.read(
@@ -306,7 +315,7 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
                             merged[lo : lo + len(block)] = block
                     tempbuf = merged
                 payload = bytes(tempbuf)
-                pfs_retry(
+                yield from pfs_retry(
                     world,
                     "ocio.io.write",
                     lambda t: mf.client.write(
@@ -317,26 +326,27 @@ def write_all(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         world.memory.free(alloc)
     else:
         with tracer.span("ocio.exchange", peers=len(recv_reqs)):
-            wait_all([req for _, req in recv_reqs])
+            yield from wait_all([req for _, req in recv_reqs])
 
     if world.trace is not None:
         world.trace.count("ocio.write_all", len(data))
         world.trace.complete("ocio.write_all", t0, world.engine.now, bytes=len(data))
-    collectives.barrier(comm)
+    yield from collectives.barrier(comm)
 
 
 def _write_all_node(
     mf: "MpiFile", stream_pos: int, data: bytes, nx: NodeExchange
-) -> None:
-    """Collective write with node-aggregated exchange (see NodeExchange)."""
+):
+    """Collective write with node-aggregated exchange (coroutine; see
+    NodeExchange)."""
     comm = mf.comm
     rank = comm.rank
     world = mf.env.world
     tracer = world.trace.tracer if world.trace is not None else NULL_TRACER
     t0 = world.engine.now
-    pieces, domains = _setup(mf, stream_pos, len(data))
+    pieces, domains = yield from _setup(mf, stream_pos, len(data))
     if domains is None:
-        collectives.barrier(comm)
+        yield from collectives.barrier(comm)
         return
     aggs = spread_aggregators(nx.topo, domains.naggs)
     my_agg = {a: i for i, a in enumerate(aggs)}.get(rank)
@@ -359,10 +369,10 @@ def _write_all_node(
         if not lst or nx.routes_direct(rank, agg):
             continue
         nbytes = sum(len(b) for _, b in lst)
-        charge_staging_copy(world, mf.env.rank, nbytes)
+        yield from charge_staging_copy(world, mf.env.rank, nbytes)
         alloc = world.memory.allocate(mf.env.rank, nbytes, "topo.staging")
         nx.stage.deposit(("w", seq, di), lst, nbytes, allocation=alloc)
-    collectives.barrier(nx.node_comm)  # deposits visible to the leader
+    yield from collectives.barrier(nx.node_comm)  # deposits visible to leader
 
     # ---- fixed-edge exchange ----------------------------------------
     my_domain: Optional[Extent] = None
@@ -373,13 +383,12 @@ def _write_all_node(
         my_domain = domains.domain(my_agg)
         alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
         tempbuf = bytearray(my_domain.length)
-        recv_reqs = [
-            (src, comm.irecv(src, tag, context=CTX_COLL))
-            for src in nx.senders_for(rank)
-        ]
+        for src in nx.senders_for(rank):
+            req = yield from comm.irecv(src, tag, context=CTX_COLL)
+            recv_reqs.append((src, req))
     for di, agg in enumerate(aggs):  # direct edges: always send, even empty
         if agg != rank and nx.routes_direct(rank, agg):
-            comm.isend(
+            yield from comm.isend(
                 pack_object(send_lists.get(di, [])), agg, tag, context=CTX_COLL
             )
     if nx.is_leader and not nx.leader_down(nx.node):
@@ -391,9 +400,9 @@ def _write_all_node(
             staged = nx.stage.drain(("w", seq, di))
             nbytes = sum(len(b) for _, b in staged)
             if nbytes:
-                charge_staging_copy(world, mf.env.rank, nbytes)  # pickup
+                yield from charge_staging_copy(world, mf.env.rank, nbytes)
             merged = coalesce_blocks(staged)
-            comm.isend(pack_object(merged), agg, tag, context=CTX_COLL)
+            yield from comm.isend(pack_object(merged), agg, tag, context=CTX_COLL)
             for stale in nx.stage.drain_allocs(("w", seq, di)):
                 world.memory.free(stale)
             if world.trace is not None:
@@ -404,7 +413,7 @@ def _write_all_node(
     if my_domain is not None and tempbuf is not None:
         local = send_lists.get(my_agg, [])
         with tracer.span("topo.exchange", peers=len(recv_reqs)):
-            wait_all([req for _, req in recv_reqs])
+            yield from wait_all([req for _, req in recv_reqs])
         incoming = [local] + [unpack_object(req.payload) for _, req in recv_reqs]
         covered = 0
         for lst in incoming:
@@ -416,7 +425,7 @@ def _write_all_node(
         if my_domain.length > 0:
             with tracer.span("ocio.io", bytes=my_domain.length):
                 if covered < my_domain.length:
-                    existing = pfs_retry(
+                    existing = yield from pfs_retry(
                         world,
                         "ocio.io.read",
                         lambda t: mf.client.read(
@@ -431,7 +440,7 @@ def _write_all_node(
                             merged_buf[lo : lo + len(block)] = block
                     tempbuf = merged_buf
                 payload = bytes(tempbuf)
-                pfs_retry(
+                yield from pfs_retry(
                     world,
                     "ocio.io.write",
                     lambda t: mf.client.write(
@@ -444,19 +453,19 @@ def _write_all_node(
     if world.trace is not None:
         world.trace.count("ocio.write_all", len(data))
         world.trace.complete("ocio.write_all", t0, world.engine.now, bytes=len(data))
-    collectives.barrier(comm)
+    yield from collectives.barrier(comm)
 
 
-def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
-    """Collective read; returns the requested view-stream bytes."""
-    nx = _get_node_exchange(mf)
+def read_all(mf: "MpiFile", stream_pos: int, nbytes: int):
+    """Collective read (coroutine); returns the view-stream bytes."""
+    nx = yield from _get_node_exchange(mf)
     if nx is not None:
-        return _read_all_node(mf, stream_pos, nbytes, nx)
+        return (yield from _read_all_node(mf, stream_pos, nbytes, nx))
     comm = mf.comm
     rank, size = comm.rank, comm.size
     world = mf.env.world
     t0 = world.engine.now
-    pieces, domains = _setup(mf, stream_pos, nbytes)
+    pieces, domains = yield from _setup(mf, stream_pos, nbytes)
     if domains is None:
         return b""
 
@@ -466,22 +475,22 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
         for agg, piece in domains.split(ext):
             request_lists.setdefault(agg, []).append((piece.start, piece.length))
     out_reqs = [request_lists.get(agg, []) for agg in range(size)]
-    in_reqs = collectives.alltoall(comm, out_reqs)
+    in_reqs = yield from collectives.alltoall(comm, out_reqs)
 
     # ---- aggregators read their domains and serve --------------------
     tag = collectives._next_tag(comm)
-    reply_reqs = [
-        (agg, comm.irecv(agg, tag, context=CTX_COLL))
-        for agg in sorted(request_lists)
-        if agg != rank
-    ]
+    reply_reqs = []
+    for agg in sorted(request_lists):
+        if agg != rank:
+            req = yield from comm.irecv(agg, tag, context=CTX_COLL)
+            reply_reqs.append((agg, req))
     served_local: list[tuple[int, bytes]] = []
     if rank < domains.naggs:
         my_domain = domains.domain(rank)
         needed = any(in_reqs[src] for src in range(size))
         if needed and my_domain.length > 0:
             alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
-            blob = pfs_retry(
+            blob = yield from pfs_retry(
                 world,
                 "ocio.read.domain",
                 lambda t: mf.client.read(
@@ -500,14 +509,16 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
                 if src == rank:
                     served_local = blocks
                 else:
-                    comm.isend(pack_object(blocks), src, tag, context=CTX_COLL)
+                    yield from comm.isend(
+                        pack_object(blocks), src, tag, context=CTX_COLL
+                    )
             world.memory.free(alloc)
 
     # ---- assemble the local result ------------------------------------
     received: dict[int, list[tuple[int, bytes]]] = {}
     if served_local:
         received[rank] = served_local
-    wait_all([req for _, req in reply_reqs])
+    yield from wait_all([req for _, req in reply_reqs])
     for agg, req in reply_reqs:
         received[agg] = unpack_object(req.payload)
     out = bytearray(nbytes)
@@ -529,8 +540,9 @@ def read_all(mf: "MpiFile", stream_pos: int, nbytes: int) -> bytes:
 
 def _read_all_node(
     mf: "MpiFile", stream_pos: int, nbytes: int, nx: NodeExchange
-) -> bytes:
-    """Collective read with node-aggregated requests (see NodeExchange).
+):
+    """Collective read with node-aggregated requests (coroutine; see
+    NodeExchange).
 
     Requests ride the same fixed edge set as the write exchange — same-node
     ranks ask their aggregator directly, every other node's leader merges
@@ -543,7 +555,7 @@ def _read_all_node(
     rank, size = comm.rank, comm.size
     world = mf.env.world
     t0 = world.engine.now
-    pieces, domains = _setup(mf, stream_pos, nbytes)
+    pieces, domains = yield from _setup(mf, stream_pos, nbytes)
     if domains is None:
         return b""
     aggs = spread_aggregators(nx.topo, domains.naggs)
@@ -562,18 +574,17 @@ def _read_all_node(
         lst = request_lists.get(di)
         if lst and not nx.routes_direct(rank, agg):
             nx.stage.deposit(("r", seq, di), [(rank, lst)], 0)
-    collectives.barrier(nx.node_comm)
+    yield from collectives.barrier(nx.node_comm)
 
     req_reqs = []
     if my_agg is not None:
-        req_reqs = [
-            (src, comm.irecv(src, tag, context=CTX_COLL))
-            for src in nx.senders_for(rank)
-        ]
+        for src in nx.senders_for(rank):
+            req = yield from comm.irecv(src, tag, context=CTX_COLL)
+            req_reqs.append((src, req))
     for di, agg in enumerate(aggs):  # direct request edges: always send
         if agg != rank and nx.routes_direct(rank, agg):
             lst = request_lists.get(di)
-            comm.isend(
+            yield from comm.isend(
                 pack_object([(rank, lst)] if lst else []),
                 agg, tag, context=CTX_COLL,
             )
@@ -582,22 +593,22 @@ def _read_all_node(
             if nx.topo.node_of_rank(agg) == nx.node:
                 continue
             merged = nx.stage.drain(("r", seq, di))
-            comm.isend(pack_object(merged), agg, tag, context=CTX_COLL)
+            yield from comm.isend(pack_object(merged), agg, tag, context=CTX_COLL)
             if world.trace is not None:
                 world.trace.count("topo.drain.messages")
 
     # Reply irecvs: one per aggregator this rank asked (nonempty only).
-    reply_reqs = [
-        (aggs[di], comm.irecv(aggs[di], tag2, context=CTX_COLL))
-        for di in sorted(request_lists)
-        if aggs[di] != rank
-    ]
+    reply_reqs = []
+    for di in sorted(request_lists):
+        if aggs[di] != rank:
+            req = yield from comm.irecv(aggs[di], tag2, context=CTX_COLL)
+            reply_reqs.append((aggs[di], req))
 
     # ---- aggregators read their domains and serve --------------------
     served_local: list[tuple[int, bytes]] = []
     if my_agg is not None:
         my_domain = domains.domain(my_agg)
-        wait_all([req for _, req in req_reqs])
+        yield from wait_all([req for _, req in req_reqs])
         in_pairs: list[tuple[int, list[tuple[int, int]]]] = []
         local = request_lists.get(my_agg)
         if local:
@@ -606,7 +617,7 @@ def _read_all_node(
             in_pairs.extend(unpack_object(req.payload))
         if in_pairs and my_domain.length > 0:
             alloc = world.memory.allocate(rank, my_domain.length, "ocio.tempbuf")
-            blob = pfs_retry(
+            blob = yield from pfs_retry(
                 world,
                 "ocio.read.domain",
                 lambda t: mf.client.read(
@@ -623,14 +634,16 @@ def _read_all_node(
                 if src == rank:
                     served_local = blocks
                 else:
-                    comm.isend(pack_object(blocks), src, tag2, context=CTX_COLL)
+                    yield from comm.isend(
+                        pack_object(blocks), src, tag2, context=CTX_COLL
+                    )
             world.memory.free(alloc)
 
     # ---- assemble the local result ------------------------------------
     received: dict[int, list[tuple[int, bytes]]] = {}
     if served_local:
         received[rank] = served_local
-    wait_all([req for _, req in reply_reqs])
+    yield from wait_all([req for _, req in reply_reqs])
     for agg, req in reply_reqs:
         received[agg] = unpack_object(req.payload)
     out = bytearray(nbytes)
@@ -650,8 +663,8 @@ def _read_all_node(
     return bytes(out)
 
 
-def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
-    """Two-phase write in ROMIO's rounds (``cb_buffer_size``).
+def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes):
+    """Two-phase write in ROMIO's rounds (coroutine; ``cb_buffer_size``).
 
     The aggregator's temporary buffer is capped at
     ``hints.cb_rounds_buffer`` bytes: the exchange + I/O phases repeat over
@@ -666,9 +679,9 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
     t0 = world.engine.now
     cap = mf.hints.cb_rounds_buffer
     assert cap is not None
-    pieces, domains = _setup(mf, stream_pos, len(data))
+    pieces, domains = yield from _setup(mf, stream_pos, len(data))
     if domains is None:
-        collectives.barrier(comm)
+        yield from collectives.barrier(comm)
         return
 
     longest = max(domains.domain(a).length for a in range(domains.naggs))
@@ -706,18 +719,18 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         out_counts = [0] * size
         for agg, lst in send_lists.items():
             out_counts[agg] = sum(len(b) for _, b in lst)
-        in_counts = collectives.alltoall(comm, out_counts)
+        in_counts = yield from collectives.alltoall(comm, out_counts)
 
         tag = collectives._next_tag(comm)
-        recv_reqs = [
-            (src, comm.irecv(src, tag, context=CTX_COLL))
-            for src in range(size)
-            if in_counts[src] > 0 and src != rank
-        ]
+        recv_reqs = []
+        for src in range(size):
+            if in_counts[src] > 0 and src != rank:
+                req = yield from comm.irecv(src, tag, context=CTX_COLL)
+                recv_reqs.append((src, req))
         for agg, lst in send_lists.items():
             if agg != rank:
-                comm.isend(pack_object(lst), agg, tag, context=CTX_COLL)
-        wait_all([req for _, req in recv_reqs])
+                yield from comm.isend(pack_object(lst), agg, tag, context=CTX_COLL)
+        yield from wait_all([req for _, req in recv_reqs])
 
         if my_domain is not None:
             sl = round_slice(rank)
@@ -734,7 +747,7 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
                         covered += len(block)
                 _copy_cost(mf, covered)
                 if covered < sl.length:
-                    existing = pfs_retry(
+                    existing = yield from pfs_retry(
                         world,
                         "ocio.rounds.read",
                         lambda t, _sl=sl: mf.client.read(
@@ -749,7 +762,7 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
                             merged[lo : lo + len(block)] = block
                     chunk = merged
                 payload = bytes(chunk)
-                pfs_retry(
+                yield from pfs_retry(
                     world,
                     "ocio.rounds.write",
                     lambda t, _sl=sl, _p=payload: mf.client.write(
@@ -763,4 +776,4 @@ def write_all_rounds(mf: "MpiFile", stream_pos: int, data: bytes) -> None:
         world.trace.complete(
             "ocio.write_all_rounds", t0, world.engine.now, bytes=len(data)
         )
-    collectives.barrier(comm)
+    yield from collectives.barrier(comm)

@@ -1,13 +1,11 @@
 """``python -m repro perf profile <target>``: whole-simulator cProfile.
 
-Rank programs execute on worker threads behind the engine's baton, so a
-plain ``cProfile`` of the main thread attributes all rank work to
-``lock.acquire`` (the engine waiting for the baton) and hides the real
-hot paths. This hook profiles *every* thread: one ``cProfile.Profile``
-wraps the engine loop, and one more wraps each rank thread via
-:func:`repro.sim.process.set_thread_hook`; the per-thread stats merge
-into a single report. The baton guarantees only one thread runs at a
-time, so merged tottime is directly comparable to wall-clock.
+Rank programs are generator coroutines resumed inline by the engine
+loop, so the whole simulation — scheduler and every rank program — runs
+on the calling thread. One ``cProfile.Profile`` around the run therefore
+sees everything; there is no per-thread collection step any more (the
+thread-kernel era needed :func:`set_thread_hook` to catch rank threads,
+which is now a deprecated no-op).
 
 This is the tool the hot-path optimization pass is guided by — see
 docs/performance.md for a worked example.
@@ -18,7 +16,6 @@ from __future__ import annotations
 import cProfile
 import pstats
 import time
-from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from repro.perf.points import Point, points_for, run_point
@@ -26,51 +23,25 @@ from repro.perf.points import Point, points_for, run_point
 TARGETS = ("bench", "fig5", "fig67", "fig910", "topo")
 
 
-class _RankProfiles:
-    """Collects one cProfile per simulated-process thread."""
-
-    def __init__(self) -> None:
-        self.profiles: list[cProfile.Profile] = []
-
-    @contextmanager
-    def hook(self, _proc):
-        profile = cProfile.Profile()
-        profile.enable()
-        try:
-            yield
-        finally:
-            profile.disable()
-            # The baton serializes rank threads, so no lock is needed.
-            self.profiles.append(profile)
-
-
 def profile_points(
     points: Sequence[Point],
 ) -> tuple[pstats.Stats, float]:
-    """Run *points* serially under an all-threads profiler.
+    """Run *points* serially under one profiler.
 
-    Returns the merged :class:`pstats.Stats` plus total host seconds.
+    Returns the :class:`pstats.Stats` plus total host seconds. The
+    generator kernel runs rank programs inline on this thread, so a
+    single profile covers the scheduler and every rank program.
     """
-    from repro.sim import process as process_mod
-
-    collector = _RankProfiles()
-    main_profile = cProfile.Profile()
-    process_mod.set_thread_hook(collector.hook)
+    profile = cProfile.Profile()
     t0 = time.perf_counter()
+    profile.enable()
     try:
-        main_profile.enable()
-        try:
-            for point in points:
-                run_point(point)
-        finally:
-            main_profile.disable()
+        for point in points:
+            run_point(point)
     finally:
-        process_mod.set_thread_hook(None)
+        profile.disable()
     wall = time.perf_counter() - t0
-    stats = pstats.Stats(main_profile)
-    for profile in collector.profiles:
-        stats.add(profile)
-    return stats, wall
+    return pstats.Stats(profile), wall
 
 
 def target_points(
@@ -116,7 +87,7 @@ def run_profile(
     print(f"profiling {len(points)} point(s): "
           + ", ".join(p.label() for p in points))
     stats, wall = profile_points(points)
-    print(f"host wall-clock: {wall:.2f} s (all threads merged)\n")
+    print(f"host wall-clock: {wall:.2f} s\n")
     stats.sort_stats(sort).print_stats(limit)
     if out is not None:
         stats.dump_stats(out)

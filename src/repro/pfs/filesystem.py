@@ -17,7 +17,7 @@ from repro.pfs.layout import StripeLayout
 from repro.pfs.lockmgr import LockMode
 from repro.pfs.ost import Ost
 from repro.pfs.spec import LustreSpec
-from repro.sim.engine import Engine, current_process
+from repro.sim.engine import Engine, active_process
 from repro.sim.trace import TraceRecorder
 from repro.util.errors import PfsError
 from repro.util.intervals import Extent
@@ -145,13 +145,13 @@ class PfsClient:
         *,
         owner: int = 0,
         lock_timeout: Optional[float] = None,
-    ) -> None:
-        """Synchronous write of one contiguous extent.
+    ):
+        """Synchronous write of one contiguous extent (coroutine).
 
         ``lock_timeout`` bounds the extent-lock wait (LockTimeout past it);
         None waits unboundedly, as before.
         """
-        self._transfer(
+        yield from self._transfer(
             file, offset, data=data, nbytes=len(data), write=True, owner=owner,
             lock_timeout=lock_timeout,
         )
@@ -164,12 +164,15 @@ class PfsClient:
         *,
         owner: int = 0,
         lock_timeout: Optional[float] = None,
-    ) -> bytes:
-        """Synchronous read of one contiguous extent (holes read as zeros)."""
-        return self._transfer(
+    ):
+        """Synchronous read of one contiguous extent (holes read as zeros).
+
+        Coroutine returning the bytes.
+        """
+        return (yield from self._transfer(
             file, offset, data=None, nbytes=nbytes, write=False, owner=owner,
             lock_timeout=lock_timeout,
-        )
+        ))
 
     def write_sieved(
         self,
@@ -178,7 +181,7 @@ class PfsClient:
         *,
         owner: int = 0,
         lock_timeout: Optional[float] = None,
-    ) -> None:
+    ):
         """Data-sieving write: read-modify-write of the bounding extent
         under ONE exclusive lock.
 
@@ -189,14 +192,14 @@ class PfsClient:
         f = self._resolve(file)
         if not pieces:
             return
-        proc = current_process()
-        proc.settle()
+        proc = active_process()
+        yield from proc.settle()
         engine = self.pfs.engine
         start_off = min(off for off, _ in pieces)
         stop_off = max(off + len(b) for off, b in pieces)
         extent = Extent(start_off, stop_off)
         hits_before = f.locks.cache_hits
-        grant = f.locks.acquire(
+        grant = yield from f.locks.acquire(
             owner, LockMode.EXCLUSIVE, extent, timeout=lock_timeout
         )
         if f.locks.cache_hits == hits_before:
@@ -259,10 +262,10 @@ class PfsClient:
         write: bool,
         owner: int,
         lock_timeout: Optional[float] = None,
-    ) -> bytes:
+    ):
         f = self._resolve(file)
-        proc = current_process()
-        proc.settle()
+        proc = active_process()
+        yield from proc.settle()
         engine = self.pfs.engine
         trace = self.pfs.trace
         if nbytes == 0:
@@ -274,7 +277,7 @@ class PfsClient:
         #    trip, and contended acquires park the caller inside acquire().
         mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
         hits_before = f.locks.cache_hits
-        grant = f.locks.acquire(owner, mode, extent, timeout=lock_timeout)
+        grant = yield from f.locks.acquire(owner, mode, extent, timeout=lock_timeout)
         if f.locks.cache_hits == hits_before:
             proc.charge(self.pfs.spec.lock_latency)
         released = False

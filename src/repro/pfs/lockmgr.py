@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.obs.spans import NULL_TRACER
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.sim.process import SimProcess
 from repro.util.errors import LockTimeout, PfsError
 from repro.util.intervals import Extent
@@ -160,8 +160,8 @@ class LockManager:
         extent: Extent,
         *,
         timeout: Optional[float] = None,
-    ) -> LockGrant:
-        """Block until the (rounded) extent lock is granted.
+    ):
+        """Park until the (rounded) extent lock is granted (coroutine).
 
         A cached grant of the same owner covering the extent is reused for
         free (Lustre client lock caching); idle conflicting grants of other
@@ -184,7 +184,7 @@ class LockManager:
             return cached
         self.acquires += 1
         self._count("pfs.lock.acquire")
-        proc = current_process()
+        proc = active_process()
         if not self._blocked_by_queue(rounded, owner):
             revoked = self._revoke_idle_conflicts(mode, rounded, owner)
             if revoked:
@@ -230,7 +230,7 @@ class LockManager:
 
             timer = proc.engine.schedule(timeout, expire)
         with self._tracer.span("pfs.lock_wait", mode=mode.value, owner=owner):
-            proc.block(f"pfs.lock({mode.value}, {rounded})")
+            yield from proc.block(f"pfs.lock({mode.value}, {rounded})")
         if waiting.grant is None:
             raise LockTimeout(owner, rounded, timeout)
         if timer is not None:

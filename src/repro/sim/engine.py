@@ -2,29 +2,39 @@
 
 Design
 ------
-Rank programs are ordinary Python callables that block on simulated
-operations. Each runs in its own OS thread, but a baton protocol guarantees
-that *exactly one* thread (either the engine or a single process) executes at
-any moment, so no user-visible locking is ever needed and execution order is
-fully determined by the event heap.
+Rank programs are Python *generator coroutines*: any operation that blocks
+in simulated time is a generator, and callers chain with ``yield from``
+down to :meth:`SimProcess.block`, which yields a wait-reason string to the
+kernel. The engine resumes a parked coroutine directly with ``gen.send``
+(or injects a crash with ``gen.throw``) — there are no OS threads, no
+locks, and no baton handoff. Exactly one coroutine executes at any moment
+by construction, so execution order is fully determined by the event heap.
 
-The heap holds ``(time, seq, action)`` entries; ``seq`` is a monotonically
+The heap holds ``(time, seq)`` entries; ``seq`` is a monotonically
 increasing counter that breaks time ties deterministically. The engine loop
-pops the next entry, advances the clock, and runs the action. Actions either
-do bookkeeping (e.g. finish a network transfer) or resume a blocked process;
-a resumed process runs until it blocks again or terminates.
+pops the next entry, advances the clock, and runs the action. Actions
+either do bookkeeping (e.g. finish a network transfer) or resume a blocked
+process; a resumed process runs until it blocks again or terminates.
+
+Plain callables that never block are also accepted as process targets:
+they run to completion during process activation.
 
 If the heap drains while processes are still blocked, the run is deadlocked
 and :class:`~repro.util.errors.DeadlockError` reports who waits on what.
+
+Events/sec accounting is per-engine (``Engine.events``) with a process-wide
+monotone aggregate (:func:`events_executed_total`) that stays correct when
+several engines exist concurrently (campaign spawn-pool children, nested
+test runs): retired engines fold their count into a module total, and live
+engines contribute their current count on demand.
 """
 
 from __future__ import annotations
 
 import heapq
-import threading
+import warnings
+import weakref
 from typing import Callable, Iterable, Optional, Sequence, TYPE_CHECKING
-
-import _thread
 
 from repro.util.errors import DeadlockError, SimulationError
 
@@ -32,45 +42,83 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import SimProcess
     from repro.sim.trace import TraceRecorder
 
-_tls = threading.local()
+#: Events executed by engines that already retired (finished or were
+#: garbage collected). Live engines are tracked separately so concurrent
+#: engines cannot interleave into a misleading aggregate.
+_retired_events = 0
 
-#: Process-wide count of executed events across all engines (monotone).
-#: ``repro.perf.hostbench`` reads this to report events/sec per point.
-_events_total = 0
+#: Live engines whose ``events`` counts have not been retired yet.
+_live_engines: "weakref.WeakSet[Engine]" = weakref.WeakSet()
+
+#: The process currently executing (exactly one, or None between steps).
+_active: "Optional[SimProcess]" = None
 
 
 def events_executed_total() -> int:
-    """Events executed by every engine of this process so far."""
-    return _events_total
+    """Events executed by every engine of this process so far (monotone)."""
+    return _retired_events + sum(e.events for e in _live_engines)
+
+
+def _retire_engine(engine: "Engine") -> None:
+    """Fold a finished engine's event count into the retired total."""
+    global _retired_events
+    if engine in _live_engines:
+        _live_engines.discard(engine)
+        _retired_events += engine.events
+
+
+def active_process() -> "SimProcess":
+    """The simulated process currently executing.
+
+    This is the documented accessor of the ``repro.sim`` API for code that
+    runs *inside* a rank program (library substrate, tests). Raises
+    SimulationError when called from outside a rank context (for instance
+    from test code after the run finished).
+    """
+    if _active is None:
+        raise SimulationError("not inside a simulated process")
+    return _active
+
+
+def active_process_or_none() -> "Optional[SimProcess]":
+    """The executing simulated process, or None outside any rank context."""
+    return _active
+
+
+def active_engine() -> "Engine":
+    """The engine owning the currently executing simulated process."""
+    return active_process().engine
 
 
 def current_engine() -> "Engine":
-    """The engine owning the calling simulated process.
-
-    Raises SimulationError when called from outside a rank context (for
-    instance from test code after the run finished).
-    """
-    engine = getattr(_tls, "engine", None)
-    if engine is None:
-        raise SimulationError("not inside a simulated process")
-    return engine
+    """Deprecated alias of :func:`active_engine` (thread-local era API)."""
+    warnings.warn(
+        "current_engine() is deprecated; use repro.sim.active_engine() "
+        "or the SimContext passed to the rank program",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return active_engine()
 
 
 def current_process() -> "SimProcess":
-    """The simulated process the calling thread belongs to."""
-    proc = getattr(_tls, "process", None)
-    if proc is None:
-        raise SimulationError("not inside a simulated process")
-    return proc
+    """Deprecated alias of :func:`active_process` (thread-local era API)."""
+    warnings.warn(
+        "current_process() is deprecated; use repro.sim.active_process() "
+        "or the SimContext passed to the rank program",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return active_process()
 
 
 class ProcessCrashed(BaseException):
     """A simulated fail-stop process crash.
 
-    Derives from :class:`BaseException` (like the engine's internal kill
-    signal) so rank code with a generic ``except Exception`` cannot
-    accidentally survive its own death. Raised in-thread at a crash point,
-    or injected into a parked process via ``SimProcess.interrupt``.
+    Derives from :class:`BaseException` (like generator teardown) so rank
+    code with a generic ``except Exception`` cannot accidentally survive
+    its own death. Raised in-coroutine at a crash point, or injected into
+    a parked process via ``SimProcess.interrupt``.
     """
 
     def __init__(self, rank: int, where: str = ""):
@@ -78,33 +126,6 @@ class ProcessCrashed(BaseException):
         self.where = where
         detail = f" at {where}" if where else ""
         super().__init__(f"rank {rank} crashed{detail} (fail-stop)")
-
-
-class Gate:
-    """A one-shot handoff primitive built on a raw lock.
-
-    threading.Semaphore is condition-variable based and costs hundreds of
-    microseconds per handoff; a raw lock handoff is an order of magnitude
-    cheaper, and the engine<->process baton strictly alternates wait/set
-    pairs, which is exactly a binary lock's discipline.
-    """
-
-    __slots__ = ("_lock",)
-
-    def __init__(self) -> None:
-        self._lock = _thread.allocate_lock()
-        self._lock.acquire()
-
-    def wait(self) -> None:
-        """Block the calling OS thread until the gate opens."""
-        self._lock.acquire()
-
-    def set(self) -> None:
-        """Open the gate (release exactly one waiter)."""
-        try:
-            self._lock.release()
-        except RuntimeError:  # pragma: no cover - teardown race
-            pass
 
 
 class Timer:
@@ -128,7 +149,7 @@ class Timer:
 
 
 class Engine:
-    """Virtual clock + event heap + cooperative process scheduler."""
+    """Virtual clock + event heap + coroutine process scheduler."""
 
     def __init__(self, *, trace: "Optional[TraceRecorder]" = None):
         self.now: float = 0.0
@@ -137,11 +158,10 @@ class Engine:
         self._seq = 0
         self.events = 0  # actions executed (host-perf: events/sec)
         self._processes: list[SimProcess] = []
-        self._baton = Gate()  # process -> engine handoff
         self._running = False
         self._finished = False
-        self._failure: BaseException | None = None
         self.trace = trace
+        _live_engines.add(self)
         if trace is not None:
             # Spans record on this engine's virtual clock; rebinding keeps
             # the timeline monotonic across sequential engines (write job,
@@ -174,30 +194,18 @@ class Engine:
             raise SimulationError("cannot add processes to a started engine")
         self._processes.append(process)
 
-    def spawn(self, name: str, target: Callable[[], None]) -> "SimProcess":
-        """Create and register a process that will start at time 0."""
+    def spawn(self, name: str, target: Callable[[], object]) -> "SimProcess":
+        """Create and register a process that will start at time 0.
+
+        *target* may be a generator function (a coroutine rank program
+        that blocks via ``yield from``) or a plain callable that never
+        blocks.
+        """
         from repro.sim.process import SimProcess
 
         proc = SimProcess(self, name, target)
         self.add_process(proc)
         return proc
-
-    # ------------------------------------------------------------------
-    # the baton protocol (internal; used by SimProcess)
-    # ------------------------------------------------------------------
-    def _enter_process(self, process: "SimProcess") -> None:
-        """Hand the baton to *process* and wait until it yields back."""
-        process._resume_gate.set()
-        self._baton.wait()
-        if self._failure is not None:
-            failure, self._failure = self._failure, None
-            raise failure
-
-    def _yield_to_engine(self) -> None:
-        self._baton.set()
-
-    def _report_failure(self, exc: BaseException) -> None:
-        self._failure = exc
 
     # ------------------------------------------------------------------
     # main loop
@@ -207,12 +215,13 @@ class Engine:
 
         Completion means every process terminated and the heap drained.
         A drained heap with live blocked processes raises DeadlockError.
+        A failure inside a rank coroutine propagates out of the event that
+        resumed it — before any later event runs.
         """
         if self._finished:
             raise SimulationError("engine already ran")
         self._running = True
         started = self.now
-        started_events = self.events
         # The loop below runs once per event across the whole simulation;
         # local bindings and an inlined _pop keep the per-event constant
         # cost down (measurably so at FULL-campaign event counts).
@@ -223,9 +232,6 @@ class Engine:
             for proc in self._processes:
                 proc._start()
             while True:
-                if self._failure is not None:
-                    failure, self._failure = self._failure, None
-                    raise failure
                 action = None
                 while heap:
                     time, seq = heappop(heap)
@@ -247,10 +253,9 @@ class Engine:
         finally:
             self._running = False
             self._finished = until is None
-            global _events_total
-            _events_total += self.events - started_events
             if self._finished:
                 self._reap()
+                _retire_engine(self)
         if self.trace is not None:
             self.trace.complete(
                 "engine.run", started, self.now, "engine",
@@ -279,7 +284,7 @@ class Engine:
             raise DeadlockError(blocked)
 
     def _reap(self) -> None:
-        """Force-terminate leftover process threads (after error/deadlock)."""
+        """Close leftover process coroutines (after error/deadlock)."""
         for proc in self._processes:
             proc._kill()
 
@@ -310,7 +315,7 @@ class Engine:
         return tuple(self._processes)
 
     def run_processes(
-        self, targets: Iterable[Callable[[], None]], *, until: float | None = None
+        self, targets: Iterable[Callable[[], object]], *, until: float | None = None
     ) -> float:
         """Spawn one process per callable and run; returns final clock."""
         for i, target in enumerate(targets):

@@ -1,236 +1,240 @@
-"""Cooperative simulated processes (one per MPI rank).
+"""Simulated processes: stackless generator coroutines on the engine.
 
-A :class:`SimProcess` wraps a user callable in an OS thread that only runs
-while it holds the engine's baton. The callable blocks by calling
-:meth:`SimProcess.block`, and anything holding a reference can resume it by
-scheduling :meth:`SimProcess.wake` on the engine — never directly, so every
-resume is ordered by the event heap and runs at a well-defined virtual time.
+A rank program is a generator function; every simulated-blocking
+operation is itself a generator, and callers chain with ``yield from``
+down to :meth:`SimProcess.block`, which yields a wait-reason string to
+the kernel. The kernel parks the coroutine until an engine action wakes
+it (``gen.send``) or interrupts it (``gen.throw``). Plain callables that
+never block are also accepted: they run to completion at activation.
+
+There are no OS threads anywhere in the kernel; teardown is
+``gen.close()`` (GeneratorExit runs the coroutine's ``finally`` blocks),
+and a fail-stop crash is :class:`ProcessCrashed` thrown at the wait
+point.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Any, Callable, Optional, TYPE_CHECKING
-
-from repro.util.errors import SimulationError
+import warnings
+from types import GeneratorType
+from typing import Any, Callable, Optional
 
 from repro.sim import engine as _engine_mod
+from repro.util.errors import SimulationError
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Engine
-
-# 1 MiB is plenty for our call depths and keeps 1024-rank simulations cheap.
-_STACK_SIZE = 1 << 20
-
-#: Optional context-manager factory wrapped around every rank program.
-#: Rank code runs on worker threads, so an ordinary main-thread profiler
-#: never sees it; ``repro.perf.profile`` installs a per-thread cProfile
-#: through this hook. ``None`` (the default) costs one attribute read.
-_thread_hook: Optional[Callable[["SimProcess"], Any]] = None
-
-
-def set_thread_hook(hook: Optional[Callable[["SimProcess"], Any]]) -> None:
-    """Install (or clear, with ``None``) the rank-thread wrapper hook."""
-    global _thread_hook
-    _thread_hook = hook
-
-
-class _Killed(BaseException):
-    """Raised inside a process thread to unwind it during engine teardown."""
-
-
-#: Re-exported here for convenience; defined next to the engine because the
-#: engine's kill path needs it and ``process`` already imports ``engine``.
+# Re-exported: the crash signal lives beside the engine but is raised
+# through processes, so both import paths are natural.
 ProcessCrashed = _engine_mod.ProcessCrashed
 
 
-class SimProcess:
-    """A simulated process: a rank program plus its scheduling state."""
+def set_thread_hook(hook: Optional[Callable[["SimProcess"], Any]]) -> None:
+    """Deprecated no-op (thread-per-rank era).
 
-    def __init__(self, engine: "Engine", name: str, target: Callable[[], None]):
+    The generator kernel runs every rank coroutine on the caller's
+    thread, so per-rank thread hooks are meaningless: profile the engine
+    loop directly (see ``repro.perf.profile``).
+    """
+    warnings.warn(
+        "set_thread_hook() is deprecated and has no effect: the generator "
+        "kernel runs all ranks on one thread — profile the engine loop "
+        "directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+
+class SimProcess:
+    """One simulated process: a coroutine driven by the engine.
+
+    The public construction path is :meth:`spawn` (or
+    ``Engine.spawn``); direct construction plus ``Engine.add_process``
+    remains supported for tests that build processes before the run.
+    """
+
+    def __init__(self, engine: "_engine_mod.Engine", name: str, target: Callable[[], object]):
         self.engine = engine
         self.name = name
-        self._target = target
-        self._thread: Optional[threading.Thread] = None
-        self._resume_gate = _engine_mod.Gate()
-        self._wake_value: Any = None
+        self.target = target
+        self._gen: Optional[GeneratorType] = None
         self._blocked = False
-        self._killed = False
-        self._interrupt_exc: Optional[BaseException] = None
-        self._pending_wake: Optional["_engine_mod.Timer"] = None
-        self._pending_delay = 0.0  # lazily-charged local compute time
+        self._pending_wake: Optional[_engine_mod.Timer] = None
+        self._pending_delay = 0.0  # lazily accrued charge() time
         self.alive = False
         self.crashed = False
         self.wait_reason: Optional[str] = None
-        self.start_time: float = 0.0
+        self.start_time = 0.0
         self.end_time: Optional[float] = None
+
+    @classmethod
+    def spawn(
+        cls, engine: "_engine_mod.Engine", name: str, target: Callable[[], object]
+    ) -> "SimProcess":
+        """Create *and register* a process on *engine* (starts at time 0)."""
+        proc = cls(engine, name, target)
+        engine.add_process(proc)
+        return proc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = (
+            "crashed" if self.crashed
+            else "blocked" if self._blocked
+            else "alive" if self.alive
+            else "done"
+        )
+        return f"<SimProcess {self.name} {state}>"
 
     # ------------------------------------------------------------------
     # lifecycle (engine side)
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        old_stack = threading.stack_size()
-        try:
-            threading.stack_size(_STACK_SIZE)
-        except (ValueError, RuntimeError):  # pragma: no cover - platform quirk
-            pass
-        try:
-            self._thread = threading.Thread(
-                target=self._run, name=f"sim:{self.name}", daemon=True
-            )
-            self.alive = True
-            self._thread.start()
-        finally:
-            try:
-                threading.stack_size(old_stack)
-            except (ValueError, RuntimeError):  # pragma: no cover
-                pass
-        # First activation happens through the heap at time 0 so process
-        # startup interleaves deterministically with pre-scheduled events.
+        """Arm the process: activation is the first heap event at t=0."""
+        self.alive = True
+        self.start_time = self.engine.now
         self.engine.schedule(0.0, self._activate)
 
-    def _run(self) -> None:
-        self._resume_gate.wait()
-        _engine_mod._tls.engine = self.engine
-        _engine_mod._tls.process = self
-        try:
-            if not self._killed:
-                self.start_time = self.engine.now
-                hook = _thread_hook
-                if hook is None:
-                    self._target()
-                else:
-                    with hook(self):
-                        self._target()
-        except _Killed:
-            pass
-        except ProcessCrashed:
-            # A fail-stop crash is an *injected* outcome, not a bug in the
-            # simulation: mark the corpse and let the job-level layers react.
-            self.crashed = True
-        except BaseException as exc:  # noqa: BLE001 - forwarded to engine
-            self.engine._report_failure(exc)
-        finally:
-            self.alive = False
-            self.end_time = self.engine.now
-            _engine_mod._tls.engine = None
-            _engine_mod._tls.process = None
-            self.engine._yield_to_engine()
-
     def _activate(self) -> None:
-        """Engine-side: transfer the baton into this process."""
         if not self.alive:
             raise SimulationError(f"{self.name}: activated after termination")
-        self.engine._enter_process(self)
+        prev = _engine_mod._active
+        _engine_mod._active = self
+        try:
+            result = self.target()
+        except ProcessCrashed:
+            self._finish(crashed=True)
+            return
+        except BaseException:
+            self._finish(crashed=False)
+            raise
+        finally:
+            _engine_mod._active = prev
+        if isinstance(result, GeneratorType):
+            self._gen = result
+            self._step(result.send, None)
+        else:
+            # A plain callable that never blocks: it already ran.
+            self._finish(crashed=False)
+
+    def _step(self, resume: Callable[[Any], Any], value: Any) -> None:
+        """Advance the coroutine one hop: to its next block or its end."""
+        prev = _engine_mod._active
+        _engine_mod._active = self
+        try:
+            yielded = resume(value)
+        except StopIteration:
+            self._finish(crashed=False)
+            return
+        except ProcessCrashed:
+            self._finish(crashed=True)
+            return
+        except BaseException:
+            self._finish(crashed=False)
+            raise
+        finally:
+            _engine_mod._active = prev
+        if not self._blocked:  # pragma: no cover - kernel invariant
+            raise SimulationError(
+                f"{self.name}: yielded {yielded!r} without blocking "
+                "(missing `yield from` on a simulated operation?)"
+            )
+
+    def _finish(self, *, crashed: bool) -> None:
+        self.crashed = self.crashed or crashed
+        self.alive = False
+        self.end_time = self.engine.now
+        self._blocked = False
+        self.wait_reason = None
+        self._gen = None
 
     def _kill(self) -> None:
-        """Engine-side teardown: unwind the thread if still alive."""
-        if not self.alive or self._thread is None:
-            return
-        self._killed = True
-        # Wake the thread so it observes the kill flag and unwinds.
-        self._wake_value = None
-        self._resume_gate.set()
-        self._thread.join(timeout=10.0)
+        """Tear the coroutine down (engine reap after error/deadlock)."""
+        gen, self._gen = self._gen, None
+        self.alive = False
+        if self.end_time is None:
+            self.end_time = self.engine.now
+        self._blocked = False
+        if gen is not None:
+            prev = _engine_mod._active
+            _engine_mod._active = self
+            try:
+                gen.close()
+            finally:
+                _engine_mod._active = prev
 
     # ------------------------------------------------------------------
-    # blocking (process side)
+    # blocking protocol (process side; generators)
     # ------------------------------------------------------------------
-    def block(self, reason: str) -> Any:
-        """Suspend the calling process until :meth:`wake`; returns its value.
+    def block(self, reason: str):
+        """Park until another action calls :meth:`wake` (or interrupts).
 
-        Must be called from this process's own thread.
+        Returns the value passed to ``wake``. This is a generator: the
+        caller (transitively, the rank coroutine) must ``yield from`` it.
         """
-        if _engine_mod.current_process() is not self:
+        if _engine_mod._active is not self:
             raise SimulationError("a process may only block itself")
         self._blocked = True
         self.wait_reason = reason
-        self.engine._yield_to_engine()
-        self._resume_gate.wait()
-        if self._killed:
-            raise _Killed()
-        if self._interrupt_exc is not None:
-            exc, self._interrupt_exc = self._interrupt_exc, None
-            self.wait_reason = None
-            raise exc
-        self.wait_reason = None
-        value, self._wake_value = self._wake_value, None
+        value = yield reason
         return value
 
     def wake(self, value: Any = None, *, delay: float = 0.0) -> None:
-        """Schedule this process to resume after *delay* simulated seconds.
-
-        Safe to call from the engine or from any other process; the resume
-        itself always goes through the event heap.
-        """
+        """Schedule this blocked process to resume (with *value*)."""
 
         def resume() -> None:
             self._pending_wake = None
             if not self._blocked:
                 raise SimulationError(f"{self.name}: woken while not blocked")
             self._blocked = False
-            self._wake_value = value
-            self.engine._enter_process(self)
+            self.wait_reason = None
+            self._step(self._gen.send, value)
 
         self._pending_wake = self.engine.schedule(delay, resume)
 
     def interrupt(self, exc: BaseException, *, delay: float = 0.0) -> None:
-        """Resume a parked process by raising *exc* inside its :meth:`block`.
+        """Deliver *exc* at the wait point of this parked process.
 
-        Used to deliver fail-stop outcomes (:class:`ProcessCrashed`, peer
-        death) to processes parked on waits that will never complete. The
-        raise goes through the event heap like any wake; if the process was
-        resumed normally (or terminated) before the interrupt fires, the
-        interrupt is dropped — the process will observe the condition at
-        its next communication call instead.
+        Delivery is dropped if the process already terminated or is not
+        blocked when the event fires (it won the race); a pending wake is
+        cancelled so the process does not resume twice.
         """
 
         def resume() -> None:
             if not self.alive or not self._blocked:
                 return
             if self._pending_wake is not None:
-                # The wait we are breaking may have a wake already queued
-                # (e.g. a sleep); left in the heap it would later fire on a
-                # process that is no longer blocked.
                 self._pending_wake.cancel()
                 self._pending_wake = None
             self._blocked = False
-            self._interrupt_exc = exc
-            self.engine._enter_process(self)
+            self.wait_reason = None
+            self._step(self._gen.throw, exc)
 
         self.engine.schedule(delay, resume)
 
-    def sleep(self, duration: float) -> None:
-        """Advance this process's local time by *duration*.
-
-        This is how rank code charges itself simulated compute/copy cost.
-        """
+    # ------------------------------------------------------------------
+    # time (process side)
+    # ------------------------------------------------------------------
+    def sleep(self, duration: float):
+        """Occupy this process for *duration* simulated seconds (generator)."""
         if duration < 0:
-            raise SimulationError(f"negative sleep: {duration}")
+            raise SimulationError(f"cannot sleep a negative duration ({duration})")
         if duration == 0:
             return
         self.wake(delay=duration)
-        self.block(f"sleep({duration:g})")
+        yield from self.block(f"sleep({duration:g})")
 
     def charge(self, duration: float) -> None:
-        """Accumulate local compute time without switching to the engine.
+        """Accrue *duration* seconds of lazily-settled busy time.
 
-        A per-call ``sleep`` costs a real thread handoff; code on hot paths
-        (every buffered write charges a memcpy) calls ``charge`` instead and
-        the accrued time elapses at the next :meth:`settle` point — every
-        communication or storage primitive settles on entry, so ordering
-        against other ranks is preserved.
+        Non-blocking: cost models call this from engine context or rank
+        context alike; the owed time materializes at the next
+        :meth:`settle` (or blocking operation that settles) of this
+        process.
         """
         if duration < 0:
-            raise SimulationError(f"negative charge: {duration}")
+            raise SimulationError(f"cannot charge a negative duration ({duration})")
         self._pending_delay += duration
 
-    def settle(self) -> None:
-        """Let accrued :meth:`charge` time elapse (at most one handoff)."""
-        if self._pending_delay > 0.0:
+    def settle(self):
+        """Pay any accrued charge by sleeping it off (generator)."""
+        if self._pending_delay > 0:
             delay, self._pending_delay = self._pending_delay, 0.0
-            self.sleep(delay)
-
-    def __repr__(self) -> str:  # pragma: no cover - repr convenience
-        state = "alive" if self.alive else "done"
-        return f"<SimProcess {self.name} {state}>"
+            yield from self.sleep(delay)

@@ -2,7 +2,8 @@
 
 These are *virtual-time* primitives: waiters park via
 :meth:`SimProcess.block` and are resumed through the engine heap, so wait
-order is deterministic (FIFO) and wakeups carry values.
+order is deterministic (FIFO) and wakeups carry values. Every waiting
+method is a generator coroutine — callers ``yield from`` it.
 """
 
 from __future__ import annotations
@@ -10,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.sim.process import SimProcess
 from repro.util.errors import SimulationError
 
@@ -35,14 +36,14 @@ class SimEvent:
         """Whether the event has fired at least once."""
         return self._fired
 
-    def wait(self) -> Any:
+    def wait(self):
         """Park the calling process until the next fire (returns its value)."""
-        proc = current_process()
-        proc.settle()
+        proc = active_process()
+        yield from proc.settle()
         if self.sticky and self._fired:
             return self._value
         self._waiters.append(proc)
-        return proc.block(f"wait:{self.name}")
+        return (yield from proc.block(f"wait:{self.name}"))
 
     def fire(self, value: Any = None) -> None:
         """Wake all current waiters with *value*."""
@@ -68,14 +69,14 @@ class SimSemaphore:
         """Available permits."""
         return self._value
 
-    def acquire(self) -> None:
+    def acquire(self):
         """Take a permit, parking FIFO when none are available."""
         if self._value > 0:
             self._value -= 1
             return
-        proc = current_process()
+        proc = active_process()
         self._waiters.append(proc)
-        proc.block(f"acquire:{self.name}")
+        yield from proc.block(f"acquire:{self.name}")
 
     def release(self, n: int = 1) -> None:
         """Return *n* permits, waking FIFO waiters first."""
@@ -87,7 +88,12 @@ class SimSemaphore:
 
 
 class SimMutex:
-    """FIFO mutual exclusion; the holder is tracked for diagnostics."""
+    """FIFO mutual exclusion; the holder is tracked for diagnostics.
+
+    ``acquire`` is a coroutine; there is deliberately no context-manager
+    protocol (``__enter__`` cannot ``yield from``) — use
+    ``yield from m.acquire()`` / ``try: ... finally: m.release()``.
+    """
 
     def __init__(self, name: str = "mutex"):
         self.name = name
@@ -99,20 +105,20 @@ class SimMutex:
         """Whether some process holds the mutex."""
         return self._holder is not None
 
-    def acquire(self) -> None:
+    def acquire(self):
         """Enter the mutex, parking FIFO while another process holds it."""
-        proc = current_process()
+        proc = active_process()
         if self._holder is None:
             self._holder = proc
             return
         if self._holder is proc:
             raise SimulationError(f"{self.name}: recursive acquire")
         self._waiters.append(proc)
-        proc.block(f"lock:{self.name}")
+        yield from proc.block(f"lock:{self.name}")
 
     def release(self) -> None:
         """Leave the mutex, handing it to the oldest waiter."""
-        proc = current_process()
+        proc = active_process()
         if self._holder is not proc:
             raise SimulationError(f"{self.name}: release by non-holder")
         if self._waiters:
@@ -120,13 +126,6 @@ class SimMutex:
             self._holder.wake()
         else:
             self._holder = None
-
-    def __enter__(self) -> "SimMutex":
-        self.acquire()
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self.release()
 
 
 class SimBarrier:
@@ -144,7 +143,7 @@ class SimBarrier:
         self._generation = 0
         self._arrived: Deque[SimProcess] = deque()
 
-    def wait(self) -> int:
+    def wait(self):
         """Park until all parties arrive; returns the barrier generation."""
         gen = self._generation
         if len(self._arrived) + 1 == self.parties:
@@ -153,6 +152,6 @@ class SimBarrier:
             for proc in waiters:
                 proc.wake(gen)
             return gen
-        proc = current_process()
+        proc = active_process()
         self._arrived.append(proc)
-        return proc.block(f"barrier:{self.name}")
+        return (yield from proc.block(f"barrier:{self.name}"))

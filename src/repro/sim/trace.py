@@ -29,9 +29,9 @@ __all__ = ["Counter", "TraceEvent", "TraceRecorder"]
 
 def _current_track() -> str:
     """Default span track: the running simulated process, else the engine."""
-    from repro.sim.engine import _tls
+    from repro.sim.engine import active_process_or_none
 
-    proc = getattr(_tls, "process", None)
+    proc = active_process_or_none()
     return proc.name if proc is not None else "engine"
 
 

@@ -20,7 +20,7 @@ from repro.simmpi.comm import (
     unpack_object,
     wait_all,
 )
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.sim.sync import SimBarrier
 from repro.util.errors import MpiError
 
@@ -35,8 +35,8 @@ def _next_tag(comm: Communicator) -> int:
 # ----------------------------------------------------------------------
 
 
-def barrier(comm: Communicator) -> None:
-    """Barrier with a dissemination-algorithm cost model.
+def barrier(comm: Communicator):
+    """Barrier with a dissemination-algorithm cost model (coroutine).
 
     Semantically a counter barrier (everyone leaves when the last rank
     arrives — one thread handoff per rank); each rank is charged the
@@ -52,20 +52,20 @@ def barrier(comm: Communicator) -> None:
         # complete; surface it at entry rather than parking forever.
         comm.world.check_alive(comm.rank, min(comm.world.dead_ranks), "mpi.barrier")
     tag = _next_tag(comm)
-    proc = current_process()
+    proc = active_process()
     rounds = max(1, (size - 1).bit_length())
     spec = comm.world.fabric.spec
     per_round = (
         spec.latency + 2.0 * spec.per_message_overhead + spec.match_overhead
     )
     proc.charge(rounds * per_round)
-    proc.settle()
+    yield from proc.settle()
     key = ("coll-barrier", comm._comm_id)
     bar = comm.world.shared.get(key)
     if bar is None:
         bar = SimBarrier(size, name=f"mpi-barrier-{comm._comm_id}")
         comm.world.shared[key] = bar
-    bar.wait()
+    yield from bar.wait()
     del tag
 
 
@@ -74,8 +74,11 @@ def barrier(comm: Communicator) -> None:
 # ----------------------------------------------------------------------
 
 
-def bcast(comm: Communicator, obj: Any, root: int = 0) -> Any:
-    """Binomial-tree broadcast of a Python object; returns it on every rank."""
+def bcast(comm: Communicator, obj: Any, root: int = 0):
+    """Binomial-tree broadcast of a Python object; returns it on every rank.
+
+    Coroutine: ``value = yield from bcast(...)``.
+    """
     size, rank = comm.size, comm.rank
     if not (0 <= root < size):
         raise MpiError(f"bad bcast root {root}")
@@ -88,7 +91,7 @@ def bcast(comm: Communicator, obj: Any, root: int = 0) -> Any:
         # Receive from parent: clear the lowest set bit of vrank.
         parent_v = vrank & (vrank - 1)
         parent = (parent_v + root) % size
-        payload = comm.recv(parent, tag, context=CTX_COLL)
+        payload = yield from comm.recv(parent, tag, context=CTX_COLL)
     assert payload is not None
     # Forward to children: vrank | (1 << k) for k above our lowest set bit.
     low = _lowest_set_bit_exclusive(vrank, size)
@@ -96,7 +99,7 @@ def bcast(comm: Communicator, obj: Any, root: int = 0) -> Any:
     while mask < low:
         child_v = vrank | mask
         if child_v < size:
-            comm.isend(payload, (child_v + root) % size, tag, context=CTX_COLL)
+            yield from comm.isend(payload, (child_v + root) % size, tag, context=CTX_COLL)
         mask <<= 1
     return unpack_object(payload)
 
@@ -112,7 +115,7 @@ def _lowest_set_bit_exclusive(vrank: int, size: int) -> int:
     return vrank & (-vrank)
 
 
-def gather(comm: Communicator, obj: Any, root: int = 0) -> Optional[list[Any]]:
+def gather(comm: Communicator, obj: Any, root: int = 0):
     """Gather one object per rank to *root* (list indexed by rank) else None.
 
     Flat gather (each rank sends straight to the root): simple, and exactly
@@ -123,12 +126,16 @@ def gather(comm: Communicator, obj: Any, root: int = 0) -> Optional[list[Any]]:
         raise MpiError(f"bad gather root {root}")
     tag = _next_tag(comm)
     if rank != root:
-        comm.send_object(obj, root, tag, context=CTX_COLL)
+        yield from comm.send_object(obj, root, tag, context=CTX_COLL)
         return None
     out: list[Any] = [None] * size
     out[root] = obj
-    reqs = [(src, comm.irecv(src, tag, context=CTX_COLL)) for src in range(size) if src != root]
-    wait_all([req for _, req in reqs])
+    reqs = []
+    for src in range(size):
+        if src != root:
+            req = yield from comm.irecv(src, tag, context=CTX_COLL)
+            reqs.append((src, req))
+    yield from wait_all([req for _, req in reqs])
     for src, req in reqs:
         payload = req.payload
         assert payload is not None
@@ -136,7 +143,7 @@ def gather(comm: Communicator, obj: Any, root: int = 0) -> Optional[list[Any]]:
     return out
 
 
-def scatter(comm: Communicator, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+def scatter(comm: Communicator, objs: Optional[Sequence[Any]], root: int = 0):
     """MPI_Scatter of Python objects: entry *i* of the root's list goes to
     rank *i*; returns the caller's entry."""
     size, rank = comm.size, comm.rank
@@ -148,13 +155,13 @@ def scatter(comm: Communicator, objs: Optional[Sequence[Any]], root: int = 0) ->
             raise MpiError(f"scatter needs exactly {size} entries at the root")
         for dst in range(size):
             if dst != root:
-                comm.isend(pack_object(objs[dst]), dst, tag, context=CTX_COLL)
+                yield from comm.isend(pack_object(objs[dst]), dst, tag, context=CTX_COLL)
         return objs[root]
-    payload = comm.recv(root, tag, context=CTX_COLL)
+    payload = yield from comm.recv(root, tag, context=CTX_COLL)
     return unpack_object(payload)
 
 
-def allgather(comm: Communicator, obj: Any) -> list[Any]:
+def allgather(comm: Communicator, obj: Any):
     """Bruck-style allgather: ceil(log2 P) rounds, no root hotspot.
 
     Round k ships each rank's current collection (which doubles every
@@ -173,9 +180,9 @@ def allgather(comm: Communicator, obj: Any) -> list[Any]:
     while mask < size:
         dst = (rank - mask) % size
         src = (rank + mask) % size
-        req = comm.irecv(src, tag + round_no, context=CTX_COLL)
-        comm.isend(pack_object(collected), dst, tag + round_no, context=CTX_COLL)
-        payload = req.wait()
+        req = yield from comm.irecv(src, tag + round_no, context=CTX_COLL)
+        yield from comm.isend(pack_object(collected), dst, tag + round_no, context=CTX_COLL)
+        payload = yield from req.wait()
         assert payload is not None
         collected.update(unpack_object(payload))
         mask <<= 1
@@ -186,7 +193,7 @@ def allgather(comm: Communicator, obj: Any) -> list[Any]:
     return [collected[r] for r in range(size)]
 
 
-def alltoall(comm: Communicator, send: Sequence[Any]) -> list[Any]:
+def alltoall(comm: Communicator, send: Sequence[Any]):
     """Personalized all-to-all of Python objects.
 
     Posts every irecv, then every isend, then waits — the exact pattern the
@@ -197,13 +204,15 @@ def alltoall(comm: Communicator, send: Sequence[Any]) -> list[Any]:
     if len(send) != size:
         raise MpiError(f"alltoall needs {size} entries, got {len(send)}")
     tag = _next_tag(comm)
-    recv_reqs: list[Request] = [
-        comm.irecv(src, tag, context=CTX_COLL) for src in range(size) if src != rank
-    ]
+    recv_reqs: list[Request] = []
+    for src in range(size):
+        if src != rank:
+            req = yield from comm.irecv(src, tag, context=CTX_COLL)
+            recv_reqs.append(req)
     for dst in range(size):
         if dst != rank:
-            comm.isend(pack_object(send[dst]), dst, tag, context=CTX_COLL)
-    wait_all(recv_reqs)
+            yield from comm.isend(pack_object(send[dst]), dst, tag, context=CTX_COLL)
+    yield from wait_all(recv_reqs)
     out: list[Any] = [None] * size
     out[rank] = send[rank]
     idx = 0
@@ -224,7 +233,7 @@ def alltoall(comm: Communicator, send: Sequence[Any]) -> list[Any]:
 
 def reduce(
     comm: Communicator, value: Any, op: Callable[[Any, Any], Any], root: int = 0
-) -> Optional[Any]:
+):
     """Binomial-tree reduction with a commutative/associative *op*."""
     size, rank = comm.size, comm.rank
     if not (0 <= root < size):
@@ -236,29 +245,30 @@ def reduce(
     while mask < size:
         if vrank & mask:
             parent = ((vrank & ~mask) + root) % size
-            comm.send_object(acc, parent, tag, context=CTX_COLL)
+            yield from comm.send_object(acc, parent, tag, context=CTX_COLL)
             return None
         child_v = vrank | mask
         if child_v < size:
             child = (child_v + root) % size
-            acc = op(acc, comm.recv_object(child, tag, context=CTX_COLL))
+            received = yield from comm.recv_object(child, tag, context=CTX_COLL)
+            acc = op(acc, received)
         mask <<= 1
     return acc if rank == root else None
 
 
-def allreduce(comm: Communicator, value: Any, op: Callable[[Any, Any], Any]) -> Any:
-    """Reduce to rank 0 then broadcast the result."""
-    reduced = reduce(comm, value, op, root=0)
-    return bcast(comm, reduced, root=0)
+def allreduce(comm: Communicator, value: Any, op: Callable[[Any, Any], Any]):
+    """Reduce to rank 0 then broadcast the result (coroutine)."""
+    reduced = yield from reduce(comm, value, op, root=0)
+    return (yield from bcast(comm, reduced, root=0))
 
 
-def exscan(comm: Communicator, value: int) -> int:
+def exscan(comm: Communicator, value: int):
     """Exclusive prefix sum of integers (rank 0 gets 0). Linear chain."""
     size, rank = comm.size, comm.rank
     tag = _next_tag(comm)
     prefix = 0
     if rank > 0:
-        prefix = comm.recv_object(rank - 1, tag, context=CTX_COLL)
+        prefix = yield from comm.recv_object(rank - 1, tag, context=CTX_COLL)
     if rank + 1 < size:
-        comm.isend(pack_object(prefix + value), rank + 1, tag, context=CTX_COLL)
+        yield from comm.isend(pack_object(prefix + value), rank + 1, tag, context=CTX_COLL)
     return prefix

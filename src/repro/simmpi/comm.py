@@ -18,7 +18,7 @@ from typing import Any, Deque, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.sim.process import SimProcess
 from repro.util.errors import MpiError
 
@@ -108,28 +108,31 @@ class Request:
         """Nonblocking completion check (MPI_Test)."""
         return self.done
 
-    def wait(self) -> Optional[bytes]:
-        """Block until complete; returns the payload for receive requests."""
+    def wait(self):
+        """Park until complete; returns the payload for receive requests.
+
+        Coroutine: callers ``yield from req.wait()``.
+        """
         if not self.done:
-            proc = current_process()
-            proc.settle()
+            proc = active_process()
+            yield from proc.settle()
             if not self.done:
                 if self._waiter is not None or self._group is not None:
                     raise MpiError("two processes waiting on one request")
                 self._waiter = proc
-                proc.block(f"wait:{self.kind}")
+                yield from proc.block(f"wait:{self.kind}")
         return self.payload
 
 
-def wait_all(requests: list[Request]) -> None:
-    """MPI_Waitall: a single thread handoff no matter how many requests.
+def wait_all(requests: list[Request]):
+    """MPI_Waitall: a single park no matter how many requests.
 
-    At P=1024 a two-phase exchange waits on ~1000 receives per rank; waiting
-    one by one would cost a real context switch each, so incomplete requests
-    share a countdown group and the caller parks exactly once.
+    At P=1024 a two-phase exchange waits on ~1000 receives per rank;
+    incomplete requests share a countdown group and the caller parks
+    exactly once. Coroutine: ``yield from wait_all(reqs)``.
     """
-    proc = current_process()
-    proc.settle()
+    proc = active_process()
+    yield from proc.settle()
     pending = [r for r in requests if not r.done]
     if not pending:
         return
@@ -138,7 +141,7 @@ def wait_all(requests: list[Request]) -> None:
         if r._waiter is not None or r._group is not None:
             raise MpiError("request already being waited on")
         r._group = group
-    proc.block(f"waitall({len(pending)})")
+    yield from proc.block(f"waitall({len(pending)})")
 
 
 @dataclass
@@ -332,9 +335,13 @@ class Communicator:
     # ------------------------------------------------------------------
     # sends
     # ------------------------------------------------------------------
-    def isend(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT) -> Request:
-        """Nonblocking send; payload is captured (copied) immediately."""
-        current_process().settle()
+    def isend(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT):
+        """Nonblocking send; payload is captured (copied) immediately.
+
+        Coroutine returning the :class:`Request`:
+        ``req = yield from comm.isend(...)``.
+        """
+        yield from active_process().settle()
         self._check_peer(dest)
         payload = _payload_bytes(data)
         req = Request("isend")
@@ -363,30 +370,27 @@ class Communicator:
             world.trace.registry.histogram("mpi.msg_bytes").observe(len(payload))
         return req
 
-    def send(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT) -> None:
+    def send(self, data: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT):
         """Blocking send (completes when the send request does)."""
-        self.isend(data, dest, tag, context=context).wait()
+        req = yield from self.isend(data, dest, tag, context=context)
+        yield from req.wait()
 
-    def isend_object(
-        self, obj: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT
-    ) -> Request:
-        """Nonblocking send of a pickled Python object."""
-        return self.isend(pack_object(obj), dest, tag, context=context)
+    def isend_object(self, obj: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT):
+        """Nonblocking send of a pickled Python object (coroutine)."""
+        return (yield from self.isend(pack_object(obj), dest, tag, context=context))
 
-    def send_object(
-        self, obj: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT
-    ) -> None:
-        """Blocking send of a pickled Python object."""
-        self.send(pack_object(obj), dest, tag, context=context)
+    def send_object(self, obj: Any, dest: int, tag: int = 0, *, context: int = CTX_PT2PT):
+        """Blocking send of a pickled Python object (coroutine)."""
+        yield from self.send(pack_object(obj), dest, tag, context=context)
 
     # ------------------------------------------------------------------
     # receives
     # ------------------------------------------------------------------
     def irecv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *, context: int = CTX_PT2PT
-    ) -> Request:
-        """Nonblocking receive; returns a Request whose wait() yields bytes."""
-        current_process().settle()
+    ):
+        """Nonblocking receive; coroutine returning the :class:`Request`."""
+        yield from active_process().settle()
         if source != ANY_SOURCE and self.world.dead_ranks:
             self.world.check_alive(self._rank, source, "mpi.recv")
         req = Request("irecv")
@@ -406,15 +410,15 @@ class Communicator:
         *,
         status: Optional[Status] = None,
         context: int = CTX_PT2PT,
-    ) -> bytes:
-        """Blocking receive; returns the payload bytes."""
-        req = self.irecv(source, tag, context=context)
+    ):
+        """Blocking receive; coroutine returning the payload bytes."""
+        req = yield from self.irecv(source, tag, context=context)
         hub = self.world.trace
         if hub is not None:
             with hub.span("mpi.recv", source=source, tag=tag):
-                payload = req.wait()
+                payload = yield from req.wait()
         else:
-            payload = req.wait()
+            payload = yield from req.wait()
         if status is not None:
             status.source = req.status.source
             status.tag = req.status.tag
@@ -424,9 +428,10 @@ class Communicator:
 
     def recv_object(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *, context: int = CTX_PT2PT
-    ) -> Any:
-        """Blocking receive of a pickled Python object."""
-        return unpack_object(self.recv(source, tag, context=context))
+    ):
+        """Blocking receive of a pickled Python object (coroutine)."""
+        payload = yield from self.recv(source, tag, context=context)
+        return unpack_object(payload)
 
     # ------------------------------------------------------------------
     # probing and combined send/recv
@@ -459,12 +464,12 @@ class Communicator:
         source: int = ANY_SOURCE,
         sendtag: int = 0,
         recvtag: int = ANY_TAG,
-    ) -> bytes:
+    ):
         """MPI_Sendrecv: post the receive, send, then complete the receive
-        — the deadlock-free exchange primitive."""
-        req = self.irecv(source, recvtag)
-        self.isend(data, dest, sendtag)
-        payload = req.wait()
+        — the deadlock-free exchange primitive (coroutine)."""
+        req = yield from self.irecv(source, recvtag)
+        yield from self.isend(data, dest, sendtag)
+        payload = yield from req.wait()
         assert payload is not None
         return payload
 

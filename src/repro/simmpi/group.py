@@ -102,16 +102,16 @@ class SubCommunicator(Communicator):
             raise MpiError(f"peer world rank {rank} invalid")
 
 
-def comm_split(comm: Communicator, color: int, key: Optional[int] = None) -> Optional[Communicator]:
+def comm_split(comm: Communicator, color: int, key: Optional[int] = None):
     """MPI_Comm_split: partition *comm* by color; order members by key.
 
-    Returns the caller's new communicator (or None for ``color < 0``,
-    MPI_UNDEFINED). Collective over *comm*.
+    Coroutine. Returns the caller's new communicator (or None for
+    ``color < 0``, MPI_UNDEFINED). Collective over *comm*.
     """
     key = comm.rank if key is None else key
     # Every member learns everyone's (color, key, world rank).
     my_world_rank = comm.world_rank(comm.rank) if isinstance(comm, SubCommunicator) else comm.rank
-    triples = collectives.allgather(comm, (color, key, my_world_rank))
+    triples = yield from collectives.allgather(comm, (color, key, my_world_rank))
     if color < 0:
         return None
     members = sorted(
@@ -132,25 +132,29 @@ COMM_TYPE_SHARED = "shared"
 def comm_split_type(
     comm: Communicator, split_type: str = COMM_TYPE_SHARED,
     key: Optional[int] = None,
-) -> Communicator:
+):
     """``MPI_Comm_split_type``: split by hardware locality (collective).
 
-    Only ``COMM_TYPE_SHARED`` exists here — ranks placed on the same node
-    end up in one communicator, ordered by *key* (parent rank by default,
-    so each node's lowest parent rank becomes local rank 0).
+    Coroutine. Only ``COMM_TYPE_SHARED`` exists here — ranks placed on
+    the same node end up in one communicator, ordered by *key* (parent
+    rank by default, so each node's lowest parent rank becomes local
+    rank 0).
     """
     if split_type != COMM_TYPE_SHARED:
         raise MpiError(f"unsupported split_type {split_type!r}")
     node = comm.world.node_of[comm.world_rank(comm.rank)]
-    out = comm_split(comm, node, key)
+    out = yield from comm_split(comm, node, key)
     assert out is not None  # node ids are never negative
     return out
 
 
-def comm_from_ranks(comm: Communicator, world_ranks: Sequence[int]) -> Optional[Communicator]:
-    """Create a sub-communicator from an explicit rank list (collective)."""
+def comm_from_ranks(comm: Communicator, world_ranks: Sequence[int]):
+    """Create a sub-communicator from an explicit rank list (collective).
+
+    Coroutine: ``sub = yield from comm_from_ranks(comm, ranks)``.
+    """
     ranks = tuple(world_ranks)
     my_world_rank = comm.world_rank(comm.rank) if isinstance(comm, SubCommunicator) else comm.rank
     color = 0 if my_world_rank in ranks else -1
     key = ranks.index(my_world_rank) if my_world_rank in ranks else 0
-    return comm_split(comm, color, key)
+    return (yield from comm_split(comm, color, key))

@@ -14,7 +14,8 @@ from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
 from repro.memsim.memory import MemoryTracker
 from repro.netsim.fabric import Fabric
 from repro.netsim.model import NetworkSpec
-from repro.sim.engine import Engine, ProcessCrashed, current_process
+from repro.sim.api import SimContext, run_coroutine
+from repro.sim.engine import Engine, ProcessCrashed
 from repro.sim.trace import TraceRecorder
 from repro.simmpi.comm import Communicator, Mailbox, Request, Status, _Envelope
 from repro.simmpi.rma import _TargetLock
@@ -243,10 +244,15 @@ class MpiWorld:
 
 @dataclass
 class RankEnv:
-    """Everything a rank program sees: its communicator plus the substrate."""
+    """Everything a rank program sees: its communicator plus the substrate.
+
+    ``ctx`` is the rank's :class:`~repro.sim.api.SimContext` (clock +
+    time primitives), bound when the rank is spawned.
+    """
 
     comm: Communicator
     world: MpiWorld
+    ctx: Optional[SimContext] = None
 
     @property
     def rank(self) -> int:
@@ -266,11 +272,11 @@ class RankEnv:
     def compute(self, seconds: float) -> None:
         """Charge local compute time (lazily; elapses at the next
         communication/storage call, or via :meth:`settle`)."""
-        current_process().charge(seconds)
+        self.ctx.process.charge(seconds)
 
-    def settle(self) -> None:
-        """Force accrued compute time to elapse now."""
-        current_process().settle()
+    def settle(self):
+        """Force accrued compute time to elapse now (coroutine)."""
+        return self.ctx.process.settle()
 
     @property
     def pfs(self) -> "Pfs":
@@ -317,8 +323,10 @@ def run_mpi(
 ) -> MpiRunResult:
     """Run *main* on *nranks* simulated ranks; returns results and timings.
 
-    ``main(env)`` runs once per rank; its return values are collected in
-    rank order. The default cluster is the scaled Lonestar preset sized to
+    All configuration is keyword-only. ``main(env)`` runs once per rank —
+    as a generator coroutine (the normal case: anything that communicates
+    or does I/O blocks via ``yield from``) or a plain function; its return
+    values are collected in rank order. The default cluster is the scaled Lonestar preset sized to
     hold ``nranks`` (12 ranks per node, as on the paper's testbed).
     ``pfs_init`` pre-populates the fresh file system before time starts
     (e.g. a restart job reading a snapshot an earlier job produced).
@@ -358,17 +366,17 @@ def run_mpi(
     )
     returns: list[Any] = [None] * nranks
 
-    def make_target(rank: int) -> Callable[[], None]:
-        env = RankEnv(comm=world.world_comm(rank), world=world)
-
-        def target() -> None:
-            returns[rank] = main(env)
-            current_process().settle()
+    def make_target(rank: int, env: RankEnv) -> Callable[[], Any]:
+        def target():
+            returns[rank] = yield from run_coroutine(main(env))
+            yield from env.ctx.process.settle()
 
         return target
 
     for rank in range(nranks):
-        engine.spawn(f"rank{rank}", make_target(rank))
+        env = RankEnv(comm=world.world_comm(rank), world=world)
+        proc = engine.spawn(f"rank{rank}", make_target(rank, env))
+        env.ctx = SimContext(engine, proc)
     aborted: Optional[BaseException] = None
     try:
         elapsed = engine.run(until=until)

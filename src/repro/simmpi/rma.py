@@ -20,7 +20,7 @@ from typing import Deque, Sequence, TYPE_CHECKING
 
 import numpy as np
 
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.sim.process import SimProcess
 from repro.util.errors import RmaError, RmaTransientError
 
@@ -81,9 +81,11 @@ class _Epoch:
 class Window:
     """A per-communicator RMA window (MPI_Win_create).
 
-    Each rank constructs its own Window over its local exposure buffer;
-    construction is collective (internally barriers) so the window id and
-    remote buffers exist everywhere before any one-sided access.
+    Each rank constructs its own Window over its local exposure buffer.
+    Construction is collective: use the :meth:`create` coroutine
+    (``win = yield from Window.create(comm, buf)``), which barriers so the
+    window id and remote buffers exist everywhere before any one-sided
+    access.
     """
 
     def __init__(self, comm: "Communicator", buffer: np.ndarray | bytearray):
@@ -109,24 +111,34 @@ class Window:
             self._c_get = registry.counter("rma.get")
             self._c_get_blocks = registry.counter("rma.get_blocks")
             self._h_put_bytes = registry.histogram("rma.put_bytes")
-        # MPI_Win_create is collective; synchronize so no rank races ahead
-        # and touches a window a peer has not exposed yet.
+    @classmethod
+    def create(cls, comm: "Communicator", buffer: np.ndarray | bytearray):
+        """MPI_Win_create (coroutine): register locally, then barrier.
+
+        The barrier keeps construction collective so no rank races ahead
+        and touches a window a peer has not exposed yet.
+        """
         from repro.simmpi import collectives
 
-        collectives.barrier(comm)
+        win = cls(comm, buffer)
+        yield from collectives.barrier(comm)
+        return win
 
     # ------------------------------------------------------------------
     # synchronization
     # ------------------------------------------------------------------
-    def lock(self, target: int, lock_type: int = LOCK_EXCLUSIVE) -> None:
-        """MPI_Win_lock(lock_type, target): begin a passive-target epoch."""
+    def lock(self, target: int, lock_type: int = LOCK_EXCLUSIVE):
+        """MPI_Win_lock(lock_type, target): begin a passive-target epoch.
+
+        Coroutine: ``yield from win.lock(target)``.
+        """
         self._check_target(target)
         if target in self._epochs:
             raise RmaError(f"rank {self.rank}: already holds a lock on target {target}")
         if lock_type not in (LOCK_EXCLUSIVE, LOCK_SHARED):
             raise RmaError(f"bad lock type {lock_type}")
-        proc = current_process()
-        proc.settle()
+        proc = active_process()
+        yield from proc.settle()
         world = self.world
         target_w = self.comm.world_rank(target)
         if world.dead_ranks:
@@ -149,7 +161,7 @@ class Window:
                     state.waiters.append((proc, lock_type))
 
             world.engine.schedule_at(t_req, arrive)
-            proc.block(f"rma.lock(win={self.win_id}, target={target})")
+            yield from proc.block(f"rma.lock(win={self.win_id}, target={target})")
         spec = world.fabric.spec
         proc.charge(
             spec.rma_epoch_overhead
@@ -165,7 +177,7 @@ class Window:
         epoch = self._epochs.pop(target, None)
         if epoch is None:
             raise RmaError(f"rank {self.rank}: unlock of target {target} without lock")
-        proc = current_process()
+        proc = active_process()
         world = self.world
         now = world.engine.now
         # The origin's timeline must pass the last transfer's completion;
@@ -229,14 +241,12 @@ class Window:
             self._c_put_blocks.add(len(blocks))
             self._h_put_bytes.observe(total)
 
-    def get(self, target: int, target_offset: int, nbytes: int) -> bytes:
-        """MPI_Get of one contiguous block (epoch-blocking convenience)."""
-        [(off, data)] = self.get_indexed([(target_offset, nbytes)], target)
+    def get(self, target: int, target_offset: int, nbytes: int):
+        """MPI_Get of one contiguous block (epoch-blocking coroutine)."""
+        [(off, data)] = yield from self.get_indexed([(target_offset, nbytes)], target)
         return data
 
-    def get_indexed(
-        self, blocks: Sequence[tuple[int, int]], target: int
-    ) -> list[tuple[int, bytes]]:
+    def get_indexed(self, blocks: Sequence[tuple[int, int]], target: int):
         """One transfer fetching many disjoint (offset, length) blocks.
 
         Returns ``(offset, bytes)`` pairs once the data reaches the origin.
@@ -245,7 +255,7 @@ class Window:
         """
         epoch = self._require_epoch(target)
         world = self.world
-        proc = current_process()
+        proc = active_process()
         target_w = self.comm.world_rank(target)
         remote = world.window_buffer(self.win_id, target_w)
         total = 0
@@ -269,7 +279,7 @@ class Window:
             world.engine.schedule_at(t_back, lambda: proc.wake())
 
         world.engine.schedule_at(t_req, serve)
-        proc.block(f"rma.get(target={target}, bytes={total})")
+        yield from proc.block(f"rma.get(target={target}, bytes={total})")
         epoch.last_completion = max(epoch.last_completion, world.engine.now)
         if world.trace is not None:
             self._c_get.add(total)
@@ -306,7 +316,7 @@ class Window:
     # ------------------------------------------------------------------
     # active-target synchronization (the alternative the paper rejects)
     # ------------------------------------------------------------------
-    def fence(self) -> None:
+    def fence(self):
         """MPI_Win_fence: collective epoch boundary.
 
         "MPI_Win_fence is the simplest approach to allow all processes to
@@ -320,7 +330,7 @@ class Window:
 
         for target in list(self._epochs):
             self.unlock(target)
-        collectives.barrier(self.comm)
+        yield from collectives.barrier(self.comm)
 
     # ------------------------------------------------------------------
     def _maybe_fail(self, op: str, target_w: int) -> None:
@@ -330,7 +340,7 @@ class Window:
             self.world.check_alive(self.my_world_rank, target_w, f"rma.{op}")
         plan = getattr(self.world, "faults", None)
         if plan is not None and plan.rma_fault(op, self.my_world_rank, target_w):
-            current_process().charge(plan.spec.rma_fail_delay)
+            active_process().charge(plan.spec.rma_fail_delay)
             raise RmaTransientError(op, self.my_world_rank, target_w)
 
     def _require_epoch(self, target: int) -> _Epoch:

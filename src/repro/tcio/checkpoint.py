@@ -78,76 +78,76 @@ def _decode_region(blob: bytes) -> dict[str, np.ndarray]:
 
 def save_checkpoint(
     env: RankEnv, name: str, arrays: Mapping[str, np.ndarray]
-) -> int:
+):
     """Collectively write each rank's named arrays to one shared file.
 
-    Returns the checkpoint's total size in bytes.
+    Coroutine; returns the checkpoint's total size in bytes.
     """
     region = _encode_region(arrays)
-    sizes = collectives.allgather(env.comm, len(region))
+    sizes = yield from collectives.allgather(env.comm, len(region))
     header = struct.pack("<q", env.size) + struct.pack(f"<{env.size}q", *sizes)
     total = len(header) + sum(sizes)
 
     stripe = env.pfs.spec.stripe_size
     cfg = TcioConfig.sized_for(max(total, stripe), env.size, stripe)
-    fh = TcioFile(env, name, TCIO_WRONLY, cfg)
+    fh = yield from TcioFile.open(env, name, TCIO_WRONLY, cfg)
     if env.rank == 0:
-        fh.write_at(0, header)
+        yield from fh.write_at(0, header)
     offset = len(header) + sum(sizes[: env.rank])
-    fh.write_at(offset, region)
-    fh.close()
+    yield from fh.write_at(offset, region)
+    yield from fh.close()
     return total
 
 
-def load_checkpoint(env: RankEnv, name: str) -> dict[str, np.ndarray]:
+def load_checkpoint(env: RankEnv, name: str):
     """Collectively read back this rank's arrays from a checkpoint file.
 
-    The restoring job may use a different process count only if it matches
+    Coroutine. The restoring job may use a different process count only if it matches
     the saver's (each region belongs to one saving rank); a mismatch raises
     TcioError with both counts.
     """
     pfs_size = env.pfs.lookup(name).size
     stripe = env.pfs.spec.stripe_size
     cfg = TcioConfig.sized_for(max(pfs_size, stripe), env.size, stripe)
-    fh = TcioFile(env, name, TCIO_RDONLY, cfg)
+    fh = yield from TcioFile.open(env, name, TCIO_RDONLY, cfg)
 
     if pfs_size < _DIR_ENTRY:
-        fh.close()
+        yield from fh.close()
         raise TcioError(
             f"checkpoint {name!r} is truncated: {pfs_size} bytes, but the "
             f"rank-count header alone needs {_DIR_ENTRY} (offset 0)"
         )
     head = bytearray(_DIR_ENTRY)
-    fh.read_at(0, head)
-    fh.fetch()
+    yield from fh.read_at(0, head)
+    yield from fh.fetch()
     (nranks,) = struct.unpack("<q", bytes(head))
     if nranks < 1 or _DIR_ENTRY * (1 + nranks) > pfs_size:
-        fh.close()
+        yield from fh.close()
         raise TcioError(
             f"checkpoint {name!r} header is corrupt: rank count {nranks} at "
             f"offset 0 implies a {_DIR_ENTRY * (1 + max(nranks, 0))}-byte "
             f"directory, file holds {pfs_size} bytes"
         )
     if nranks != env.size:
-        fh.close()
+        yield from fh.close()
         raise TcioError(
             f"checkpoint was saved by {nranks} ranks, restoring with {env.size}"
         )
     directory = bytearray(_DIR_ENTRY * nranks)
-    fh.read_at(_DIR_ENTRY, directory)
-    fh.fetch()
+    yield from fh.read_at(_DIR_ENTRY, directory)
+    yield from fh.fetch()
     sizes = list(struct.unpack(f"<{nranks}q", bytes(directory)))
     body = _DIR_ENTRY * (1 + nranks)
     for saver, size in enumerate(sizes):
         entry_off = _DIR_ENTRY * (1 + saver)
         if size < 0:
-            fh.close()
+            yield from fh.close()
             raise TcioError(
                 f"checkpoint {name!r} directory is corrupt: rank {saver}'s "
                 f"region size {size} at offset {entry_off} is negative"
             )
     if body + sum(sizes) > pfs_size:
-        fh.close()
+        yield from fh.close()
         raise TcioError(
             f"checkpoint {name!r} region table is truncated: directory "
             f"(offsets 0..{body}) promises {sum(sizes)} region bytes, file "
@@ -156,7 +156,7 @@ def load_checkpoint(env: RankEnv, name: str) -> dict[str, np.ndarray]:
 
     offset = body + sum(sizes[: env.rank])
     region = bytearray(sizes[env.rank])
-    fh.read_at(offset, region)
-    fh.fetch()
-    fh.close()
+    yield from fh.read_at(offset, region)
+    yield from fh.fetch()
+    yield from fh.close()
     return _decode_region(bytes(region))

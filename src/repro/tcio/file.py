@@ -30,7 +30,8 @@ import numpy as np
 from repro.faults.retry import pfs_retry
 from repro.memsim.memory import Allocation
 from repro.obs.spans import NULL_TRACER
-from repro.sim.engine import current_process
+from repro.sim.api import run_coroutine
+from repro.sim.engine import active_process
 from repro.simmpi import collectives
 from repro.simmpi.datatypes import BYTE, Datatype
 from repro.simmpi.mpi import RankEnv
@@ -89,10 +90,15 @@ def _as_dest(data: Buffer) -> memoryview:
 
 
 class TcioFile:
-    """One rank's TCIO handle on a shared file."""
+    """One rank's TCIO handle on a shared file.
 
-    def __init__(
-        self,
+    Construct with ``fh = yield from TcioFile.open(...)`` — the open is a
+    collective coroutine (it barriers), so there is no plain constructor.
+    """
+
+    @classmethod
+    def open(
+        cls,
         env: RankEnv,
         name: str,
         mode: int,
@@ -101,10 +107,23 @@ class TcioFile:
     ):
         """Collective open over ``comm`` (default: the world communicator).
 
+        Coroutine: ``fh = yield from TcioFile.open(env, name, mode)``.
         Passing a sub-communicator runs this handle's collective I/O over
         just that group — ParColl-style partitioned aggregation composes
         for free (see ``examples/partitioned_groups.py``).
         """
+        fh = cls.__new__(cls)
+        yield from fh._open(env, name, mode, config, comm)
+        return fh
+
+    def _open(
+        self,
+        env: RankEnv,
+        name: str,
+        mode: int,
+        config: Optional[TcioConfig],
+        comm,
+    ):
         config = config or TcioConfig()
         config.validate()
         if mode not in (TCIO_RDONLY, TCIO_WRONLY):
@@ -192,7 +211,7 @@ class TcioFile:
 
             self.level1 = Level1Buffer(segment_size)
             self.readlog = ReadLog(segment_size * config.read_window_segments)
-            self.level2 = Level2Buffer(
+            self.level2 = yield from Level2Buffer.create(
                 self.comm,
                 self.mapping,
                 config.segments_per_process,
@@ -207,11 +226,12 @@ class TcioFile:
                 and mode == TCIO_WRONLY
                 and self.comm.size > 1
             ):
-                self._setup_staging(segment_size, gen)
-            collectives.barrier(self.comm)
+                yield from self._setup_staging(segment_size, gen)
+            yield from collectives.barrier(self.comm)
 
-    def _setup_staging(self, segment_size: int, gen: int) -> None:
-        """Arm the node-aggregation drain path (``aggregation="node"``).
+    def _setup_staging(self, segment_size: int, gen: int):
+        """Arm the node-aggregation drain path (coroutine;
+        ``aggregation="node"``).
 
         One staging buffer per node, published through ``world.shared``
         and keyed by the open generation; the node's leader (lowest comm
@@ -223,7 +243,7 @@ class TcioFile:
         if topo.n_nodes < 2:
             return
         self._topo = topo
-        self._node_comm = split_by_node(self.comm, topo)
+        self._node_comm = yield from split_by_node(self.comm, topo)
         my_node = topo.node_of_rank(self.comm.rank)
         self._leader_world = self.comm.world_rank(topo.leader_of(my_node))
         capacity = self.config.staging_segments * segment_size
@@ -238,29 +258,17 @@ class TcioFile:
                 )
             )
 
-    # ------------------------------------------------------------------
-    # context-manager protocol
-    # ------------------------------------------------------------------
-    def __enter__(self) -> "TcioFile":
-        """``with tcio_open(...) as fh:`` — the handle itself."""
-        self._check_open()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        """Collective close on clean exit; local-only abort on exception.
-
-        ``close()`` is collective (barriers, allreduce): calling it while
-        unwinding an exception on one rank would deadlock the others, so a
-        failing body gets its simulated memory released and the handle
-        marked closed without any communication.
-        """
-        if self._closed:
-            return False
-        if exc_type is None:
-            self.close()
-        else:
-            self._abort()
-        return False
+    # There is deliberately no context-manager protocol: ``close()`` is a
+    # collective coroutine and ``__exit__`` cannot ``yield from``. Spell
+    # the old ``with`` pattern as::
+    #
+    #     fh = yield from tcio_open(env, name, mode)
+    #     try:
+    #         ...
+    #         yield from fh.close()
+    #     except BaseException:
+    #         fh.abort()   # local-only teardown; never deadlocks peers
+    #         raise
 
     # ------------------------------------------------------------------
     # positioning
@@ -290,15 +298,15 @@ class TcioFile:
     # writes
     # ------------------------------------------------------------------
     def write(self, data: Buffer, count: Optional[int] = None,
-              datatype: Datatype = BYTE) -> int:
-        """POSIX-style sequential write at the current position."""
-        n = self.write_at(self._position, data, count, datatype)
+              datatype: Datatype = BYTE):
+        """POSIX-style sequential write at the current position (coroutine)."""
+        n = yield from self.write_at(self._position, data, count, datatype)
         self._position += n
         return n
 
     def write_at(self, offset: int, data: Buffer, count: Optional[int] = None,
-                 datatype: Datatype = BYTE) -> int:
-        """Write at an explicit byte offset (does not move the pointer)."""
+                 datatype: Datatype = BYTE):
+        """Write at an explicit byte offset (coroutine; pointer unmoved)."""
         self._check_open(writing=True)
         payload = _as_payload(data, count, datatype)
         if not payload:
@@ -319,7 +327,7 @@ class TcioFile:
             take = (end if end < seg_end else seg_end) - cur
             if level1.aligned_segment != gseg:
                 if level1.aligned_segment is not None:
-                    self._flush_level1()
+                    yield from self._flush_level1()
                 level1.align(gseg)
             level1.place(
                 cur - gseg * seg_size,
@@ -333,7 +341,7 @@ class TcioFile:
         self.stats.inc("written_bytes", len(payload))
         return len(payload)
 
-    def _flush_level1(self) -> None:
+    def _flush_level1(self):
         if self.level1.empty:
             self.level1.aligned_segment = None
             return
@@ -342,11 +350,11 @@ class TcioFile:
         # Crash points bracket the deposit: before it, this rank's level-1
         # data dies with the rank; after it, the data sits in the owner's
         # volatile level-2 memory (journaling decides whether it survives).
-        self._crash_point("pre-deposit")
-        self._deposit(gseg, owner, blocks)
-        self._crash_point("post-deposit")
+        yield from self._crash_point("pre-deposit")
+        yield from self._deposit(gseg, owner, blocks)
+        yield from self._crash_point("post-deposit")
 
-    def _deposit(self, gseg: int, owner: int, blocks: list) -> None:
+    def _deposit(self, gseg: int, owner: int, blocks: list):
         if (
             self._staging is not None
             and not self._staging_degraded
@@ -354,27 +362,32 @@ class TcioFile:
             and owner not in self._unreachable_owners
             and not self._topo.same_node(owner, self.comm.rank)
         ):
-            if self._try_stage(gseg, owner, blocks):
+            staged = yield from self._try_stage(gseg, owner, blocks)
+            if staged:
                 return
         if owner in self._unreachable_owners:
-            self._fallback_flush(gseg, blocks)
+            yield from self._fallback_flush(gseg, blocks)
             return
         try:
-            self.level2.push_blocks(gseg, blocks)
+            yield from self.level2.push_blocks(gseg, blocks)
         except RetryBudgetExceeded:
             # Graceful degradation: the segment owner is unreachable past
             # the retry budget, so this rank's data goes to the file
             # system directly (independent-write fallback) — the
             # collective never wedges on a dead peer.
             self._unreachable_owners.add(owner)
-            self._fallback_flush(gseg, blocks)
+            yield from self._fallback_flush(gseg, blocks)
 
-    def _crash_point(self, step: str) -> None:
-        """Named crash-injection point (one attribute test when unfaulted)."""
+    def _crash_point(self, step: str):
+        """Named crash-injection point (one attribute test when unfaulted).
+
+        Coroutine: delivering a crash needs the victim parked, so the
+        world's crash hook may block the caller momentarily.
+        """
         if self._plan is not None:
-            self.env.world.crash_point(step, self.env.rank)
+            yield from run_coroutine(self.env.world.crash_point(step, self.env.rank))
 
-    def _try_stage(self, gseg: int, owner: int, blocks: list) -> bool:
+    def _try_stage(self, gseg: int, owner: int, blocks: list):
         """Deposit one drained level-1 buffer into the node staging buffer.
 
         Returns False — and the caller takes the flat path — when the
@@ -396,13 +409,13 @@ class TcioFile:
                 if self._plan.rma_fault(
                     "staging", self.env.rank, self._leader_world
                 ):
-                    current_process().charge(self._plan.spec.rma_fail_delay)
+                    active_process().charge(self._plan.spec.rma_fail_delay)
                     raise RmaTransientError(
                         "staging", self.env.rank, self._leader_world
                     )
 
             try:
-                self._plan.retry_call(
+                yield from self._plan.retry_call(
                     attempt,
                     retry_on=RmaTransientError,
                     what=f"topo.deposit(seg={gseg})",
@@ -414,7 +427,7 @@ class TcioFile:
                     leader=self._leader_world,
                 )
                 return False
-        charge_staging_copy(self.env.world, self.env.rank, nbytes)
+        yield from charge_staging_copy(self.env.world, self.env.rank, nbytes)
         stage.deposit(
             owner,
             [(gseg, disp, payload) for disp, _length, payload in blocks],
@@ -425,7 +438,7 @@ class TcioFile:
         self._observe_occupancy(stage)
         return True
 
-    def _node_drain(self) -> None:
+    def _node_drain(self):
         """Collective staging drain: the leader ships coalesced deposits.
 
         Runs at every collective point (flush/close) after the local
@@ -436,7 +449,7 @@ class TcioFile:
         """
         if self._staging is None:
             return
-        collectives.barrier(self._node_comm)
+        yield from collectives.barrier(self._node_comm)
         if self._node_comm.rank != 0:
             return
         stage = self._staging
@@ -446,11 +459,11 @@ class TcioFile:
                 continue
             nbytes = sum(len(payload) for _, _, payload in pieces)
             if owner in self._unreachable_owners:
-                self._drain_fallback(owner, pieces)
+                yield from self._drain_fallback(owner, pieces)
                 continue
             # Leader-side pickup: reading the deposits out of node memory
             # to build the merged message is a second memcpy pass.
-            charge_staging_copy(self.env.world, self.env.rank, nbytes)
+            yield from charge_staging_copy(self.env.world, self.env.rank, nbytes)
             win_blocks = coalesce_blocks(
                 [
                     (self.level2._slot_base(g) + disp, payload)
@@ -458,21 +471,21 @@ class TcioFile:
                 ]
             )
             try:
-                self.level2.push_window_blocks(owner, win_blocks)
+                yield from self.level2.push_window_blocks(owner, win_blocks)
             except RetryBudgetExceeded:
                 self._unreachable_owners.add(owner)
                 if self._plan is not None:
                     self._plan.note_fallback(
                         "topo.drain", owner=owner, rank=self.env.rank
                     )
-                self._drain_fallback(owner, pieces)
+                yield from self._drain_fallback(owner, pieces)
                 continue
             for g in sorted({g for g, _, _ in pieces}):
                 self.directory.dirty.add(g)
             self._count("topo.drain.messages", 1)
             self._count("topo.drain.bytes", nbytes)
 
-    def _drain_fallback(self, owner: int, pieces: list) -> None:
+    def _drain_fallback(self, owner: int, pieces: list):
         """Write one owner's staged deposits straight to the PFS.
 
         Reuses the flat fallback machinery segment by segment, so the
@@ -483,7 +496,7 @@ class TcioFile:
         for g, disp, payload in pieces:
             by_seg.setdefault(g, []).append((disp, len(payload), payload))
         for g in sorted(by_seg):
-            self._fallback_flush(g, by_seg[g])
+            yield from self._fallback_flush(g, by_seg[g])
 
     def _count(self, name: str, amount: float = 0.0) -> None:
         hub = getattr(self.env.world, "trace", None)
@@ -495,8 +508,8 @@ class TcioFile:
         if hub is not None:
             hub.registry.histogram("topo.staging.occupancy").observe(stage.used)
 
-    def _fallback_flush(self, gseg: int, blocks: list) -> None:
-        """Write one drained level-1 buffer straight to the PFS.
+    def _fallback_flush(self, gseg: int, blocks: list):
+        """Write one drained level-1 buffer straight to the PFS (coroutine).
 
         The written byte ranges are published in the shared directory so
         the segment owner's whole-segment writeback at close skips them
@@ -510,7 +523,7 @@ class TcioFile:
             "tcio.fallback_flush", segment=gseg, bytes=nbytes, rank=self.env.rank
         ):
             for disp, length, payload in blocks:
-                pfs_retry(
+                yield from pfs_retry(
                     self.env.world,
                     "tcio.fallback_flush",
                     lambda t, _off=seg_start + disp, _p=payload: self.client.write(
@@ -562,15 +575,16 @@ class TcioFile:
     # reads (lazy by default)
     # ------------------------------------------------------------------
     def read(self, dest: Buffer, count: Optional[int] = None,
-             datatype: Datatype = BYTE) -> int:
-        """Record a sequential read into *dest*; data lands at fetch time."""
-        n = self.read_at(self._position, dest, count, datatype)
+             datatype: Datatype = BYTE):
+        """Record a sequential read into *dest* (coroutine); data lands at
+        fetch time."""
+        n = yield from self.read_at(self._position, dest, count, datatype)
         self._position += n
         return n
 
     def read_at(self, offset: int, dest: Buffer, count: Optional[int] = None,
-                datatype: Datatype = BYTE) -> int:
-        """Record a read at an explicit offset into *dest*."""
+                datatype: Datatype = BYTE):
+        """Record a read at an explicit offset into *dest* (coroutine)."""
         self._check_open(reading=True)
         view = _as_dest(dest)
         nbytes = len(view) if count is None else count * datatype.size
@@ -581,34 +595,35 @@ class TcioFile:
         if self.readlog.overflows_with(offset, nbytes):
             # "...either the file domain of cached reads exceeds the size
             # of the level-1 buffer, or the application explicitly requests"
-            self.fetch()
+            yield from self.fetch()
         self.readlog.record(
             PendingRead(dest=view, dest_offset=0, file_offset=offset, length=nbytes)
         )
         self.stats.inc("read_calls")
         self.stats.inc("read_bytes", nbytes)
         if not self.config.lazy_reads:
-            self.fetch()
+            yield from self.fetch()
         return nbytes
 
-    def read_now(self, offset: int, nbytes: int) -> bytes:
-        """Convenience: read + immediate fetch, returning the bytes."""
+    def read_now(self, offset: int, nbytes: int):
+        """Convenience: read + immediate fetch, returning the bytes
+        (coroutine)."""
         out = bytearray(nbytes)
-        self.read_at(offset, out, nbytes, BYTE)
-        self.fetch()
+        yield from self.read_at(offset, out, nbytes, BYTE)
+        yield from self.fetch()
         return bytes(out)
 
-    def fetch(self) -> None:
-        """tcio_fetch: satisfy every recorded read."""
+    def fetch(self):
+        """tcio_fetch: satisfy every recorded read (coroutine)."""
         self._check_open(reading=True)
         pending = self.readlog.drain()
         if not pending:
             return
         self.stats.inc("fetches")
         with self._tracer.span("tcio.fetch", requests=len(pending)):
-            self._fetch_pending(pending)
+            yield from self._fetch_pending(pending)
 
-    def _fetch_pending(self, pending: list[PendingRead]) -> None:
+    def _fetch_pending(self, pending: list[PendingRead]):
         # Group the requested byte ranges by global segment.
         by_segment: dict[int, list[tuple[int, int, memoryview]]] = {}
         for req in pending:
@@ -646,35 +661,39 @@ class TcioFile:
                 and gseg not in d.dirty
                 and gseg not in d.loading
             ):
-                raw = self._ensure_segment(gseg)
+                raw = yield from self._ensure_segment(gseg)
                 if raw is not None:
                     raw_by_seg[gseg] = raw
         for gseg in order:  # pass 2: serve every request
-            self._fetch_segment(gseg, by_segment[gseg], raw_by_seg.get(gseg))
-
-    def _ensure_segment(self, gseg: int) -> Optional[bytes]:
-        """Make sure *gseg* is resident in level 2 (maybe loading it)."""
-
-        def pfs_read(ext: Extent) -> bytes:
-            return pfs_retry(
-                self.env.world,
-                "tcio.segment_load",
-                lambda t: self.client.read(
-                    self.pfs_file, ext.start, ext.length,
-                    owner=self.env.rank, lock_timeout=t,
-                ),
+            yield from self._fetch_segment(
+                gseg, by_segment[gseg], raw_by_seg.get(gseg)
             )
 
-        return self.level2.ensure_loaded(gseg, pfs_read)
+    def _ensure_segment(self, gseg: int):
+        """Make sure *gseg* is resident in level 2 (coroutine)."""
+
+        def pfs_read(ext: Extent):
+            return (
+                yield from pfs_retry(
+                    self.env.world,
+                    "tcio.segment_load",
+                    lambda t: self.client.read(
+                        self.pfs_file, ext.start, ext.length,
+                        owner=self.env.rank, lock_timeout=t,
+                    ),
+                )
+            )
+
+        return (yield from self.level2.ensure_loaded(gseg, pfs_read))
 
     def _fetch_segment(
         self,
         gseg: int,
         requests: list[tuple[int, int, memoryview]],
         raw: Optional[bytes] = None,
-    ) -> None:
+    ):
         if raw is None and gseg not in self.directory.direct:
-            raw = self._ensure_segment(gseg)
+            raw = yield from self._ensure_segment(gseg)
         if raw is not None:
             # This rank performed the load: serve straight from the bytes
             # (works for degraded segments too — the loader has the data).
@@ -685,18 +704,18 @@ class TcioFile:
         if gseg in self.directory.direct:
             # Degraded segment: its owner was unreachable, nothing is
             # cached in level 2 — read straight from the file system.
-            self._fallback_fetch(gseg, requests)
+            yield from self._fallback_fetch(gseg, requests)
             return
         ranges = [(disp, length) for disp, length, _ in requests]
         try:
-            blocks = self.level2.pull_blocks(gseg, ranges)
+            blocks = yield from self.level2.pull_blocks(gseg, ranges)
         except RetryBudgetExceeded:
             self.directory.direct.add(gseg)
             if self._plan is not None:
                 self._plan.note_fallback(
                     "tcio.fetch", segment=gseg, rank=self.env.rank
                 )
-            self._fallback_fetch(gseg, requests)
+            yield from self._fallback_fetch(gseg, requests)
             return
         for (disp, length, dest), (_got_disp, data) in zip(requests, blocks):
             dest[:] = data[:length]
@@ -704,15 +723,15 @@ class TcioFile:
 
     def _fallback_fetch(
         self, gseg: int, requests: list[tuple[int, int, memoryview]]
-    ) -> None:
-        """Serve read requests of a degraded segment directly from the PFS."""
+    ):
+        """Serve degraded-segment reads directly from the PFS (coroutine)."""
         seg_start = self.mapping.segment_extent(gseg).start
         nbytes = sum(ln for _, ln, _ in requests)
         with self._tracer.span(
             "tcio.fallback_fetch", segment=gseg, bytes=nbytes, rank=self.env.rank
         ):
             for disp, length, dest in requests:
-                data = pfs_retry(
+                data = yield from pfs_retry(
                     self.env.world,
                     "tcio.fallback_fetch",
                     lambda t, _off=seg_start + disp, _n=length: self.client.read(
@@ -727,8 +746,9 @@ class TcioFile:
     # ------------------------------------------------------------------
     # flush / close (collective)
     # ------------------------------------------------------------------
-    def flush(self) -> None:
-        """tcio_flush: collective level-1 drain ("invokes MPI_Barrier").
+    def flush(self):
+        """tcio_flush: collective level-1 drain (coroutine; "invokes
+        MPI_Barrier").
 
         With ``journal="epoch"`` every flush is also a durability point:
         the drained data is journaled, committed, and written back in
@@ -737,42 +757,45 @@ class TcioFile:
         self._check_open()
         with self._tracer.span("tcio.flush"):
             if self.mode == TCIO_WRONLY:
-                self._flush_level1()
-                self._node_drain()
-            collectives.barrier(self.comm)
+                yield from self._flush_level1()
+                yield from self._node_drain()
+            yield from collectives.barrier(self.comm)
             if self.mode == TCIO_WRONLY and self.config.journal == "epoch":
-                self._flush_epoch()
+                yield from self._flush_epoch()
 
-    def close(self) -> None:
-        """tcio_close: synchronize, then level-2 -> file system."""
+    def close(self):
+        """tcio_close: synchronize, then level-2 -> file system (coroutine)."""
         self._check_open()
         with self._tracer.span("tcio.close", file=self.name):
             if self.mode == TCIO_WRONLY:
-                self._flush_level1()
-                self._node_drain()
+                yield from self._flush_level1()
+                yield from self._node_drain()
                 # "issues MPI_barrier to synchronize among processes before
                 # outputting data from the level-2 buffers to file system."
-                collectives.barrier(self.comm)
+                yield from collectives.barrier(self.comm)
                 if self.config.journal == "epoch":
-                    self._flush_epoch()
+                    yield from self._flush_epoch()
                 else:
-                    eof = collectives.allreduce(self.comm, self.directory.eof, max)
+                    eof = yield from collectives.allreduce(
+                        self.comm, self.directory.eof, max
+                    )
                     self.directory.eof = eof
                     for gseg in self.level2.owned_dirty_segments():
-                        self._write_back_segment(gseg, eof)
+                        yield from self._write_back_segment(gseg, eof)
                         # Progress marker for crash tooling: fsck counts
                         # dirty-but-unflushed segments as lost after a
                         # journal-off crash.
                         self.directory.flushed.add(gseg)
-                    collectives.barrier(self.comm)
+                    yield from collectives.barrier(self.comm)
             else:
                 if not self.readlog.empty:
-                    self.fetch()
-                collectives.barrier(self.comm)
+                    yield from self.fetch()
+                yield from collectives.barrier(self.comm)
             self._release()
 
-    def _write_back_segment(self, gseg: int, eof: int) -> None:
-        """In-place PFS write of one owned dirty segment (clamped to eof)."""
+    def _write_back_segment(self, gseg: int, eof: int):
+        """In-place PFS write of one owned dirty segment (clamped to eof;
+        coroutine)."""
         extent = self.mapping.segment_extent(gseg)
         stop = min(extent.stop, eof)
         if stop <= extent.start:
@@ -783,7 +806,7 @@ class TcioFile:
             # (fallback flushes): the slot holds zeros there, and
             # a whole-segment write would clobber their data.
             for lo, hi in self._writeback_pieces(gseg, stop - extent.start):
-                pfs_retry(
+                yield from pfs_retry(
                     self.env.world,
                     "tcio.writeback",
                     lambda t, _off=extent.start + lo,
@@ -794,8 +817,9 @@ class TcioFile:
                 )
         self.stats.inc("segment_writebacks")
 
-    def _flush_epoch(self) -> None:
-        """One epoch of the two-phase journaled writeback protocol.
+    def _flush_epoch(self):
+        """One epoch of the two-phase journaled writeback protocol
+        (coroutine).
 
         Phase 1: every owner appends a write-ahead record (extents +
         checksummed payload) per owned dirty-unflushed segment to its
@@ -809,29 +833,31 @@ class TcioFile:
         from repro.crash.journal import commit_name, pack_commit, rank_journal
 
         d = self.directory
-        eof = collectives.allreduce(self.comm, d.eof, max)
+        eof = yield from collectives.allreduce(self.comm, d.eof, max)
         d.eof = eof
         todo = [g for g in self.level2.owned_dirty_segments() if g not in d.flushed]
-        total = collectives.allreduce(self.comm, len(todo), lambda a, b: a + b)
+        total = yield from collectives.allreduce(
+            self.comm, len(todo), lambda a, b: a + b
+        )
         if total == 0:
-            collectives.barrier(self.comm)
+            yield from collectives.barrier(self.comm)
             return
         epoch = d.committed_epoch + 1
         with self._tracer.span("tcio.flush_epoch", epoch=epoch, segments=len(todo)):
             journal = self.env.pfs.create(rank_journal(self.name, self.env.rank))
             for gseg in todo:
-                self._journal_segment(journal, epoch, gseg, eof)
-            collectives.barrier(self.comm)
-            self._crash_point("pre-commit")
+                yield from self._journal_segment(journal, epoch, gseg, eof)
+            yield from collectives.barrier(self.comm)
+            yield from self._crash_point("pre-commit")
             # This barrier is what makes "pre-commit" mean what it says:
             # no rank may write the commit mark until every rank survived
-            # its pre-commit crash point (otherwise baton order could let
+            # its pre-commit crash point (otherwise resume order could let
             # rank 0 commit before the victim even reaches the point).
-            collectives.barrier(self.comm)
+            yield from collectives.barrier(self.comm)
             if self.comm.rank == 0:
                 commit = self.env.pfs.create(commit_name(self.name))
                 mark = pack_commit(epoch, eof)
-                pfs_retry(
+                yield from pfs_retry(
                     self.env.world,
                     "tcio.journal.commit",
                     lambda t, _off=commit.size, _p=mark: self.client.write(
@@ -842,16 +868,17 @@ class TcioFile:
                 # the legacy as_dict() key set is frozen by compat tests.
                 self.stats.registry.counter("tcio.journal.commits").inc()
                 self._count("crash.journal.commits", 1)
-            collectives.barrier(self.comm)
-            self._crash_point("post-commit")
+            yield from collectives.barrier(self.comm)
+            yield from self._crash_point("post-commit")
             for gseg in todo:
-                self._write_back_segment(gseg, eof)
+                yield from self._write_back_segment(gseg, eof)
                 d.flushed.add(gseg)
             d.committed_epoch = epoch
-            collectives.barrier(self.comm)
+            yield from collectives.barrier(self.comm)
 
-    def _journal_segment(self, journal, epoch: int, gseg: int, eof: int) -> None:
-        """Append one segment's write-ahead record to this rank's journal.
+    def _journal_segment(self, journal, epoch: int, gseg: int, eof: int):
+        """Append one segment's write-ahead record to this rank's journal
+        (coroutine).
 
         The record goes out as two PFS writes (header+extents, then the
         checksummed payload) with a crash point between them, so a
@@ -873,15 +900,15 @@ class TcioFile:
             "tcio.journal_record", segment=gseg, epoch=epoch, bytes=len(payload)
         ):
             pos = self._journal_pos
-            pfs_retry(
+            yield from pfs_retry(
                 self.env.world,
                 "tcio.journal.head",
                 lambda t, _p=head: self.client.write(
                     journal, pos, _p, owner=self.env.rank, lock_timeout=t,
                 ),
             )
-            self._crash_point("mid-flush")
-            pfs_retry(
+            yield from self._crash_point("mid-flush")
+            yield from pfs_retry(
                 self.env.world,
                 "tcio.journal.payload",
                 lambda t, _p=payload: self.client.write(
@@ -894,9 +921,17 @@ class TcioFile:
         self.stats.registry.counter("tcio.journal.bytes").inc(len(head) + len(payload))
         self._count("crash.journal.bytes", len(head) + len(payload))
 
-    def _abort(self) -> None:
-        """Tear the handle down locally (no collectives; exception path)."""
+    def abort(self) -> None:
+        """Tear the handle down locally (no collectives; exception path).
+
+        ``close()`` is collective: calling it while unwinding an exception
+        on one rank would deadlock the others, so a failing body calls
+        ``abort()`` instead — simulated memory is released and the handle
+        marked closed without any communication.
+        """
         self._release()
+
+    _abort = abort  # backwards-compatible spelling
 
     def _release(self) -> None:
         memory = self.env.world.memory
@@ -956,33 +991,33 @@ class TcioFile:
 
 
 def tcio_open(env: RankEnv, fname: str, mode: int,
-              config: Optional[TcioConfig] = None) -> TcioFile:
-    """Collective open; mode is TCIO_RDONLY or TCIO_WRONLY."""
-    return TcioFile(env, fname, mode, config)
+              config: Optional[TcioConfig] = None):
+    """Collective open (coroutine); mode is TCIO_RDONLY or TCIO_WRONLY."""
+    return (yield from TcioFile.open(env, fname, mode, config))
 
 
 def tcio_write(fh: TcioFile, data: Buffer, count: Optional[int] = None,
-               datatype: Datatype = BYTE) -> int:
-    """Program 1: sequential write at the current position."""
-    return fh.write(data, count, datatype)
+               datatype: Datatype = BYTE):
+    """Program 1: sequential write at the current position (coroutine)."""
+    return (yield from fh.write(data, count, datatype))
 
 
 def tcio_write_at(fh: TcioFile, offset: int, data: Buffer,
-                  count: Optional[int] = None, datatype: Datatype = BYTE) -> int:
-    """Program 1: write at an explicit offset."""
-    return fh.write_at(offset, data, count, datatype)
+                  count: Optional[int] = None, datatype: Datatype = BYTE):
+    """Program 1: write at an explicit offset (coroutine)."""
+    return (yield from fh.write_at(offset, data, count, datatype))
 
 
 def tcio_read(fh: TcioFile, dest: Buffer, count: Optional[int] = None,
-              datatype: Datatype = BYTE) -> int:
-    """Program 1: record a sequential lazy read into *dest*."""
-    return fh.read(dest, count, datatype)
+              datatype: Datatype = BYTE):
+    """Program 1: record a sequential lazy read into *dest* (coroutine)."""
+    return (yield from fh.read(dest, count, datatype))
 
 
 def tcio_read_at(fh: TcioFile, offset: int, dest: Buffer,
-                 count: Optional[int] = None, datatype: Datatype = BYTE) -> int:
-    """Program 1: record a lazy read at an explicit offset."""
-    return fh.read_at(offset, dest, count, datatype)
+                 count: Optional[int] = None, datatype: Datatype = BYTE):
+    """Program 1: record a lazy read at an explicit offset (coroutine)."""
+    return (yield from fh.read_at(offset, dest, count, datatype))
 
 
 def tcio_seek(fh: TcioFile, offset: int, whence: int = SEEK_SET) -> int:
@@ -990,16 +1025,16 @@ def tcio_seek(fh: TcioFile, offset: int, whence: int = SEEK_SET) -> int:
     return fh.seek(offset, whence)
 
 
-def tcio_flush(fh: TcioFile) -> None:
-    """Program 1: collective level-1 -> level-2 drain."""
-    fh.flush()
+def tcio_flush(fh: TcioFile):
+    """Program 1: collective level-1 -> level-2 drain (coroutine)."""
+    yield from fh.flush()
 
 
-def tcio_fetch(fh: TcioFile) -> None:
-    """Program 1: load all recorded lazy reads."""
-    fh.fetch()
+def tcio_fetch(fh: TcioFile):
+    """Program 1: load all recorded lazy reads (coroutine)."""
+    yield from fh.fetch()
 
 
-def tcio_close(fh: TcioFile) -> None:
-    """Program 1: collective close (level-2 -> file system)."""
-    fh.close()
+def tcio_close(fh: TcioFile):
+    """Program 1: collective close (coroutine; level-2 -> file system)."""
+    yield from fh.close()

@@ -22,7 +22,10 @@ from typing import Optional
 import numpy as np
 
 from repro.obs.spans import NULL_TRACER, Tracer
+from repro.sim.api import run_coroutine
+from repro.sim.engine import active_process
 from repro.sim.sync import SimEvent
+from repro.simmpi.collectives import barrier
 from repro.simmpi.comm import Communicator
 from repro.simmpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Window
 from repro.tcio.mapping import SegmentMapping
@@ -93,13 +96,49 @@ class Level2Buffer:
         self.window = Window(comm, self.data)
         self.faults = getattr(comm.world, "faults", None)
 
+    @classmethod
+    def create(
+        cls,
+        comm: Communicator,
+        mapping: SegmentMapping,
+        segments_per_process: int,
+        directory: SegmentDirectory,
+        stats: TcioStats,
+        *,
+        use_rma: bool = True,
+        combine_indexed: bool = True,
+        tracer: Optional[Tracer] = None,
+    ):
+        """Collectively construct one rank's level-2 slice (coroutine).
+
+        Window registration itself is local; the trailing barrier makes
+        creation collective, so every rank's window exists before any
+        one-sided access targets it.
+        """
+        buf = cls(
+            comm,
+            mapping,
+            segments_per_process,
+            directory,
+            stats,
+            use_rma=use_rma,
+            combine_indexed=combine_indexed,
+            tracer=tracer,
+        )
+        yield from barrier(comm)
+        return buf
+
     def _retry_rma(self, what: str, op):
-        """Run one RMA sequence, retrying transient failures when faults
-        are armed (RetryBudgetExceeded propagates to the recovery layer in
-        tcio/file.py). Without a fault plan: a plain call."""
+        """Drive one RMA sequence (coroutine), retrying transient failures
+        when faults are armed (RetryBudgetExceeded propagates to the
+        recovery layer in tcio/file.py)."""
         if self.faults is None:
-            return op(0)
-        return self.faults.retry_call(op, retry_on=RmaTransientError, what=what)
+            return (yield from run_coroutine(op(0)))
+        return (
+            yield from self.faults.retry_call(
+                op, retry_on=RmaTransientError, what=what
+            )
+        )
 
     # ------------------------------------------------------------------
     # placement helpers
@@ -126,8 +165,8 @@ class Level2Buffer:
     # ------------------------------------------------------------------
     def push_blocks(
         self, global_segment: int, blocks: list[tuple[int, int, bytes]]
-    ) -> None:
-        """Move one drained level-1 buffer into the owning slot.
+    ):
+        """Move one drained level-1 buffer into the owning slot (coroutine).
 
         ``blocks`` is ``[(disp, length, payload), ...]`` within the segment.
         """
@@ -151,14 +190,12 @@ class Level2Buffer:
                 if not self.use_rma:
                     # Ablation: pay two-sided receive-side matching costs.
                     finish = self.comm.world.charge_matching(owner)
-                    from repro.sim.engine import current_process
-
                     now = self.comm.world.engine.now
                     if finish > now:
-                        current_process().sleep(finish - now)
+                        yield from active_process().sleep(finish - now)
 
-                def attempt(_attempt: int) -> None:
-                    self.window.lock(owner, LOCK_EXCLUSIVE)
+                def attempt(_attempt: int):
+                    yield from self.window.lock(owner, LOCK_EXCLUSIVE)
                     try:
                         if self.combine_indexed:
                             self.window.put_indexed(targets, owner)
@@ -171,7 +208,9 @@ class Level2Buffer:
                     finally:
                         self.window.unlock(owner)
 
-                self._retry_rma(f"tcio.push(seg={global_segment})", attempt)
+                yield from self._retry_rma(
+                    f"tcio.push(seg={global_segment})", attempt
+                )
             self.stats.inc("remote_flushes")
             self.stats.inc("put_blocks", len(blocks))
         self.stats.inc("flushed_bytes", nbytes)
@@ -184,8 +223,9 @@ class Level2Buffer:
 
     def push_window_blocks(
         self, owner: int, blocks: list[tuple[int, bytes]]
-    ) -> None:
-        """Leader drain: one indexed Put of pre-coalesced window blocks.
+    ):
+        """Leader drain: one indexed Put of pre-coalesced window blocks
+        (coroutine).
 
         ``blocks`` is ``[(window offset, payload), ...]`` already merged
         across this node's depositors (``repro.topo``) — the hierarchical
@@ -207,14 +247,14 @@ class Level2Buffer:
                 "topo.drain", target=owner, bytes=nbytes, blocks=len(blocks)
             ):
 
-                def attempt(_attempt: int) -> None:
-                    self.window.lock(owner, LOCK_EXCLUSIVE)
+                def attempt(_attempt: int):
+                    yield from self.window.lock(owner, LOCK_EXCLUSIVE)
                     try:
                         self.window.put_indexed(blocks, owner)
                     finally:
                         self.window.unlock(owner)
 
-                self._retry_rma(f"topo.drain(owner={owner})", attempt)
+                yield from self._retry_rma(f"topo.drain(owner={owner})", attempt)
             self.stats.inc("remote_flushes")
             self.stats.inc("put_blocks", len(blocks))
         self.stats.inc("flushed_bytes", nbytes)
@@ -232,11 +272,13 @@ class Level2Buffer:
     # ------------------------------------------------------------------
     # read path: reader-loads-and-caches, then one-sided gets
     # ------------------------------------------------------------------
-    def ensure_loaded(self, global_segment: int, pfs_read) -> Optional[bytes]:
-        """Make sure the segment's file bytes sit in its owner's slot.
+    def ensure_loaded(self, global_segment: int, pfs_read):
+        """Make sure the segment's file bytes sit in its owner's slot
+        (coroutine).
 
-        ``pfs_read(extent) -> bytes`` is the caller's storage reader (it
-        charges storage time to the calling rank). Returns the raw segment
+        ``pfs_read(extent)`` is the caller's storage reader — a coroutine
+        (or plain callable) yielding the bytes, charged to the calling
+        rank. Returns the raw segment
         bytes when this call performed the load (the loader can then serve
         itself without a Get); returns None when the slot was already (or
         concurrently) loaded.
@@ -250,7 +292,8 @@ class Level2Buffer:
             return None
         event = d.loading.get(global_segment)
         if event is not None:
-            event.wait()  # another rank is loading; data is ready after
+            # Another rank is loading; data is ready after the fire.
+            yield from event.wait()
             return None
         event = SimEvent(f"tcio.load(seg={global_segment})", sticky=True)
         d.loading[global_segment] = event
@@ -258,7 +301,7 @@ class Level2Buffer:
         with self.tracer.span(
             "tcio.segment_load", segment=global_segment, bytes=extent.length
         ):
-            payload = pfs_read(extent)
+            payload = yield from run_coroutine(pfs_read(extent))
             owner = self.mapping.owner_of_segment(global_segment)
             base = self._slot_base(global_segment)
             degraded = False
@@ -268,15 +311,17 @@ class Level2Buffer:
                 )
             else:
 
-                def attempt(_attempt: int) -> None:
-                    self.window.lock(owner, LOCK_EXCLUSIVE)
+                def attempt(_attempt: int):
+                    yield from self.window.lock(owner, LOCK_EXCLUSIVE)
                     try:
                         self.window.put(payload, owner, base)
                     finally:
                         self.window.unlock(owner)
 
                 try:
-                    self._retry_rma(f"tcio.load(seg={global_segment})", attempt)
+                    yield from self._retry_rma(
+                        f"tcio.load(seg={global_segment})", attempt
+                    )
                 except RetryBudgetExceeded:
                     # The owner is unreachable: don't cache in level 2 at
                     # all — mark the segment direct so every reader goes
@@ -285,9 +330,7 @@ class Level2Buffer:
             # The loaded flag may only become visible once the put has
             # landed; unlock charges the drain lazily, so settle before
             # publishing.
-            from repro.sim.engine import current_process
-
-            current_process().settle()
+            yield from active_process().settle()
         if degraded:
             d.direct.add(global_segment)
             if self.faults is not None:
@@ -303,8 +346,8 @@ class Level2Buffer:
 
     def pull_blocks(
         self, global_segment: int, ranges: list[tuple[int, int]]
-    ) -> list[tuple[int, bytes]]:
-        """Fetch ``(disp, length)`` ranges of a resident segment.
+    ):
+        """Fetch ``(disp, length)`` ranges of a resident segment (coroutine).
 
         Local slots are served by memcpy; remote ones with a single
         indexed one-sided Get under a shared lock.
@@ -321,21 +364,26 @@ class Level2Buffer:
             "tcio.pull", segment=global_segment, target=owner, bytes=nbytes
         ):
 
-            def attempt(_attempt: int) -> list[tuple[int, bytes]]:
-                self.window.lock(owner, LOCK_SHARED)
+            def attempt(_attempt: int):
+                yield from self.window.lock(owner, LOCK_SHARED)
                 try:
                     if self.combine_indexed:
-                        return self.window.get_indexed(
-                            [(base + disp, ln) for disp, ln in ranges], owner
+                        return (
+                            yield from self.window.get_indexed(
+                                [(base + disp, ln) for disp, ln in ranges], owner
+                            )
                         )
-                    return [
-                        (base + disp, self.window.get(owner, base + disp, ln))
-                        for disp, ln in ranges
-                    ]
+                    out = []
+                    for disp, ln in ranges:
+                        data = yield from self.window.get(owner, base + disp, ln)
+                        out.append((base + disp, data))
+                    return out
                 finally:
                     self.window.unlock(owner)
 
-            got = self._retry_rma(f"tcio.pull(seg={global_segment})", attempt)
+            got = yield from self._retry_rma(
+                f"tcio.pull(seg={global_segment})", attempt
+            )
         self.stats.inc("get_blocks", len(ranges))
         self.stats.inc("fetched_bytes", nbytes)
         return [(off - base, data) for off, data in got]

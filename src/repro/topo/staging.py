@@ -16,7 +16,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Optional, Sequence
 
-from repro.sim.engine import current_process
+from repro.sim.engine import active_process
 from repro.util.intervals import Extent, ExtentSet
 
 
@@ -80,19 +80,19 @@ class StagingBuffer:
         )
 
 
-def charge_staging_copy(world, rank: int, nbytes: int) -> None:
+def charge_staging_copy(world, rank: int, nbytes: int):
     """Occupy the calling rank until its node memcpy of *nbytes* completes.
 
-    Reserves the node's memory engine through the fabric (so staging
-    traffic contends with intra-node messages) without counting a network
-    message — see ``Fabric.staging_copy``.
+    Coroutine. Reserves the node's memory engine through the fabric (so
+    staging traffic contends with intra-node messages) without counting a
+    network message — see ``Fabric.staging_copy``.
     """
     if nbytes <= 0:
         return
     t = world.fabric.staging_copy(rank, nbytes)
     now = world.engine.now
     if t > now:
-        current_process().sleep(t - now)
+        yield from active_process().sleep(t - now)
 
 
 def coalesce_blocks(

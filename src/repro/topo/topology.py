@@ -109,10 +109,11 @@ class NodeTopology:
         return self.node_of_rank(a) == self.node_of_rank(b)
 
 
-def split_by_node(comm: Communicator, topo: NodeTopology | None = None) -> Communicator:
+def split_by_node(comm: Communicator, topo: NodeTopology | None = None):
     """``MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)``: one communicator per node.
 
-    Collective over *comm*. Members keep their parent order, so the node's
+    Collective coroutine over *comm*: ``node_comm = yield from
+    split_by_node(comm)``. Members keep their parent order, so the node's
     leader (lowest parent rank) is local rank 0 of the result.
 
     Unlike the general ``comm_split`` (which allgathers colors, paying
@@ -135,5 +136,5 @@ def split_by_node(comm: Communicator, topo: NodeTopology | None = None) -> Commu
     node_comm = SubCommunicator(
         comm.world, group, comm.world_rank(comm.rank), new_id
     )
-    collectives.barrier(comm)
+    yield from collectives.barrier(comm)
     return node_comm

@@ -30,10 +30,10 @@ class TestEngineKill:
         seen = []
 
         def victim():
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
             try:
-                current_process().sleep(10.0)
+                yield from active_process().sleep(10.0)
                 seen.append("woke")
             except ProcessCrashed as exc:
                 seen.append(("crashed", exc.rank))
@@ -52,9 +52,9 @@ class TestEngineKill:
         ticks = []
 
         def victim():
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
-            current_process().sleep(10.0)
+            yield from active_process().sleep(10.0)
 
         proc = engine.spawn("victim", victim)
         engine.kill_process(proc, at=1.0)
@@ -82,11 +82,11 @@ class TestDeadRankSurfacing:
                 # the "dead" rank: its own barrier entry also surfaces the
                 # death (it is in dead_ranks), ending the job
                 with pytest.raises(RankUnreachable):
-                    collectives.barrier(env.comm)
+                    (yield from collectives.barrier(env.comm))
                 return "unreachable"
             env.world.kill_ranks([1], where="test")
             with pytest.raises(RankUnreachable):
-                env.comm.send(b"x", 1)
+                (yield from env.comm.send(b"x", 1))
             return "survivor"
 
         res = run(2, main)
@@ -100,7 +100,7 @@ class TestDeadRankSurfacing:
             # every survivor entering the barrier must see the death
             # rather than wait for rank 2 forever
             with pytest.raises(RankUnreachable):
-                collectives.barrier(env.comm)
+                (yield from collectives.barrier(env.comm))
 
         res = run(4, main)
         assert res.aborted is not None and res.dead_ranks == {2}
@@ -116,7 +116,7 @@ class TestDeadRankSurfacing:
                 env.world.kill_ranks([2], where="test")
                 return "killer"
             try:
-                collectives.barrier(env.comm)
+                (yield from collectives.barrier(env.comm))
             except RankUnreachable as exc:
                 order.append((env.rank, exc.target))
                 raise
@@ -131,7 +131,7 @@ class TestDeadRankSurfacing:
             f.write_bytes(0, b"payload")
             if env.rank == 0:
                 env.world.kill_ranks([1], where="test")
-            collectives.barrier(env.comm)
+            (yield from collectives.barrier(env.comm))
 
         res = run(2, main)
         assert res.aborted is not None
@@ -174,7 +174,7 @@ class TestCrashPointTargeting:
 
         def main(env):
             env.world.crash_point("step-a", env.rank)
-            collectives.barrier(env.comm)
+            (yield from collectives.barrier(env.comm))
 
         # test cluster: 4 cores per node, so node 0 = ranks 0..3
         res = run(8, main, faults=plan)
@@ -212,7 +212,7 @@ class TestCrashPointTargeting:
 
         def main(env):
             env.world.crash_point("s", env.rank)
-            collectives.barrier(env.comm)
+            (yield from collectives.barrier(env.comm))
 
         res = run(2, main, faults=plan)
         count, _ = res.trace.summary()["crash.ranks"]

@@ -49,9 +49,9 @@ class TestCloseDegradation:
         # No explicit flush: the deposits (including the doomed push to
         # rank 1) all happen inside tcio_close.
         def main(env):
-            fh = tcio_open(env, "f", TCIO_WRONLY, cfg(env.size))
-            tcio_write_at(fh, env.rank * PER_RANK, pattern(env.rank))
-            fh.close()
+            fh = (yield from tcio_open(env, "f", TCIO_WRONLY, cfg(env.size)))
+            (yield from tcio_write_at(fh, env.rank * PER_RANK, pattern(env.rank)))
+            (yield from fh.close())
 
         res, plan = run(2, main, FaultSpec(unreachable_ranks=(1,)))
         assert res.aborted is None
@@ -68,9 +68,9 @@ class TestCloseDegradation:
         monkeypatch.setattr(TcioFile, "_fallback_flush", broken_fallback)
 
         def main(env):
-            fh = tcio_open(env, "f", TCIO_WRONLY, cfg(env.size))
-            tcio_write_at(fh, env.rank * PER_RANK, pattern(env.rank))
-            fh.close()
+            fh = (yield from tcio_open(env, "f", TCIO_WRONLY, cfg(env.size)))
+            (yield from tcio_write_at(fh, env.rank * PER_RANK, pattern(env.rank)))
+            (yield from fh.close())
 
         with pytest.raises(RetryBudgetExceeded):
             run(2, main, FaultSpec(unreachable_ranks=(1,)))
@@ -84,14 +84,14 @@ class TestDataAtRiskAlarm:
         off, n = SEGMENT, 32  # inside segment 1, owned by rank 1
 
         def main(env):
-            fh = tcio_open(env, "f", TCIO_WRONLY, cfg(env.size))
+            fh = (yield from tcio_open(env, "f", TCIO_WRONLY, cfg(env.size)))
             if env.rank == 1:
-                tcio_write_at(fh, off, pattern(1, n))
-            fh.flush()  # collective: rank 1's deposit is now on record
+                (yield from tcio_write_at(fh, off, pattern(1, n)))
+            (yield from fh.flush())  # collective: rank 1's deposit is now on record
             if env.rank == 0:
-                tcio_write_at(fh, off, pattern(0, n))
-            fh.flush()  # rank 0's doomed push degrades over the deposit
-            fh.close()
+                (yield from tcio_write_at(fh, off, pattern(0, n)))
+            (yield from fh.flush())  # rank 0's doomed push degrades over the deposit
+            (yield from fh.close())
 
         with pytest.warns(RuntimeWarning, match="deposits will not be written"):
             res, plan = run(2, main, FaultSpec(unreachable_ranks=(1,)))

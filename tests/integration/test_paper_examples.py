@@ -35,10 +35,10 @@ class TestFigure2ThroughOcio:
         def main(env):
             etype = Contiguous(12, BYTE)
             filetype = etype.vector(3, 1, env.size)
-            fh = MpiFile.open(env, "fig2")
-            fh.set_view(env.rank * 12, etype, filetype)
-            fh.write_all(fig2_rank_payload(env.rank))
-            fh.close()
+            fh = (yield from MpiFile.open(env, "fig2"))
+            (yield from fh.set_view(env.rank * 12, etype, filetype))
+            (yield from fh.write_all(fig2_rank_payload(env.rank)))
+            (yield from fh.close())
 
         res = run_mpi(2, main, cluster=make_test_cluster())
         assert res.pfs.lookup("fig2").contents() == fig2_expected()
@@ -50,10 +50,10 @@ class TestFigure2ThroughOcio:
         def main(env):
             etype = Contiguous(12, BYTE)
             filetype = etype.vector(3, 1, env.size)
-            fh = MpiFile.open(env, "fig2")
-            fh.set_view(env.rank * 12, etype, filetype)
-            fh.write_all(fig2_rank_payload(env.rank))
-            fh.close()
+            fh = (yield from MpiFile.open(env, "fig2"))
+            (yield from fh.set_view(env.rank * 12, etype, filetype))
+            (yield from fh.write_all(fig2_rank_payload(env.rank)))
+            (yield from fh.close())
 
         res = run_mpi(2, main, cluster=make_test_cluster())
         # each of the 2 aggregators issued at most one storage write
@@ -66,12 +66,12 @@ class TestFigure4ThroughTcio:
     def test_write_produces_the_same_figure(self):
         def main(env):
             cfg = TcioConfig(segment_size=24, segments_per_process=4)
-            fh = TcioFile(env, "fig4", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "fig4", TCIO_WRONLY, cfg))
             for i in range(3):
                 pos = env.rank * 12 + i * 12 * env.size
-                fh.write_at(pos, struct.pack("<i", i + 10 * env.rank))
-                fh.write_at(pos + 4, struct.pack("<d", float(i) + 100.0 * env.rank))
-            fh.close()
+                (yield from fh.write_at(pos, struct.pack("<i", i + 10 * env.rank)))
+                (yield from fh.write_at(pos + 4, struct.pack("<d", float(i) + 100.0 * env.rank)))
+            (yield from fh.close())
             return fh.stats
 
         res = run_mpi(2, main, cluster=make_test_cluster())
@@ -82,13 +82,13 @@ class TestFigure4ThroughTcio:
         the level-1 buffer before realigning."""
         def main(env):
             cfg = TcioConfig(segment_size=24, segments_per_process=4)
-            fh = TcioFile(env, "fig4", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "fig4", TCIO_WRONLY, cfg))
             flush_counts = []
             for i in range(3):
                 pos = env.rank * 12 + i * 12 * env.size
-                fh.write_at(pos, b"\x00" * 12)
+                (yield from fh.write_at(pos, b"\x00" * 12))
                 flush_counts.append(fh.stats.flushes)
-            fh.close()
+            (yield from fh.close())
             return flush_counts
 
         res = run_mpi(2, main, cluster=make_test_cluster())
@@ -114,20 +114,20 @@ class TestFigure4ThroughTcio:
 
         def main(env):
             cfg = TcioConfig(segment_size=32, segments_per_process=8)
-            fh = tcio_open(env, "p1", TCIO_WRONLY, cfg)
+            fh = (yield from tcio_open(env, "p1", TCIO_WRONLY, cfg))
             tcio_seek(fh, env.rank * 8)
-            tcio_write(fh, bytes([env.rank]) * 4)
-            tcio_write_at(fh, env.rank * 8 + 4, bytes([env.rank + 100]) * 4)
-            tcio_flush(fh)
-            tcio_close(fh)
+            (yield from tcio_write(fh, bytes([env.rank]) * 4))
+            (yield from tcio_write_at(fh, env.rank * 8 + 4, bytes([env.rank + 100]) * 4))
+            (yield from tcio_flush(fh))
+            (yield from tcio_close(fh))
 
-            fh = tcio_open(env, "p1", TCIO_RDONLY, cfg)
+            fh = (yield from tcio_open(env, "p1", TCIO_RDONLY, cfg))
             a, b = bytearray(4), bytearray(4)
             tcio_seek(fh, env.rank * 8)
-            tcio_read(fh, a)
-            tcio_read_at(fh, env.rank * 8 + 4, b)
-            tcio_fetch(fh)
-            tcio_close(fh)
+            (yield from tcio_read(fh, a))
+            (yield from tcio_read_at(fh, env.rank * 8 + 4, b))
+            (yield from tcio_fetch(fh))
+            (yield from tcio_close(fh))
             assert bytes(a) == bytes([env.rank]) * 4
             assert bytes(b) == bytes([env.rank + 100]) * 4
 
@@ -142,18 +142,18 @@ class TestOcioTcioEquivalence:
         def via_ocio(env):
             etype = Contiguous(12, BYTE)
             filetype = etype.vector(length, 1, env.size)
-            fh = MpiFile.open(env, "o")
-            fh.set_view(env.rank * 12, etype, filetype)
-            fh.write_all(fig2_rank_payload(env.rank, length))
-            fh.close()
+            fh = (yield from MpiFile.open(env, "o"))
+            (yield from fh.set_view(env.rank * 12, etype, filetype))
+            (yield from fh.write_all(fig2_rank_payload(env.rank, length)))
+            (yield from fh.close())
 
         def via_tcio(env):
             cfg = TcioConfig(segment_size=48, segments_per_process=8)
-            fh = TcioFile(env, "t", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "t", TCIO_WRONLY, cfg))
             for i in range(length):
                 pos = env.rank * 12 + i * 12 * env.size
-                fh.write_at(pos, fig2_rank_payload(env.rank, length)[i * 12 : i * 12 + 12])
-            fh.close()
+                (yield from fh.write_at(pos, fig2_rank_payload(env.rank, length)[i * 12 : i * 12 + 12]))
+            (yield from fh.close())
 
         a = run_mpi(nprocs, via_ocio, cluster=make_test_cluster())
         b = run_mpi(nprocs, via_tcio, cluster=make_test_cluster())

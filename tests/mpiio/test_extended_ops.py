@@ -18,9 +18,9 @@ def run(n, fn, **kw):
 class TestSharedPointer:
     def test_appends_claim_disjoint_regions(self):
         def main(env):
-            fh = MpiFile.open(env, "log")
-            offset = fh.write_shared(bytes([65 + env.rank]) * 8)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "log"))
+            offset = (yield from fh.write_shared(bytes([65 + env.rank]) * 8))
+            (yield from fh.close())
             return offset
 
         res = run(4, main)
@@ -33,12 +33,12 @@ class TestSharedPointer:
 
     def test_read_shared_advances(self):
         def main(env):
-            fh = MpiFile.open(env, "log")
+            fh = (yield from MpiFile.open(env, "log"))
             if env.rank == 0:
-                fh.write_at(0, b"AAAABBBB")
-            coll.barrier(env.comm)
-            off, data = fh.read_shared(4)
-            fh.close()
+                (yield from fh.write_at(0, b"AAAABBBB"))
+            (yield from coll.barrier(env.comm))
+            off, data = (yield from fh.read_shared(4))
+            (yield from fh.close())
             return off, data
 
         res = run(2, main)
@@ -50,11 +50,11 @@ class TestSharedPointer:
         def main(env):
             from repro.simmpi.datatypes import INT
 
-            fh = MpiFile.open(env, "log")
-            fh.set_view(0, INT)
+            fh = (yield from MpiFile.open(env, "log"))
+            (yield from fh.set_view(0, INT))
             with pytest.raises(MpiIoError):
-                fh.write_shared(b"xyz")  # 3 bytes, not a whole INT
-            fh.close()
+                (yield from fh.write_shared(b"xyz"))  # 3 bytes, not a whole INT
+            (yield from fh.close())
 
         run(2, main)
 
@@ -62,12 +62,12 @@ class TestSharedPointer:
 class TestNonblockingIo:
     def test_iwrite_then_wait(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
+            fh = (yield from MpiFile.open(env, "f"))
             req = fh.iwrite_at(env.rank * 4, bytes([env.rank]) * 4)
             assert not req.test()
-            req.wait()
+            (yield from req.wait())
             assert req.test()
-            fh.close()
+            (yield from fh.close())
 
         res = run(3, main)
         assert res.pfs.lookup("f").contents() == bytes(
@@ -76,11 +76,11 @@ class TestNonblockingIo:
 
     def test_iread_returns_data_at_wait(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.write_at(0, b"0123456789")
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.write_at(0, b"0123456789"))
             req = fh.iread_at(2, 4)
-            assert req.wait() == b"2345"
-            fh.close()
+            assert (yield from req.wait()) == b"2345"
+            (yield from fh.close())
 
         run(1, main)
 
@@ -88,36 +88,36 @@ class TestNonblockingIo:
 class TestSizeManagement:
     def test_set_size_truncates(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.write_at(0, b"x" * 100)
-            coll.barrier(env.comm)
-            fh.set_size(10)
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.write_at(0, b"x" * 100))
+            (yield from coll.barrier(env.comm))
+            (yield from fh.set_size(10))
             assert fh.size_bytes() == 10
-            fh.close()
+            (yield from fh.close())
 
         run(2, main)
 
     def test_preallocate_extends_only(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.write_at(0, b"abc")
-            coll.barrier(env.comm)
-            fh.preallocate(50)
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.write_at(0, b"abc"))
+            (yield from coll.barrier(env.comm))
+            (yield from fh.preallocate(50))
             assert fh.size_bytes() == 50
-            fh.preallocate(10)  # never shrinks
+            (yield from fh.preallocate(10))  # never shrinks
             assert fh.size_bytes() == 50
-            fh.close()
+            (yield from fh.close())
 
         run(2, main)
 
     def test_negative_sizes_rejected(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
+            fh = (yield from MpiFile.open(env, "f"))
             with pytest.raises(MpiIoError):
-                fh.set_size(-1)
+                (yield from fh.set_size(-1))
             with pytest.raises(MpiIoError):
-                fh.preallocate(-1)
-            fh.close()
+                (yield from fh.preallocate(-1))
+            (yield from fh.close())
 
         run(1, main)
 
@@ -126,24 +126,24 @@ class TestRoundsBasedTwoPhase:
     def _write(self, env, hints):
         etype = Contiguous(4, BYTE)
         ft = etype.vector(8, 1, env.size)
-        fh = MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints)
-        fh.set_view(env.rank * 4, etype, ft)
-        fh.write_all(bytes([65 + env.rank]) * 32)
-        fh.close()
+        fh = (yield from MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints))
+        (yield from fh.set_view(env.rank * 4, etype, ft))
+        (yield from fh.write_all(bytes([65 + env.rank]) * 32))
+        (yield from fh.close())
 
     def expected(self, n):
         return b"".join(bytes([65 + r]) * 4 for r in range(n)) * 8
 
     def test_rounds_produce_identical_file(self):
         def main(env):
-            self._write(env, IoHints(cb_rounds_buffer=8))
+            (yield from self._write(env, IoHints(cb_rounds_buffer=8)))
 
         res = run(4, main)
         assert res.pfs.lookup("f").contents() == self.expected(4)
 
     def test_single_giant_round_matches_default(self):
         def main(env):
-            self._write(env, IoHints(cb_rounds_buffer=1 << 20))
+            (yield from self._write(env, IoHints(cb_rounds_buffer=1 << 20)))
 
         res = run(4, main)
         assert res.pfs.lookup("f").contents() == self.expected(4)
@@ -152,7 +152,7 @@ class TestRoundsBasedTwoPhase:
         highs = {}
 
         def main(env, hints, key):
-            self._write(env, hints)
+            (yield from self._write(env, hints))
             highs[key] = env.world.memory.high_water()
 
         run(4, lambda env: main(env, IoHints(cb_rounds_buffer=8), "rounds"))
@@ -161,9 +161,9 @@ class TestRoundsBasedTwoPhase:
 
     def test_rounds_with_holes(self):
         def main(env):
-            fh = MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, IoHints(cb_rounds_buffer=6))
-            fh.write_at_all(env.rank * 40, bytes([65 + env.rank]) * 8)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, IoHints(cb_rounds_buffer=6)))
+            (yield from fh.write_at_all(env.rank * 40, bytes([65 + env.rank]) * 8))
+            (yield from fh.close())
 
         res = run(2, main)
         data = res.pfs.lookup("f").contents()

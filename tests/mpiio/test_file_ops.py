@@ -19,7 +19,7 @@ class TestOpenClose:
     def test_open_without_create_needs_existing(self):
         def main(env):
             with pytest.raises(Exception):
-                MpiFile.open(env, "nope", MODE_RDONLY)
+                (yield from MpiFile.open(env, "nope", MODE_RDONLY))
 
         # deadlock-free: both ranks raise before the barrier
         run(1, main)
@@ -27,35 +27,35 @@ class TestOpenClose:
     def test_write_on_rdonly_rejected(self):
         def main(env):
             env.pfs.create("f")
-            fh = MpiFile.open(env, "f", MODE_RDONLY)
+            fh = (yield from MpiFile.open(env, "f", MODE_RDONLY))
             with pytest.raises(MpiIoError):
-                fh.write_at(0, b"x")
-            fh.close()
+                (yield from fh.write_at(0, b"x"))
+            (yield from fh.close())
 
         run(2, main)
 
     def test_read_on_wronly_rejected(self):
         def main(env):
-            fh = MpiFile.open(env, "f", MODE_WRONLY | MODE_CREATE)
+            fh = (yield from MpiFile.open(env, "f", MODE_WRONLY | MODE_CREATE))
             with pytest.raises(MpiIoError):
-                fh.read_at(0, 1)
-            fh.close()
+                (yield from fh.read_at(0, 1))
+            (yield from fh.close())
 
         run(2, main)
 
     def test_ops_after_close_rejected(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.close())
             with pytest.raises(MpiIoError):
-                fh.write_at(0, b"x")
+                (yield from fh.write_at(0, b"x"))
 
         run(1, main)
 
     def test_mode_must_include_access(self):
         def main(env):
             with pytest.raises(MpiIoError):
-                MpiFile.open(env, "f", MODE_CREATE)
+                (yield from MpiFile.open(env, "f", MODE_CREATE))
 
         run(1, main)
 
@@ -64,23 +64,23 @@ class TestPointers:
     def test_sequential_write_read(self):
         def main(env):
             if env.rank == 0:
-                fh = MpiFile.open(env, "f")
-                fh.write(b"abc")
-                fh.write(b"def")
+                fh = (yield from MpiFile.open(env, "f"))
+                (yield from fh.write(b"abc"))
+                (yield from fh.write(b"def"))
                 fh.seek(0)
-                assert fh.read(6) == b"abcdef"
+                assert (yield from fh.read(6)) == b"abcdef"
                 assert fh.tell() == 6
-                fh.close()
+                (yield from fh.close())
             else:
-                fh = MpiFile.open(env, "f")
-                fh.close()
+                fh = (yield from MpiFile.open(env, "f"))
+                (yield from fh.close())
 
         run(2, main)
 
     def test_seek_whence_modes(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.write_at(0, b"0123456789")
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.write_at(0, b"0123456789"))
             fh.seek(4)
             assert fh.tell() == 4
             fh.seek(2, 1)
@@ -91,28 +91,28 @@ class TestPointers:
                 fh.seek(-100)
             with pytest.raises(MpiIoError):
                 fh.seek(0, 9)
-            fh.close()
+            (yield from fh.close())
 
         run(1, main)
 
     def test_etype_units(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.set_view(0, INT)
-            fh.write_at(2, b"\x01\x02\x03\x04", 1, INT)  # offset in INTs
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(0, INT))
+            (yield from fh.write_at(2, b"\x01\x02\x03\x04", 1, INT))  # offset in INTs
+            (yield from fh.close())
             assert env.pfs.lookup("f").read_bytes(8, 4) == b"\x01\x02\x03\x04"
 
         run(1, main)
 
     def test_size_etypes(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.set_view(0, INT)
-            fh.write_at(0, b"\x00" * 12, 3, INT)
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(0, INT))
+            (yield from fh.write_at(0, b"\x00" * 12, 3, INT))
             assert fh.size_bytes() == 12
             assert fh.size_etypes() == 3
-            fh.close()
+            (yield from fh.close())
 
         run(1, main)
 
@@ -122,11 +122,11 @@ class TestIndependentNoncontiguous:
         def main(env):
             etype = Contiguous(2, BYTE)
             ft = etype.vector(3, 1, 2)  # 2 bytes every 4
-            fh = MpiFile.open(env, "f")
-            fh.set_view(env.rank * 2, etype, ft)
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(env.rank * 2, etype, ft))
             payload = bytes([65 + env.rank]) * 6
-            fh.write_at(0, payload)
-            fh.close()
+            (yield from fh.write_at(0, payload))
+            (yield from fh.close())
 
         res = run(2, main)
         assert res.pfs.lookup("f").contents() == b"AABBAABBAABB"
@@ -135,12 +135,12 @@ class TestIndependentNoncontiguous:
         def main(env):
             etype = Contiguous(2, BYTE)
             ft = etype.vector(3, 1, 2)
-            fh = MpiFile.open(env, "f")
-            fh.set_view(env.rank * 2, etype, ft)
-            fh.write_at(0, bytes([65 + env.rank]) * 6)
-            coll.barrier(env.comm)
-            got = fh.read_at(0, 3, etype)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(env.rank * 2, etype, ft))
+            (yield from fh.write_at(0, bytes([65 + env.rank]) * 6))
+            (yield from coll.barrier(env.comm))
+            got = (yield from fh.read_at(0, 3, etype))
+            (yield from fh.close())
             assert got == bytes([65 + env.rank]) * 6
 
         run(2, main)
@@ -151,10 +151,10 @@ class TestIndependentNoncontiguous:
         def main(env):
             etype = Contiguous(2, BYTE)
             ft = etype.vector(4, 1, 2)
-            fh = MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints)
-            fh.set_view(0, etype, ft)
-            fh.write_at(0, b"XY" * 4)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints))
+            (yield from fh.set_view(0, etype, ft))
+            (yield from fh.write_at(0, b"XY" * 4))
+            (yield from fh.close())
             return env.pfs.lookup("f").contents()
 
         res = run(1, main)
@@ -167,10 +167,10 @@ class TestIndependentNoncontiguous:
             f.write_bytes(0, b"................")  # pre-existing data
             etype = Contiguous(2, BYTE)
             ft = etype.vector(3, 1, 2)
-            fh = MpiFile.open(env, "f", MODE_RDWR)
-            fh.set_view(0, etype, ft)
-            fh.write_at(0, b"ABCDEF")  # sieved read-modify-write
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f", MODE_RDWR))
+            (yield from fh.set_view(0, etype, ft))
+            (yield from fh.write_at(0, b"ABCDEF"))  # sieved read-modify-write
+            (yield from fh.close())
             return env.pfs.lookup("f").contents()
 
         res = run(1, main)
@@ -179,13 +179,13 @@ class TestIndependentNoncontiguous:
     def test_sieved_read_counts_fewer_storage_requests(self):
         def run_with(hints):
             def main(env):
-                fh = MpiFile.open(env, "f", hints=hints)
-                fh.write_at(0, bytes(range(48)))
+                fh = (yield from MpiFile.open(env, "f", hints=hints))
+                (yield from fh.write_at(0, bytes(range(48))))
                 etype = Contiguous(2, BYTE)
                 ft = etype.vector(6, 1, 2)
-                fh.set_view(0, etype, ft)
-                fh.read_at(0, 6, etype)
-                fh.close()
+                (yield from fh.set_view(0, etype, ft))
+                (yield from fh.read_at(0, 6, etype))
+                (yield from fh.close())
 
             res = run(1, main)
             return sum(o.read_requests for o in res.pfs.osts)

@@ -61,10 +61,10 @@ class TestCollectiveWrite:
         def main(env):
             etype = Contiguous(4, BYTE)
             ft = etype.vector(4, 1, env.size)
-            fh = MpiFile.open(env, "f")
-            fh.set_view(env.rank * 4, etype, ft)
-            fh.write_all(bytes([65 + env.rank]) * 16)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(env.rank * 4, etype, ft))
+            (yield from fh.write_all(bytes([65 + env.rank]) * 16))
+            (yield from fh.close())
 
         res = run(4, main)
         expected = b"".join(bytes([65 + r]) * 4 for r in range(4)) * 4
@@ -76,10 +76,10 @@ class TestCollectiveWrite:
         def main(env):
             etype = Contiguous(4, BYTE)
             ft = etype.vector(4, 1, env.size)
-            fh = MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints)
-            fh.set_view(env.rank * 4, etype, ft)
-            fh.write_all(bytes([65 + env.rank]) * 16)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints))
+            (yield from fh.set_view(env.rank * 4, etype, ft))
+            (yield from fh.write_all(bytes([65 + env.rank]) * 16))
+            (yield from fh.close())
 
         res = run(3, main)
         expected = b"".join(bytes([65 + r]) * 4 for r in range(3)) * 4
@@ -89,9 +89,9 @@ class TestCollectiveWrite:
         hints = IoHints(cb_nodes=2)
 
         def main(env):
-            fh = MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints)
-            fh.write_at_all(env.rank * 8, bytes([env.rank]) * 8)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f", MODE_RDWR | MODE_CREATE, hints))
+            (yield from fh.write_at_all(env.rank * 8, bytes([env.rank]) * 8))
+            (yield from fh.close())
 
         res = run(4, main)
         expected = b"".join(bytes([r]) * 8 for r in range(4))
@@ -102,11 +102,11 @@ class TestCollectiveWrite:
             f = env.pfs.create("f")
             if env.rank == 0:
                 f.write_bytes(0, b"?" * 64)
-            coll.barrier(env.comm)
-            fh = MpiFile.open(env, "f", MODE_RDWR)
+            (yield from coll.barrier(env.comm))
+            fh = (yield from MpiFile.open(env, "f", MODE_RDWR))
             # ranks write disjoint pieces far apart; the gap must survive
-            fh.write_at_all(env.rank * 40, bytes([65 + env.rank]) * 8)
-            fh.close()
+            (yield from fh.write_at_all(env.rank * 40, bytes([65 + env.rank]) * 8))
+            (yield from fh.close())
 
         res = run(2, main)
         data = res.pfs.lookup("f").contents()
@@ -116,19 +116,19 @@ class TestCollectiveWrite:
 
     def test_ranks_with_no_data_still_participate(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
+            fh = (yield from MpiFile.open(env, "f"))
             payload = bytes([env.rank]) * 8 if env.rank < 2 else b""
-            fh.write_at_all(env.rank * 8, payload)
-            fh.close()
+            (yield from fh.write_at_all(env.rank * 8, payload))
+            (yield from fh.close())
 
         res = run(4, main)
         assert res.pfs.lookup("f").contents() == bytes([0] * 8 + [1] * 8)
 
     def test_all_empty_write_is_a_noop(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.write_at_all(0, b"")
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.write_at_all(0, b""))
+            (yield from fh.close())
 
         res = run(3, main)
         assert res.pfs.lookup("f").size == 0
@@ -137,10 +137,10 @@ class TestCollectiveWrite:
         def main(env):
             etype = Contiguous(4, BYTE)
             ft = etype.vector(8, 1, env.size)
-            fh = MpiFile.open(env, "f")
-            fh.set_view(env.rank * 4, etype, ft)
-            fh.write_all(bytes([env.rank]) * 32)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(env.rank * 4, etype, ft))
+            (yield from fh.write_all(bytes([env.rank]) * 32))
+            (yield from fh.close())
 
         res = run(4, main)
         total_writes = sum(o.write_requests for o in res.pfs.osts)
@@ -154,27 +154,27 @@ class TestCollectiveRead:
         def main(env):
             etype = Contiguous(4, BYTE)
             ft = etype.vector(4, 1, env.size)
-            fh = MpiFile.open(env, "f")
-            fh.set_view(env.rank * 4, etype, ft)
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.set_view(env.rank * 4, etype, ft))
             payload = bytes([65 + env.rank]) * 16
-            fh.write_all(payload)
-            got = fh.read_at_all(0, 4, etype)
-            fh.close()
+            (yield from fh.write_all(payload))
+            got = (yield from fh.read_at_all(0, 4, etype))
+            (yield from fh.close())
             assert got == payload
 
         run(4, main)
 
     def test_read_all_with_empty_request(self):
         def main(env):
-            fh = MpiFile.open(env, "f")
-            fh.write_at_all(env.rank * 4, bytes([env.rank]) * 4)
+            fh = (yield from MpiFile.open(env, "f"))
+            (yield from fh.write_at_all(env.rank * 4, bytes([env.rank]) * 4))
             if env.rank == 0:
-                got = fh.read_at_all(0, 0)
+                got = (yield from fh.read_at_all(0, 0))
                 assert got == b""
             else:
-                got = fh.read_at_all((env.rank - 1) * 4, 4)
+                got = (yield from fh.read_at_all((env.rank - 1) * 4, 4))
                 assert got == bytes([env.rank - 1]) * 4
-            fh.close()
+            (yield from fh.close())
 
         run(3, main)
 
@@ -183,16 +183,16 @@ class TestCollectiveRead:
             def main(env):
                 etype = Contiguous(4, BYTE)
                 ft = etype.vector(8, 1, env.size)
-                fh = MpiFile.open(env, "f")
-                fh.set_view(env.rank * 4, etype, ft)
-                fh.write_all(bytes([env.rank]) * 32)
-                coll.barrier(env.comm)
+                fh = (yield from MpiFile.open(env, "f"))
+                (yield from fh.set_view(env.rank * 4, etype, ft))
+                (yield from fh.write_all(bytes([env.rank]) * 32))
+                (yield from coll.barrier(env.comm))
                 before = sum(o.read_requests for o in env.pfs.osts)
                 if collective:
-                    fh.read_at_all(0, 8, etype)
+                    (yield from fh.read_at_all(0, 8, etype))
                 else:
-                    fh.read_at(0, 8, etype)
-                fh.close()
+                    (yield from fh.read_at(0, 8, etype))
+                (yield from fh.close())
                 return sum(o.read_requests for o in env.pfs.osts) - before
 
             res = run(4, main)

@@ -101,7 +101,7 @@ class TestClientOps:
         out = {}
 
         def target():
-            out["result"] = body(pfs, engine)
+            out["result"] = yield from body(pfs, engine)
 
         engine.spawn("p", target)
         engine.run()
@@ -109,16 +109,16 @@ class TestClientOps:
 
     def test_write_read_round_trip_takes_time(self):
         def body(pfs, engine):
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
             client = pfs.client(0)
             f = pfs.create("f")
             t0 = engine.now
-            client.write(f, 0, b"A" * 500)
-            current_process().settle()  # completion time is charged lazily
+            yield from client.write(f, 0, b"A" * 500)
+            yield from active_process().settle()  # completion charged lazily
             t1 = engine.now
-            data = client.read(f, 0, 500)
-            current_process().settle()
+            data = yield from client.read(f, 0, 500)
+            yield from active_process().settle()
             return data, t1 - t0, engine.now - t1
 
         (data, t_write, t_read), _, _ = self._run(body)
@@ -132,8 +132,8 @@ class TestClientOps:
             client = pfs.client(0)
             f = pfs.create("f")
             t0 = engine.now
-            client.write(f, 0, b"")
-            assert client.read(f, 0, 0) == b""
+            yield from client.write(f, 0, b"")
+            assert (yield from client.read(f, 0, 0)) == b""
             return engine.now - t0
 
         elapsed, _, _ = self._run(body)
@@ -143,7 +143,7 @@ class TestClientOps:
         def body(pfs, engine):
             client = pfs.client(0)
             f = pfs.create("f", stripe_count=4)
-            client.write(f, 0, b"B" * 256)  # 4 stripes of 64
+            yield from client.write(f, 0, b"B" * 256)  # 4 stripes of 64
             return sum(1 for ost in pfs.osts if ost.write_requests > 0)
 
         n_osts_used, _, _ = self._run(body)
@@ -152,13 +152,13 @@ class TestClientOps:
     def test_large_write_on_more_osts_is_faster(self):
         def timed(stripe_count):
             def body(pfs, engine):
-                from repro.sim.engine import current_process
+                from repro.sim.engine import active_process
 
                 client = pfs.client(0)
                 f = pfs.create("f", stripe_count=stripe_count)
                 t0 = engine.now
-                client.write(f, 0, b"C" * 4096)
-                current_process().settle()
+                yield from client.write(f, 0, b"C" * 4096)
+                yield from active_process().settle()
                 return engine.now - t0
 
             return self._run(body)[0]
@@ -189,7 +189,7 @@ class TestRandomWorkloads:
             rng = np.random.default_rng(42)
             for off, ln in writes:
                 payload = rng.integers(1, 255, ln, dtype=np.uint8).tobytes()
-                client.write(f, off, payload)
+                yield from client.write(f, off, payload)
                 reference[off : off + ln] = payload
 
         engine.spawn("p", body)

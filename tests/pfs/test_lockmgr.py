@@ -3,7 +3,7 @@
 import pytest
 
 from repro.pfs.lockmgr import LockManager, LockMode
-from repro.sim.engine import Engine, current_process
+from repro.sim.engine import Engine, active_process
 from repro.util.errors import PfsError
 from repro.util.intervals import Extent
 
@@ -21,7 +21,7 @@ class TestBasics:
         mgr = LockManager(granularity=10)
 
         def body():
-            g = mgr.acquire(0, LockMode.EXCLUSIVE, Extent(0, 5))
+            g = yield from mgr.acquire(0, LockMode.EXCLUSIVE, Extent(0, 5))
             assert g.extent == Extent(0, 10)  # rounded to lock units
             mgr.release(g)
 
@@ -34,8 +34,8 @@ class TestBasics:
 
         def reader(owner):
             def body():
-                g = mgr.acquire(owner, LockMode.SHARED, Extent(0, 10))
-                current_process().sleep(1.0)
+                g = yield from mgr.acquire(owner, LockMode.SHARED, Extent(0, 10))
+                yield from active_process().sleep(1.0)
                 mgr.release(g)
 
             return body
@@ -47,9 +47,9 @@ class TestBasics:
         mgr = LockManager(granularity=10)
 
         def body():
-            g1 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 10))
+            g1 = yield from mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 10))
             mgr.done(g1)  # finished, but cached
-            g2 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 5))
+            g2 = yield from mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 5))
             assert g2 is g1
             mgr.release(g2)
 
@@ -61,15 +61,15 @@ class TestBasics:
         mgr = LockManager(granularity=10, contention_penalty=0.5)
 
         def first():
-            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 10))
+            g = yield from mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 10))
             mgr.done(g)  # idle but cached
 
         def second():
-            current_process().sleep(1.0)
-            t0 = current_process().engine.now
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
-            current_process().settle()
-            assert current_process().engine.now - t0 >= 0.5  # revocation cost
+            yield from active_process().sleep(1.0)
+            t0 = active_process().engine.now
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            yield from active_process().settle()
+            assert active_process().engine.now - t0 >= 0.5  # revocation cost
             mgr.release(g)
 
         run_procs(first, second)
@@ -80,14 +80,14 @@ class TestBasics:
         order = []
 
         def holder():
-            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 10))
+            g = yield from mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 10))
             order.append("holder-in")
-            current_process().sleep(3.0)
+            yield from active_process().sleep(3.0)
             mgr.done(g)
 
         def contender():
-            current_process().sleep(1.0)
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            yield from active_process().sleep(1.0)
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
             order.append("contender-in")
             mgr.release(g)
 
@@ -99,15 +99,15 @@ class TestBasics:
         order = []
 
         def reader():
-            g = mgr.acquire(1, LockMode.SHARED, Extent(0, 10))
+            g = yield from mgr.acquire(1, LockMode.SHARED, Extent(0, 10))
             order.append("r-in")
-            current_process().sleep(2.0)
+            yield from active_process().sleep(2.0)
             mgr.release(g)
             order.append("r-out")
 
         def writer():
-            current_process().sleep(1.0)
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            yield from active_process().sleep(1.0)
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
             order.append("w-in")
             mgr.release(g)
 
@@ -120,8 +120,8 @@ class TestBasics:
 
         def writer(lo):
             def body():
-                g = mgr.acquire(lo, LockMode.EXCLUSIVE, Extent(lo, lo + 10))
-                current_process().sleep(1.0)
+                g = yield from mgr.acquire(lo, LockMode.EXCLUSIVE, Extent(lo, lo + 10))
+                yield from active_process().sleep(1.0)
                 mgr.release(g)
 
             return body
@@ -136,8 +136,8 @@ class TestBasics:
 
         def writer(owner, lo):
             def body():
-                g = mgr.acquire(owner, LockMode.EXCLUSIVE, Extent(lo, lo + 10))
-                current_process().sleep(1.0)
+                g = yield from mgr.acquire(owner, LockMode.EXCLUSIVE, Extent(lo, lo + 10))
+                yield from active_process().sleep(1.0)
                 mgr.release(g)
 
             return body
@@ -149,8 +149,8 @@ class TestBasics:
         mgr = LockManager(granularity=10)
 
         def body():
-            g1 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 10))
-            g2 = mgr.acquire(7, LockMode.EXCLUSIVE, Extent(5, 15))
+            g1 = yield from mgr.acquire(7, LockMode.EXCLUSIVE, Extent(0, 10))
+            g2 = yield from mgr.acquire(7, LockMode.EXCLUSIVE, Extent(5, 15))
             mgr.release(g1)
             mgr.release(g2)
 
@@ -161,7 +161,7 @@ class TestBasics:
         mgr = LockManager(granularity=10)
 
         def body():
-            g = mgr.acquire(0, LockMode.EXCLUSIVE, Extent(0, 10))
+            g = yield from mgr.acquire(0, LockMode.EXCLUSIVE, Extent(0, 10))
             mgr.release(g)
             with pytest.raises(PfsError):
                 mgr.release(g)
@@ -180,10 +180,10 @@ class TestFairness:
 
         def writer(name, delay):
             def body():
-                current_process().sleep(delay)
-                g = mgr.acquire(name, LockMode.EXCLUSIVE, Extent(0, 10))
+                yield from active_process().sleep(delay)
+                g = yield from mgr.acquire(name, LockMode.EXCLUSIVE, Extent(0, 10))
                 order.append(name)
-                current_process().sleep(5.0)
+                yield from active_process().sleep(5.0)
                 mgr.release(g)
 
             return body
@@ -198,19 +198,19 @@ class TestFairness:
         order = []
 
         def first_reader():
-            g = mgr.acquire(1, LockMode.SHARED, Extent(0, 10))
-            current_process().sleep(2.0)
+            g = yield from mgr.acquire(1, LockMode.SHARED, Extent(0, 10))
+            yield from active_process().sleep(2.0)
             mgr.release(g)
 
         def writer():
-            current_process().sleep(0.5)
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
+            yield from active_process().sleep(0.5)
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 10))
             order.append("writer")
             mgr.release(g)
 
         def late_reader():
-            current_process().sleep(1.0)
-            g = mgr.acquire(3, LockMode.SHARED, Extent(0, 10))
+            yield from active_process().sleep(1.0)
+            g = yield from mgr.acquire(3, LockMode.SHARED, Extent(0, 10))
             order.append("late-reader")
             mgr.release(g)
 

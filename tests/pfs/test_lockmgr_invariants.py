@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.pfs.lockmgr import LockManager, LockMode, verify_lock_history
-from repro.sim.engine import Engine, current_process
+from repro.sim.engine import Engine, active_process
 from repro.util.errors import LockTimeout, PfsError
 from repro.util.intervals import Extent
 
@@ -36,8 +36,8 @@ class TestMutualExclusion:
             def body():
                 for start, hold, exclusive in steps:
                     mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
-                    g = mgr.acquire(owner, mode, Extent(start, start + 8))
-                    current_process().sleep(hold)
+                    g = yield from mgr.acquire(owner, mode, Extent(start, start + 8))
+                    yield from active_process().sleep(hold)
                     mgr.release(g)
 
             return body
@@ -63,12 +63,12 @@ class TestMutualExclusion:
         mgr = LockManager(granularity=8, audit=True)
 
         def first():
-            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
+            g = yield from mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
             mgr.done(g)  # idle but cached
 
         def second():
-            current_process().sleep(1.0)
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8))
+            yield from active_process().sleep(1.0)
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8))
             mgr.release(g)
 
         run_procs(first, second)
@@ -82,21 +82,21 @@ class TestTimeoutHygiene:
         outcome = {}
 
         def holder():
-            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
-            current_process().sleep(10.0)
+            g = yield from mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
+            yield from active_process().sleep(10.0)
             mgr.release(g)
 
         def contender():
-            current_process().sleep(1.0)
+            yield from active_process().sleep(1.0)
             try:
-                mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8), timeout=0.5)
+                yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8), timeout=0.5)
                 outcome["granted"] = True
             except LockTimeout as exc:
                 outcome["timeout"] = (exc.owner, exc.extent)
             # The expired request must not linger in the queue...
             assert mgr.queued_count == 0
             # ...and a fresh unbounded acquire must eventually succeed.
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8))
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8))
             mgr.release(g)
             outcome["reacquired"] = True
 
@@ -113,14 +113,14 @@ class TestTimeoutHygiene:
         mgr.on_timeout = lambda owner, extent: seen.append((owner, extent))
 
         def holder():
-            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
-            current_process().sleep(2.0)
+            g = yield from mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
+            yield from active_process().sleep(2.0)
             mgr.release(g)
 
         def contender():
-            current_process().sleep(0.1)
+            yield from active_process().sleep(0.1)
             with pytest.raises(LockTimeout):
-                mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8), timeout=0.2)
+                yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8), timeout=0.2)
 
         run_procs(holder, contender)
         assert seen == [(2, Extent(0, 8))]
@@ -129,13 +129,13 @@ class TestTimeoutHygiene:
         mgr = LockManager(granularity=8, audit=True)
 
         def holder():
-            g = mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
-            current_process().sleep(0.1)
+            g = yield from mgr.acquire(1, LockMode.EXCLUSIVE, Extent(0, 8))
+            yield from active_process().sleep(0.1)
             mgr.release(g)
 
         def contender():
-            current_process().sleep(0.05)
-            g = mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8), timeout=5.0)
+            yield from active_process().sleep(0.05)
+            g = yield from mgr.acquire(2, LockMode.EXCLUSIVE, Extent(0, 8), timeout=5.0)
             mgr.release(g)
 
         run_procs(holder, contender)

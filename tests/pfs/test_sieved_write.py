@@ -33,7 +33,7 @@ class TestWriteSieved:
             f = pfs.create("f")
             f.write_bytes(0, b"." * 64)
             client = pfs.client(0)
-            client.write_sieved(f, [(4, b"AA"), (20, b"BB")], owner=1)
+            yield from client.write_sieved(f, [(4, b"AA"), (20, b"BB")], owner=1)
 
         engine.spawn("p", body)
         engine.run()
@@ -47,7 +47,7 @@ class TestWriteSieved:
 
         def body():
             f = pfs.create("f")
-            pfs.client(0).write_sieved(f, [], owner=0)
+            yield from pfs.client(0).write_sieved(f, [], owner=0)
 
         engine.spawn("p", body)
         engine.run()
@@ -60,7 +60,9 @@ class TestWriteSieved:
 
         def writer(owner, pieces):
             def body():
-                pfs.client(owner % 2).write_sieved(pfs.create("f"), pieces, owner=owner)
+                yield from pfs.client(owner % 2).write_sieved(
+                    pfs.create("f"), pieces, owner=owner
+                )
 
             return body
 
@@ -78,17 +80,19 @@ class TestWriteSieved:
         times = {}
 
         def body():
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
             f = pfs.create("f")
             client = pfs.client(0)
             t0 = engine.now
-            client.write(f, 0, b"Z" * 32, owner=0)
-            current_process().settle()
+            yield from client.write(f, 0, b"Z" * 32, owner=0)
+            yield from active_process().settle()
             times["plain"] = engine.now - t0
             t0 = engine.now
-            client.write_sieved(f, [(0, b"Z" * 16), (24, b"Z" * 8)], owner=0)
-            current_process().settle()
+            yield from client.write_sieved(
+                f, [(0, b"Z" * 16), (24, b"Z" * 8)], owner=0
+            )
+            yield from active_process().settle()
             times["sieved"] = engine.now - t0
 
         engine.spawn("p", body)

@@ -96,13 +96,13 @@ class TestProcesses:
         times = []
 
         def body():
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
-            proc = current_process()
+            proc = active_process()
             times.append(engine.now)
-            proc.sleep(2.0)
+            yield from proc.sleep(2.0)
             times.append(engine.now)
-            proc.sleep(3.0)
+            yield from proc.sleep(3.0)
             times.append(engine.now)
 
         engine.spawn("p", body)
@@ -115,10 +115,10 @@ class TestProcesses:
 
         def make(name, delay):
             def body():
-                from repro.sim.engine import current_process
+                from repro.sim.engine import active_process
 
                 for i in range(3):
-                    current_process().sleep(delay)
+                    yield from active_process().sleep(delay)
                     order.append((name, engine.now))
 
             return body
@@ -151,9 +151,9 @@ class TestProcesses:
         engine = Engine()
 
         def stuck():
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
-            current_process().block("waiting for godot")
+            yield from active_process().block("waiting for godot")
 
         engine.spawn("p", stuck)
         with pytest.raises(DeadlockError, match="godot"):
@@ -164,13 +164,13 @@ class TestProcesses:
         times = []
 
         def body():
-            from repro.sim.engine import current_process
+            from repro.sim.engine import active_process
 
-            proc = current_process()
+            proc = active_process()
             for _ in range(10):
                 proc.charge(0.1)
             times.append(engine.now)  # charges not yet elapsed
-            proc.settle()
+            yield from proc.settle()
             times.append(engine.now)
 
         engine.spawn("p", body)
@@ -178,8 +178,25 @@ class TestProcesses:
         assert times[0] == 0.0
         assert times[1] == pytest.approx(1.0)
 
-    def test_current_process_outside_context_raises(self):
-        from repro.sim.engine import current_process
+    def test_active_process_outside_context_raises(self):
+        from repro.sim.engine import active_process
 
         with pytest.raises(SimulationError):
-            current_process()
+            active_process()
+
+    def test_deprecated_shims_warn_but_work(self):
+        from repro.sim.engine import current_engine, current_process
+
+        engine = Engine()
+        seen = []
+
+        def body():
+            with pytest.warns(DeprecationWarning):
+                proc = current_process()
+            with pytest.warns(DeprecationWarning):
+                eng = current_engine()
+            seen.append((proc.name, eng is engine))
+
+        engine.spawn("p", body)
+        engine.run()
+        assert seen == [("p", True)]

@@ -1,0 +1,125 @@
+"""Kernel determinism and scale: the generator-core acceptance gates.
+
+Two properties the generator kernel must pin down:
+
+* **Bit-determinism** — the same seeded workload produces the *identical*
+  ``(time, seq)`` event stream, trace summary, event count, and rank
+  returns on every run. The thread kernel only achieved this via the
+  baton lock; the generator kernel achieves it by construction (one host
+  thread, one heap, one monotone sequence counter) — but a regression
+  (e.g. iterating a set, or keying a dict on ``id()``) would break it,
+  so the whole stream is compared, not just the final clock.
+* **Scale** — one coroutine per rank costs ~a closure, not an OS
+  thread with its C stack and two context switches per blocking call,
+  so a 1,024-rank job is a sub-second smoke test rather than a
+  thousand-thread stress run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.simmpi import run_mpi
+from repro.tcio import TCIO_WRONLY, TcioConfig, tcio_open, tcio_write_at
+from tests.conftest import make_test_cluster
+
+
+def _seeded_tcio_main(seed: int):
+    """A rank program whose schedule depends on a seeded RNG: random
+    offsets and lengths into a shared file, then a collective close."""
+
+    def main(env):
+        rng = random.Random(seed * 1009 + env.rank)
+        cfg = TcioConfig.sized_for(4096, env.size, 256)
+        fh = yield from tcio_open(env, "det.dat", TCIO_WRONLY, cfg)
+        slot = 4096 // env.size
+        base = env.rank * slot
+        for _ in range(8):
+            off = base + rng.randrange(0, slot - 32)
+            n = rng.randrange(1, 32)
+            yield from tcio_write_at(fh, off, bytes([env.rank + 1]) * n)
+        yield from fh.close()
+        return (fh.stats.as_dict(), env.now)
+
+    return main
+
+
+def _run_recorded(seed: int, monkeypatch):
+    """Run the seeded workload, capturing every ``(time, seq)`` entry the
+    engine schedules, in order."""
+    stream: list[tuple[float, int]] = []
+    orig = Engine.schedule
+
+    def recording(self, delay, action):
+        timer = orig(self, delay, action)
+        stream.append((timer.time, timer.seq))
+        return timer
+
+    monkeypatch.setattr(Engine, "schedule", recording)
+    try:
+        res = run_mpi(
+            4,
+            _seeded_tcio_main(seed),
+            cluster=make_test_cluster(),
+            trace=TraceRecorder(),
+        )
+    finally:
+        monkeypatch.undo()
+    events = res.trace.registry.counter("host.engine.events").count
+    return stream, res.trace.summary(), events, res.returns, res.elapsed
+
+
+class TestKernelDeterminism:
+    def test_same_seed_identical_event_stream(self, monkeypatch):
+        a = _run_recorded(7, monkeypatch)
+        b = _run_recorded(7, monkeypatch)
+        stream_a, summary_a, events_a, returns_a, elapsed_a = a
+        stream_b, summary_b, events_b, returns_b, elapsed_b = b
+        # the full (time, seq) schedule stream, entry for entry
+        assert stream_a == stream_b
+        assert len(stream_a) > 100  # a real workload, not a stub
+        # the trace stream collapses to the same counters in the same order
+        assert summary_a == summary_b
+        assert list(summary_a) == list(summary_b)
+        assert events_a == events_b > 0
+        assert returns_a == returns_b
+        assert elapsed_a == elapsed_b
+
+    def test_different_seed_different_stream(self, monkeypatch):
+        stream_a = _run_recorded(7, monkeypatch)[0]
+        stream_c = _run_recorded(8, monkeypatch)[0]
+        # sanity: the stream actually depends on the workload — otherwise
+        # the identity test above proves nothing
+        assert stream_a != stream_c
+
+    def test_seq_is_strictly_monotone(self, monkeypatch):
+        stream, _, _, _, _ = _run_recorded(3, monkeypatch)
+        seqs = [seq for _, seq in stream]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestThousandRankSmoke:
+    def test_1024_ranks_complete_a_collective(self):
+        """1,024 coroutine ranks: barrier, allreduce, verified result.
+
+        Under the thread kernel this meant 1,024 OS threads and a baton
+        handoff per blocking call; the generator kernel runs it in
+        ~0.1 s on one host thread.
+        """
+
+        def main(env):
+            from repro.simmpi import collectives
+
+            yield from collectives.barrier(env.comm)
+            total = yield from collectives.allreduce(
+                env.comm, env.rank, lambda a, b: a + b
+            )
+            return total
+
+        res = run_mpi(1024, main)
+        assert res.aborted is None
+        expect = 1024 * 1023 // 2
+        assert res.returns == [expect] * 1024

@@ -1,0 +1,58 @@
+"""The kernel must stay thread-free: no ``threading``/``_thread`` imports.
+
+The generator kernel's determinism argument is structural — one host
+thread, one heap, one sequence counter. A ``threading`` import creeping
+back into ``repro.sim`` or ``repro.simmpi`` would reopen the door to
+baton locks and cross-thread hand-offs, so CI fails on the *import*, not
+on some later misbehavior. AST-based: comments and docstrings that
+merely mention threads (e.g. this one) do not trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+KERNEL_DIRS = [SRC / "sim", SRC / "simmpi"]
+FORBIDDEN = {"threading", "_thread"}
+
+
+def kernel_files() -> list[Path]:
+    files = [p for d in KERNEL_DIRS for p in sorted(d.rglob("*.py"))]
+    assert files, f"kernel sources not found under {KERNEL_DIRS}"
+    return files
+
+
+def forbidden_imports(path: Path) -> list[str]:
+    """Every import of a forbidden module in *path*, as 'line: module'."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        else:
+            continue
+        for name in names:
+            root = name.split(".")[0]
+            if root in FORBIDDEN:
+                hits.append(f"{path}:{node.lineno}: {name}")
+    return hits
+
+
+@pytest.mark.parametrize("path", kernel_files(), ids=lambda p: p.name)
+def test_kernel_file_is_thread_free(path: Path):
+    assert forbidden_imports(path) == []
+
+
+def test_the_checker_itself_detects_imports(tmp_path: Path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import threading\nfrom _thread import interrupt_main\n"
+        "import threading.local\n"
+    )
+    assert len(forbidden_imports(bad)) == 3

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, current_engine, current_process
+from repro.sim.engine import Engine, active_engine, active_process
 from repro.util.errors import SimulationError
 
 
@@ -12,7 +12,7 @@ class TestProcessEdgeCases:
 
         def body():
             with pytest.raises(SimulationError):
-                current_process().sleep(-1.0)
+                yield from active_process().sleep(-1.0)
 
         engine.spawn("p", body)
         engine.run()
@@ -22,7 +22,7 @@ class TestProcessEdgeCases:
 
         def body():
             with pytest.raises(SimulationError):
-                current_process().charge(-1.0)
+                active_process().charge(-1.0)
 
         engine.spawn("p", body)
         engine.run()
@@ -32,7 +32,7 @@ class TestProcessEdgeCases:
         switches = []
 
         def body():
-            current_process().sleep(0.0)
+            yield from active_process().sleep(0.0)
             switches.append(engine.now)
 
         engine.spawn("p", body)
@@ -44,23 +44,23 @@ class TestProcessEdgeCases:
         procs = {}
 
         def first():
-            procs["first"] = current_process()
-            current_process().sleep(1.0)
+            procs["first"] = active_process()
+            yield from active_process().sleep(1.0)
 
         def second():
             with pytest.raises(SimulationError):
-                procs["first"].block("not mine")
+                yield from procs["first"].block("not mine")
 
         engine.spawn("a", first)
         engine.spawn("b", second)
         engine.run()
 
-    def test_current_engine_inside_context(self):
+    def test_active_engine_inside_context(self):
         engine = Engine()
         seen = []
 
         def body():
-            seen.append(current_engine() is engine)
+            seen.append(active_engine() is engine)
 
         engine.spawn("p", body)
         engine.run()
@@ -70,7 +70,7 @@ class TestProcessEdgeCases:
         engine = Engine()
 
         def body():
-            current_process().sleep(2.0)
+            yield from active_process().sleep(2.0)
 
         proc = engine.spawn("p", body)
         engine.run()
@@ -82,7 +82,7 @@ class TestProcessEdgeCases:
         times = []
 
         def body():
-            current_process().settle()
+            yield from active_process().settle()
             times.append(engine.now)
 
         engine.spawn("p", body)

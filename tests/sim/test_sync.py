@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, current_process
+from repro.sim.engine import Engine, active_process
 from repro.sim.sync import SimBarrier, SimEvent, SimMutex, SimSemaphore
 from repro.util.errors import SimulationError
 
@@ -21,10 +21,10 @@ class TestSimEvent:
         got = []
 
         def waiter():
-            got.append(ev.wait())
+            got.append((yield from ev.wait()))
 
         def firer():
-            current_process().sleep(1.0)
+            yield from active_process().sleep(1.0)
             ev.fire(42)
 
         run_procs(waiter, waiter, firer)
@@ -38,8 +38,8 @@ class TestSimEvent:
             ev.fire("done")
 
         def late():
-            current_process().sleep(5.0)
-            got.append(ev.wait())
+            yield from active_process().sleep(5.0)
+            got.append((yield from ev.wait()))
 
         run_procs(firer, late)
         assert got == ["done"]
@@ -53,8 +53,8 @@ class TestSimEvent:
             ev.fire()
 
         def late():
-            current_process().sleep(1.0)
-            ev.wait()
+            yield from active_process().sleep(1.0)
+            yield from ev.wait()
 
         with pytest.raises(DeadlockError):
             run_procs(firer, late)
@@ -67,7 +67,7 @@ class TestSimSemaphore:
 
         def body(name):
             def run():
-                sem.acquire()
+                yield from sem.acquire()
                 order.append(name)
 
             return run
@@ -81,14 +81,14 @@ class TestSimSemaphore:
 
         def waiter(name, delay):
             def run():
-                current_process().sleep(delay)
-                sem.acquire()
+                yield from active_process().sleep(delay)
+                yield from sem.acquire()
                 order.append(name)
 
             return run
 
         def releaser():
-            current_process().sleep(10.0)
+            yield from active_process().sleep(10.0)
             sem.release(2)
 
         run_procs(waiter("first", 1.0), waiter("second", 2.0), releaser)
@@ -106,10 +106,13 @@ class TestSimMutex:
 
         def body(name):
             def run():
-                with m:
+                yield from m.acquire()
+                try:
                     trace.append((name, "in"))
-                    current_process().sleep(1.0)
+                    yield from active_process().sleep(1.0)
                     trace.append((name, "out"))
+                finally:
+                    m.release()
 
             return run
 
@@ -120,9 +123,9 @@ class TestSimMutex:
         m = SimMutex()
 
         def body():
-            m.acquire()
+            yield from m.acquire()
             with pytest.raises(SimulationError):
-                m.acquire()
+                yield from m.acquire()
             m.release()
 
         run_procs(body)
@@ -131,12 +134,12 @@ class TestSimMutex:
         m = SimMutex()
 
         def holder():
-            m.acquire()
-            current_process().sleep(5.0)
+            yield from m.acquire()
+            yield from active_process().sleep(5.0)
             m.release()
 
         def thief():
-            current_process().sleep(1.0)
+            yield from active_process().sleep(1.0)
             with pytest.raises(SimulationError):
                 m.release()
 
@@ -151,8 +154,8 @@ class TestSimBarrier:
 
         def body(delay):
             def run():
-                current_process().sleep(delay)
-                bar.wait()
+                yield from active_process().sleep(delay)
+                yield from bar.wait()
                 leave_times.append(engine.now)
 
             return run
@@ -167,8 +170,8 @@ class TestSimBarrier:
         gens = []
 
         def body():
-            gens.append(bar.wait())
-            gens.append(bar.wait())
+            gens.append((yield from bar.wait()))
+            gens.append((yield from bar.wait()))
 
         run_procs(body, body)
         assert sorted(gens) == [0, 0, 1, 1]

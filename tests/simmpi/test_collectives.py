@@ -21,9 +21,9 @@ class TestBarrier:
 
         def main(env):
             env.compute(env.rank * 1e-3)  # staggered arrivals
-            env.settle()
+            (yield from env.settle())
             arrivals[env.rank] = env.now
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
             return env.now
 
         res = run(n, main)
@@ -33,7 +33,7 @@ class TestBarrier:
     def test_barriers_are_reusable(self):
         def main(env):
             for _ in range(3):
-                coll.barrier(env.comm)
+                (yield from coll.barrier(env.comm))
 
         run(4, main)
 
@@ -46,7 +46,7 @@ class TestBcast:
 
         def main(env):
             obj = {"from": env.rank} if env.rank == root else None
-            return coll.bcast(env.comm, obj, root=root)
+            return (yield from coll.bcast(env.comm, obj, root=root))
 
         res = run(n, main)
         assert res.returns == [{"from": root}] * n
@@ -56,7 +56,7 @@ class TestBcast:
 
         def main(env):
             with pytest.raises(MpiError):
-                coll.bcast(env.comm, 1, root=99)
+                (yield from coll.bcast(env.comm, 1, root=99))
 
         run(2, main)
 
@@ -65,7 +65,7 @@ class TestGatherAllgather:
     @pytest.mark.parametrize("n", NPROCS)
     def test_gather_collects_in_rank_order(self, n):
         def main(env):
-            return coll.gather(env.comm, env.rank * 10, root=0)
+            return (yield from coll.gather(env.comm, env.rank * 10, root=0))
 
         res = run(n, main)
         assert res.returns[0] == [r * 10 for r in range(n)]
@@ -74,7 +74,7 @@ class TestGatherAllgather:
     @pytest.mark.parametrize("n", NPROCS)
     def test_allgather_everywhere(self, n):
         def main(env):
-            return coll.allgather(env.comm, (env.rank, env.rank**2))
+            return (yield from coll.allgather(env.comm, (env.rank, env.rank**2)))
 
         res = run(n, main)
         expected = [(r, r**2) for r in range(n)]
@@ -86,7 +86,7 @@ class TestAlltoall:
     def test_personalized_exchange(self, n):
         def main(env):
             send = [f"{env.rank}->{d}" for d in range(n)]
-            return coll.alltoall(env.comm, send)
+            return (yield from coll.alltoall(env.comm, send))
 
         res = run(n, main)
         for r, got in enumerate(res.returns):
@@ -97,7 +97,7 @@ class TestAlltoall:
 
         def main(env):
             with pytest.raises(MpiError):
-                coll.alltoall(env.comm, [1])
+                (yield from coll.alltoall(env.comm, [1]))
 
         run(3, main)
 
@@ -106,7 +106,7 @@ class TestReductions:
     @pytest.mark.parametrize("n", NPROCS)
     def test_reduce_sum(self, n):
         def main(env):
-            return coll.reduce(env.comm, env.rank + 1, lambda a, b: a + b, root=0)
+            return (yield from coll.reduce(env.comm, env.rank + 1, lambda a, b: a + b, root=0))
 
         res = run(n, main)
         assert res.returns[0] == n * (n + 1) // 2
@@ -114,7 +114,7 @@ class TestReductions:
     @pytest.mark.parametrize("n", NPROCS)
     def test_allreduce_max(self, n):
         def main(env):
-            return coll.allreduce(env.comm, (env.rank * 7) % 5, max)
+            return (yield from coll.allreduce(env.comm, (env.rank * 7) % 5, max))
 
         res = run(n, main)
         expected = max((r * 7) % 5 for r in range(n))
@@ -123,7 +123,7 @@ class TestReductions:
     @pytest.mark.parametrize("n", NPROCS)
     def test_exscan_prefix_sums(self, n):
         def main(env):
-            return coll.exscan(env.comm, env.rank + 1)
+            return (yield from coll.exscan(env.comm, env.rank + 1))
 
         res = run(n, main)
         prefix = 0
@@ -133,8 +133,8 @@ class TestReductions:
 
     def test_back_to_back_collectives_do_not_cross_match(self):
         def main(env):
-            a = coll.allgather(env.comm, ("first", env.rank))
-            b = coll.allgather(env.comm, ("second", env.rank))
+            a = (yield from coll.allgather(env.comm, ("first", env.rank)))
+            b = (yield from coll.allgather(env.comm, ("second", env.rank)))
             assert all(x[0] == "first" for x in a)
             assert all(x[0] == "second" for x in b)
 

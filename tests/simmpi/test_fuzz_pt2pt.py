@@ -36,12 +36,13 @@ class TestPt2PtFuzz:
             for (src, dst), msgs in sorted(messages.items()):
                 if dst == me:
                     for _ in msgs:
-                        recv_reqs.append(((src, dst), env.comm.irecv(src, tag=src)))
+                        req = yield from env.comm.irecv(src, tag=src)
+                        recv_reqs.append(((src, dst), req))
             for (src, dst), msgs in sorted(messages.items()):
                 if src == me:
                     for payload in msgs:
-                        env.comm.isend(payload, dst, tag=src)
-            wait_all([r for _, r in recv_reqs])
+                        yield from env.comm.isend(payload, dst, tag=src)
+            yield from wait_all([r for _, r in recv_reqs])
             got = {}
             for key, req in recv_reqs:
                 got.setdefault(key, []).append(req.payload)

@@ -23,7 +23,7 @@ def run(n, fn):
 class TestCommSplit:
     def test_split_by_parity(self):
         def main(env):
-            sub = comm_split(env.comm, color=env.rank % 2)
+            sub = (yield from comm_split(env.comm, color=env.rank % 2))
             return (sub.rank, sub.size, sub.world_rank(sub.rank))
 
         res = run(6, main)
@@ -35,7 +35,7 @@ class TestCommSplit:
     def test_key_controls_ordering(self):
         def main(env):
             # reverse ordering: highest world rank becomes local 0
-            sub = comm_split(env.comm, color=0, key=-env.rank)
+            sub = (yield from comm_split(env.comm, color=0, key=-env.rank))
             return sub.rank
 
         res = run(4, main)
@@ -43,7 +43,7 @@ class TestCommSplit:
 
     def test_undefined_color_returns_none(self):
         def main(env):
-            sub = comm_split(env.comm, color=0 if env.rank < 2 else -1)
+            sub = (yield from comm_split(env.comm, color=0 if env.rank < 2 else -1))
             return sub is None
 
         res = run(4, main)
@@ -51,9 +51,9 @@ class TestCommSplit:
 
     def test_collectives_inside_subgroups(self):
         def main(env):
-            sub = comm_split(env.comm, color=env.rank % 2)
-            values = coll.allgather(sub, env.rank)
-            total = coll.allreduce(sub, env.rank, lambda a, b: a + b)
+            sub = (yield from comm_split(env.comm, color=env.rank % 2))
+            values = (yield from coll.allgather(sub, env.rank))
+            total = (yield from coll.allreduce(sub, env.rank, lambda a, b: a + b))
             return values, total
 
         res = run(6, main)
@@ -66,29 +66,29 @@ class TestCommSplit:
 
     def test_pt2pt_translates_local_ranks(self):
         def main(env):
-            sub = comm_split(env.comm, color=env.rank % 2)
+            sub = (yield from comm_split(env.comm, color=env.rank % 2))
             if sub.rank == 0:
-                sub.send(b"hello-sub", 1)
+                (yield from sub.send(b"hello-sub", 1))
             elif sub.rank == 1:
-                assert sub.recv(0) == b"hello-sub"
+                assert (yield from sub.recv(0)) == b"hello-sub"
 
         run(4, main)
 
     def test_groups_do_not_cross_talk(self):
         def main(env):
-            sub = comm_split(env.comm, color=env.rank % 2)
+            sub = (yield from comm_split(env.comm, color=env.rank % 2))
             # everyone sends in its own group with the same local ranks/tags
             if sub.rank == 0:
-                sub.send_object(("group", env.rank % 2), 1, tag=9)
+                (yield from sub.send_object(("group", env.rank % 2), 1, tag=9))
             elif sub.rank == 1:
-                got = sub.recv_object(0, 9)
+                got = (yield from sub.recv_object(0, 9))
                 assert got == ("group", env.rank % 2)
 
         run(4, main)
 
     def test_comm_from_ranks(self):
         def main(env):
-            sub = comm_from_ranks(env.comm, [3, 1])
+            sub = (yield from comm_from_ranks(env.comm, [3, 1]))
             if env.rank in (1, 3):
                 assert sub is not None
                 assert sub.size == 2
@@ -103,15 +103,15 @@ class TestCommSplit:
 
     def test_windows_on_subcommunicators(self):
         def main(env):
-            sub = comm_split(env.comm, color=env.rank % 2)
+            sub = (yield from comm_split(env.comm, color=env.rank % 2))
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(sub, buf)
+            win = yield from Window.create(sub, buf)
             # local rank 1 writes into local rank 0's window
             if sub.rank == 1:
-                win.lock(0, LOCK_EXCLUSIVE)
+                (yield from win.lock(0, LOCK_EXCLUSIVE))
                 win.put(bytes([100 + env.rank]) * 8, 0, 0)
                 win.unlock(0)
-            coll.barrier(sub)
+            (yield from coll.barrier(sub))
             if sub.rank == 0:
                 # the writer was world rank (me + 2)
                 assert bytes(buf) == bytes([100 + env.rank + 2]) * 8
@@ -129,15 +129,15 @@ class TestProbeSendrecv:
     def test_iprobe_sees_without_consuming(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"xyz", 1, tag=4)
+                (yield from env.comm.send(b"xyz", 1, tag=4))
             elif env.rank == 1:
                 env.compute(1e-3)
-                env.settle()
+                (yield from env.settle())
                 st = env.comm.iprobe(0, 4)
                 assert st is not None and st.count == 3
                 st2 = env.comm.iprobe(0, 4)
                 assert st2 is not None  # still there
-                assert env.comm.recv(0, 4) == b"xyz"
+                assert (yield from env.comm.recv(0, 4)) == b"xyz"
                 assert env.comm.iprobe(0, 4) is None
 
         run(2, main)
@@ -145,13 +145,13 @@ class TestProbeSendrecv:
     def test_iprobe_wildcards(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"m", 1, tag=7)
+                (yield from env.comm.send(b"m", 1, tag=7))
             elif env.rank == 1:
                 env.compute(1e-3)
-                env.settle()
+                (yield from env.settle())
                 st = env.comm.iprobe(ANY_SOURCE)
                 assert st is not None and st.source == 0 and st.tag == 7
-                env.comm.recv(0, 7)
+                (yield from env.comm.recv(0, 7))
 
         run(2, main)
 
@@ -159,7 +159,7 @@ class TestProbeSendrecv:
         def main(env):
             right = (env.rank + 1) % env.size
             left = (env.rank - 1) % env.size
-            got = env.comm.sendrecv(bytes([env.rank]), right, left)
+            got = (yield from env.comm.sendrecv(bytes([env.rank]), right, left))
             assert got == bytes([left])
 
         run(4, main)
@@ -169,7 +169,7 @@ class TestScatter:
     def test_scatter_distributes_by_rank(self):
         def main(env):
             objs = [f"item-{i}" for i in range(env.size)] if env.rank == 1 else None
-            return coll.scatter(env.comm, objs, root=1)
+            return (yield from coll.scatter(env.comm, objs, root=1))
 
         res = run(4, main)
         assert res.returns == [f"item-{i}" for i in range(4)]
@@ -178,7 +178,7 @@ class TestScatter:
         def main(env):
             if env.rank == 0:
                 with pytest.raises(MpiError):
-                    coll.scatter(env.comm, [1], root=0)
+                    (yield from coll.scatter(env.comm, [1], root=0))
 
         run_mpi(2, main, cluster=make_test_cluster())
 
@@ -187,12 +187,12 @@ class TestFence:
     def test_fence_completes_epochs_and_synchronizes(self):
         def main(env):
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 1:
-                win.lock(0, LOCK_EXCLUSIVE)
+                (yield from win.lock(0, LOCK_EXCLUSIVE))
                 win.put(b"\x07" * 8, 0, 0)
                 # no explicit unlock: fence drains the epoch
-            win.fence()
+            (yield from win.fence())
             if env.rank == 0:
                 assert bytes(buf) == b"\x07" * 8
 

@@ -17,9 +17,9 @@ class TestBasicSendRecv:
     def test_bytes_round_trip(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"payload", 1, tag=3)
+                (yield from env.comm.send(b"payload", 1, tag=3))
             elif env.rank == 1:
-                assert env.comm.recv(0, 3) == b"payload"
+                assert (yield from env.comm.recv(0, 3)) == b"payload"
 
         run(2, main)
 
@@ -30,9 +30,9 @@ class TestBasicSendRecv:
 
         def main(env):
             if env.rank == 0:
-                env.comm.send(data, 1)
+                (yield from env.comm.send(data, 1))
             elif env.rank == 1:
-                got = np.frombuffer(env.comm.recv(0), dtype=np.int32)
+                got = np.frombuffer((yield from env.comm.recv(0)), dtype=np.int32)
                 assert np.array_equal(got, data)
 
         run(2, main)
@@ -40,9 +40,9 @@ class TestBasicSendRecv:
     def test_object_round_trip(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send_object({"k": [1, 2, 3]}, 1, tag=9)
+                (yield from env.comm.send_object({"k": [1, 2, 3]}, 1, tag=9))
             elif env.rank == 1:
-                assert env.comm.recv_object(0, 9) == {"k": [1, 2, 3]}
+                assert (yield from env.comm.recv_object(0, 9)) == {"k": [1, 2, 3]}
 
         run(2, main)
 
@@ -52,19 +52,19 @@ class TestBasicSendRecv:
 
         def main(env):
             if env.rank == 0:
-                env.comm.send(big, 1)
+                (yield from env.comm.send(big, 1))
             elif env.rank == 1:
-                assert env.comm.recv(0) == big
+                assert (yield from env.comm.recv(0)) == big
 
         run(2, main)
 
     def test_status_reports_source_tag_count(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"12345", 1, tag=77)
+                (yield from env.comm.send(b"12345", 1, tag=77))
             elif env.rank == 1:
                 status = Status()
-                env.comm.recv(ANY_SOURCE, ANY_TAG, status=status)
+                (yield from env.comm.recv(ANY_SOURCE, ANY_TAG, status=status))
                 assert (status.source, status.tag, status.count) == (0, 77, 5)
 
         run(2, main)
@@ -74,11 +74,11 @@ class TestMatching:
     def test_tag_selectivity(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"a", 1, tag=1)
-                env.comm.send(b"b", 1, tag=2)
+                (yield from env.comm.send(b"a", 1, tag=1))
+                (yield from env.comm.send(b"b", 1, tag=2))
             elif env.rank == 1:
-                assert env.comm.recv(0, 2) == b"b"
-                assert env.comm.recv(0, 1) == b"a"
+                assert (yield from env.comm.recv(0, 2)) == b"b"
+                assert (yield from env.comm.recv(0, 1)) == b"a"
 
         run(2, main)
 
@@ -86,9 +86,12 @@ class TestMatching:
         def main(env):
             if env.rank == 0:
                 for i in range(5):
-                    env.comm.send(bytes([i]), 1, tag=0)
+                    (yield from env.comm.send(bytes([i]), 1, tag=0))
             elif env.rank == 1:
-                got = [env.comm.recv(0, 0)[0] for _ in range(5)]
+                got = []
+                for _ in range(5):
+                    msg = yield from env.comm.recv(0, 0)
+                    got.append(msg[0])
                 assert got == [0, 1, 2, 3, 4]
 
         run(2, main)
@@ -96,9 +99,12 @@ class TestMatching:
     def test_wildcard_source(self):
         def main(env):
             if env.rank > 0:
-                env.comm.send_object(env.rank, 0, tag=5)
+                (yield from env.comm.send_object(env.rank, 0, tag=5))
             else:
-                got = sorted(env.comm.recv_object(ANY_SOURCE, 5) for _ in range(3))
+                got = []
+                for _ in range(3):
+                    got.append((yield from env.comm.recv_object(ANY_SOURCE, 5)))
+                got.sort()
                 assert got == [1, 2, 3]
 
         run(4, main)
@@ -106,34 +112,36 @@ class TestMatching:
     def test_wildcard_respects_arrival_order(self):
         def main(env):
             if env.rank == 1:
-                env.comm.send(b"early", 0)
+                (yield from env.comm.send(b"early", 0))
             elif env.rank == 2:
                 env.comm.world.engine  # no-op
                 env.compute(1e-3)
-                env.settle()
-                env.comm.send(b"late", 0)
+                (yield from env.settle())
+                (yield from env.comm.send(b"late", 0))
             elif env.rank == 0:
                 env.compute(2e-3)
-                env.settle()
-                assert env.comm.recv() == b"early"
-                assert env.comm.recv() == b"late"
+                (yield from env.settle())
+                assert (yield from env.comm.recv()) == b"early"
+                assert (yield from env.comm.recv()) == b"late"
 
         run(3, main)
 
     def test_isend_wait_all(self):
         def main(env):
             if env.rank == 0:
-                reqs = [env.comm.isend(bytes([d]), d, tag=0) for d in range(1, 4)]
-                wait_all(reqs)
+                reqs = []
+                for d in range(1, 4):
+                    reqs.append((yield from env.comm.isend(bytes([d]), d, tag=0)))
+                (yield from wait_all(reqs))
             else:
-                assert env.comm.recv(0, 0) == bytes([env.rank])
+                assert (yield from env.comm.recv(0, 0)) == bytes([env.rank])
 
         run(4, main)
 
     def test_unmatched_recv_deadlocks(self):
         def main(env):
             if env.rank == 1:
-                env.comm.recv(0, 42)
+                (yield from env.comm.recv(0, 42))
 
         with pytest.raises(DeadlockError):
             run(2, main)
@@ -141,7 +149,7 @@ class TestMatching:
     def test_bad_peer_rejected(self):
         def main(env):
             with pytest.raises(MpiError):
-                env.comm.send(b"", 99)
+                (yield from env.comm.send(b"", 99))
 
         run(2, main)
 
@@ -150,10 +158,10 @@ class TestTiming:
     def test_message_delivery_takes_time(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"x" * 1000, 1)
+                (yield from env.comm.send(b"x" * 1000, 1))
                 return 0.0
             t0 = env.now
-            env.comm.recv(0)
+            (yield from env.comm.recv(0))
             return env.now - t0
 
         res = run(2, main)
@@ -165,10 +173,10 @@ class TestTiming:
         def make_main(dst):
             def main(env):
                 if env.rank == 0:
-                    env.comm.send(b"y" * 512, dst)
+                    (yield from env.comm.send(b"y" * 512, dst))
                 elif env.rank == dst:
                     t0 = env.now
-                    env.comm.recv(0)
+                    (yield from env.comm.recv(0))
                     return env.now - t0
 
             return main
@@ -181,11 +189,11 @@ class TestTiming:
         def main(env):
             dup = env.comm.dup()
             if env.rank == 0:
-                dup.send(b"on-dup", 1, tag=0)
-                env.comm.send(b"on-world", 1, tag=0)
+                (yield from dup.send(b"on-dup", 1, tag=0))
+                (yield from env.comm.send(b"on-world", 1, tag=0))
             elif env.rank == 1:
                 # Receive from world first: must NOT get the dup message.
-                assert env.comm.recv(0, 0) == b"on-world"
-                assert dup.recv(0, 0) == b"on-dup"
+                assert (yield from env.comm.recv(0, 0)) == b"on-world"
+                assert (yield from dup.recv(0, 0)) == b"on-dup"
 
         run(2, main)

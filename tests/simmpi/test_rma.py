@@ -17,12 +17,12 @@ class TestPutGet:
     def test_put_lands_in_target_buffer(self):
         def main(env):
             buf = np.zeros(16, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 1:
-                win.lock(0)
+                (yield from win.lock(0))
                 win.put(b"\xaa\xbb", 0, 3)
                 win.unlock(0)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
             if env.rank == 0:
                 assert bytes(buf[3:5]) == b"\xaa\xbb"
 
@@ -31,9 +31,9 @@ class TestPutGet:
     def test_get_reads_remote_buffer(self):
         def main(env):
             buf = np.full(8, env.rank, dtype=np.uint8)
-            win = Window(env.comm, buf)
-            win.lock(1, LOCK_SHARED)
-            data = win.get(1, 0, 8)
+            win = yield from Window.create(env.comm, buf)
+            (yield from win.lock(1, LOCK_SHARED))
+            data = (yield from win.get(1, 0, 8))
             win.unlock(1)
             assert data == bytes([1] * 8)
 
@@ -42,12 +42,12 @@ class TestPutGet:
     def test_put_indexed_places_disjoint_blocks(self):
         def main(env):
             buf = np.zeros(32, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 1:
-                win.lock(0)
+                (yield from win.lock(0))
                 win.put_indexed([(0, b"AA"), (10, b"BB"), (20, b"CC")], 0)
                 win.unlock(0)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
             if env.rank == 0:
                 assert bytes(buf[0:2]) == b"AA"
                 assert bytes(buf[10:12]) == b"BB"
@@ -58,9 +58,9 @@ class TestPutGet:
     def test_get_indexed_returns_blocks_in_order(self):
         def main(env):
             buf = np.arange(32, dtype=np.uint8)
-            win = Window(env.comm, buf)
-            win.lock(0, LOCK_SHARED)
-            got = win.get_indexed([(4, 2), (20, 3)], 0)
+            win = yield from Window.create(env.comm, buf)
+            (yield from win.lock(0, LOCK_SHARED))
+            got = (yield from win.get_indexed([(4, 2), (20, 3)], 0))
             win.unlock(0)
             assert got == [(4, bytes([4, 5])), (20, bytes([20, 21, 22]))]
 
@@ -69,11 +69,11 @@ class TestPutGet:
     def test_accumulate_sums(self):
         def main(env):
             buf = np.zeros(4, dtype=np.int64)
-            win = Window(env.comm, buf)
-            win.lock(0)
+            win = yield from Window.create(env.comm, buf)
+            (yield from win.lock(0))
             win.accumulate(np.array([env.rank + 1], dtype=np.int64), 0, 0)
             win.unlock(0)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
             if env.rank == 0:
                 assert buf[0] == sum(r + 1 for r in range(env.size))
 
@@ -84,60 +84,60 @@ class TestEpochRules:
     def test_access_without_lock_rejected(self):
         def main(env):
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 0:
                 with pytest.raises(RmaError):
                     win.put(b"x", 1, 0)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
 
         run(2, main)
 
     def test_unlock_without_lock_rejected(self):
         def main(env):
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 0:
                 with pytest.raises(RmaError):
                     win.unlock(1)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
 
         run(2, main)
 
     def test_double_lock_same_target_rejected(self):
         def main(env):
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 0:
-                win.lock(1)
+                (yield from win.lock(1))
                 with pytest.raises(RmaError):
-                    win.lock(1)
+                    (yield from win.lock(1))
                 win.unlock(1)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
 
         run(2, main)
 
     def test_put_outside_window_rejected(self):
         def main(env):
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 0:
-                win.lock(1)
+                (yield from win.lock(1))
                 with pytest.raises(RmaError):
                     win.put(b"toolongforwindow", 1, 0)
                 win.unlock(1)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
 
         run(2, main)
 
     def test_exclusive_epochs_serialize_writers(self):
         def main(env):
             buf = np.zeros(64, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank != 0:
-                win.lock(0, LOCK_EXCLUSIVE)
+                (yield from win.lock(0, LOCK_EXCLUSIVE))
                 win.put(bytes([env.rank] * 4), 0, 0)
                 win.unlock(0)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
             if env.rank == 0:
                 # last writer wins, and the buffer is internally consistent
                 assert len(set(buf[0:4].tolist())) == 1
@@ -148,14 +148,14 @@ class TestEpochRules:
     def test_readers_after_writer_see_flushed_data(self):
         def main(env):
             buf = np.zeros(8, dtype=np.uint8)
-            win = Window(env.comm, buf)
+            win = yield from Window.create(env.comm, buf)
             if env.rank == 0:
-                win.lock(1, LOCK_EXCLUSIVE)
+                (yield from win.lock(1, LOCK_EXCLUSIVE))
                 win.put(b"\x42" * 8, 1, 0)
                 win.unlock(1)
-            coll.barrier(env.comm)
-            win.lock(1, LOCK_SHARED)
-            got = win.get(1, 0, 8)
+            (yield from coll.barrier(env.comm))
+            (yield from win.lock(1, LOCK_SHARED))
+            got = (yield from win.get(1, 0, 8))
             win.unlock(1)
             assert got == b"\x42" * 8
 
@@ -165,16 +165,16 @@ class TestEpochRules:
         def main(env):
             a = np.zeros(8, dtype=np.uint8)
             b = np.zeros(8, dtype=np.uint8)
-            win_a = Window(env.comm, a)
-            win_b = Window(env.comm, b)
+            win_a = yield from Window.create(env.comm, a)
+            win_b = yield from Window.create(env.comm, b)
             if env.rank == 0:
-                win_a.lock(1)
+                (yield from win_a.lock(1))
                 win_a.put(b"A" * 8, 1, 0)
                 win_a.unlock(1)
-                win_b.lock(1)
+                (yield from win_b.lock(1))
                 win_b.put(b"B" * 8, 1, 0)
                 win_b.unlock(1)
-            coll.barrier(env.comm)
+            (yield from coll.barrier(env.comm))
             if env.rank == 1:
                 assert bytes(a) == b"A" * 8
                 assert bytes(b) == b"B" * 8

@@ -22,55 +22,55 @@ class TestRequests:
     def test_wait_on_completed_request_is_immediate(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"pre", 1)
+                (yield from env.comm.send(b"pre", 1))
             else:
                 env.compute(1e-3)
-                env.settle()
-                req = env.comm.irecv(0)
+                (yield from env.settle())
+                req = (yield from env.comm.irecv(0))
                 # message already arrived; both waits return the payload
-                assert req.wait() == b"pre"
-                assert req.wait() == b"pre"
+                assert (yield from req.wait()) == b"pre"
+                assert (yield from req.wait()) == b"pre"
 
         run(2, main)
 
     def test_wait_all_with_empty_list(self):
         def main(env):
-            wait_all([])
+            (yield from wait_all([]))
 
         run(1, main)
 
     def test_wait_all_with_mixed_completion(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"a", 1, tag=1)
+                (yield from env.comm.send(b"a", 1, tag=1))
                 env.compute(5e-3)
-                env.settle()
-                env.comm.send(b"b", 1, tag=2)
+                (yield from env.settle())
+                (yield from env.comm.send(b"b", 1, tag=2))
             else:
-                r1 = env.comm.irecv(0, 1)
-                r2 = env.comm.irecv(0, 2)
+                r1 = (yield from env.comm.irecv(0, 1))
+                r2 = (yield from env.comm.irecv(0, 2))
                 env.compute(1e-3)
-                env.settle()
-                wait_all([r1, r2])
+                (yield from env.settle())
+                (yield from wait_all([r1, r2]))
                 assert r1.payload == b"a" and r2.payload == b"b"
 
         run(2, main)
 
     def test_two_waiters_on_one_request_rejected(self):
         def main(env):
-            req = env.comm.irecv(0, 99)
+            req = (yield from env.comm.irecv(0, 99))
             req._waiter = object()  # simulate another waiter
             with pytest.raises(MpiError):
-                req.wait()
+                (yield from req.wait())
             req._waiter = None
 
         # rank 1 only; never receives, so don't let the job end blocked
         def safe(env):
             if env.rank == 1:
-                req = env.comm.irecv(0, 99)
+                req = (yield from env.comm.irecv(0, 99))
                 req._waiter = object()
                 with pytest.raises(MpiError):
-                    req.wait()
+                    (yield from req.wait())
                 req._waiter = None
             env.comm.world.shared.setdefault("done", True)
 
@@ -79,6 +79,6 @@ class TestRequests:
     def test_unsupported_payload_type_rejected(self):
         def main(env):
             with pytest.raises(MpiError):
-                env.comm.isend(12345, (env.rank + 1) % env.size)
+                (yield from env.comm.isend(12345, (env.rank + 1) % env.size))
 
         run(2, main)

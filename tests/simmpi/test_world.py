@@ -30,7 +30,7 @@ class TestRunMpi:
     def test_compute_advances_local_clock(self):
         def main(env):
             env.compute(1e-3)
-            env.settle()
+            (yield from env.settle())
             return env.now
 
         res = run_mpi(2, main, cluster=make_test_cluster())
@@ -58,9 +58,9 @@ class TestRunMpi:
     def test_trace_collects_counters(self):
         def main(env):
             if env.rank == 0:
-                env.comm.send(b"hi", 1)
+                (yield from env.comm.send(b"hi", 1))
             elif env.rank == 1:
-                env.comm.recv(0)
+                (yield from env.comm.recv(0))
 
         res = run_mpi(2, main, cluster=make_test_cluster())
         assert res.trace.get("mpi.send").count == 1
@@ -68,7 +68,7 @@ class TestRunMpi:
     def test_elapsed_is_final_clock(self):
         def main(env):
             env.compute(5e-3)
-            env.settle()
+            (yield from env.settle())
 
         res = run_mpi(1, main, cluster=make_test_cluster())
         assert res.elapsed >= 5e-3

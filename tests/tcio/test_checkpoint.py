@@ -26,9 +26,9 @@ def rank_arrays(rank):
 class TestCheckpointRoundTrip:
     def test_save_and_load(self):
         def main(env):
-            total = save_checkpoint(env, "ck", rank_arrays(env.rank))
+            total = (yield from save_checkpoint(env, "ck", rank_arrays(env.rank)))
             assert total > 0
-            restored = load_checkpoint(env, "ck")
+            restored = (yield from load_checkpoint(env, "ck"))
             expected = rank_arrays(env.rank)
             assert set(restored) == set(expected)
             for k in expected:
@@ -45,8 +45,8 @@ class TestCheckpointRoundTrip:
                 f"a{i}": np.full(env.rank * 3 + i + 1, env.rank, dtype=np.int64)
                 for i in range(env.rank + 1)
             }
-            save_checkpoint(env, "ck", arrays)
-            restored = load_checkpoint(env, "ck")
+            (yield from save_checkpoint(env, "ck", arrays))
+            restored = (yield from load_checkpoint(env, "ck"))
             assert len(restored) == env.rank + 1
             for i in range(env.rank + 1):
                 assert np.array_equal(restored[f"a{i}"], arrays[f"a{i}"])
@@ -55,8 +55,8 @@ class TestCheckpointRoundTrip:
 
     def test_empty_checkpoint(self):
         def main(env):
-            save_checkpoint(env, "ck", {})
-            assert load_checkpoint(env, "ck") == {}
+            (yield from save_checkpoint(env, "ck", {}))
+            assert (yield from load_checkpoint(env, "ck")) == {}
 
         run(2, main)
 
@@ -64,7 +64,7 @@ class TestCheckpointRoundTrip:
         from repro.simmpi.mpi import run_mpi as _run
 
         def save_job(env):
-            save_checkpoint(env, "ck", rank_arrays(env.rank))
+            (yield from save_checkpoint(env, "ck", rank_arrays(env.rank)))
 
         saved = run(4, save_job)
         blob = saved.pfs.lookup("ck").contents()
@@ -74,7 +74,7 @@ class TestCheckpointRoundTrip:
 
         def load_job(env):
             with pytest.raises(TcioError, match="saved by 4"):
-                load_checkpoint(env, "ck")
+                (yield from load_checkpoint(env, "ck"))
 
         _run(2, load_job, cluster=make_test_cluster(), pfs_init=seed)
 
@@ -90,7 +90,7 @@ def load_corrupt(blob: bytes, nranks: int = 2):
 
     def load_job(env):
         with pytest.raises(TcioError) as exc:
-            load_checkpoint(env, "ck")
+            (yield from load_checkpoint(env, "ck"))
         if env.rank == 0:
             captured.append(str(exc.value))
 
@@ -100,7 +100,7 @@ def load_corrupt(blob: bytes, nranks: int = 2):
 
 def valid_blob(nranks: int = 2) -> bytes:
     def save_job(env):
-        save_checkpoint(env, "ck", rank_arrays(env.rank))
+        (yield from save_checkpoint(env, "ck", rank_arrays(env.rank)))
 
     return run(nranks, save_job).pfs.lookup("ck").contents()
 
@@ -140,8 +140,8 @@ class TestCorruptHeaders:
     def test_valid_blob_still_loads(self):
         # control: the checks above must not reject a healthy file
         def save_and_load(env):
-            save_checkpoint(env, "ck", rank_arrays(env.rank))
-            return sorted(load_checkpoint(env, "ck"))
+            (yield from save_checkpoint(env, "ck", rank_arrays(env.rank)))
+            return sorted((yield from load_checkpoint(env, "ck")))
 
         res = run(2, save_and_load)
         assert res.returns[0] == ["density", "flags", "scalar"]

@@ -21,11 +21,11 @@ class TestTypedWrites:
     def test_count_and_type_limit_the_write(self):
         def main(env):
             data = np.arange(8, dtype=np.int32)
-            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, CFG))
             if env.rank == 0:
-                n = fh.write_at(0, data, 3, INT)  # only 3 ints of 8
+                n = (yield from fh.write_at(0, data, 3, INT))  # only 3 ints of 8
                 assert n == 12
-            fh.close()
+            (yield from fh.close())
 
         res = run(2, main)
         f = res.pfs.lookup("f")
@@ -35,10 +35,10 @@ class TestTypedWrites:
     def test_doubles(self):
         def main(env):
             data = np.array([1.5, -2.25], dtype=np.float64)
-            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, CFG))
             if env.rank == 0:
-                fh.write_at(8, data, 2, DOUBLE)
-            fh.close()
+                (yield from fh.write_at(8, data, 2, DOUBLE))
+            (yield from fh.close())
 
         res = run(2, main)
         got = np.frombuffer(res.pfs.lookup("f").contents()[8:], np.float64)
@@ -46,24 +46,24 @@ class TestTypedWrites:
 
     def test_undersized_buffer_rejected(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, CFG))
             with pytest.raises(TcioError):
-                fh.write_at(0, b"\x00" * 4, 2, INT)  # needs 8 bytes
-            fh.close()
+                (yield from fh.write_at(0, b"\x00" * 4, 2, INT))  # needs 8 bytes
+            (yield from fh.close())
 
         run(1, main)
 
     def test_typed_reads(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, CFG)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, CFG))
             if env.rank == 0:
-                fh.write_at(0, np.arange(6, dtype=np.int32))
-            fh.close()
-            fh = TcioFile(env, "f", TCIO_RDONLY, CFG)
+                (yield from fh.write_at(0, np.arange(6, dtype=np.int32)))
+            (yield from fh.close())
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, CFG))
             dest = np.zeros(4, dtype=np.int32)
-            n = fh.read_at(4, dest, 2, INT)  # 2 ints starting at int #1
-            fh.fetch()
-            fh.close()
+            n = (yield from fh.read_at(4, dest, 2, INT))  # 2 ints starting at int #1
+            (yield from fh.fetch())
+            (yield from fh.close())
             assert n == 8
             assert dest.tolist() == [1, 2, 0, 0]
 
@@ -72,9 +72,9 @@ class TestTypedWrites:
     def test_read_target_too_small_rejected(self):
         def main(env):
             env.pfs.create("f")
-            fh = TcioFile(env, "f", TCIO_RDONLY, CFG)
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, CFG))
             with pytest.raises(TcioError):
-                fh.read_at(0, bytearray(4), 2, INT)
-            fh.close()
+                (yield from fh.read_at(0, bytearray(4), 2, INT))
+            (yield from fh.close())
 
         run(1, main)

@@ -37,12 +37,12 @@ class TestWritePath:
 
         def main(env):
             r, P = env.rank, env.size
-            fh = tcio_open(env, "f", TCIO_WRONLY, cfg_for(LEN * P * 12, P, 24))
+            fh = (yield from tcio_open(env, "f", TCIO_WRONLY, cfg_for(LEN * P * 12, P, 24)))
             for i in range(LEN):
                 pos = r * 12 + i * 12 * P
-                tcio_write_at(fh, pos, struct.pack("<i", i + 10 * r))
-                tcio_write_at(fh, pos + 4, struct.pack("<d", i + 100.0 * r))
-            tcio_close(fh)
+                (yield from tcio_write_at(fh, pos, struct.pack("<i", i + 10 * r)))
+                (yield from tcio_write_at(fh, pos + 4, struct.pack("<d", i + 100.0 * r)))
+            (yield from tcio_close(fh))
             return fh.stats.as_dict()
 
         res = run(2, main)
@@ -59,14 +59,14 @@ class TestWritePath:
 
     def test_sequential_write_and_seek(self):
         def main(env):
-            fh = tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
+            fh = (yield from tcio_open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)))
             if env.rank == 0:
-                tcio_write(fh, b"abcd")
-                tcio_write(fh, b"efgh")
+                (yield from tcio_write(fh, b"abcd"))
+                (yield from tcio_write(fh, b"efgh"))
                 tcio_seek(fh, 16, SEEK_SET)
-                tcio_write(fh, b"zz")
+                (yield from tcio_write(fh, b"zz"))
                 assert fh.tell() == 18
-            tcio_close(fh)
+            (yield from tcio_close(fh))
 
         res = run(2, main)
         data = res.pfs.lookup("f").contents()
@@ -75,32 +75,32 @@ class TestWritePath:
 
     def test_write_spanning_many_segments(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(1024, env.size, 32))
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(1024, env.size, 32)))
             if env.rank == 1:
-                fh.write_at(10, bytes(range(200)))
-            fh.close()
+                (yield from fh.write_at(10, bytes(range(200))))
+            (yield from fh.close())
 
         res = run(4, main)
         assert res.pfs.lookup("f").contents()[10:210] == bytes(range(200))
 
     def test_eof_tracking_via_allreduce(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(4096, env.size, 64))
-            fh.write_at(env.rank * 100, b"x")
-            fh.close()
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(4096, env.size, 64)))
+            (yield from fh.write_at(env.rank * 100, b"x"))
+            (yield from fh.close())
 
         res = run(4, main)
         assert res.pfs.lookup("f").size == 301
 
     def test_seek_end_uses_global_eof(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(4096, env.size, 64))
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(4096, env.size, 64)))
             if env.rank == 0:
-                fh.write_at(0, b"y" * 50)
-            coll.barrier(env.comm)
+                (yield from fh.write_at(0, b"y" * 50))
+            (yield from coll.barrier(env.comm))
             pos = fh.seek(0, SEEK_END)
-            coll.barrier(env.comm)
-            fh.close()
+            (yield from coll.barrier(env.comm))
+            (yield from fh.close())
             return pos
 
         res = run(2, main)
@@ -111,10 +111,10 @@ class TestWritePath:
             f = env.pfs.create("f")
             if env.rank == 0:
                 f.write_bytes(0, b"OLDOLDOLD")
-            coll.barrier(env.comm)
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
-            fh.write_at(0, b"new")
-            fh.close()
+            (yield from coll.barrier(env.comm))
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)))
+            (yield from fh.write_at(0, b"new"))
+            (yield from fh.close())
 
         res = run(2, main)
         assert res.pfs.lookup("f").contents() == b"new"
@@ -122,21 +122,21 @@ class TestWritePath:
 
 class TestReadPath:
     def _write_file(self, env, total=256, segment=32):
-        fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(total, env.size, segment))
+        fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(total, env.size, segment)))
         if env.rank == 0:
-            fh.write_at(0, bytes(range(256)))
-        fh.close()
+            (yield from fh.write_at(0, bytes(range(256))))
+        (yield from fh.close())
 
     def test_lazy_read_fills_only_after_fetch(self):
         def main(env):
-            self._write_file(env)
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32))
+            (yield from self._write_file(env))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32)))
             buf = bytearray(8)
-            fh.read_at(env.rank * 8, buf)
+            (yield from fh.read_at(env.rank * 8, buf))
             before = bytes(buf)
-            fh.fetch()
+            (yield from fh.fetch())
             after = bytes(buf)
-            fh.close()
+            (yield from fh.close())
             return before, after
 
         res = run(2, main)
@@ -146,37 +146,37 @@ class TestReadPath:
 
     def test_close_fetches_pending_reads(self):
         def main(env):
-            self._write_file(env)
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32))
+            (yield from self._write_file(env))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32)))
             buf = bytearray(4)
-            fh.read_at(100, buf)
-            fh.close()  # implicit fetch
+            (yield from fh.read_at(100, buf))
+            (yield from fh.close())  # implicit fetch
             assert bytes(buf) == bytes(range(100, 104))
 
         run(2, main)
 
     def test_read_now_convenience(self):
         def main(env):
-            self._write_file(env)
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32))
-            got = fh.read_now(32, 16)
-            fh.close()
+            (yield from self._write_file(env))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32)))
+            got = (yield from fh.read_now(32, 16))
+            (yield from fh.close())
             assert got == bytes(range(32, 48))
 
         run(2, main)
 
     def test_overflow_triggers_automatic_fetch(self):
         def main(env):
-            self._write_file(env)
+            (yield from self._write_file(env))
             cfg = TcioConfig(
                 segment_size=32, segments_per_process=8, read_window_segments=1
             )
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg))
             bufs = [bytearray(4) for _ in range(4)]
             for i, b in enumerate(bufs):
-                fh.read_at(i * 64, b)  # each lands in a different segment
+                (yield from fh.read_at(i * 64, b))  # each lands in a different segment
             fetches_before_close = fh.stats.value("fetches")
-            fh.close()
+            (yield from fh.close())
             return fetches_before_close
 
         res = run(2, main)
@@ -184,12 +184,12 @@ class TestReadPath:
 
     def test_numpy_destination(self):
         def main(env):
-            self._write_file(env)
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32))
+            (yield from self._write_file(env))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg_for(256, env.size, 32)))
             dest = np.zeros(16, dtype=np.uint8)
-            fh.read_at(16, dest)
-            fh.fetch()
-            fh.close()
+            (yield from fh.read_at(16, dest))
+            (yield from fh.fetch())
+            (yield from fh.close())
             assert dest.tobytes() == bytes(range(16, 32))
 
         run(2, main)
@@ -198,64 +198,64 @@ class TestReadPath:
 class TestModesAndErrors:
     def test_read_on_write_handle_rejected(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)))
             with pytest.raises(TcioError):
-                fh.read_at(0, bytearray(4))
-            fh.close()
+                (yield from fh.read_at(0, bytearray(4)))
+            (yield from fh.close())
 
         run(2, main)
 
     def test_write_on_read_handle_rejected(self):
         def main(env):
             env.pfs.create("f")
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg_for(64, env.size, 16))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg_for(64, env.size, 16)))
             with pytest.raises(TcioError):
-                fh.write_at(0, b"x")
-            fh.close()
+                (yield from fh.write_at(0, b"x"))
+            (yield from fh.close())
 
         run(2, main)
 
     def test_bad_mode_rejected(self):
         def main(env):
             with pytest.raises(TcioError):
-                TcioFile(env, "f", 0x99)
+                (yield from TcioFile.open(env, "f", 0x99))
 
         run(1, main)
 
     def test_ops_after_close_rejected(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
-            fh.close()
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)))
+            (yield from fh.close())
             with pytest.raises(TcioError):
-                fh.write_at(0, b"x")
+                (yield from fh.write_at(0, b"x"))
 
         run(1, main)
 
     def test_capacity_overflow_raises(self):
         def main(env):
             cfg = TcioConfig(segment_size=16, segments_per_process=1)
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg))
             with pytest.raises(TcioError, match="level-2"):
                 # segment index beyond the per-rank slot capacity
-                fh.write_at(16 * env.size * 3, b"x")
-                fh.flush()
+                (yield from fh.write_at(16 * env.size * 3, b"x"))
+                (yield from fh.flush())
             # leave cleanly: drop the stuck block, then close collectively
             fh.level1._blocks = []
             fh.level1.aligned_segment = None
-            fh.close()
+            (yield from fh.close())
 
         run(2, main)
 
     def test_seek_modes(self):
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16))
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(64, env.size, 16)))
             fh.seek(10)
             assert fh.seek(5, SEEK_CUR) == 15
             with pytest.raises(TcioError):
                 fh.seek(-1, SEEK_SET)
             with pytest.raises(TcioError):
                 fh.seek(0, 42)
-            fh.close()
+            (yield from fh.close())
 
         run(1, main)
 
@@ -284,10 +284,10 @@ class TestRandomizedRoundTrip:
         high = max((off + ln for off, ln in raw_writes), default=0)
 
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg_for(1024, env.size, 32))
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg_for(1024, env.size, 32)))
             for pos, payload in per_rank[env.rank]:
-                fh.write_at(pos, payload)
-            fh.close()
+                (yield from fh.write_at(pos, payload))
+            (yield from fh.close())
 
         res = run_mpi(nranks, main, cluster=make_test_cluster())
         got = res.pfs.lookup("f").contents()

@@ -19,11 +19,11 @@ class TestPushBlocks:
         cfg = TcioConfig(segment_size=16, segments_per_process=8)
 
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg))
             if env.rank == 0:
-                fh.write_at(0, b"x" * 16)  # segment 0: owned by rank 0
-                fh.write_at(16, b"y" * 16)  # segment 1: owned by rank 1
-            fh.close()
+                (yield from fh.write_at(0, b"x" * 16))  # segment 0: owned by rank 0
+                (yield from fh.write_at(16, b"y" * 16))  # segment 1: owned by rank 1
+            (yield from fh.close())
             return fh.stats.value("local_flushes"), fh.stats.value("remote_flushes")
 
         res = run(2, main)
@@ -33,13 +33,13 @@ class TestPushBlocks:
         cfg = TcioConfig(segment_size=64, segments_per_process=8)
 
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg))
             if env.rank == 0:
                 # three disjoint pieces within segment 1 (owned by rank 1)
-                fh.write_at(64, b"a")
-                fh.write_at(70, b"b")
-                fh.write_at(80, b"c")
-            fh.close()
+                (yield from fh.write_at(64, b"a"))
+                (yield from fh.write_at(70, b"b"))
+                (yield from fh.write_at(80, b"c"))
+            (yield from fh.close())
             return fh.stats.value("remote_flushes"), fh.stats.value("put_blocks")
 
         res = run(2, main)
@@ -51,12 +51,12 @@ class TestPushBlocks:
         cfg = TcioConfig(segment_size=16, segments_per_process=8)
 
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg))
             if env.rank == 0:
-                fh.write_at(0, b"x" * 48)  # segments 0,1,2
-            fh.flush()
+                (yield from fh.write_at(0, b"x" * 48))  # segments 0,1,2
+            (yield from fh.flush())
             owned = fh.level2.owned_dirty_segments()
-            fh.close()
+            (yield from fh.close())
             return owned
 
         res = run(2, main)
@@ -67,13 +67,13 @@ class TestPushBlocks:
         cfg = TcioConfig(segment_size=16, segments_per_process=2)
 
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg))
             with pytest.raises(TcioError, match="segments_per_process"):
-                fh.write_at(16 * env.size * 2, b"z")
-                fh._flush_level1()
+                (yield from fh.write_at(16 * env.size * 2, b"z"))
+                (yield from fh._flush_level1())
             fh.level1._blocks = []
             fh.level1.aligned_segment = None
-            fh.close()
+            (yield from fh.close())
 
         run(2, main)
 
@@ -82,18 +82,18 @@ class TestReadProtocol:
     def _seed(self, env, nbytes=256):
         f = env.pfs.create("f")
         f.write_bytes(0, bytes(i % 251 for i in range(nbytes)))
-        coll.barrier(env.comm)
+        (yield from coll.barrier(env.comm))
 
     def test_segment_loaded_once_globally(self):
         cfg = TcioConfig(segment_size=64, segments_per_process=8)
 
         def main(env):
-            self._seed(env)
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            (yield from self._seed(env))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg))
             buf = bytearray(8)
-            fh.read_at(0, buf)  # everyone wants segment 0
-            fh.fetch()
-            fh.close()
+            (yield from fh.read_at(0, buf))  # everyone wants segment 0
+            (yield from fh.fetch())
+            (yield from fh.close())
             return fh.stats.value("segment_loads")
 
         res = run(4, main)
@@ -103,13 +103,13 @@ class TestReadProtocol:
         cfg = TcioConfig(segment_size=64, segments_per_process=8)
 
         def main(env):
-            self._seed(env, 64 * 4)
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            (yield from self._seed(env, 64 * 4))
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg))
             bufs = [bytearray(4) for _ in range(4)]
             for i, b in enumerate(bufs):
-                fh.read_at(i * 64, b)
-            fh.fetch()
-            fh.close()
+                (yield from fh.read_at(i * 64, b))
+            (yield from fh.fetch())
+            (yield from fh.close())
             assert all(bytes(b) == bytes((i * 64 + k) % 251 for k in range(4))
                        for i, b in enumerate(bufs))
             return fh.stats.value("segment_loads")
@@ -126,14 +126,14 @@ class TestReadProtocol:
         cfg = TcioConfig(segment_size=64, segments_per_process=8)
 
         def main(env):
-            fh = TcioFile(env, "f", TCIO_WRONLY, cfg)
-            fh.write_at(env.rank * 4, bytes([env.rank]) * 4)
-            fh.close()
-            fh2 = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_WRONLY, cfg))
+            (yield from fh.write_at(env.rank * 4, bytes([env.rank]) * 4))
+            (yield from fh.close())
+            fh2 = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg))
             # fresh generation: nothing is dirty, data comes from storage
             assert not fh2.directory.dirty
-            got = fh2.read_now(0, env.size * 4)
-            fh2.close()
+            got = (yield from fh2.read_now(0, env.size * 4))
+            (yield from fh2.close())
             assert got == b"".join(bytes([r]) * 4 for r in range(env.size))
 
         run(3, main)

@@ -44,14 +44,14 @@ class TestRandomLazyReads:
                 segments_per_process=-(-FILE_BYTES // (segment * env.size)) + 1,
                 read_window_segments=window,
             )
-            fh = TcioFile(env, "f", TCIO_RDONLY, cfg)
+            fh = (yield from TcioFile.open(env, "f", TCIO_RDONLY, cfg))
             bufs = []
             for off, ln in plans[env.rank]:
                 b = bytearray(ln)
-                fh.read_at(off, b)
+                (yield from fh.read_at(off, b))
                 bufs.append((off, ln, b))
-            fh.fetch()
-            fh.close()
+            (yield from fh.fetch())
+            (yield from fh.close())
             for off, ln, b in bufs:
                 assert bytes(b) == data[off : off + ln], (env.rank, off, ln)
 

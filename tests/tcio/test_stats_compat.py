@@ -54,10 +54,10 @@ class TestAsDict:
 
         def main(env):
             cfg = TcioConfig.sized_for(256, env.size, 64)
-            fh = tcio_open(env, "f", TCIO_WRONLY, cfg)
-            with fh:
-                if env.rank == 0:
-                    tcio_write(fh, b"x" * 32)
+            fh = yield from tcio_open(env, "f", TCIO_WRONLY, cfg)
+            if env.rank == 0:
+                yield from tcio_write(fh, b"x" * 32)
+            yield from fh.close()
             return fh.stats.as_dict()
 
         res = run_mpi(2, main, cluster=make_test_cluster())

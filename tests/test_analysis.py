@@ -11,13 +11,13 @@ class TestAnalyzeRun:
         def main(env):
             client = env.pfs.client(env.world.node_of[env.rank])
             f = env.pfs.create("f")
-            client.write(f, env.rank * 64, bytes([env.rank]) * 64, owner=env.rank)
-            coll.barrier(env.comm)
-            client.read(f, 0, 64 * env.size, owner=env.rank)
+            (yield from client.write(f, env.rank * 64, bytes([env.rank]) * 64, owner=env.rank))
+            (yield from coll.barrier(env.comm))
+            (yield from client.read(f, 0, 64 * env.size, owner=env.rank))
             if env.rank == 0:
-                env.comm.send(b"x" * 2000, 1)
+                (yield from env.comm.send(b"x" * 2000, 1))
             elif env.rank == 1:
-                env.comm.recv(0)
+                (yield from env.comm.recv(0))
 
         return run_mpi(4, main, cluster=make_test_cluster())
 

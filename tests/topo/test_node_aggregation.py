@@ -52,13 +52,13 @@ def _tcio_cfg(env, aggregation: str, staging_segments: int | None = None):
 
 def _tcio_write(aggregation: str, staging_segments: int | None = None, **run_kw):
     def main(env):
-        fh = TcioFile(
+        fh = yield from TcioFile.open(
             env, "na.dat", TCIO_WRONLY,
             _tcio_cfg(env, aggregation, staging_segments),
         )
         for i in range(NBLOCKS):
-            fh.write_at((i * env.size + env.rank) * BLK, _payload(env.rank, i))
-        fh.close()
+            (yield from fh.write_at((i * env.size + env.rank) * BLK, _payload(env.rank, i)))
+        (yield from fh.close())
 
     run_kw.setdefault("cluster", _cluster())
     return run_small(NPROCS, main, **run_kw)
@@ -69,10 +69,10 @@ def _ocio_write(aggregation: str, **run_kw):
         hints = IoHints(cb_aggregation=aggregation)
         etype = Contiguous(BLK, BYTE)
         filetype = etype.vector(NBLOCKS, 1, env.size)
-        fh = MpiFile.open(env, "na.dat", MODE_RDWR | MODE_CREATE, hints)
-        fh.set_view(env.rank * BLK, etype, filetype)
-        fh.write_all(b"".join(_payload(env.rank, i) for i in range(NBLOCKS)))
-        fh.close()
+        fh = (yield from MpiFile.open(env, "na.dat", MODE_RDWR | MODE_CREATE, hints))
+        (yield from fh.set_view(env.rank * BLK, etype, filetype))
+        (yield from fh.write_all(b"".join(_payload(env.rank, i) for i in range(NBLOCKS))))
+        (yield from fh.close())
 
     run_kw.setdefault("cluster", _cluster())
     return run_small(NPROCS, main, **run_kw)
@@ -127,10 +127,10 @@ class TestOcioNodeAggregation:
             hints = IoHints(cb_aggregation="node")
             etype = Contiguous(BLK, BYTE)
             filetype = etype.vector(NBLOCKS, 1, env.size)
-            fh = MpiFile.open(env, "na.dat", MODE_RDONLY, hints)
-            fh.set_view(env.rank * BLK, etype, filetype)
-            data = fh.read_all(NBLOCKS, etype)
-            fh.close()
+            fh = (yield from MpiFile.open(env, "na.dat", MODE_RDONLY, hints))
+            (yield from fh.set_view(env.rank * BLK, etype, filetype))
+            data = (yield from fh.read_all(NBLOCKS, etype))
+            (yield from fh.close())
             return data
 
         res = run_small(NPROCS, main, cluster=_cluster(), pfs_init=seed)

@@ -62,7 +62,7 @@ class TestChargeStagingCopy:
 
         def main(env):
             t0 = env.now
-            charge_staging_copy(env.world, env.rank, 1 << 20)
+            (yield from charge_staging_copy(env.world, env.rank, 1 << 20))
             return env.now - t0
 
         res = run_small(2, main, cluster=make_test_cluster())
@@ -76,7 +76,7 @@ class TestChargeStagingCopy:
 
         def main(env):
             t0 = env.now
-            charge_staging_copy(env.world, env.rank, 0)
+            (yield from charge_staging_copy(env.world, env.rank, 0))
             return env.now - t0
 
         res = run_small(1, main, cluster=make_test_cluster())

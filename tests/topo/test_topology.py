@@ -79,8 +79,8 @@ class TestNodeTopology:
 class TestSplitByNode:
     def test_groups_match_placement_and_keep_order(self):
         def main(env):
-            node_comm = split_by_node(env.comm)
-            members = collectives.allgather(node_comm, env.rank)
+            node_comm = (yield from split_by_node(env.comm))
+            members = (yield from collectives.allgather(node_comm, env.rank))
             return node_comm.rank, node_comm.size, tuple(members)
 
         res = run_small(6, main, cluster=make_test_cluster(nodes=3, cores_per_node=2))
@@ -103,15 +103,15 @@ class TestSplitByNode:
         """Node membership is local knowledge: no allgather, no messages."""
 
         def main(env):
-            split_by_node(env.comm)
+            (yield from split_by_node(env.comm))
 
         res = run_small(4, main, cluster=make_test_cluster(nodes=2, cores_per_node=2))
         assert res.trace.summary().get("net.msg", (0, 0))[0] == 0
 
     def test_split_comm_carries_traffic(self):
         def main(env):
-            node_comm = split_by_node(env.comm)
-            total = collectives.allreduce(node_comm, env.rank, lambda a, b: a + b)
+            node_comm = (yield from split_by_node(env.comm))
+            total = (yield from collectives.allreduce(node_comm, env.rank, lambda a, b: a + b))
             return total
 
         res = run_small(4, main, cluster=make_test_cluster(nodes=2, cores_per_node=2))
