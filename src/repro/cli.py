@@ -181,6 +181,76 @@ def cmd_topo(args) -> int:
     return 0 if data.check() else 1
 
 
+def cmd_ioserver(args) -> int:
+    """Trace-driven load test of the delegate I/O servers."""
+    from repro.ioserver import (
+        IoServerConfig,
+        expected_image,
+        generate_trace,
+        load_trace,
+        replay_direct,
+        run_ioserver,
+        save_trace,
+    )
+
+    if args.crash_step is not None:
+        from repro.crash.harness import SERVER_STEPS, run_server_crash_matrix
+
+        steps = (
+            SERVER_STEPS if args.crash_step == "each-step" else (args.crash_step,)
+        )
+        matrix = run_server_crash_matrix(steps=steps, seed=args.seed)
+        print(matrix.render())
+        return 0 if matrix.ok else 1
+
+    if args.trace_in:
+        trace = load_trace(args.trace_in)
+    else:
+        clients = 8 if args.smoke else args.clients
+        epochs = 2 if args.smoke else args.epochs
+        trace = generate_trace(
+            args.seed,
+            clients,
+            epochs=epochs,
+            writes_per_epoch=args.writes_per_epoch,
+            reads_per_client=args.reads,
+        )
+    if args.trace_out:
+        save_trace(trace, args.trace_out)
+        print(f"wrote {args.trace_out} ({len(trace.ops)} ops)")
+    config = IoServerConfig(
+        delegates="leaders" if not args.delegates
+        else tuple(int(r) for r in args.delegates.split(",")),
+        queue_depth=args.queue_depth,
+    )
+    result = run_ioserver(
+        trace,
+        nranks=args.ranks,
+        cores_per_node=args.cores_per_node,
+        config=config,
+    )
+    if result.aborted is not None:
+        print(f"ABORTED: {result.aborted}")
+        return 1
+    print(result.summary())
+    if args.metrics_out:
+        result.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    if not args.no_verify:
+        expected = expected_image(trace)
+        direct = replay_direct(
+            trace, "tcio", nranks=min(4, trace.nclients), cores_per_node=2
+        )
+        ok = result.image == expected == direct.image
+        print(
+            "differential vs analytic image + direct TCIO replay: "
+            + ("byte-identical" if ok else "MISMATCH")
+        )
+        if not ok:
+            return 1
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run one scaled-down experiment with tracing; write trace/metrics."""
     from repro.obs.runner import run_traced
@@ -359,6 +429,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_topo)
 
     p = sub.add_parser(
+        "ioserver",
+        help="delegate I/O servers: trace-driven load test (docs/io-server.md)",
+    )
+    p.add_argument("--smoke", action="store_true", help="small CI-sized run")
+    p.add_argument("--seed", type=int, default=11, help="trace seed")
+    p.add_argument("--clients", type=int, default=64, help="logical clients")
+    p.add_argument("--epochs", type=int, default=3, help="write epochs")
+    p.add_argument(
+        "--writes-per-epoch", type=int, default=3, help="writes per client epoch"
+    )
+    p.add_argument(
+        "--reads", type=int, default=2, help="read-phase fetches per client"
+    )
+    p.add_argument("--ranks", type=int, default=6, help="simulated ranks")
+    p.add_argument(
+        "--cores-per-node", type=int, default=3, help="simulated ranks per node"
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="per-delegate admitted-request queue bound",
+    )
+    p.add_argument(
+        "--delegates", default=None,
+        help="comma-separated delegate ranks (default: node leaders)",
+    )
+    p.add_argument("--trace-in", default=None, help="replay this saved trace")
+    p.add_argument("--trace-out", default=None, help="save the trace JSON here")
+    p.add_argument(
+        "--metrics-out", default=None, help="write the metrics JSON here"
+    )
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the byte-differential vs direct TCIO",
+    )
+    p.add_argument(
+        "--crash-step", default=None, metavar="STEP",
+        help="run the server-mode crash matrix instead: kill a delegate at "
+             "this service-loop step ('each-step' runs all six)",
+    )
+    p.set_defaults(fn=cmd_ioserver)
+
+    p = sub.add_parser(
         "trace", help="scaled-down experiment with tracing -> Chrome trace JSON"
     )
     p.add_argument(
@@ -429,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--smoke", action="store_true", help="tiny grids")
     pc.add_argument(
         "--experiments", default=None,
-        help="comma-separated subset of fig5,fig67,fig910,topo",
+        help="comma-separated subset of fig5,fig67,fig910,topo,ioserver",
     )
     pc.add_argument(
         "--jobs", type=int, default=None, metavar="N",

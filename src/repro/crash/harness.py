@@ -258,6 +258,140 @@ def crash_free_reference(
     return result.pfs.lookup("ref.dat").contents()
 
 
+#: Server-mode protocol steps a delegate can die at: the service-loop
+#: steps plus the journaled commit bracket that fires inside the
+#: delegate's own TCIO flush. (``srv-close`` fires after the last epoch
+#: committed, so like ``post-commit`` it must recover the full image.)
+SERVER_STEPS = (
+    "srv-admit", "srv-apply", "srv-flush", "pre-commit",
+    "post-commit", "srv-close",
+)
+
+#: Server-mode steps whose last occurrence lands before the final
+#: epoch's commit mark — recovery must roll back to the prior epoch.
+SERVER_ROLLBACK_STEPS = ("srv-admit", "srv-apply", "srv-flush", "pre-commit")
+
+
+def run_server_crash_cell(
+    step: str,
+    *,
+    nclients: int = 6,
+    nranks: int = 6,
+    cores_per_node: int = 3,
+    seed: int = 7,
+    victim: Optional[int] = None,
+    trace=None,
+) -> CrashCell:
+    """Kill a delegate at one service-loop (or commit) step; recover.
+
+    Mirrors :func:`run_crash_cell` for ``repro.ioserver``: a crash-free
+    counting run tallies how often the victim delegate reaches *step*,
+    the armed run crashes there (last occurrence — during or after the
+    final epoch), and the recovered image must equal the analytic
+    :func:`~repro.ioserver.trace.expected_image` — full for post-commit
+    steps, the prior epoch's prefix for rollback steps. fsck must come
+    back clean and nothing may be flagged ``data_at_risk``.
+    """
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.ioserver import (
+        IoServerConfig, expected_image, generate_trace, plan_for, run_ioserver,
+    )
+
+    if trace is None:
+        # Writes only (a read phase would push the last srv-* hits past
+        # every commit, degenerating the rollback cells) and dense (fsck
+        # cannot tell a sparse hole from an untracked byte).
+        trace = generate_trace(
+            seed, nclients, epochs=2, writes_per_epoch=3,
+            reads_per_client=0, dense=True,
+        )
+    config = IoServerConfig()
+    placement = plan_for(trace, nranks, cores_per_node, config)
+    if victim is None:
+        victim = placement.delegates[-1]
+    if victim not in placement.delegates:
+        raise ValueError(f"victim rank {victim} is not a delegate")
+    name = trace.file_name
+
+    plan = FaultPlan(FaultSpec(), seed, scope="crash-count")
+    run_ioserver(
+        trace, nranks=nranks, cores_per_node=cores_per_node,
+        config=config, faults=plan,
+    )
+    hits = plan.step_hits[(step, victim)]
+    if hits == 0:
+        return CrashCell(
+            step, "server", "epoch", False,
+            f"delegate {victim} never reaches step", 0, False,
+        )
+
+    spec = FaultSpec(crash_rank=victim, crash_step=step, crash_after=hits)
+    armed = FaultPlan(spec, seed, scope="crash")
+    result = run_ioserver(
+        trace, nranks=nranks, cores_per_node=cores_per_node,
+        config=config, faults=armed,
+    )
+    if result.aborted is None:
+        return CrashCell(
+            step, "server", "epoch", False, "job did not abort", hits, False
+        )
+
+    pfs, world = result.mpi.pfs, result.mpi.world
+    report = recover(pfs, name)
+    check = fsck(pfs, name, context=CrashContext.from_world(world, name))
+    rollback = step in SERVER_ROLLBACK_STEPS
+    expected = expected_image(trace, epochs=trace.epochs - 1 if rollback else None)
+    recovered = pfs.lookup(name).contents() if pfs.exists(name) else b""
+    at_risk = result.mpi.trace.get("faults.data_at_risk").total
+    ok = recovered == expected and check.clean and at_risk == 0
+    if recovered != expected:
+        detail = (
+            f"recovered image mismatch ({len(recovered)}b vs "
+            f"{len(expected)}b expected)"
+        )
+    elif not check.clean:
+        detail = check.summary()
+    elif at_risk:
+        detail = f"{int(at_risk)}b flagged data_at_risk in a journaled crash"
+    else:
+        detail = (
+            f"epoch {report.committed_epoch} recovered, "
+            f"{report.replayed_bytes}b replayed, "
+            f"{report.skipped_uncommitted} uncommitted + "
+            f"{report.torn_records} torn discarded, fsck clean"
+        )
+    return CrashCell(
+        step, "server", "epoch", ok, detail, hits, True,
+        recovery=report, fsck=check,
+    )
+
+
+def run_server_crash_matrix(
+    *,
+    steps=SERVER_STEPS,
+    nclients: int = 6,
+    nranks: int = 6,
+    cores_per_node: int = 3,
+    seed: int = 7,
+) -> CrashMatrixResult:
+    """The server-mode campaign: one cell per service-loop step."""
+    from repro.ioserver import generate_trace
+
+    trace = generate_trace(
+        seed, nclients, epochs=2, writes_per_epoch=3,
+        reads_per_client=0, dense=True,
+    )
+    out = CrashMatrixResult(nranks=nranks, seed=seed)
+    for step in steps:
+        out.cells.append(
+            run_server_crash_cell(
+                step, nclients=nclients, nranks=nranks,
+                cores_per_node=cores_per_node, seed=seed, trace=trace,
+            )
+        )
+    return out
+
+
 def run_crash_matrix(
     *,
     steps=STEPS,

@@ -1,0 +1,361 @@
+"""Delegate service loops and client sessions (the ViPIOS-style core).
+
+A *delegate* rank runs :func:`serve`: a persistent coroutine that drains
+request arrivals into a bounded queue (admission control), applies queued
+requests against one shared :class:`~repro.tcio.file.TcioFile` opened
+collectively over the delegate sub-communicator, and enters the
+collective durability points (open/flush/close) once every client it
+serves has requested them and its queue has drained. Writes are
+acknowledged at *admission* — the data reaches the file system through
+TCIO's epoched write-behind at the next flush/close, which is why a
+crashed delegate is recoverable by ``kill_ranks`` + journal replay.
+
+A *client* rank runs :func:`run_clients`: it plays its logical clients'
+trace requests in ``seq`` order, submitting each over the world
+communicator's RPC endpoint and measuring per-request latency on the
+virtual clock. ``BUSY`` rejections back off deterministically and
+resubmit; barrier verbs (open/flush/close) are batched per rank — all of
+its clients' requests go out before the first reply is awaited, since a
+delegate completes a barrier only once *every* client subscribed.
+
+Crash instrumentation mirrors TCIO's: the service loop announces the
+named steps ``srv-admit`` / ``srv-apply`` / ``srv-flush`` / ``srv-close``
+through :meth:`MpiWorld.crash_point`, so the crash-differential matrix
+can kill a delegate at every protocol position (``tests/crash/``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.ioserver.protocol import (
+    ADMIT,
+    BUSY,
+    DATA,
+    DONE,
+    SHUTDOWN,
+    IoServerConfig,
+    Placement,
+)
+from repro.ioserver.trace import WorkloadTrace, payload_bytes
+from repro.sim.api import run_coroutine
+from repro.simmpi.rpc import RpcEndpoint, RpcEnvelope
+from repro.tcio import TCIO_RDONLY, TCIO_WRONLY, TcioFile
+from repro.util.errors import IoServerError, ServerBusy
+from repro.util.rng import derive_seed
+
+#: Service-loop crash-point names, in protocol order (``docs/io-server.md``).
+SERVER_STEPS = ("srv-admit", "srv-apply", "srv-flush", "srv-close")
+
+#: Request verbs that park the client until a collective completes.
+BARRIER_OPS = ("open", "flush", "close")
+
+
+def _crash_point(env, step: str):
+    """Named crash hook (one test when unfaulted); coroutine like TCIO's."""
+    if env.world.faults is not None:
+        yield from run_coroutine(env.world.crash_point(step, env.rank))
+
+
+# ----------------------------------------------------------------------
+# the delegate side
+# ----------------------------------------------------------------------
+
+
+class _ServerState:
+    """One delegate's mutable session state."""
+
+    def __init__(self, clients: tuple[int, ...], depth: int):
+        self.expected = frozenset(clients)
+        self.depth = depth
+        self.queue: deque = deque()  # (src_rank, envelope), admission order
+        self.waiters: dict[str, dict[int, int]] = {}  # verb -> client -> src
+        self.open_mode: str = ""
+        self.file_name: str = ""
+        self.done: set[int] = set()
+        self.fh: Optional[TcioFile] = None
+        self.stats = {
+            "admitted": 0,
+            "rejected": 0,
+            "applied_writes": 0,
+            "applied_fetches": 0,
+            "written_bytes": 0,
+            "max_depth": 0,
+            "epochs": 0,
+            "committed_epoch": 0,
+        }
+
+
+def serve(env, sub_comm, config: IoServerConfig, tcio_config, clients, file_name):
+    """One delegate's persistent service loop (coroutine).
+
+    ``sub_comm`` is the delegate sub-communicator (collective I/O runs
+    over it); ``clients`` the logical client ids this delegate serves;
+    ``file_name`` the shared file every collective open targets.
+    Returns the delegate's stats dict once every client has shut down.
+    """
+    if not clients:
+        raise IoServerError(f"delegate rank {env.rank} serves no clients")
+    rpc = RpcEndpoint(env.comm)
+    state = _ServerState(clients, config.queue_depth)
+    state.file_name = file_name
+    hub = env.world.trace
+    while state.done < state.expected:
+        progressed = False
+        while True:  # drain every arrived request (cheap admission pass)
+            status = rpc.poll()
+            if status is None:
+                break
+            src, envelope = yield from rpc.recv_request(status.source)
+            yield from _on_arrival(env, rpc, state, envelope, src, hub)
+            progressed = True
+        if state.queue:
+            src, envelope = state.queue.popleft()
+            yield from _crash_point(env, "srv-apply")
+            yield from _apply(env, rpc, state, envelope, src, hub)
+            continue
+        verb = _ready_collective(state)
+        if verb is not None:
+            yield from _run_collective(
+                env, rpc, state, verb, sub_comm, config, tcio_config, hub
+            )
+            continue
+        if progressed:
+            continue
+        # Idle: park until the next request arrives.
+        src, envelope = yield from rpc.recv_request()
+        yield from _on_arrival(env, rpc, state, envelope, src, hub)
+    if state.fh is not None:
+        state.fh.abort()
+        raise IoServerError(
+            f"delegate rank {env.rank}: clients shut down with the file open"
+        )
+    return state.stats
+
+
+def _on_arrival(env, rpc: RpcEndpoint, state: _ServerState, envelope, src, hub):
+    """Admission control: queue, subscribe, or reject one arrival."""
+    op = envelope.op
+    if op in BARRIER_OPS:
+        state.waiters.setdefault(op, {})[envelope.client] = src
+        if op == "open":
+            state.open_mode = envelope.args[0]
+        return
+    if op == SHUTDOWN:
+        state.done.add(envelope.client)
+        yield from rpc.send_reply(src, (DONE,))
+        return
+    if op not in ("write", "fetch"):
+        raise IoServerError(f"delegate rank {env.rank}: unknown request {op!r}")
+    if len(state.queue) >= state.depth:
+        # Backpressure: reject without dequeuing anything; the client
+        # sees a deterministic retryable ServerBusy signal.
+        state.stats["rejected"] += 1
+        if hub is not None:
+            hub.count("ioserver.rejected")
+        yield from rpc.send_reply(src, (BUSY, len(state.queue)))
+        return
+    yield from _crash_point(env, "srv-admit")
+    state.queue.append((src, envelope))
+    depth = len(state.queue)
+    state.stats["admitted"] += 1
+    state.stats["max_depth"] = max(state.stats["max_depth"], depth)
+    if hub is not None:
+        hub.count("ioserver.admitted")
+        hub.registry.histogram("ioserver.queue.depth").observe(depth)
+        gauge = hub.registry.gauge("ioserver.queue.highwater")
+        gauge.set(max(gauge.value, depth))
+    if op == "write":
+        # The write-behind ack: enqueued, not yet durable.
+        yield from rpc.send_reply(src, (ADMIT,))
+
+
+def _apply(env, rpc: RpcEndpoint, state: _ServerState, envelope, src, hub):
+    """Apply one admitted request against the shared TCIO handle."""
+    if state.fh is None:
+        raise IoServerError(
+            f"delegate rank {env.rank}: {envelope.op} before the collective open"
+        )
+    if envelope.op == "write":
+        offset, payload = envelope.args
+        span = hub.span("ioserver.apply", op="write", bytes=len(payload)) if hub else None
+        if span is not None:
+            with span:
+                yield from state.fh.write_at(offset, payload)
+        else:
+            yield from state.fh.write_at(offset, payload)
+        state.stats["applied_writes"] += 1
+        state.stats["written_bytes"] += len(payload)
+        if hub is not None:
+            hub.count("ioserver.bytes.written", len(payload))
+    else:  # fetch
+        offset, nbytes = envelope.args
+        data = yield from state.fh.read_now(offset, nbytes)
+        state.stats["applied_fetches"] += 1
+        if hub is not None:
+            hub.count("ioserver.bytes.read", len(data))
+        yield from rpc.send_reply(src, (DATA, data))
+
+
+def _ready_collective(state: _ServerState) -> Optional[str]:
+    """The collective verb every client subscribed to, if any.
+
+    Only called with an empty queue, so "queue drained" — the condition
+    that makes flush-before-apply reordering impossible — always holds.
+    """
+    for verb in BARRIER_OPS:
+        if set(state.waiters.get(verb, ())) == state.expected:
+            return verb
+    return None
+
+
+def _run_collective(
+    env, rpc: RpcEndpoint, state: _ServerState, verb, sub_comm, config,
+    tcio_config, hub,
+):
+    """Enter one collective point over the delegate sub-communicator."""
+    if verb == "open":
+        if state.fh is not None:
+            raise IoServerError("open while a handle is already open")
+        mode = TCIO_WRONLY if state.open_mode == "w" else TCIO_RDONLY
+        state.fh = yield from TcioFile.open(
+            env, state.file_name, mode, tcio_config, comm=sub_comm
+        )
+    elif verb == "flush":
+        yield from _crash_point(env, "srv-flush")
+        span = hub.span("ioserver.epoch", rank=env.rank) if hub else None
+        if span is not None:
+            with span:
+                yield from state.fh.flush()
+        else:
+            yield from state.fh.flush()
+        state.stats["epochs"] += 1
+        state.stats["committed_epoch"] = max(
+            state.stats["committed_epoch"], state.fh.committed_epoch
+        )
+        if hub is not None:
+            hub.registry.gauge("ioserver.epoch.committed").set(
+                state.fh.committed_epoch
+            )
+            hub.registry.histogram("ioserver.write_behind.segments").observe(
+                state.fh.pending_write_behind
+            )
+    else:  # close
+        yield from _crash_point(env, "srv-close")
+        state.stats["committed_epoch"] = max(
+            state.stats["committed_epoch"], state.fh.committed_epoch
+        )
+        yield from state.fh.close()
+        state.fh = None
+    waiters = state.waiters.pop(verb)
+    for client in sorted(waiters):
+        yield from rpc.send_reply(waiters[client], (DONE,))
+
+
+# ----------------------------------------------------------------------
+# the client side
+# ----------------------------------------------------------------------
+
+
+def _submit(env, rpc: RpcEndpoint, delegate: int, envelope, config, seed, hub):
+    """Submit with deterministic backoff-and-retry on BUSY (coroutine)."""
+    attempt = 0
+    while True:
+        reply = yield from rpc.call(delegate, envelope)
+        if reply[0] != BUSY:
+            return reply
+        if attempt >= config.max_retries:
+            raise ServerBusy(delegate, envelope.client, envelope.op, reply[1])
+        if hub is not None:
+            hub.count("ioserver.retries")
+        # Exponential backoff with seeded jitter, all on the virtual clock.
+        jitter = (
+            derive_seed(seed, "busy", envelope.client, envelope.seq, attempt)
+            % 1000
+        ) / 1000.0
+        backoff = config.backoff_base * (2 ** min(attempt, 6)) * (1.0 + jitter)
+        yield from env.ctx.process.sleep(backoff)
+        attempt += 1
+
+
+def run_clients(
+    env, config: IoServerConfig, placement: Placement, trace: WorkloadTrace
+):
+    """One client rank's session: play its logical clients' requests.
+
+    Returns a result dict with per-verb latency samples (virtual
+    seconds), fetched bytes by trace seq, and rejection/retry counts.
+    """
+    rpc = RpcEndpoint(env.comm)
+    delegate = placement.delegate_of_rank[env.rank]
+    mine = set(placement.clients_of_rank(env.rank))
+    ops = [op for op in trace.ops if op.client in mine]
+    hub = env.world.trace
+    latencies: dict[str, list[float]] = {}
+    fetched: dict[int, bytes] = {}
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        if op.op in BARRIER_OPS:
+            # Batch every consecutive same-verb barrier request: the
+            # delegate completes the collective only once ALL its clients
+            # subscribed, so awaiting replies one-by-one would deadlock a
+            # rank playing several clients.
+            batch = [op]
+            while i + 1 < len(ops) and ops[i + 1].op == op.op:
+                i += 1
+                batch.append(ops[i])
+            t0 = env.now
+            for b in batch:
+                args = (b.mode,) if b.op == "open" else ()
+                yield from rpc.send_request(
+                    delegate, RpcEnvelope(b.client, b.seq, b.op, args)
+                )
+            for _ in batch:
+                reply = yield from rpc.recv_reply(delegate)
+                assert reply[0] == DONE
+            _observe(hub, latencies, op.op, env.now - t0, len(batch))
+        elif op.op == "write":
+            if op.delay:
+                yield from env.ctx.process.sleep(op.delay)
+            payload = payload_bytes(trace.seed, op.client, op.seq, op.nbytes)
+            t0 = env.now
+            reply = yield from _submit(
+                env, rpc, delegate,
+                RpcEnvelope(op.client, op.seq, "write", (op.offset, payload)),
+                config, trace.seed, hub,
+            )
+            assert reply[0] == ADMIT
+            _observe(hub, latencies, "write", env.now - t0)
+        elif op.op == "fetch":
+            if op.delay:
+                yield from env.ctx.process.sleep(op.delay)
+            t0 = env.now
+            reply = yield from _submit(
+                env, rpc, delegate,
+                RpcEnvelope(op.client, op.seq, "fetch", (op.offset, op.nbytes)),
+                config, trace.seed, hub,
+            )
+            assert reply[0] == DATA
+            fetched[op.seq] = reply[1]
+            _observe(hub, latencies, "fetch", env.now - t0)
+        else:
+            raise IoServerError(f"client rank {env.rank}: bad trace op {op.op!r}")
+        i += 1
+    for client in sorted(mine):
+        reply = yield from rpc.call(
+            delegate, RpcEnvelope(client, -1, SHUTDOWN)
+        )
+        assert reply[0] == DONE
+    return {"latencies": latencies, "fetched": fetched}
+
+
+def _observe(hub, latencies, verb: str, seconds: float, n: int = 1) -> None:
+    samples = latencies.setdefault(verb, [])
+    for _ in range(n):
+        samples.append(seconds)
+    if hub is not None:
+        micros = seconds * 1e6
+        for _ in range(n):
+            hub.registry.histogram(f"ioserver.latency.{verb}.us").observe(micros)

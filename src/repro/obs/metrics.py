@@ -175,6 +175,23 @@ class Histogram:
         return f"Histogram(count={self.count}, total={self.total})"
 
 
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile of *values* (``0 <= q <= 100``).
+
+    Deterministic and interpolation-free (the classical nearest-rank
+    definition), so tail-latency numbers derived from virtual-clock
+    samples are bit-stable across hosts. Raises ``ValueError`` on an
+    empty sample set or an out-of-range *q*.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sample set")
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(0, rank - 1)]
+
+
 Metric = Union[Counter, Gauge, Histogram]
 
 

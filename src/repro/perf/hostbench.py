@@ -59,6 +59,12 @@ PINNED: dict[str, Point] = {
     "bench-tcio-journal-epoch-p16-len2048": Point.make(
         "fig5", method="TCIO", nprocs=16, len_array=2048, journal="epoch"
     ),
+    # Delegate-server mode: a 64-client trace through node-leader servers
+    # — RPC fan-in, admission control, and epoch write-behind on the hot
+    # path (docs/io-server.md).
+    "ioserver-c64-p6": Point.make(
+        "ioserver", nclients=64, nranks=6, cores_per_node=3, epochs=3, seed=11
+    ),
 }
 
 

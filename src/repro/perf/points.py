@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-EXPERIMENTS = ("fig5", "fig67", "fig910", "topo")
+EXPERIMENTS = ("fig5", "fig67", "fig910", "topo", "ioserver")
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,12 @@ def points_for(experiment: str, scale=None) -> list[Point]:
                     "topo", method=method, aggregation=aggregation,
                     nprocs=64, cores_per_node=4, len_array=1024,
                 ))
+    elif experiment == "ioserver":
+        for nclients in (16, 64):
+            points.append(Point.make(
+                "ioserver", nclients=nclients, nranks=6, cores_per_node=3,
+                epochs=3, seed=11,
+            ))
     else:
         raise ValueError(f"unknown experiment {experiment!r}")
     return points
@@ -207,11 +213,42 @@ def _run_topo_point(point: Point, *, verify: bool = True) -> dict:
     }
 
 
+def _run_ioserver_point(point: Point, *, verify: bool = True) -> dict:
+    """An ioserver point: one seeded trace through the delegate servers."""
+    import hashlib
+
+    from repro.ioserver import expected_image, generate_trace, run_ioserver
+
+    trace = generate_trace(
+        int(point.get("seed")),  # type: ignore[arg-type]
+        int(point.get("nclients")),  # type: ignore[arg-type]
+        epochs=int(point.get("epochs")),  # type: ignore[arg-type]
+    )
+    result = run_ioserver(
+        trace,
+        nranks=int(point.get("nranks")),  # type: ignore[arg-type]
+        cores_per_node=int(point.get("cores_per_node")),  # type: ignore[arg-type]
+    )
+    if result.aborted is not None:  # pragma: no cover - clean run expected
+        raise RuntimeError(f"{point.label()}: aborted: {result.aborted}")
+    if verify and result.image != expected_image(trace):
+        raise RuntimeError(f"{point.label()}: image differs from analytic")
+    return {
+        "elapsed": result.elapsed,
+        "throughput": result.throughput,
+        "admitted": result.admitted,
+        "rejected": result.rejected,
+        "queue_depth_max": result.max_depth,
+        "file_sha256": hashlib.sha256(result.image).hexdigest(),
+    }
+
+
 _RUNNERS = {
     "fig5": _run_bench_point,
     "fig67": _run_bench_point,
     "fig910": _run_art_point,
     "topo": _run_topo_point,
+    "ioserver": _run_ioserver_point,
 }
 
 

@@ -38,6 +38,7 @@ from repro.simmpi.group import (
     comm_from_ranks,
 )
 from repro.simmpi.rma import Window, LOCK_EXCLUSIVE, LOCK_SHARED
+from repro.simmpi.rpc import RpcEndpoint, RpcEnvelope, TAG_REPLY, TAG_REQUEST
 from repro.simmpi.mpi import MpiWorld, MpiRunResult, run_mpi
 
 __all__ = [
@@ -74,6 +75,10 @@ __all__ = [
     "Window",
     "LOCK_EXCLUSIVE",
     "LOCK_SHARED",
+    "RpcEndpoint",
+    "RpcEnvelope",
+    "TAG_REQUEST",
+    "TAG_REPLY",
     "MpiWorld",
     "MpiRunResult",
     "run_mpi",

@@ -921,6 +921,34 @@ class TcioFile:
         self.stats.registry.counter("tcio.journal.bytes").inc(len(head) + len(payload))
         self._count("crash.journal.bytes", len(head) + len(payload))
 
+    # ------------------------------------------------------------------
+    # epoch-handoff observability (the I/O-server write-behind loop)
+    # ------------------------------------------------------------------
+    @property
+    def committed_epoch(self) -> int:
+        """The last durably committed journal epoch (0 before the first).
+
+        With ``journal="epoch"`` every collective flush hands one epoch
+        of buffered data to the write-behind path; delegate servers
+        (``repro.ioserver``) report this as the durability frontier their
+        clients' acknowledged-but-unflushed writes are waiting on.
+        """
+        return self.directory.committed_epoch
+
+    @property
+    def pending_write_behind(self) -> int:
+        """Owned dirty segments not yet flushed to the file system.
+
+        The backlog the next epoch's write-behind must move: what a
+        delegate server loses to a crash *minus* whatever the journal can
+        replay. Zero right after a flush/close.
+        """
+        return sum(
+            1
+            for g in self.level2.owned_dirty_segments()
+            if g not in self.directory.flushed
+        )
+
     def abort(self) -> None:
         """Tear the handle down locally (no collectives; exception path).
 

@@ -18,10 +18,11 @@ See ``docs/topology.md`` for the integration into TCIO
 """
 
 from repro.topo.staging import StagingBuffer, charge_staging_copy, coalesce_blocks
-from repro.topo.topology import NodeTopology, split_by_node
+from repro.topo.topology import NodeTopology, node_leader_ranks, split_by_node
 
 __all__ = [
     "NodeTopology",
+    "node_leader_ranks",
     "split_by_node",
     "StagingBuffer",
     "charge_staging_copy",

@@ -109,6 +109,22 @@ class NodeTopology:
         return self.node_of_rank(a) == self.node_of_rank(b)
 
 
+def node_leader_ranks(node_of: Sequence[int]) -> tuple[int, ...]:
+    """One delegate per node: the lowest rank placed on each node.
+
+    The default placement of :mod:`repro.ioserver` delegate servers —
+    node leaders keep client→delegate traffic intra-node wherever a node
+    hosts both. Pure local computation (``node_of`` is global knowledge),
+    so every rank derives the identical delegate set with no messages;
+    returned in ascending rank order.
+    """
+    first_rank: dict[int, int] = {}
+    for rank, node in enumerate(node_of):
+        if node not in first_rank:
+            first_rank[node] = rank
+    return tuple(sorted(first_rank.values()))
+
+
 def split_by_node(comm: Communicator, topo: NodeTopology | None = None):
     """``MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)``: one communicator per node.
 

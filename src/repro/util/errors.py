@@ -141,5 +141,31 @@ class OutOfMemoryError(ReproError):
         )
 
 
+class IoServerError(ReproError):
+    """Invalid use of the delegate I/O-server layer (bad placement,
+    protocol violation, closed session)."""
+
+
+class ServerBusy(IoServerError):
+    """A delegate rejected a request because its bounded queue is full.
+
+    The deterministic, *retryable* backpressure signal of
+    :mod:`repro.ioserver`: admission control refused the request without
+    dequeuing anything, so the client may simply resubmit (typically with
+    virtual-clock backoff — see ``IoServerConfig.max_retries``). Carries
+    enough context to make rejection handling testable.
+    """
+
+    def __init__(self, delegate: int, client: int, op: str, depth: int):
+        self.delegate = delegate
+        self.client = client
+        self.op = op
+        self.depth = depth
+        super().__init__(
+            f"delegate rank {delegate} rejected {op} from client {client}: "
+            f"queue full at depth {depth}"
+        )
+
+
 class BenchmarkError(ReproError):
     """A benchmark configuration or run is invalid."""

@@ -1,0 +1,112 @@
+"""Server mode is byte-identical to every direct I/O path (hypothesis).
+
+The delegate servers reorder nothing observable: for any seeded workload
+trace, the file they leave behind — and every fetch answer they return —
+must equal the analytic image AND what direct TCIO, OCIO and vanilla
+MPI-IO replays of the same trace produce. Delay-only fault plans (link
+drops, latency spikes, OST stalls) may stretch the schedule but must
+never change a byte.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.ioserver import (
+    DIRECT_METHODS,
+    expected_fetch,
+    expected_image,
+    generate_trace,
+    replay_direct,
+    run_ioserver,
+)
+
+
+def drawn_trace(seed, half_clients, epochs, writes, reads):
+    # Client counts stay even so the OCIO replay (which requires
+    # nclients % nranks == 0 at nranks=2) can play every drawn trace.
+    return generate_trace(
+        seed,
+        2 * half_clients,
+        epochs=epochs,
+        writes_per_epoch=writes,
+        reads_per_client=reads,
+    )
+
+
+class TestServerMatchesEveryDirectPath:
+    """Arbitrary seeded traces: server == TCIO == OCIO == MPI-IO == oracle."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        half_clients=st.integers(1, 4),
+        epochs=st.integers(1, 3),
+        writes=st.integers(1, 3),
+        reads=st.integers(0, 2),
+    )
+    def test_five_way_equivalence(self, seed, half_clients, epochs, writes, reads):
+        trace = drawn_trace(seed, half_clients, epochs, writes, reads)
+        oracle = expected_image(trace)
+
+        server = run_ioserver(trace, nranks=4, cores_per_node=2)
+        assert server.aborted is None
+        assert server.image == oracle
+        for op in trace.ops:
+            if op.op == "fetch":
+                assert server.fetched[op.seq] == expected_fetch(trace, op)
+
+        for method in DIRECT_METHODS:
+            direct = replay_direct(trace, method, nranks=2, cores_per_node=2)
+            assert direct.image == oracle, f"{method} diverged from oracle"
+            assert direct.fetched == server.fetched, (
+                f"{method} fetch answers diverged from server mode"
+            )
+
+
+class TestEquivalenceUnderDelayFaults:
+    """Delay-only fault plans stretch time, never bytes."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        drop=st.sampled_from([0.0, 0.05, 0.15]),
+        spike=st.sampled_from([0.0, 0.1]),
+        stall=st.sampled_from([0.0, 0.1]),
+    )
+    def test_faulted_server_still_matches_direct_tcio(
+        self, seed, drop, spike, stall
+    ):
+        trace = drawn_trace(seed, half_clients=3, epochs=2, writes=2, reads=1)
+        spec = FaultSpec(drop_rate=drop, spike_rate=spike, ost_stall_rate=stall)
+        plan = FaultPlan(spec, seed, scope="ioserver-diff")
+
+        server = run_ioserver(
+            trace, nranks=4, cores_per_node=2, faults=plan
+        )
+        assert server.aborted is None
+
+        oracle = expected_image(trace)
+        direct = replay_direct(trace, "tcio", nranks=2, cores_per_node=2)
+        assert server.image == oracle == direct.image
+        assert server.fetched == direct.fetched
+
+    def test_faulted_run_is_slower_but_identical(self):
+        # The plan really fires: a drop-heavy run takes longer in virtual
+        # time than the fault-free run of the same trace, with the same
+        # final bytes — the backpressure path absorbs the jitter.
+        trace = drawn_trace(13, half_clients=3, epochs=2, writes=2, reads=1)
+        calm = run_ioserver(trace, nranks=4, cores_per_node=2)
+        spec = FaultSpec(drop_rate=0.25, spike_rate=0.25)
+        stormy = run_ioserver(
+            trace,
+            nranks=4,
+            cores_per_node=2,
+            faults=FaultPlan(spec, 13, scope="ioserver-storm"),
+        )
+        assert stormy.aborted is None
+        assert stormy.image == calm.image == expected_image(trace)
+        assert stormy.fetched == calm.fetched
+        assert stormy.elapsed > calm.elapsed

@@ -1,0 +1,101 @@
+"""Regression pins for the thread-local-era deprecation shims.
+
+The generator-kernel rewrite kept three shims for out-of-tree callers:
+``current_engine()``, ``current_process()`` and ``set_thread_hook()``.
+Each must (a) raise a ``DeprecationWarning`` exactly once per call site
+under the default warning filter, (b) keep delegating to the stable
+``repro.sim`` API (or, for the hook, stay a no-op), and (c) keep
+naming its replacement in the warning text.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.sim import (
+    active_engine,
+    active_process,
+    current_engine,
+    current_process,
+    set_thread_hook,
+)
+from repro.simmpi.mpi import run_mpi
+
+
+def in_sim(program):
+    """Run *program* on a 1-rank job and return rank 0's return value.
+
+    The shims resolve the *currently executing* simulated process, so
+    they only mean anything from inside the engine loop.
+    """
+    return run_mpi(1, program).returns[0]
+
+
+def once(fn):
+    """Call *fn* three times from one call site; return its caught warnings.
+
+    ``simplefilter`` mutates the filter list, which invalidates the
+    ``__warningregistry__`` version stamps — so dedup starts fresh here
+    and "exactly once" is a real claim about ``stacklevel`` plus the
+    registry, not an artifact of earlier imports.
+    """
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        results = [fn() for _ in range(3)]
+    return results, caught
+
+
+class TestCurrentEngine:
+    def test_warns_once_and_delegates(self):
+        def program(env):
+            results, caught = once(current_engine)
+            return (
+                [r is active_engine() for r in results],
+                [(w.category, str(w.message)) for w in caught],
+            )
+
+        delegated, caught = in_sim(program)
+        assert delegated == [True, True, True]
+        assert len(caught) == 1
+        category, message = caught[0]
+        assert category is DeprecationWarning
+        assert "deprecated" in message
+        assert "active_engine" in message
+
+
+class TestCurrentProcess:
+    def test_warns_once_and_delegates(self):
+        def program(env):
+            results, caught = once(current_process)
+            return (
+                [r is active_process() for r in results],
+                [(w.category, str(w.message)) for w in caught],
+            )
+
+        delegated, caught = in_sim(program)
+        assert delegated == [True, True, True]
+        assert len(caught) == 1
+        category, message = caught[0]
+        assert category is DeprecationWarning
+        assert "active_process" in message
+
+
+class TestSetThreadHook:
+    def test_warns_once_and_is_a_noop(self):
+        calls = []
+        results, caught = once(lambda: set_thread_hook(calls.append))
+        assert results == [None, None, None]
+        assert len(caught) == 1
+        assert caught[0].category is DeprecationWarning
+        assert "no effect" in str(caught[0].message)
+        # The hook is never stored, let alone invoked: a full job runs
+        # without touching it.
+        run_mpi(1, lambda env: None)
+        assert calls == []
+
+    def test_accepts_none(self):
+        # The old API allowed clearing the hook; the shim still must not
+        # choke on that spelling.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert set_thread_hook(None) is None

@@ -1,0 +1,111 @@
+"""The request/reply envelope layer under ``repro.ioserver``."""
+
+from __future__ import annotations
+
+from repro.simmpi import run_mpi
+from repro.simmpi.rpc import TAG_REPLY, TAG_REQUEST, RpcEndpoint, RpcEnvelope
+
+
+class TestEnvelope:
+    def test_defaults_and_identity(self):
+        e = RpcEnvelope(client=3, seq=7, op="write")
+        assert e.args == ()
+        assert e == RpcEnvelope(3, 7, "write", ())
+        assert e != RpcEnvelope(3, 8, "write", ())
+
+    def test_tag_pair_stays_clear_of_small_user_tags(self):
+        assert TAG_REQUEST != TAG_REPLY
+        assert min(TAG_REQUEST, TAG_REPLY) > 63
+
+
+class TestEndToEnd:
+    def test_echo_server_matches_kth_reply_to_kth_request(self):
+        # Rank 0 serves; every other rank plays two logical clients and
+        # calls the server several times. One request in flight per
+        # client + non-overtaking per (source, tag) means no correlation
+        # ids are needed: replies arrive in request order.
+        nranks, calls = 3, 4
+
+        def main(env):
+            rpc = RpcEndpoint(env.comm)
+            if env.rank == 0:
+                expected = (nranks - 1) * 2 * calls
+                served = 0
+                while served < expected:
+                    src, envelope = yield from rpc.recv_request()
+                    yield from rpc.send_reply(
+                        src, ("echo", envelope.client, envelope.seq, envelope.args)
+                    )
+                    served += 1
+                return served
+            got = []
+            for k in range(calls):
+                for client in (env.rank * 2, env.rank * 2 + 1):
+                    reply = yield from rpc.call(
+                        0, RpcEnvelope(client, k, "ping", (k * client,))
+                    )
+                    got.append(reply)
+            return got
+
+        result = run_mpi(nranks, main)
+        assert result.returns[0] == (nranks - 1) * 2 * calls
+        for rank in (1, 2):
+            assert result.returns[rank] == [
+                ("echo", client, k, (k * client,))
+                for k in range(calls)
+                for client in (rank * 2, rank * 2 + 1)
+            ]
+
+    def test_poll_sees_arrivals_without_consuming(self):
+        def main(env):
+            rpc = RpcEndpoint(env.comm)
+            if env.rank == 1:
+                yield from rpc.send_request(0, RpcEnvelope(0, 0, "ping"))
+                return (yield from rpc.recv_reply(0))
+            assert rpc.poll() is None  # nothing sent yet at t=0
+            # Block until the request is matchable, then probe: poll
+            # reports it without consuming, and recv still gets it.
+            src, envelope = yield from rpc.recv_request()
+            assert rpc.poll() is None  # consumed — queue drained again
+            yield from rpc.send_reply(src, ("pong", envelope.seq))
+            return envelope.op
+
+        result = run_mpi(2, main)
+        assert result.returns == ["ping", ("pong", 0)]
+
+    def test_rpc_traffic_is_isolated_from_user_tags(self):
+        # A bare user message with a small tag must never match the RPC
+        # streams, and vice versa, on the same communicator.
+        def main(env):
+            rpc = RpcEndpoint(env.comm)
+            if env.rank == 1:
+                yield from env.comm.send_object("user-data", 0, 5)
+                yield from rpc.send_request(0, RpcEnvelope(9, 1, "op"))
+                return None
+            src, envelope = yield from rpc.recv_request()
+            user = yield from env.comm.recv_object(1, 5)
+            return (src, envelope.client, user)
+
+        result = run_mpi(2, main)
+        assert result.returns[0] == (1, 9, "user-data")
+
+    def test_endpoints_work_over_custom_tag_pairs(self):
+        def main(env):
+            a = RpcEndpoint(env.comm)
+            b = RpcEndpoint(env.comm, tag_request=81, tag_reply=82)
+            if env.rank == 1:
+                # Fire on both endpoints; the streams stay separate.
+                yield from b.send_request(0, RpcEnvelope(0, 0, "beta"))
+                yield from a.send_request(0, RpcEnvelope(0, 0, "alpha"))
+                ra = yield from a.recv_reply(0)
+                rb = yield from b.recv_reply(0)
+                return ra, rb
+            _, ea = yield from a.recv_request()
+            _, eb = yield from b.recv_request()
+            yield from a.send_reply(1, ea.op.upper())
+            yield from b.send_reply(1, eb.op.upper())
+            return ea.op, eb.op
+
+        result = run_mpi(2, main)
+        assert result.returns[0] == ("alpha", "beta")
+        assert result.returns[1] == ("ALPHA", "BETA")
