@@ -218,6 +218,31 @@ def cmd_ioserver(args) -> int:
     if args.trace_out:
         save_trace(trace, args.trace_out)
         print(f"wrote {args.trace_out} ({len(trace.ops)} ops)")
+
+    if args.ablate_delegates:
+        import json
+
+        from repro.ioserver.ablation import delegate_ablation, render_ablation
+
+        counts = tuple(
+            c if c == "leaders" else int(c)
+            for c in args.ablate_delegates.split(",")
+        )
+        report = delegate_ablation(
+            trace,
+            seed=args.seed,
+            nranks=args.ranks,
+            cores_per_node=args.cores_per_node,
+            counts=counts,
+        )
+        print(render_ablation(report))
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.metrics_out}")
+        return 0
+
     config = IoServerConfig(
         delegates="leaders" if not args.delegates
         else tuple(int(r) for r in args.delegates.split(",")),
@@ -248,6 +273,73 @@ def cmd_ioserver(args) -> int:
         )
         if not ok:
             return 1
+    return 0
+
+
+def cmd_tenancy(args) -> int:
+    """Multi-job tenancy: concurrent applications sharing one PFS."""
+    import json
+
+    from repro.tenancy import (
+        interference_matrix,
+        parse_scenario,
+        run_scenario,
+        two_job_scenario,
+    )
+
+    if args.jobs:
+        scenario = parse_scenario(
+            args.jobs.split(),
+            seed=args.seed,
+            jitter=args.jitter,
+            cores_per_node=args.cores_per_node,
+        )
+    else:
+        scenario = two_job_scenario(
+            seed=args.seed,
+            nranks=2 if args.smoke else 4,
+            len_array=256 if args.smoke else 512,
+            jitter=args.jitter,
+        )
+
+    if args.matrix:
+        report = interference_matrix(scenario, qos=args.qos)
+        payload = report.to_json()
+        print(
+            f"interference matrix ({len(scenario.jobs)} jobs, qos={args.qos}): "
+            f"bytes {'identical' if report.all_identical else 'MISMATCH'}, "
+            f"fsck {'clean' if report.all_clean else 'DIRTY'}"
+        )
+        for name, cell in sorted(payload["jobs"].items()):
+            slow = cell["slowdown"]
+            print(
+                f"  {name}: solo {cell['solo_elapsed'] * 1e3:.3f} ms, "
+                f"shared {cell['shared_elapsed'] * 1e3:.3f} ms, "
+                f"slowdown {slow:.3f}" if slow is not None else f"  {name}: aborted"
+            )
+        print(f"  Jain fairness index: {payload['jain_index']:.4f}")
+    else:
+        result = run_scenario(scenario, qos=args.qos)
+        payload = result.metrics_json()
+        print(
+            f"tenancy: {len(scenario.jobs)} jobs shared one PFS "
+            f"(qos={args.qos}, seed={scenario.seed})"
+        )
+        for name, cell in sorted(payload["jobs"].items()):
+            state = "ABORTED" if cell["aborted"] else "ok"
+            print(
+                f"  {name} ({cell['workload']} x{cell['nranks']}): "
+                f"arrival {cell['arrival'] * 1e3:.3f} ms, "
+                f"elapsed {cell['elapsed'] * 1e3:.3f} ms [{state}]"
+            )
+        jain = payload["fairness"]["jain_index"]
+        if jain is not None:
+            print(f"  Jain fairness index: {jain:.4f}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
     return 0
 
 
@@ -468,7 +560,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the server-mode crash matrix instead: kill a delegate at "
              "this service-loop step ('each-step' runs all six)",
     )
+    p.add_argument(
+        "--ablate-delegates", default=None, metavar="COUNTS",
+        help="sweep delegate counts over one fixed trace instead of a "
+             "single run: comma-separated counts and/or 'leaders' "
+             "(e.g. '1,2,4,leaders')",
+    )
     p.set_defaults(fn=cmd_ioserver)
+
+    p = sub.add_parser(
+        "tenancy",
+        help="multi-job tenancy: concurrent apps on one PFS (docs/tenancy.md)",
+    )
+    p.add_argument("--smoke", action="store_true", help="small CI-sized run")
+    p.add_argument("--seed", type=int, default=3, help="scenario seed")
+    p.add_argument(
+        "--jobs", default=None, metavar="SPECS",
+        help="space-separated job specs 'name:workload:nranks[:len]' "
+             "(default: the canonical 2-job tcio+mpiio scenario)",
+    )
+    p.add_argument(
+        "--qos", default="fifo", choices=("fifo", "fair"),
+        help="OST token-issue policy",
+    )
+    p.add_argument(
+        "--jitter", type=float, default=0.0, help="seeded arrival jitter (s)"
+    )
+    p.add_argument(
+        "--cores-per-node", type=int, default=4, help="simulated ranks per node"
+    )
+    p.add_argument(
+        "--matrix", action="store_true",
+        help="run the full interference matrix (each job solo, then shared) "
+             "and enforce byte identity + fsck cleanliness",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, help="write the metrics JSON here"
+    )
+    p.set_defaults(fn=cmd_tenancy)
 
     p = sub.add_parser(
         "trace", help="scaled-down experiment with tracing -> Chrome trace JSON"

@@ -35,7 +35,7 @@ from repro.crash.journal import (
     is_journal_file,
     iter_records,
 )
-from repro.util.errors import PfsError
+from repro.util.errors import PfsError, tag_job
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pfs.filesystem import Pfs
@@ -88,6 +88,8 @@ class FsckReport:
     lost_bytes: int = 0  # deposited to volatile memory, durable nowhere
     lost_extents: list[tuple[int, int]] = field(default_factory=list)
     journals: list[str] = field(default_factory=list)
+    #: Owning job for multi-tenant runs (``None`` for solo fsck).
+    job: "str | None" = None
 
     @property
     def clean(self) -> bool:
@@ -100,8 +102,9 @@ class FsckReport:
     def summary(self) -> str:
         """One human-readable line."""
         state = "clean" if self.clean else "NOT CLEAN"
+        jtag = f" [job {self.job}]" if self.job else ""
         return (
-            f"fsck {self.name}: {state} — epoch {self.committed_epoch} "
+            f"fsck {self.name}{jtag}: {state} — epoch {self.committed_epoch} "
             f"(eof {self.eof}, file {self.file_size}b): "
             f"{self.committed_bytes} committed, {self.torn_bytes} torn, "
             f"{self.untracked_bytes} untracked; "
@@ -145,17 +148,25 @@ def _subtract(
 
 
 def fsck(
-    pfs: "Pfs", name: str, *, context: Optional[CrashContext] = None
+    pfs: "Pfs",
+    name: str,
+    *,
+    context: Optional[CrashContext] = None,
+    job: "str | None" = None,
 ) -> FsckReport:
-    """Classify every byte of *name* against its journals (see module doc)."""
+    """Classify every byte of *name* against its journals (see module doc).
+
+    ``job`` attributes the report (and any raised error) to one tenant of
+    a shared PFS — see :func:`repro.crash.recover.recover`.
+    """
     if not pfs.exists(name):
-        raise PfsError(f"fsck: no such file {name!r}")
+        raise tag_job(PfsError(f"fsck: no such file {name!r}"), job)
     data = pfs.lookup(name)
     committed, eof = (0, 0)
     if pfs.exists(commit_name(name)):
         committed, eof = committed_state(pfs.lookup(commit_name(name)).contents())
     report = FsckReport(
-        name=name, committed_epoch=committed, eof=eof, file_size=data.size
+        name=name, committed_epoch=committed, eof=eof, file_size=data.size, job=job
     )
 
     commit_rows = []  # (epoch, journal name, record)

@@ -28,7 +28,7 @@ from repro.crash.journal import (
     is_journal_file,
     iter_records,
 )
-from repro.util.errors import PfsError
+from repro.util.errors import PfsError, tag_job
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pfs.filesystem import Pfs
@@ -46,11 +46,14 @@ class RecoveryReport:
     skipped_uncommitted: int = 0  # records of epochs past the last commit
     torn_records: int = 0  # torn tails discarded (never committed)
     journals: list[str] = field(default_factory=list)
+    #: Owning job for multi-tenant runs (``None`` for solo recovery).
+    job: "str | None" = None
 
     def summary(self) -> str:
         """One human-readable line."""
+        jtag = f" [job {self.job}]" if self.job else ""
         return (
-            f"recover {self.name}: epoch {self.committed_epoch} "
+            f"recover {self.name}{jtag}: epoch {self.committed_epoch} "
             f"(eof {self.eof}), {self.replayed_records} records / "
             f"{self.replayed_bytes} bytes replayed, "
             f"{self.skipped_uncommitted} uncommitted skipped, "
@@ -58,19 +61,22 @@ class RecoveryReport:
         )
 
 
-def recover(pfs: "Pfs", name: str) -> RecoveryReport:
+def recover(pfs: "Pfs", name: str, *, job: "str | None" = None) -> RecoveryReport:
     """Replay *name*'s journals into a consistent file image.
 
     Idempotent: running it twice (or after a clean shutdown) is harmless —
-    committed records rewrite the bytes the file already holds.
+    committed records rewrite the bytes the file already holds. ``job``
+    attributes the pass (and any error it raises) to one tenant of a
+    shared PFS; pass it whenever recovering through a per-job namespace
+    view (:class:`repro.tenancy.TenantPfs`).
     """
     if not pfs.exists(name):
-        raise PfsError(f"recover: no such file {name!r}")
+        raise tag_job(PfsError(f"recover: no such file {name!r}"), job)
     data = pfs.lookup(name)
     committed, eof = (0, 0)
     if pfs.exists(commit_name(name)):
         committed, eof = committed_state(pfs.lookup(commit_name(name)).contents())
-    report = RecoveryReport(name=name, committed_epoch=committed, eof=eof)
+    report = RecoveryReport(name=name, committed_epoch=committed, eof=eof, job=job)
 
     replay = []  # (epoch, journal name, record) — sorted for determinism
     for fname in sorted(pfs.list_files()):

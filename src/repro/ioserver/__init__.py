@@ -30,6 +30,11 @@ from repro.ioserver.protocol import (
     Placement,
     plan_placement,
 )
+from repro.ioserver.ablation import (
+    DEFAULT_COUNTS,
+    delegate_ablation,
+    render_ablation,
+)
 from repro.ioserver.runner import (
     DIRECT_METHODS,
     DirectReplay,
@@ -60,6 +65,9 @@ __all__ = [
     "BARRIER_OPS",
     "SERVER_STEPS",
     "DIRECT_METHODS",
+    "DEFAULT_COUNTS",
+    "delegate_ablation",
+    "render_ablation",
     "IoServerConfig",
     "Placement",
     "plan_placement",

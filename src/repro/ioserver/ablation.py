@@ -1,0 +1,117 @@
+"""Delegate-count ablation: how many I/O servers should a job run?
+
+ViPIOS-style delegation (PAPERS.md) trades client-side parallelism for
+server-side aggregation; the interesting knob is the delegate count. This
+harness replays ONE fixed trace through sessions that differ only in
+their delegate set — explicit counts plus the default node-leader
+placement — and reports throughput and tail latency per point.
+
+Determinism is part of the contract: the same ``(trace, nranks)`` sweep
+produces the identical metrics document (virtual-clock quantities and
+content hashes only), and every point's durable image must equal the
+trace's analytic expected image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Union
+
+from repro.ioserver.protocol import IoServerConfig
+from repro.ioserver.runner import run_ioserver
+from repro.ioserver.trace import WorkloadTrace, expected_image, generate_trace
+from repro.util.errors import IoServerError
+
+#: The delegate-count axis the paper-style ablation sweeps by default:
+#: explicit counts, then the topology-aware node-leader placement.
+DEFAULT_COUNTS: tuple = (1, 2, 4, "leaders")
+
+
+def _delegates_for(count: Union[int, str], nranks: int):
+    if count == "leaders":
+        return "leaders"
+    k = int(count)
+    if not 1 <= k < nranks:
+        raise IoServerError(
+            f"delegate count {k} needs 1 <= k < nranks ({nranks}); "
+            "at least one rank must remain a client"
+        )
+    return tuple(range(k))
+
+
+def delegate_ablation(
+    trace: Optional[WorkloadTrace] = None,
+    *,
+    seed: int = 0,
+    nranks: int = 8,
+    cores_per_node: int = 4,
+    counts: Sequence[Union[int, str]] = DEFAULT_COUNTS,
+    config: Optional[IoServerConfig] = None,
+) -> dict:
+    """Sweep delegate counts over one fixed trace; return the report.
+
+    Without an explicit *trace* a default one is generated from *seed*
+    with one logical client per plausible client rank. Raises
+    :class:`IoServerError` if any point's image deviates from the
+    analytic oracle — an ablation that changes bytes is a bug, not a
+    data point.
+    """
+    base = config or IoServerConfig()
+    if trace is None:
+        trace = generate_trace(
+            seed, max(1, nranks - max(1, nranks // cores_per_node))
+        )
+    expected = expected_image(trace)
+
+    points: dict[str, dict] = {}
+    for count in counts:
+        cfg = replace(base, delegates=_delegates_for(count, nranks))
+        result = run_ioserver(
+            trace, nranks=nranks, cores_per_node=cores_per_node, config=cfg
+        )
+        if result.aborted is not None:
+            raise IoServerError(
+                f"delegate ablation point {count!r} aborted: {result.aborted}"
+            )
+        if result.image != expected:
+            raise IoServerError(
+                f"delegate ablation point {count!r} changed the file image "
+                "(differential vs analytic oracle failed)"
+            )
+        session = result.metrics_payload()["session"]
+        points[str(count)] = session
+
+    return {
+        "schema": "repro.ioserver.delegate_ablation/1",
+        "seed": seed,
+        "nranks": nranks,
+        "cores_per_node": cores_per_node,
+        "trace": {
+            "ops": len(trace.ops),
+            "nclients": trace.nclients,
+            "written_bytes": trace.written_bytes,
+        },
+        "counts": [str(c) for c in counts],
+        "points": points,
+    }
+
+
+def render_ablation(report: dict) -> str:
+    """Human-readable one-line-per-point view of an ablation report."""
+    lines = [
+        f"delegate ablation: {report['nranks']} ranks, "
+        f"{report['trace']['nclients']} clients, "
+        f"{report['trace']['written_bytes']} payload bytes"
+    ]
+    for count in report["counts"]:
+        s = report["points"][count]
+        p99 = max(
+            (q["p99"] for q in s["latency"].values()), default=0.0
+        )
+        lines.append(
+            f"  {count:>7}: {s['ndelegates']} delegates, "
+            f"elapsed {s['elapsed_virtual_s'] * 1e3:.3f} ms, "
+            f"throughput {s['throughput_bytes_per_s'] / 1e6:.2f} MB/s, "
+            f"worst p99 {p99 * 1e6:.1f} us, rejected {s['rejected']}"
+        )
+    return "\n".join(lines)

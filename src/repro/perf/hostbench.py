@@ -65,6 +65,12 @@ PINNED: dict[str, Point] = {
     "ioserver-c64-p6": Point.make(
         "ioserver", nclients=64, nranks=6, cores_per_node=3, epochs=3, seed=11
     ),
+    # Multi-job tenancy: the 2-job interference matrix (solo baselines +
+    # shared run + byte-identity + fsck) under fair-share QoS — the
+    # shared-substrate routing hot path (docs/tenancy.md).
+    "tenancy-2job-p4": Point.make(
+        "tenancy", qos="fair", nranks=4, len_array=512, seed=3
+    ),
 }
 
 
@@ -108,7 +114,8 @@ def measure_point(name: str) -> dict:
     events = events_executed_total() - before_events
     sim_seconds = sum(
         float(result.get(key) or 0.0)
-        for key in ("write_seconds", "read_seconds", "dump_seconds", "restart_seconds")
+        for key in ("write_seconds", "read_seconds", "dump_seconds",
+                    "restart_seconds", "scenario_elapsed")
     )
     return {
         "point": point.label(),

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-EXPERIMENTS = ("fig5", "fig67", "fig910", "topo", "ioserver")
+EXPERIMENTS = ("fig5", "fig67", "fig910", "topo", "ioserver", "tenancy")
 
 
 @dataclass(frozen=True)
@@ -107,6 +107,11 @@ def points_for(experiment: str, scale=None) -> list[Point]:
             points.append(Point.make(
                 "ioserver", nclients=nclients, nranks=6, cores_per_node=3,
                 epochs=3, seed=11,
+            ))
+    elif experiment == "tenancy":
+        for qos in ("fifo", "fair"):
+            points.append(Point.make(
+                "tenancy", qos=qos, nranks=4, len_array=512, seed=3,
             ))
     else:
         raise ValueError(f"unknown experiment {experiment!r}")
@@ -243,12 +248,47 @@ def _run_ioserver_point(point: Point, *, verify: bool = True) -> dict:
     }
 
 
+def _run_tenancy_point(point: Point, *, verify: bool = True) -> dict:
+    """A tenancy point: the 2-job interference matrix under one QoS policy."""
+    from repro.tenancy import (
+        clear_solo_cache,
+        interference_matrix,
+        two_job_scenario,
+    )
+
+    clear_solo_cache()  # a point must not depend on in-process history
+    scenario = two_job_scenario(
+        seed=int(point.get("seed")),  # type: ignore[arg-type]
+        nranks=int(point.get("nranks")),  # type: ignore[arg-type]
+        len_array=int(point.get("len_array")),  # type: ignore[arg-type]
+    )
+    report = interference_matrix(
+        scenario, qos=str(point.get("qos")), strict=verify
+    )
+    payload = report.to_json()
+    return {
+        "qos": payload["qos"],
+        "scenario_elapsed": payload["scenario_elapsed"],
+        "jain_index": payload["jain_index"],
+        "slowdowns": {
+            name: cell["slowdown"] for name, cell in payload["jobs"].items()
+        },
+        "identical": report.all_identical,
+        "fsck_clean": report.all_clean,
+        # the matrix's combined content identity (already oracle-checked)
+        "files": {
+            name: cell["files"] for name, cell in payload["jobs"].items()
+        },
+    }
+
+
 _RUNNERS = {
     "fig5": _run_bench_point,
     "fig67": _run_bench_point,
     "fig910": _run_art_point,
     "topo": _run_topo_point,
     "ioserver": _run_ioserver_point,
+    "tenancy": _run_tenancy_point,
 }
 
 

@@ -48,6 +48,10 @@ class Ost:
         "bytes_read",
         "bytes_written",
         "busy_time",
+        "qos_policy",
+        "_tenant_lines",
+        "_tenant_weights",
+        "tenant_bytes",
     )
 
     def __init__(
@@ -85,8 +89,43 @@ class Ost:
         self.bytes_written = 0
         self.busy_time = 0.0
 
+        #: QoS token-issue policy for multi-tenant runs: ``"fifo"``
+        #: (classic arrival order, the default — byte- and time-identical
+        #: to pre-tenancy behavior) or ``"fair"`` (per-tenant virtual
+        #: token lines; see :meth:`register_tenant`).
+        self.qos_policy = "fifo"
+        self._tenant_lines: dict = {}
+        self._tenant_weights: dict = {}
+        #: Per-tenant (job, direction) byte totals; populated only when a
+        #: tenant is registered, so solo runs pay nothing.
+        self.tenant_bytes: dict = {}
+
+    def register_tenant(self, tenant: str, weight: float = 1.0) -> None:
+        """Enroll *tenant* (a job name) in this OST's QoS accounting.
+
+        Under the ``"fair"`` policy each enrolled tenant gets a virtual
+        token line: a request may not start before the tenant's line, and
+        each request advances the line by ``service x W/w`` where ``w`` is
+        the tenant's *weight* (job priority) and ``W`` the sum of enrolled
+        weights — deterministic weighted fair-share pacing of token issue,
+        so one heavy job cannot monopolize the FIFO. With a single tenant
+        (W/w = 1) the line never outruns the FIFO and behavior matches
+        ``"fifo"`` exactly, which keeps solo baselines honest.
+        """
+        if weight <= 0:
+            raise PfsError("tenant weight must be positive")
+        self._tenant_lines.setdefault(tenant, 0.0)
+        self._tenant_weights[tenant] = weight
+        self.tenant_bytes.setdefault(tenant, [0, 0])
+
     def reserve(
-        self, arrival: float, nbytes: int, *, write: bool, client: int = 0
+        self,
+        arrival: float,
+        nbytes: int,
+        *,
+        write: bool,
+        client: int = 0,
+        tenant=None,
     ) -> float:
         """Reserve one request; returns its completion time."""
         if nbytes < 0:
@@ -98,6 +137,10 @@ class Ost:
             self.clients.add(client)
             overhead *= 1.0 + self.client_scaling * len(self.clients)
         start = arrival if arrival > self.busy_until else self.busy_until
+        if tenant is not None and self.qos_policy == "fair":
+            line = self._tenant_lines.get(tenant, 0.0)
+            if line > start:
+                start = line
         self.last_start = start
         service = overhead + nbytes / rate
         if noise:
@@ -115,6 +158,16 @@ class Ost:
         else:
             self.read_requests += 1
             self.bytes_read += nbytes
+        if tenant is not None:
+            if self.qos_policy == "fair":
+                line = self._tenant_lines.get(tenant, 0.0)
+                base = arrival if arrival > line else line
+                total_w = sum(self._tenant_weights.values()) or 1.0
+                my_w = self._tenant_weights.get(tenant, 1.0)
+                self._tenant_lines[tenant] = base + service * (total_w / my_w)
+            per = self.tenant_bytes.get(tenant)
+            if per is not None:
+                per[1 if write else 0] += nbytes
         return self.busy_until
 
     def __repr__(self) -> str:  # pragma: no cover

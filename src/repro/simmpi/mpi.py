@@ -39,6 +39,8 @@ class MpiWorld:
         pfs: "Optional[Pfs]" = None,
         trace: Optional[TraceRecorder] = None,
         faults=None,
+        fabric=None,
+        job: Optional[str] = None,
     ):
         if nranks < 1:
             raise MpiError("need at least one rank")
@@ -49,9 +51,25 @@ class MpiWorld:
             raise MpiError("node_of must have one entry per rank")
         self.trace = trace
         self.faults = faults  # optional bound FaultPlan
-        self.fabric = Fabric(engine, network, self.node_of, trace, faults)
+        #: An injected fabric (or fabric view — tenancy jobs share one
+        #: physical fabric through per-job rank-offset views); by default
+        #: each world owns its interconnect, as before.
+        self.fabric = (
+            fabric
+            if fabric is not None
+            else Fabric(engine, network, self.node_of, trace, faults)
+        )
         self.memory = memory
         self.pfs = pfs
+        #: Job label for multi-tenant runs (``None`` for classic solo runs).
+        #: Surfaces in fault alarms and error attribution so operators can
+        #: tell whose data is at risk when several jobs share one PFS.
+        self.job = job
+        #: This world's rank processes in rank order, registered at spawn
+        #: time. With several concurrent worlds on one engine, world rank r
+        #: is NOT ``engine.processes[r]`` — crash handling must only ever
+        #: touch this world's own processes.
+        self.procs: list = []
         self._mailboxes = [Mailbox() for _ in range(nranks)]
         self._matcher_busy = [0.0] * nranks  # per-rank matching engines
         #: Scratch registry for user-level libraries (TCIO) to share
@@ -193,7 +211,10 @@ class MpiWorld:
         self.dead_ranks.update(fresh)
         if self.trace is not None:
             self.trace.count("crash.ranks", len(fresh))
-        procs = self.engine.processes
+        # Fall back to the engine's process table only for hand-built
+        # worlds that never registered their processes (single-job case,
+        # where world rank == engine process index).
+        procs = self.procs if self.procs else self.engine.processes
         for peer in range(min(self.nranks, len(procs))):
             proc = procs[peer]
             if peer in self.dead_ranks or not proc.alive:
@@ -377,6 +398,7 @@ def run_mpi(
         env = RankEnv(comm=world.world_comm(rank), world=world)
         proc = engine.spawn(f"rank{rank}", make_target(rank, env))
         env.ctx = SimContext(engine, proc)
+        world.procs.append(proc)
     aborted: Optional[BaseException] = None
     try:
         elapsed = engine.run(until=until)

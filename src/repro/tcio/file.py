@@ -557,19 +557,24 @@ class TcioFile:
                     victims.add(src)
         if at_risk:
             self._count("faults.data_at_risk", at_risk)
+            # On a shared PFS the alarm must say WHOSE data is at risk:
+            # several tenants' fallbacks can fire in one run and an
+            # unattributed warning is unactionable.
+            job = self.env.world.job
+            jtag = f"job {job}: " if job else ""
             warnings.warn(
-                f"tcio fallback flush of segment {gseg} overlaps {at_risk} "
-                f"bytes deposited by rank(s) {sorted(victims)} into the "
-                "unreachable owner's level-2 slot; those deposits will not "
-                "be written back",
+                f"{jtag}tcio fallback flush of segment {gseg} overlaps "
+                f"{at_risk} bytes deposited by rank(s) {sorted(victims)} "
+                "into the unreachable owner's level-2 slot; those deposits "
+                "will not be written back",
                 RuntimeWarning,
                 stacklevel=3,
             )
             if self._plan is not None:
-                self._plan.record(
-                    "tcio.data_at_risk", segment=gseg, bytes=at_risk,
-                    rank=self.env.rank,
-                )
+                detail = dict(segment=gseg, bytes=at_risk, rank=self.env.rank)
+                if job is not None:
+                    detail["job"] = job
+                self._plan.record("tcio.data_at_risk", **detail)
 
     # ------------------------------------------------------------------
     # reads (lazy by default)
@@ -780,12 +785,17 @@ class TcioFile:
                         self.comm, self.directory.eof, max
                     )
                     self.directory.eof = eof
-                    for gseg in self.level2.owned_dirty_segments():
-                        yield from self._write_back_segment(gseg, eof)
-                        # Progress marker for crash tooling: fsck counts
-                        # dirty-but-unflushed segments as lost after a
-                        # journal-off crash.
-                        self.directory.flushed.add(gseg)
+                    segs = list(self.level2.owned_dirty_segments())
+                    if self.config.batched_writeback:
+                        yield from self._write_back_batch(segs, eof)
+                        self.directory.flushed.update(segs)
+                    else:
+                        for gseg in segs:
+                            yield from self._write_back_segment(gseg, eof)
+                            # Progress marker for crash tooling: fsck counts
+                            # dirty-but-unflushed segments as lost after a
+                            # journal-off crash.
+                            self.directory.flushed.add(gseg)
                     yield from collectives.barrier(self.comm)
             else:
                 if not self.readlog.empty:
@@ -816,6 +826,41 @@ class TcioFile:
                     ),
                 )
         self.stats.inc("segment_writebacks")
+
+    def _write_back_batch(self, segments, eof: int):
+        """In-place PFS write of all owned dirty *segments* as ONE batched
+        ``write_vec`` (coroutine; the ``batched_writeback`` opt-in).
+
+        Byte-identical to calling :meth:`_write_back_segment` per segment
+        — the same pieces land, fallback skip ranges included — but the
+        whole drain costs O(1) scheduler events. A retried batch (lock
+        timeout under fault plans) re-writes the same bytes, so the
+        result stays idempotent.
+        """
+        pieces: list[tuple[int, bytes]] = []
+        nsegs = 0
+        for gseg in segments:
+            extent = self.mapping.segment_extent(gseg)
+            stop = min(extent.stop, eof)
+            if stop <= extent.start:
+                continue
+            slot = self.level2.local_slot(gseg)
+            for lo, hi in self._writeback_pieces(gseg, stop - extent.start):
+                pieces.append((extent.start + lo, slot[lo:hi].tobytes()))
+            nsegs += 1
+        if pieces:
+            with self._tracer.span(
+                "tcio.writeback_batch", segments=nsegs, pieces=len(pieces)
+            ):
+                yield from pfs_retry(
+                    self.env.world,
+                    "tcio.writeback",
+                    lambda t: self.client.write_vec(
+                        self.pfs_file, pieces,
+                        owner=self.env.rank, lock_timeout=t,
+                    ),
+                )
+        self.stats.inc("segment_writebacks", nsegs)
 
     def _flush_epoch(self):
         """One epoch of the two-phase journaled writeback protocol
@@ -870,9 +915,13 @@ class TcioFile:
                 self._count("crash.journal.commits", 1)
             yield from collectives.barrier(self.comm)
             yield from self._crash_point("post-commit")
-            for gseg in todo:
-                yield from self._write_back_segment(gseg, eof)
-                d.flushed.add(gseg)
+            if self.config.batched_writeback:
+                yield from self._write_back_batch(todo, eof)
+                d.flushed.update(todo)
+            else:
+                for gseg in todo:
+                    yield from self._write_back_segment(gseg, eof)
+                    d.flushed.add(gseg)
             d.committed_epoch = epoch
             yield from collectives.barrier(self.comm)
 

@@ -1,0 +1,157 @@
+"""Per-job workload programs and their byte oracles.
+
+Each :class:`~repro.tenancy.spec.JobSpec` resolves to a :class:`Workload`:
+a ``main(env)`` rank-program factory (run on the job's own world) plus the
+byte-exact expected output files. The oracles are what the interference
+matrix checks — contention may move virtual time, never data.
+
+The programs are the repo's existing drivers, reused unchanged: the
+synthetic benchmark writers of :mod:`repro.bench.synthetic` (Programs
+2/3), the direct TCIO trace replay of :mod:`repro.ioserver.runner`, and
+the delegate server session itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.config import BenchConfig, Method
+from repro.bench.synthetic import (
+    _mpiio_write,
+    _ocio_write,
+    _tcio_write,
+    reference_file_contents,
+)
+from repro.tenancy.spec import JobSpec
+from repro.util.errors import TenancyError
+
+_BENCH_METHODS = {
+    "tcio": Method.TCIO,
+    "ocio": Method.OCIO,
+    "mpiio": Method.MPIIO,
+}
+
+
+@dataclass
+class Workload:
+    """A job's runnable program and its expected durable output."""
+
+    #: ``main(env)`` coroutine factory; one call per rank.
+    main: Callable
+    #: Expected file contents (tenant-relative name -> bytes) after a
+    #: clean run. The contention-invariant oracle.
+    expected: dict[str, bytes] = field(default_factory=dict)
+    #: The job's primary data file (fsck/recovery target), if any.
+    data_file: str = ""
+    #: Whether the workload journals its writes (fsck is meaningful).
+    journaled: bool = False
+
+
+def bench_config(spec: JobSpec) -> BenchConfig:
+    """The synthetic-benchmark config a bench-kind job implies."""
+    p = spec.param_dict
+    return BenchConfig(
+        method=_BENCH_METHODS[spec.workload],
+        nprocs=spec.nranks,
+        num_arrays=int(p.get("num_arrays", 2)),
+        type_codes=p.get("type_codes", "i,d"),
+        len_array=int(p.get("len_array", 512)),
+        size_access=int(p.get("size_access", 4)),
+        file_name=f"{spec.name}.dat",
+        journal=spec.journal,
+    )
+
+
+def _bench_workload(spec: JobSpec) -> Workload:
+    cfg = bench_config(spec)
+    writer = {
+        "tcio": _tcio_write, "ocio": _ocio_write, "mpiio": _mpiio_write,
+    }[spec.workload]
+
+    def main(env):
+        return (yield from writer(env, cfg))
+
+    return Workload(
+        main=main,
+        expected={cfg.file_name: reference_file_contents(cfg)},
+        data_file=cfg.file_name,
+        journaled=spec.workload == "tcio" and spec.journal == "epoch",
+    )
+
+
+def _make_trace(spec: JobSpec, scenario_seed: int):
+    from repro.ioserver.trace import generate_trace
+
+    p = spec.param_dict
+    nclients = int(p.get("nclients", max(1, spec.nranks)))
+    return generate_trace(
+        int(p.get("trace_seed", scenario_seed)),
+        nclients,
+        epochs=int(p.get("epochs", 2)),
+        writes_per_epoch=int(p.get("writes_per_epoch", 3)),
+        max_write_bytes=int(p.get("max_write_bytes", 96)),
+        reads_per_client=int(p.get("reads_per_client", 0)),
+        file_name=f"{spec.name}.dat",
+    )
+
+
+def _trace_workload(spec: JobSpec, scenario_seed: int) -> Workload:
+    from repro.ioserver.runner import _tcio_main
+    from repro.ioserver.trace import expected_image
+
+    trace = _make_trace(spec, scenario_seed)
+    return Workload(
+        main=_tcio_main(trace, spec.nranks),
+        expected={trace.file_name: expected_image(trace)},
+        data_file=trace.file_name,
+        # _tcio_main derives its TCIO config from IoServerConfig, whose
+        # journal mode defaults to "epoch".
+        journaled=True,
+    )
+
+
+def _ioserver_workload(
+    spec: JobSpec, scenario_seed: int, cores_per_node: int
+) -> Workload:
+    from repro.ioserver.protocol import IoServerConfig
+    from repro.ioserver.runner import (
+        _session_main,
+        _tcio_config,
+        plan_for,
+    )
+    from repro.ioserver.trace import expected_image
+
+    ndelegates = -(-spec.nranks // cores_per_node)  # one leader per node
+    p = spec.param_dict
+    if "nclients" not in p and spec.nranks - ndelegates < 1:
+        raise TenancyError(
+            f"job {spec.name!r}: ioserver workload needs at least one "
+            "non-delegate rank (increase nranks)"
+        )
+    spec = spec.with_params(
+        nclients=int(p.get("nclients", spec.nranks - ndelegates))
+    )
+    trace = _make_trace(spec, scenario_seed)
+    config = IoServerConfig()
+    placement = plan_for(trace, spec.nranks, cores_per_node, config)
+    tcio_config = _tcio_config(trace, len(placement.delegates), config)
+    return Workload(
+        main=_session_main(trace, config, placement, tcio_config),
+        expected={trace.file_name: expected_image(trace)},
+        data_file=trace.file_name,
+        journaled=True,
+    )
+
+
+def build_workload(
+    spec: JobSpec, *, scenario_seed: int = 0, cores_per_node: int = 4
+) -> Workload:
+    """Resolve *spec* into its runnable :class:`Workload`."""
+    if spec.workload in _BENCH_METHODS:
+        return _bench_workload(spec)
+    if spec.workload == "trace":
+        return _trace_workload(spec, scenario_seed)
+    if spec.workload == "ioserver":
+        return _ioserver_workload(spec, scenario_seed, cores_per_node)
+    raise TenancyError(f"unknown workload {spec.workload!r}")

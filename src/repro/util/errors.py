@@ -9,7 +9,28 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Every error carries an optional ``job`` attribute: once several
+    simulated applications share one PFS (``repro.tenancy``), an error
+    bubbling out of shared infrastructure must say *whose* job it belongs
+    to. ``None`` means single-job context (or attribution unknown). Use
+    :func:`tag_job` to attach it without disturbing the exception's
+    message/args (constructors stay source-compatible).
+    """
+
+    job: "str | None" = None
+
+
+def tag_job(exc: BaseException, job: "str | None") -> BaseException:
+    """Attach job attribution to *exc* (returns it, for raise chains).
+
+    Idempotent and conservative: an already-attributed error keeps its
+    original job — the innermost frame knows best whose work failed.
+    """
+    if job is not None and getattr(exc, "job", None) is None:
+        exc.job = job  # type: ignore[attr-defined]
+    return exc
 
 
 class SimulationError(ReproError):
@@ -165,6 +186,10 @@ class ServerBusy(IoServerError):
             f"delegate rank {delegate} rejected {op} from client {client}: "
             f"queue full at depth {depth}"
         )
+
+
+class TenancyError(ReproError):
+    """Invalid multi-job scenario or misuse of the tenancy layer."""
 
 
 class BenchmarkError(ReproError):

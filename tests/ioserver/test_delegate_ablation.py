@@ -1,0 +1,77 @@
+"""Delegate-count ablation: sweep semantics and determinism pinning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ioserver import (
+    DEFAULT_COUNTS,
+    delegate_ablation,
+    generate_trace,
+    render_ablation,
+)
+from repro.util.errors import IoServerError
+
+
+def small_ablation(**kw):
+    kw.setdefault("seed", 5)
+    kw.setdefault("nranks", 8)
+    kw.setdefault("cores_per_node", 4)
+    kw.setdefault("counts", (1, 2, "leaders"))
+    return delegate_ablation(**kw)
+
+
+class TestDelegateAblation:
+    def test_sweeps_every_count_over_one_trace(self):
+        report = small_ablation()
+        assert report["counts"] == ["1", "2", "leaders"]
+        assert set(report["points"]) == {"1", "2", "leaders"}
+        for count in ("1", "2"):
+            assert report["points"][count]["ndelegates"] == int(count)
+        # with 8 ranks over 4-core nodes, "leaders" means 2 delegates
+        assert report["points"]["leaders"]["ndelegates"] == 2
+
+    def test_every_point_reports_throughput_and_tail_latency(self):
+        report = small_ablation()
+        for point in report["points"].values():
+            assert point["throughput_bytes_per_s"] > 0
+            assert point["elapsed_virtual_s"] > 0
+            assert any("p99" in q for q in point["latency"].values())
+
+    def test_all_points_share_one_image(self):
+        # The ablation refuses to return if any point's bytes deviate
+        # from the analytic oracle, so every point hashes identically.
+        report = small_ablation()
+        hashes = {p["image_sha256"] for p in report["points"].values()}
+        assert len(hashes) == 1
+
+    def test_report_is_deterministic(self):
+        # The pinning test: identical inputs -> byte-identical JSON.
+        first = json.dumps(small_ablation(), sort_keys=True)
+        second = json.dumps(small_ablation(), sort_keys=True)
+        assert first == second
+
+    def test_explicit_trace_is_respected(self):
+        trace = generate_trace(9, 4, epochs=1, writes_per_epoch=2)
+        report = delegate_ablation(
+            trace, nranks=6, cores_per_node=3, counts=(1, "leaders")
+        )
+        assert report["trace"]["nclients"] == 4
+        assert report["trace"]["written_bytes"] == trace.written_bytes
+
+    def test_counts_must_leave_a_client_rank(self):
+        with pytest.raises(IoServerError):
+            small_ablation(counts=(8,))
+        with pytest.raises(IoServerError):
+            small_ablation(counts=(0,))
+
+    def test_default_axis_shape(self):
+        assert DEFAULT_COUNTS == (1, 2, 4, "leaders")
+
+    def test_render_mentions_every_count(self):
+        report = small_ablation()
+        text = render_ablation(report)
+        for count in report["counts"]:
+            assert count in text

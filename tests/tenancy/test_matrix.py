@@ -1,0 +1,90 @@
+"""The interference matrix: byte identity, fsck, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tenancy import (
+    clear_solo_cache,
+    interference_matrix,
+    two_job_scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_solo_cache()
+    yield
+    clear_solo_cache()
+
+
+def scenario(seed=3):
+    return two_job_scenario(seed=seed, nranks=2, len_array=256)
+
+
+class TestInterferenceMatrix:
+    def test_bytes_identical_but_completion_times_differ(self):
+        report = interference_matrix(scenario())
+        assert report.all_identical
+        payload = report.to_json()
+        for cell in payload["jobs"].values():
+            assert cell["identical"]
+            # contention is visible in time...
+            assert cell["shared_elapsed"] > cell["solo_elapsed"]
+            assert cell["slowdown"] > 1.0
+        # ...and priced coherently
+        assert 0.0 < payload["jain_index"] <= 1.0
+
+    def test_journaled_job_fscks_clean_on_the_shared_pfs(self):
+        report = interference_matrix(scenario())
+        assert report.all_clean
+        assert "a" in report.fsck  # the journaled tcio job got checked
+        assert "clean" in report.fsck["a"]
+        assert "[job a]" in report.fsck["a"]
+
+    def test_matrix_json_is_deterministic_across_fresh_runs(self):
+        first = interference_matrix(scenario()).to_json()
+        clear_solo_cache()
+        second = interference_matrix(scenario()).to_json()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_matrix_deterministic_under_both_qos_policies(self):
+        for qos in ("fifo", "fair"):
+            clear_solo_cache()
+            first = interference_matrix(scenario(), qos=qos).to_json()
+            clear_solo_cache()
+            second = interference_matrix(scenario(), qos=qos).to_json()
+            assert first == second
+            assert first["qos"] == qos
+
+    def test_solo_cache_reuses_baselines(self):
+        from repro.tenancy import runner as runner_mod
+
+        interference_matrix(scenario())
+        assert runner_mod._SOLO_CACHE  # populated by the first matrix
+        keys = set(runner_mod._SOLO_CACHE)
+        interference_matrix(scenario())  # second matrix: no new keys
+        assert set(runner_mod._SOLO_CACHE) == keys
+
+    def test_jitter_shifts_arrivals_without_changing_bytes(self):
+        base = interference_matrix(
+            two_job_scenario(seed=3, nranks=2, len_array=256, jitter=0.0)
+        )
+        clear_solo_cache()
+        jittered = interference_matrix(
+            two_job_scenario(seed=3, nranks=2, len_array=256, jitter=2e-4)
+        )
+        assert jittered.all_identical
+        for name in ("a", "b"):
+            assert (
+                jittered.shared.jobs[name].files
+                == base.shared.jobs[name].files
+            )
+        assert any(
+            jittered.shared.jobs[n].arrival != base.shared.jobs[n].arrival
+            for n in ("a", "b")
+        )

@@ -1,0 +1,127 @@
+"""Job attribution on errors, alarms, and recovery reports.
+
+Once several jobs share one PFS, anything that goes wrong must say whose
+work it concerns: ``ReproError.job`` + :func:`tag_job` for exceptions,
+the ``job`` field on recovery/fsck reports, and the job prefix in the
+data-at-risk alarm.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import (
+    PfsError,
+    RankUnreachable,
+    ReproError,
+    TcioError,
+    TenancyError,
+    tag_job,
+)
+
+
+class TestTagJob:
+    def test_default_is_unattributed(self):
+        assert ReproError("boom").job is None
+        assert TcioError("boom").job is None
+
+    def test_tag_attaches_and_returns_the_exception(self):
+        err = PfsError("x")
+        assert tag_job(err, "alpha") is err
+        assert err.job == "alpha"
+
+    def test_tag_is_idempotent_innermost_wins(self):
+        err = tag_job(PfsError("x"), "inner")
+        tag_job(err, "outer")
+        assert err.job == "inner"
+
+    def test_tag_none_is_a_no_op(self):
+        err = PfsError("x")
+        tag_job(err, None)
+        assert err.job is None
+
+    def test_every_library_error_carries_the_attribute(self):
+        # the attribute lives on the base class, so all subclasses
+        # (present and future) attribute for free
+        for cls in (TenancyError, RankUnreachable):
+            exc = (
+                cls(0, 1, "send") if cls is RankUnreachable else cls("x")
+            )
+            assert exc.job is None
+            tag_job(exc, "j")
+            assert exc.job == "j"
+
+
+class TestReportAttribution:
+    def test_recovery_report_summary_names_the_job(self):
+        from repro.crash.recover import RecoveryReport
+
+        anon = RecoveryReport(name="f", committed_epoch=1, eof=8)
+        tagged = RecoveryReport(
+            name="f", committed_epoch=1, eof=8, job="alpha"
+        )
+        assert "[job alpha]" in tagged.summary()
+        assert "[job" not in anon.summary()
+
+    def test_fsck_report_summary_names_the_job(self):
+        from repro.crash.fsck import FsckReport
+
+        tagged = FsckReport(
+            name="f", committed_epoch=1, eof=8, file_size=8, job="beta"
+        )
+        assert "[job beta]" in tagged.summary()
+
+
+class TestDataAtRiskAlarm:
+    SEGMENT = 64
+    PER_RANK = 96  # spans two segments, so every rank deposits to a peer
+
+    def _overlapping_fallback(self, job):
+        # The canonical degraded-flush hazard of tests/faults/
+        # test_close_faults.py, replayed under a job-labeled world.
+        import pytest
+
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.simmpi import run_mpi
+        from repro.tcio import TCIO_WRONLY, TcioConfig, tcio_open, tcio_write_at
+        from tests.conftest import make_test_cluster
+
+        def pattern(rank, n):
+            return bytes((rank * 37 + i) % 251 + 1 for i in range(n))
+
+        off, n = self.SEGMENT, 32
+
+        def main(env):
+            env.world.job = job
+            cfg = TcioConfig.sized_for(
+                env.size * self.PER_RANK, env.size, self.SEGMENT
+            )
+            fh = (yield from tcio_open(env, "f", TCIO_WRONLY, cfg))
+            if env.rank == 1:
+                (yield from tcio_write_at(fh, off, pattern(1, n)))
+            (yield from fh.flush())
+            if env.rank == 0:
+                (yield from tcio_write_at(fh, off, pattern(0, n)))
+            (yield from fh.flush())
+            (yield from fh.close())
+
+        plan = FaultPlan(FaultSpec(unreachable_ranks=(1,)), 7)
+        with pytest.warns(RuntimeWarning) as caught:
+            run_mpi(2, main, cluster=make_test_cluster(), faults=plan)
+        return [str(w.message) for w in caught], plan
+
+    def test_alarm_prefixes_the_owning_job(self):
+        texts, plan = self._overlapping_fallback("alpha")
+        risk = [t for t in texts if "deposits will not be written" in t]
+        assert risk and all(t.startswith("job alpha: ") for t in risk)
+        detail = next(
+            i for i in plan.injections if i.kind == "tcio.data_at_risk"
+        )
+        assert dict(detail.detail)["job"] == "alpha"
+
+    def test_solo_runs_stay_unprefixed(self):
+        texts, plan = self._overlapping_fallback(None)
+        risk = [t for t in texts if "deposits will not be written" in t]
+        assert risk and not any(t.startswith("job ") for t in risk)
+        detail = next(
+            i for i in plan.injections if i.kind == "tcio.data_at_risk"
+        )
+        assert "job" not in dict(detail.detail)
