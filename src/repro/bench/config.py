@@ -63,12 +63,29 @@ class BenchConfig:
     #: journaled two-phase flush protocol — maps to TcioConfig.journal;
     #: docs/faults.md). Ignored by OCIO/MPI-IO methods.
     journal: str = "off"
+    #: TCIO level-2 segment bytes; ``None`` keeps the paper's rule
+    #: (segment = the file system's lock granularity — maps to
+    #: TcioConfig.segment_size). A campaign sweep axis (docs/campaigns.md).
+    segment_bytes: "int | None" = None
+    #: OCIO collective-buffering aggregator count; ``None`` keeps the
+    #: paper's every-rank-aggregates description (maps to IoHints.cb_nodes).
+    #: A campaign sweep axis. Ignored by TCIO/MPI-IO methods.
+    cb_nodes: "int | None" = None
+    #: Opt-in batched TCIO writeback (maps to
+    #: TcioConfig.batched_writeback; status in docs/performance.md).
+    #: Bytes are identical either way; a campaign sweep axis. Ignored by
+    #: OCIO/MPI-IO methods.
+    batched_writeback: bool = False
 
     def __post_init__(self) -> None:
         if self.aggregation not in ("flat", "node"):
             raise BenchmarkError("aggregation must be 'flat' or 'node'")
         if self.journal not in ("off", "epoch"):
             raise BenchmarkError("journal must be 'off' or 'epoch'")
+        if self.segment_bytes is not None and self.segment_bytes < 1:
+            raise BenchmarkError("segment_bytes must be >= 1")
+        if self.cb_nodes is not None and self.cb_nodes < 1:
+            raise BenchmarkError("cb_nodes must be >= 1")
         if self.num_arrays < 1:
             raise BenchmarkError("NUMarray must be >= 1")
         if self.len_array < 1:

@@ -88,7 +88,7 @@ def _combine_buffer(cfg: BenchConfig, rank: int, env: RankEnv) -> bytes:
 
 def _bench_hints(cfg: BenchConfig) -> IoHints:
     """The collective-I/O hints a benchmark config implies."""
-    return IoHints(cb_aggregation=cfg.aggregation)
+    return IoHints(cb_aggregation=cfg.aggregation, cb_nodes=cfg.cb_nodes)
 
 
 def _ocio_write(env: RankEnv, cfg: BenchConfig):
@@ -126,10 +126,12 @@ def _ocio_read(env: RankEnv, cfg: BenchConfig, verify: bool):
 
 
 def _tcio_config(cfg: BenchConfig, env: RankEnv) -> TcioConfig:
-    stripe = env.pfs.spec.stripe_size
+    stripe = cfg.segment_bytes or env.pfs.spec.stripe_size
     sized = TcioConfig.sized_for(cfg.total_bytes, env.size, stripe)
     if cfg.journal != "off":
         sized = replace(sized, journal=cfg.journal)
+    if cfg.batched_writeback:
+        sized = replace(sized, batched_writeback=True)
     if cfg.aggregation == "flat":
         return sized
     # Node mode: size the staging buffer to hold a whole node's share of

@@ -1,0 +1,87 @@
+"""Glue: run a sweep spec through the perf pipeline into the store.
+
+:func:`run_sweep` is the one-call path behind ``python -m repro campaign
+run``: enumerate a :class:`repro.campaign.spec.SweepSpec` into points,
+execute them (serial, or pooled+cached via
+:class:`repro.perf.campaign.CampaignRunner`), and land every result in a
+:class:`repro.campaign.store.CampaignStore` with the sweep recorded as
+provenance. :func:`smoke_store` builds the tiny deterministic store the
+CI bit-determinism check renders reports from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.campaign.spec import SweepSpec
+from repro.campaign.store import CampaignStore
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    store: Optional[CampaignStore] = None,
+    jobs: Optional[int] = None,
+    cache=None,
+    verbose: bool = False,
+) -> dict:
+    """Execute one sweep spec; returns ``{point: result dict}``.
+
+    ``jobs``/``cache`` select the pooled+cached executor (both optional;
+    the default is the serial in-process reference path). With *store*,
+    every result is recorded with the sweep's name and grid as
+    provenance metadata — queryable but never part of record identity,
+    so a re-run under a different sweep name updates the same records.
+    """
+    from repro.experiments.common import resolve_points
+
+    points = spec.points()
+    runner = None
+    if jobs is not None or cache is not None:
+        from repro.perf.campaign import CampaignRunner
+
+        runner = CampaignRunner(jobs, cache=cache, verbose=verbose)
+    results = resolve_points(points, runner)
+    if store is not None:
+        config = getattr(cache, "_config", "")
+        for point in points:
+            store.add_result(
+                point,
+                results[point],
+                config=config,
+                meta={"sweep": spec.name, "spec": spec.to_dict()},
+            )
+    return results
+
+
+#: The two cached points the CI determinism check runs on: one TCIO and
+#: one OCIO fig5 point at SMOKE sizes (fractions of a second each).
+def smoke_spec() -> SweepSpec:
+    """The tiny sweep the ``--smoke`` store is built from."""
+    from repro.campaign.spec import grid
+    from repro.experiments.common import SMOKE
+
+    return grid(
+        "fig5",
+        name="smoke",
+        base={"len_array": SMOKE.len_array, "nprocs": 4},
+        method=["TCIO", "OCIO"],
+    )
+
+
+def smoke_store(
+    root,
+    *,
+    cache=None,
+    verbose: bool = False,
+) -> CampaignStore:
+    """Build (or refresh) the two-point smoke store at *root*.
+
+    Runs :func:`smoke_spec` — via *cache* when given, so a second build
+    is a pure cache replay — and returns the populated store. This is
+    what ``python -m repro campaign report --smoke`` renders from; CI
+    builds it twice and asserts the rendered bytes are identical.
+    """
+    store = CampaignStore(root)
+    run_sweep(smoke_spec(), store=store, cache=cache, verbose=verbose)
+    return store

@@ -14,14 +14,30 @@ Commands
                 matrix instead.
 ``fsck``      — journaled faulted run + per-byte classification of the
                 shared file (committed/torn/untracked/fallback/lost).
+``topo``      — flat-vs-node aggregation ablation: compare fabric
+                message/connection counts (see docs/topology.md).
+``ioserver``  — delegate I/O server mode: trace-driven load test,
+                delegate-count ablation, server crash matrix
+                (see docs/io-server.md).
+``tenancy``   — multi-job tenancy: concurrent applications on one shared
+                PFS, QoS policies, interference matrix
+                (see docs/tenancy.md).
 ``trace``     — rerun a scaled-down experiment with span tracing on and
                 write Chrome-trace + metrics JSON (see docs/observability.md).
 ``report``    — run the full campaign and write EXPERIMENTS.md
                 (``--jobs N`` fans the points across a process pool).
 ``perf``      — host-performance tools (see docs/performance.md):
-                ``perf profile`` merges cProfile across rank threads,
+                ``perf profile`` runs a whole-simulation cProfile
+                (generator kernel: every rank on one thread),
                 ``perf bench`` runs the pinned regression gate,
                 ``perf campaign`` pre-runs/caches experiment points.
+``campaign``  — campaign analysis platform (see docs/campaigns.md):
+                ``campaign run`` executes a declarative sweep spec,
+                ``campaign ingest`` imports caches/BENCH/metrics files
+                into the result store, ``campaign query`` filters stored
+                records, ``campaign report`` renders tables, charts and
+                EXPERIMENTS.md sections, ``campaign explore`` bisects a
+                crossover frontier adaptively.
 """
 
 from __future__ import annotations
@@ -429,6 +445,219 @@ def cmd_perf_campaign(args) -> int:
     return 0
 
 
+def _campaign_errors(fn):
+    """Expected campaign failures (bad spec, missing results) exit
+    cleanly with the message instead of a traceback."""
+    import functools
+
+    @functools.wraps(fn)
+    def wrapper(args) -> int:
+        from repro.util.errors import ReproError
+
+        try:
+            return fn(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    return wrapper
+
+
+def _parse_where(items) -> dict:
+    """``k=v`` pairs -> a parameter filter with spec scalar coercion."""
+    from repro.campaign.spec import _parse_scalar
+
+    out = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --where filter {item!r} (expected key=value)")
+        out[key] = _parse_scalar(value)
+    return out
+
+
+@_campaign_errors
+def cmd_campaign_run(args) -> int:
+    """Execute one declarative sweep spec into the result store."""
+    from repro.campaign import CampaignStore, load_spec, run_sweep
+
+    spec = load_spec(args.spec)
+    store = CampaignStore(args.store)
+    cache = None
+    if not args.no_cache and (args.jobs is not None or args.cache_dir):
+        from repro.perf.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    jobs = None if args.jobs in (None, 0) else args.jobs
+    results = run_sweep(
+        spec, store=store, jobs=jobs, cache=cache, verbose=True
+    )
+    print(
+        f"sweep '{spec.name}': ran {len(results)} {spec.experiment} "
+        f"point(s); store {store.root} now holds {len(store)} record(s)"
+    )
+    return 0
+
+
+@_campaign_errors
+def cmd_campaign_ingest(args) -> int:
+    """Import caches, BENCH baselines and metrics files into the store."""
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(args.store)
+    total = 0
+    if args.cache_dir or not (args.bench or args.metrics):
+        count = store.ingest_cache(args.cache_dir)
+        print(f"ingested {count} cache entr(ies)")
+        total += count
+    for path in args.bench or []:
+        count = store.ingest_bench(path)
+        print(f"ingested {count} hostbench point(s) from {path}")
+        total += count
+    for path in args.metrics or []:
+        store.ingest_metrics(path)
+        print(f"ingested metrics snapshot {path}")
+        total += 1
+    print(f"store {store.root}: {len(store)} record(s)")
+    return 0 if total else 1
+
+
+@_campaign_errors
+def cmd_campaign_query(args) -> int:
+    """Filter and print stored records (or one parameter's values)."""
+    import json
+
+    from repro.campaign import CampaignStore
+
+    store = CampaignStore(args.store)
+    if args.distinct:
+        for value in store.distinct(args.distinct, args.experiment):
+            print(value)
+        return 0
+    records = store.query(
+        args.experiment, source=args.source, where=_parse_where(args.where)
+    )
+    if args.json:
+        print(json.dumps([r.to_json() for r in records], indent=1,
+                         sort_keys=True))
+        return 0
+    for record in records:
+        params = ", ".join(f"{k}={v}" for k, v in record.params)
+        metrics = json.dumps(record.metrics, sort_keys=True)
+        print(f"{record.source}:{record.experiment}({params}) {metrics}")
+    print(f"-- {len(records)} record(s) of {len(store)} in {store.root}")
+    return 0
+
+
+@_campaign_errors
+def cmd_campaign_report(args) -> int:
+    """Render tables/charts or EXPERIMENTS.md sections from the store."""
+    from repro.campaign import (
+        CampaignStore,
+        experiments_section,
+        scaling_report,
+        store_svg_chart,
+    )
+
+    if args.smoke:
+        body = _smoke_report(args)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            print(f"wrote {args.out}")
+        else:
+            print(body, end="")
+        return 0
+    store = CampaignStore(args.store)
+    if args.section:
+        from repro.experiments.common import FULL, SMOKE
+
+        scale = SMOKE if args.scale == "smoke" else FULL
+        body = experiments_section(store, args.section, scale)
+        print(body)
+        return 0
+    if not (args.experiment and args.x and args.y):
+        raise SystemExit(
+            "campaign report needs --smoke, --section NAME, or "
+            "--experiment/-x/-y"
+        )
+    if args.svg:
+        chart = store_svg_chart(
+            store, args.experiment, x=args.x, y=args.y,
+            group_by=args.group_by, where=_parse_where(args.where),
+            log_y=args.log_y,
+        )
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(chart)
+        print(f"wrote {args.svg}")
+    print(scaling_report(
+        store, args.experiment, x=args.x, y=args.y,
+        group_by=args.group_by, where=_parse_where(args.where),
+        log_y=args.log_y,
+    ))
+    return 0
+
+
+def _smoke_report(args) -> str:
+    """The deterministic two-point smoke report (CI runs it twice, cmp)."""
+    import json
+    import tempfile
+
+    from repro.campaign import scaling_report, smoke_store, store_svg_chart
+
+    cache = None
+    if not args.no_cache:
+        from repro.perf.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = smoke_store(args.store or f"{tmp}/store", cache=cache)
+        table = scaling_report(
+            store, "fig5", x="method", y="write_throughput",
+            title="smoke sweep: fig5 write throughput by method",
+        )
+        svg = store_svg_chart(
+            store, "fig5", x="method", y="write_throughput",
+            title="fig5 write throughput by method",
+        )
+        summary = json.dumps(store.summary(), indent=1, sort_keys=True)
+    return (
+        "campaign smoke report (deterministic)\n\n"
+        f"{summary}\n\n{table}\n\n{svg}"
+    )
+
+
+@_campaign_errors
+def cmd_campaign_explore(args) -> int:
+    """Adaptively locate the flat-vs-node aggregation crossover."""
+    from repro.campaign import CampaignStore, aggregation_crossover
+
+    runner = None
+    if args.cache_dir:
+        from repro.perf.cache import ResultCache
+        from repro.perf.campaign import CampaignRunner
+
+        runner = CampaignRunner(1, cache=ResultCache(args.cache_dir))
+    store = CampaignStore(args.store) if args.store else None
+    kwargs = dict(
+        method=args.search, collective=args.collective,
+        runner=runner, store=store,
+    )
+    if args.candidates:
+        candidates = tuple(int(c) for c in args.candidates.split(","))
+        report = aggregation_crossover(candidates, **kwargs)
+    else:
+        report = aggregation_crossover(**kwargs)
+    print(report.render())
+    saved = len(report.candidates) - report.evaluations
+    print(
+        f"adaptive saving: {saved} evaluation(s) skipped vs the "
+        f"exhaustive grid" if report.method == "bisect"
+        else "exhaustive grid baseline"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -668,9 +897,11 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="run/cache experiment point grids via the pool runner"
     )
     pc.add_argument("--smoke", action="store_true", help="tiny grids")
+    from repro.perf.points import EXPERIMENTS
+
     pc.add_argument(
         "--experiments", default=None,
-        help="comma-separated subset of fig5,fig67,fig910,topo,ioserver",
+        help=f"comma-separated subset of {','.join(EXPERIMENTS)}",
     )
     pc.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -679,6 +910,123 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--cache-dir", default=None, help="result cache directory")
     pc.add_argument("--no-cache", action="store_true", help="disable the cache")
     pc.set_defaults(fn=cmd_perf_campaign)
+
+    p = sub.add_parser(
+        "campaign",
+        help="campaign analysis platform: sweeps, store, reports, explorer "
+             "(docs/campaigns.md)",
+    )
+    camp_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    cr = camp_sub.add_parser(
+        "run", help="execute a declarative sweep spec into the result store"
+    )
+    cr.add_argument("spec", help="sweep spec file (YAML subset; docs/campaigns.md)")
+    cr.add_argument("--store", default=None, help="result store directory")
+    cr.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: serial; 0 = one per CPU)",
+    )
+    cr.add_argument("--cache-dir", default=None, help="result cache directory")
+    cr.add_argument("--no-cache", action="store_true", help="disable the cache")
+    cr.set_defaults(fn=cmd_campaign_run)
+
+    ci = camp_sub.add_parser(
+        "ingest", help="import caches / BENCH_*.json / metrics.json files"
+    )
+    ci.add_argument("--store", default=None, help="result store directory")
+    ci.add_argument(
+        "--cache-dir", default=None,
+        help="perf result cache to import (default cache when no sources "
+             "are given)",
+    )
+    ci.add_argument(
+        "--bench", action="append", default=None, metavar="FILE",
+        help="a BENCH_*.json host baseline to import (repeatable)",
+    )
+    ci.add_argument(
+        "--metrics", action="append", default=None, metavar="FILE",
+        help="a *.metrics.json snapshot to import (repeatable)",
+    )
+    ci.set_defaults(fn=cmd_campaign_ingest)
+
+    cq = camp_sub.add_parser("query", help="filter and print stored records")
+    cq.add_argument("--store", default=None, help="result store directory")
+    cq.add_argument(
+        "--experiment", default=None, help="filter to one experiment"
+    )
+    cq.add_argument(
+        "--source", default=None,
+        help="filter to one source (campaign | hostbench | metrics)",
+    )
+    cq.add_argument(
+        "--where", action="append", default=None, metavar="K=V",
+        help="parameter equality filter (repeatable)",
+    )
+    cq.add_argument(
+        "--distinct", default=None, metavar="PARAM",
+        help="print the distinct values of one parameter instead",
+    )
+    cq.add_argument("--json", action="store_true", help="full records as JSON")
+    cq.set_defaults(fn=cmd_campaign_query)
+
+    cp = camp_sub.add_parser(
+        "report",
+        help="render tables/charts or EXPERIMENTS.md sections from the store",
+    )
+    cp.add_argument("--store", default=None, help="result store directory")
+    cp.add_argument(
+        "--smoke", action="store_true",
+        help="build the two-point smoke store and print the deterministic "
+             "smoke report (the CI bit-determinism check)",
+    )
+    cp.add_argument(
+        "--out", default=None, help="write the smoke report here"
+    )
+    cp.add_argument(
+        "--section", default=None,
+        help="regenerate one EXPERIMENTS.md section from stored results "
+             "(header, table3, fig5, fig67, fig910)",
+    )
+    cp.add_argument(
+        "--scale", choices=("full", "smoke"), default="full",
+        help="campaign scale the --section replay renders at",
+    )
+    cp.add_argument("--experiment", default=None, help="experiment to chart")
+    cp.add_argument("-x", default=None, help="swept parameter (x axis)")
+    cp.add_argument("-y", default=None, help="result metric (y axis)")
+    cp.add_argument(
+        "--group-by", default=None, help="one series per value of this parameter"
+    )
+    cp.add_argument(
+        "--where", action="append", default=None, metavar="K=V",
+        help="parameter equality filter (repeatable)",
+    )
+    cp.add_argument("--svg", default=None, metavar="FILE", help="also write an SVG chart")
+    cp.add_argument("--log-y", action="store_true", help="log-scale y axis")
+    cp.add_argument("--cache-dir", default=None, help="result cache directory (--smoke)")
+    cp.add_argument("--no-cache", action="store_true", help="disable the cache (--smoke)")
+    cp.set_defaults(fn=cmd_campaign_report)
+
+    ce = camp_sub.add_parser(
+        "explore",
+        help="adaptively bisect the flat-vs-node aggregation crossover",
+    )
+    ce.add_argument("--store", default=None, help="record evaluated pairs here")
+    ce.add_argument(
+        "--search", choices=("bisect", "grid"), default="bisect",
+        help="adaptive bisection or the exhaustive baseline",
+    )
+    ce.add_argument(
+        "--collective", choices=("TCIO", "OCIO"), default="TCIO",
+        help="which collective method's frontier to search",
+    )
+    ce.add_argument(
+        "--candidates", default=None, metavar="P1,P2,...",
+        help="ordered process-count axis (default 8,12,16,24,32,48,64,96)",
+    )
+    ce.add_argument("--cache-dir", default=None, help="result cache directory")
+    ce.set_defaults(fn=cmd_campaign_explore)
     return parser
 
 

@@ -2,6 +2,13 @@
 
 ``python -m repro.experiments.report`` regenerates the full campaign (or a
 smoke campaign with ``--smoke``) and writes EXPERIMENTS.md at the repo root.
+
+The body is assembled from independent *section builders* (one per table
+or figure), each a pure function of (scale, runner) returning its markdown
+block. :func:`generate_report` stitches them together; the campaign
+platform (:mod:`repro.campaign.report`) calls the same builders with a
+store-backed runner to regenerate individual sections byte-identically
+from cached results.
 """
 
 from __future__ import annotations
@@ -24,24 +31,15 @@ def _check(label: str, ok: bool) -> str:
     return f"* {'PASS' if ok else 'FAIL'}: {label}"
 
 
-def generate_report(
-    scale: ExperimentScale = FULL,
-    *,
-    verbose: bool = True,
-    runner=None,
-) -> str:
-    """Run the whole campaign; returns the EXPERIMENTS.md body.
+# ----------------------------------------------------------------------
+# section builders (pure: same scale + same point results -> same bytes)
+# ----------------------------------------------------------------------
 
-    *runner* (default: serial in-process) executes every figure's point
-    grid; pass a :class:`repro.perf.campaign.CampaignRunner` to fan the
-    points across a process pool and reuse cached results — the output
-    is byte-identical either way (simulated time does not depend on host
-    execution order).
-    """
-    t_start = time.time()
-    sections: list[str] = []
 
-    sections.append(
+def header_section(scale: ExperimentScale, *, verbose: bool = False,
+                   runner=None) -> str:
+    """The report preamble: contract, preset, campaign scale."""
+    return (
         "# EXPERIMENTS — paper vs. measured\n\n"
         "All runs execute on the calibrated scaled Lonestar preset "
         f"(data scale 1/{LONESTAR_SCALE}, stripe scale 1/{LONESTAR_STRIPE_SCALE}; "
@@ -54,7 +52,10 @@ def generate_report(
         f"ART segments {scale.art_segments})."
     )
 
-    # ---- Programs 2/3 + Table III ------------------------------------
+
+def table3_section(scale: ExperimentScale, *, verbose: bool = False,
+                   runner=None) -> str:
+    """Programs 2/3 + Table III (static analysis; no simulation points)."""
     _sources, metrics, effort_summary = program_listings()
     rows, table3 = build_table3()
     from repro.bench.config import Method
@@ -70,7 +71,7 @@ def generate_report(
         ),
         _check("Table III qualitative rows hold", table3_shape_holds(rows)),
     ]
-    sections.append(
+    return (
         "## Programs 2 & 3 and Table III (programming effort)\n\n"
         "Paper: OCIO requires an application-level combine buffer, derived "
         "datatypes and a file view; TCIO is plain positional I/O with far "
@@ -79,7 +80,10 @@ def generate_report(
         + "\n".join(checks)
     )
 
-    # ---- Fig. 5 -------------------------------------------------------
+
+def fig5_section(scale: ExperimentScale, *, verbose: bool = False,
+                 runner=None) -> str:
+    """Figure 5: synthetic-benchmark throughput vs process count."""
     fig5 = run_fig5(scale, verbose=verbose, runner=runner)
     checks = [
         _check(
@@ -93,14 +97,17 @@ def generate_report(
         _check("read: TCIO beats OCIO at every scale", fig5.read_tcio_always_wins()),
         _check("read: the TCIO/OCIO gap widens with scale", fig5.read_gap_widens()),
     ]
-    sections.append(
+    return (
         "## Figure 5 (synthetic benchmark, throughput vs processes)\n\n"
         "Paper: OCIO writes faster at <=256 procs, TCIO overtakes at >=512; "
         "TCIO reads faster everywhere with a widening gap.\n\n"
         f"```\n{fig5.render()}\n```\n\n" + "\n".join(checks)
     )
 
-    # ---- Fig. 6/7 -----------------------------------------------------
+
+def fig67_section(scale: ExperimentScale, *, verbose: bool = False,
+                  runner=None) -> str:
+    """Figures 6 & 7: throughput vs file size, the 48 GB OOM point."""
     fig67 = run_fig6_7(scale, verbose=verbose, runner=runner)
     checks = [
         _check(
@@ -110,7 +117,7 @@ def generate_report(
         _check("the OCIO failure is an out-of-memory", fig67.ocio_fails_from_memory()),
         _check("TCIO completes every dataset size", fig67.tcio_completes_everywhere()),
     ]
-    sections.append(
+    return (
         "## Figures 6 & 7 (throughput vs file size; the 48 GB OOM)\n\n"
         "Paper: at the 48 GB dataset OCIO cannot allocate its combine +\n"
         "two-phase buffers within the 24 GB nodes and the benchmark fails;\n"
@@ -119,7 +126,10 @@ def generate_report(
         f"```\n{fig67.render()}\n```\n\n" + "\n".join(checks)
     )
 
-    # ---- Fig. 9/10 ----------------------------------------------------
+
+def fig910_section(scale: ExperimentScale, *, verbose: bool = False,
+                   runner=None) -> str:
+    """Figures 9 & 10: the ART application dump/restart comparison."""
     fig910 = run_fig9_10(scale, verbose=verbose, runner=runner)
     speedups_w = [s for s in fig910.tcio_speedup("dump") if s is not None]
     speedups_r = [s for s in fig910.tcio_speedup("restart") if s is not None]
@@ -139,13 +149,58 @@ def generate_report(
             fig910.tcio_rises_then_dips("dump"),
         ),
     ]
-    sections.append(
+    return (
         "## Figures 9 & 10 (ART cosmology application)\n\n"
         "Paper: TCIO up to ~100x faster than vanilla MPI-IO; MPI-IO runs\n"
         "exceed 90 minutes at >=512 procs (curves truncated); TCIO rises\n"
         "then dips as the centralized file system saturates.\n\n"
         f"```\n{fig910.render()}\n```\n\n" + "\n".join(checks)
     )
+
+
+#: Report sections in document order. Every builder has the same shape —
+#: ``builder(scale, verbose=..., runner=...) -> str`` — so the campaign
+#: platform can regenerate any one of them from a store-backed runner.
+SECTION_BUILDERS: dict[str, object] = {
+    "header": header_section,
+    "table3": table3_section,
+    "fig5": fig5_section,
+    "fig67": fig67_section,
+    "fig910": fig910_section,
+}
+
+
+def build_section(name: str, scale: ExperimentScale, *,
+                  verbose: bool = False, runner=None) -> str:
+    """One named section's markdown block (see :data:`SECTION_BUILDERS`)."""
+    try:
+        builder = SECTION_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown section {name!r} (choose from {list(SECTION_BUILDERS)})"
+        ) from None
+    return builder(scale, verbose=verbose, runner=runner)  # type: ignore[operator]
+
+
+def generate_report(
+    scale: ExperimentScale = FULL,
+    *,
+    verbose: bool = True,
+    runner=None,
+) -> str:
+    """Run the whole campaign; returns the EXPERIMENTS.md body.
+
+    *runner* (default: serial in-process) executes every figure's point
+    grid; pass a :class:`repro.perf.campaign.CampaignRunner` to fan the
+    points across a process pool and reuse cached results — the output
+    is byte-identical either way (simulated time does not depend on host
+    execution order).
+    """
+    t_start = time.time()
+    sections = [
+        build_section(name, scale, verbose=verbose, runner=runner)
+        for name in SECTION_BUILDERS
+    ]
 
     footer = (
         f"---\n\nCampaign wall-clock: {time.time() - t_start:.0f} s "

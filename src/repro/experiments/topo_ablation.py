@@ -15,6 +15,7 @@ AND strictly fewer connections than flat for both TCIO and OCIO, while
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.bench import BenchConfig, Method
@@ -27,15 +28,37 @@ from repro.util.units import GIB, KIB, MIB
 #: exchange to aggregate, so it is out of scope).
 METHODS = (Method.TCIO, Method.OCIO)
 
+#: Network profiles the ablation cluster can run under. ``default`` is
+#: the original ablation fabric; ``rma-heavy`` models a fabric generation
+#: with expensive one-sided synchronization (every RMA epoch and message
+#: pays a large fixed cost), which is the regime where flat mode's many
+#: small per-rank puts lose to node mode's coalesced leader pushes — the
+#: axis the campaign explorer's crossover search walks
+#: (`repro.campaign.explore`, docs/campaigns.md).
+NET_PROFILES: dict[str, dict[str, float]] = {
+    "default": {},
+    "rma-heavy": {
+        "rma_epoch_overhead": 10e-6,
+        "rma_message_overhead": 2e-6,
+    },
+}
 
-def ablation_cluster(procs: int, cores_per_node: int = 4) -> ClusterSpec:
+
+def ablation_cluster(
+    procs: int, cores_per_node: int = 4, net: str = "default"
+) -> ClusterSpec:
     """A small multi-node machine with just enough nodes for *procs*.
 
     Mirrors the test-suite cluster's constants; self-contained here so the
-    CLI path does not depend on the test tree.
+    CLI path does not depend on the test tree. *net* selects one of
+    :data:`NET_PROFILES` (overrides applied on top of the base network).
     """
+    if net not in NET_PROFILES:
+        raise ValueError(
+            f"unknown net profile {net!r} (choose from {sorted(NET_PROFILES)})"
+        )
     nodes = -(-procs // cores_per_node)
-    return ClusterSpec(
+    cluster = ClusterSpec(
         name="topo-ablation",
         nodes=nodes,
         cores_per_node=cores_per_node,
@@ -66,6 +89,13 @@ def ablation_cluster(procs: int, cores_per_node: int = 4) -> ClusterSpec:
             client_bandwidth=800 * MIB,
         ),
     )
+    overrides = NET_PROFILES[net]
+    if overrides:
+        cluster = dataclasses.replace(
+            cluster,
+            network=dataclasses.replace(cluster.network, **overrides),
+        )
+    return cluster
 
 
 def ablation_config(

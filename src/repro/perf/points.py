@@ -139,6 +139,8 @@ def _run_bench_point(point: Point, *, verify: bool = True) -> dict:
     nprocs = int(point.get("nprocs"))  # type: ignore[arg-type]
     len_array = int(point.get("len_array"))  # type: ignore[arg-type]
     journal = str(point.get("journal") or "off")
+    segment_bytes = point.get("segment_bytes")
+    cb_nodes = point.get("cb_nodes")
     cfg = BenchConfig(
         method=Method.parse(method),
         num_arrays=2,
@@ -148,6 +150,10 @@ def _run_bench_point(point: Point, *, verify: bool = True) -> dict:
         nprocs=nprocs,
         file_name=f"{point.experiment}_{method}_{nprocs}_{len_array}.dat",
         journal=journal,
+        aggregation=str(point.get("aggregation") or "flat"),
+        segment_bytes=None if segment_bytes is None else int(segment_bytes),  # type: ignore[arg-type]
+        cb_nodes=None if cb_nodes is None else int(cb_nodes),  # type: ignore[arg-type]
+        batched_writeback=bool(point.get("batched_writeback") or False),
     )
     result = run_benchmark(cfg, verify=verify)
     return {
@@ -198,7 +204,9 @@ def _run_topo_point(point: Point, *, verify: bool = True) -> dict:
 
     procs = int(point.get("nprocs"))  # type: ignore[arg-type]
     cores_per_node = int(point.get("cores_per_node"))  # type: ignore[arg-type]
-    cluster = ablation_cluster(procs, cores_per_node)
+    cluster = ablation_cluster(
+        procs, cores_per_node, net=str(point.get("net") or "default")
+    )
     cfg = ablation_config(
         Method.parse(str(point.get("method"))),
         str(point.get("aggregation")),
@@ -229,10 +237,28 @@ def _run_ioserver_point(point: Point, *, verify: bool = True) -> dict:
         int(point.get("nclients")),  # type: ignore[arg-type]
         epochs=int(point.get("epochs")),  # type: ignore[arg-type]
     )
+    nranks = int(point.get("nranks"))  # type: ignore[arg-type]
+    config = None
+    delegates = point.get("delegates")
+    queue_depth = point.get("queue_depth")
+    if delegates is not None or queue_depth is not None:
+        from dataclasses import replace
+
+        from repro.ioserver.ablation import _delegates_for
+        from repro.ioserver.protocol import IoServerConfig
+
+        config = IoServerConfig(
+            delegates=_delegates_for(delegates, nranks)
+            if delegates is not None
+            else "leaders",
+        )
+        if queue_depth is not None:
+            config = replace(config, queue_depth=int(queue_depth))  # type: ignore[arg-type]
     result = run_ioserver(
         trace,
-        nranks=int(point.get("nranks")),  # type: ignore[arg-type]
+        nranks=nranks,
         cores_per_node=int(point.get("cores_per_node")),  # type: ignore[arg-type]
+        config=config,
     )
     if result.aborted is not None:  # pragma: no cover - clean run expected
         raise RuntimeError(f"{point.label()}: aborted: {result.aborted}")

@@ -1,0 +1,132 @@
+"""Report generation: deterministic renderers + byte-identical replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.report import (
+    experiments_section,
+    scaling_report,
+    store_series,
+    store_svg_chart,
+    svg_line_chart,
+)
+from repro.campaign.store import CampaignStore, StoreError
+from repro.experiments.common import SMOKE
+from repro.experiments.report import SECTION_BUILDERS, build_section
+from repro.perf.points import Point, points_for, run_point
+
+
+@pytest.fixture(scope="module")
+def fig5_store(tmp_path_factory):
+    """A store holding the full fig5 SMOKE grid, simulated once."""
+    store = CampaignStore(tmp_path_factory.mktemp("store"))
+    for point in points_for("fig5", SMOKE):
+        store.add_result(point, run_point(point))
+    return store
+
+
+class TestSectionReplay:
+    def test_fig5_section_byte_identical(self, fig5_store):
+        live = build_section("fig5", SMOKE, verbose=False)
+        replay = experiments_section(fig5_store, "fig5", SMOKE)
+        assert replay == live
+
+    def test_sections_without_points_need_no_store(self, tmp_path):
+        empty = CampaignStore(tmp_path)
+        assert experiments_section(empty, "header", SMOKE).startswith(
+            "# EXPERIMENTS"
+        )
+        assert "Table III" in experiments_section(empty, "table3", SMOKE)
+
+    def test_missing_points_raise_named_error(self, tmp_path):
+        empty = CampaignStore(tmp_path)
+        with pytest.raises(StoreError, match="missing results"):
+            experiments_section(empty, "fig5", SMOKE)
+
+    def test_unknown_section_rejected(self, fig5_store):
+        with pytest.raises(ValueError, match="unknown section"):
+            experiments_section(fig5_store, "fig8", SMOKE)
+
+    def test_builders_cover_the_full_report(self):
+        assert list(SECTION_BUILDERS) == [
+            "header", "table3", "fig5", "fig67", "fig910",
+        ]
+
+
+class TestScalingReport:
+    def test_contains_table_and_chart(self, fig5_store):
+        text = scaling_report(
+            fig5_store, "fig5", x="nprocs", y="write_throughput",
+            group_by="method",
+        )
+        assert "nprocs" in text
+        assert "TCIO" in text and "OCIO" in text
+        assert "o TCIO" in text or "* TCIO" in text  # chart legend marks
+
+    def test_deterministic(self, fig5_store):
+        kwargs = dict(x="nprocs", y="write_throughput", group_by="method")
+        assert scaling_report(fig5_store, "fig5", **kwargs) == scaling_report(
+            fig5_store, "fig5", **kwargs
+        )
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no campaign records"):
+            scaling_report(
+                CampaignStore(tmp_path), "fig5", x="nprocs", y="write_throughput"
+            )
+
+    def test_store_series_fills_missing_with_none(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.add_result(
+            Point.make("fig5", method="TCIO", nprocs=4, len_array=64),
+            {"write_throughput": 1.0},
+        )
+        store.add_result(
+            Point.make("fig5", method="OCIO", nprocs=8, len_array=64),
+            {"write_throughput": 2.0},
+        )
+        xs, series = store_series(
+            store, "fig5", x="nprocs", y="write_throughput", group_by="method"
+        )
+        assert xs == [4, 8]
+        assert series == {"OCIO": [None, 2.0], "TCIO": [1.0, None]}
+
+
+class TestSvgChart:
+    def test_complete_deterministic_document(self, fig5_store):
+        svg = store_svg_chart(
+            fig5_store, "fig5", x="nprocs", y="write_throughput",
+            group_by="method",
+        )
+        assert svg.startswith("<svg ")
+        assert svg.rstrip().endswith("</svg>")
+        assert "polyline" in svg and "TCIO" in svg
+        assert svg == store_svg_chart(
+            fig5_store, "fig5", x="nprocs", y="write_throughput",
+            group_by="method",
+        )
+
+    def test_no_wall_clock_leaks_into_output(self, fig5_store):
+        import re
+
+        svg = store_svg_chart(
+            fig5_store, "fig5", x="nprocs", y="write_throughput"
+        )
+        # four-digit year or unix-epoch magnitudes would betray a timestamp
+        assert not re.search(r"20[0-9]{2}-[0-9]{2}-[0-9]{2}", svg)
+
+    def test_none_points_break_the_polyline(self):
+        svg = svg_line_chart(
+            [1, 2, 3], {"a": [1.0, None, 3.0]}, title="gap"
+        )
+        # two isolated points -> circles but no 2-point polyline through the gap
+        assert svg.count("<circle") == 2
+        assert "<polyline" not in svg
+
+    def test_empty_data_renders_placeholder(self):
+        assert "(no data)" in svg_line_chart([], {})
+
+    def test_escapes_markup(self):
+        svg = svg_line_chart([1, 2], {"a<b": [1.0, 2.0]}, title="x & y")
+        assert "a&lt;b" in svg and "x &amp; y" in svg

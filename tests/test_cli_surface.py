@@ -1,0 +1,83 @@
+"""The CLI's documented surface stays in sync with the parser tree.
+
+The module docstring of :mod:`repro.cli` is the command reference users
+see first; it has drifted before (commands added without a docstring
+row). These tests regenerate the surface from the argparse tree itself
+and pin the two views together, so adding a command without documenting
+it — or documenting one that does not exist — fails CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+
+import repro.cli as cli
+from repro.perf.points import EXPERIMENTS
+
+
+def _subparser_actions(parser: argparse.ArgumentParser):
+    return [
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+
+
+def top_level_commands() -> dict[str, argparse.ArgumentParser]:
+    parser = cli.build_parser()
+    (sub,) = _subparser_actions(parser)
+    return dict(sub.choices)
+
+
+def documented_commands() -> set[str]:
+    """Command names carrying a ``command`` reference row in the docstring."""
+    return set(re.findall(r"^``([a-z0-9]+)``\s+—", cli.__doc__, re.MULTILINE))
+
+
+class TestDocstringParserSync:
+    def test_every_command_is_documented(self):
+        missing = set(top_level_commands()) - documented_commands()
+        assert not missing, f"undocumented CLI commands: {sorted(missing)}"
+
+    def test_every_documented_command_exists(self):
+        stale = documented_commands() - set(top_level_commands())
+        assert not stale, f"docstring rows for removed commands: {sorted(stale)}"
+
+    def test_subcommand_groups_documented(self):
+        # nested groups must list each subcommand name in their docstring row
+        commands = top_level_commands()
+        for group in ("perf", "campaign"):
+            (sub,) = _subparser_actions(commands[group])
+            for name in sub.choices:
+                assert f"``{group} {name}``" in cli.__doc__, (
+                    f"docstring misses ``{group} {name}``"
+                )
+
+    def test_perf_campaign_experiments_help_lists_every_experiment(self):
+        commands = top_level_commands()
+        (perf_sub,) = _subparser_actions(commands["perf"])
+        campaign = perf_sub.choices["campaign"]
+        (option,) = [
+            a for a in campaign._actions if "--experiments" in a.option_strings
+        ]
+        for experiment in EXPERIMENTS:
+            assert experiment in (option.help or ""), (
+                f"perf campaign --experiments help misses {experiment!r}"
+            )
+
+    def test_tenancy_and_ioserver_present(self):
+        # the PR-6..8 subsystems must stay on the documented surface
+        commands = top_level_commands()
+        assert "tenancy" in commands and "ioserver" in commands
+        assert "tenancy" in documented_commands()
+        assert "ioserver" in documented_commands()
+
+    def test_help_renders(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in top_level_commands():
+            assert name in out

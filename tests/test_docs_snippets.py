@@ -79,6 +79,25 @@ def test_snippets_were_found():
     assert sum(s.runnable for s in SNIPPETS) >= 5
 
 
+#: Pages whose examples must stay *executable*, not just syntactic —
+#: downgrading a block to ``no-run`` (or deleting it) drops the page
+#: below its floor and fails here rather than passing silently.
+RUNNABLE_FLOORS = {
+    "README.md": 1,
+    "campaigns.md": 4,
+    "io-server.md": 3,
+    "tenancy.md": 3,
+}
+
+
+@pytest.mark.parametrize("name,floor", sorted(RUNNABLE_FLOORS.items()))
+def test_per_file_runnable_floor(name, floor):
+    count = sum(s.runnable for s in SNIPPETS if s.path.name == name)
+    assert count >= floor, (
+        f"{name} has {count} runnable snippet(s), floor is {floor}"
+    )
+
+
 @pytest.mark.parametrize(
     "snippet",
     [s for s in SNIPPETS if s.runnable],
