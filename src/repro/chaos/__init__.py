@@ -1,0 +1,31 @@
+"""``repro.chaos`` — the seeded soak harness over fault scenarios.
+
+Randomized-but-replayable robustness testing: every iteration derives
+its whole scenario (family, victim, protocol step, fault plan) from the
+campaign seed via :func:`repro.util.rng.derive_seed`, runs it on the
+virtual cluster, and asserts the survive-and-complete invariants —
+fsck-clean journals, byte oracles for every surviving job, no orphaned
+lock waiters, bounded data-at-risk. See ``docs/faults.md``.
+"""
+
+from repro.chaos.soak import (
+    DATA_AT_RISK_BOUND,
+    FAMILIES,
+    ChaosConfig,
+    ChaosError,
+    ChaosReport,
+    IterationOutcome,
+    run_iteration,
+    run_soak,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosReport",
+    "DATA_AT_RISK_BOUND",
+    "FAMILIES",
+    "IterationOutcome",
+    "run_iteration",
+    "run_soak",
+]

@@ -22,6 +22,10 @@ Commands
 ``tenancy``   — multi-job tenancy: concurrent applications on one shared
                 PFS, QoS policies, interference matrix
                 (see docs/tenancy.md).
+``chaos``     — seeded fault-injection soak: many randomized crash
+                scenarios across tenancy / TCIO-FT / delegate-failover
+                families, each asserting the survive-and-complete
+                invariants (see docs/faults.md).
 ``trace``     — rerun a scaled-down experiment with span tracing on and
                 write Chrome-trace + metrics JSON (see docs/observability.md).
 ``report``    — run the full campaign and write EXPERIMENTS.md
@@ -154,6 +158,15 @@ def cmd_faults(args) -> int:
     from repro.faults.runner import run_crash_campaign, run_faulted
 
     if args.crash_at is not None:
+        if args.ft:
+            from repro.crash.harness import STEPS, run_survive_matrix
+
+            steps = STEPS if args.crash_at == "each-step" else (args.crash_at,)
+            matrix = run_survive_matrix(
+                steps=steps, nranks=args.crash_procs, seed=args.seed
+            )
+            print(matrix.render())
+            return 0 if matrix.ok else 1
         return run_crash_campaign(
             args.crash_at, seed=args.seed, procs=args.crash_procs
         )
@@ -210,12 +223,19 @@ def cmd_ioserver(args) -> int:
     )
 
     if args.crash_step is not None:
-        from repro.crash.harness import SERVER_STEPS, run_server_crash_matrix
+        from repro.crash.harness import (
+            SERVER_STEPS,
+            run_server_crash_matrix,
+            run_server_survive_matrix,
+        )
 
         steps = (
             SERVER_STEPS if args.crash_step == "each-step" else (args.crash_step,)
         )
-        matrix = run_server_crash_matrix(steps=steps, seed=args.seed)
+        if args.failover:
+            matrix = run_server_survive_matrix(steps=steps, seed=args.seed)
+        else:
+            matrix = run_server_crash_matrix(steps=steps, seed=args.seed)
         print(matrix.render())
         return 0 if matrix.ok else 1
 
@@ -357,6 +377,62 @@ def cmd_tenancy(args) -> int:
             fh.write("\n")
         print(f"wrote {args.metrics_out}")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Seeded soak: randomized crash scenarios, zero tolerated violations."""
+    from repro.chaos import ChaosConfig, ChaosError, run_soak
+
+    families = (
+        tuple(args.families.split(",")) if args.families else None
+    )
+    try:
+        config = (
+            ChaosConfig(iterations=args.iterations, seed=args.seed)
+            if families is None
+            else ChaosConfig(
+                iterations=args.iterations, seed=args.seed, families=families
+            )
+        )
+        if not args.quiet:
+            print(
+                f"chaos soak: {config.iterations} iterations, "
+                f"seed {config.seed}"
+            )
+        report = run_soak(
+            config,
+            progress=(
+                None if args.quiet
+                else lambda it: print(
+                    f"  [{it.index:>3}] {'ok  ' if it.ok else 'FAIL'} "
+                    f"{it.family:<16} {it.detail}"
+                )
+            ),
+        )
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.quiet:
+        print(
+            f"chaos soak: {len(report.iterations)} iterations, "
+            f"seed {config.seed}, "
+            + (
+                "zero invariant violations" if report.ok
+                else f"{len(report.violations)} VIOLATION(S)"
+            )
+        )
+    else:
+        print(
+            "  => "
+            + (
+                "zero invariant violations" if report.ok
+                else f"{len(report.violations)} VIOLATION(S)"
+            )
+        )
+    if args.metrics_out:
+        report.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -706,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-procs", type=int, default=4,
         help="ranks for the crash matrix (only with --crash-at)",
     )
+    p.add_argument(
+        "--ft", action="store_true",
+        help="with --crash-at: run the survive column instead — TCIO FT on, "
+             "the job must complete degraded (docs/faults.md)",
+    )
     p.add_argument("--seed", type=int, default=1, help="fault plan seed")
     p.add_argument("--rate", type=float, default=0.05, help="injection rate")
     p.add_argument("--procs", type=int, default=16)
@@ -790,6 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
              "this service-loop step ('each-step' runs all six)",
     )
     p.add_argument(
+        "--failover", action="store_true",
+        help="with --crash-step: run the survive column instead — delegate "
+             "failover on, the session must complete with zero loss",
+    )
+    p.add_argument(
         "--ablate-delegates", default=None, metavar="COUNTS",
         help="sweep delegate counts over one fixed trace instead of a "
              "single run: comma-separated counts and/or 'leaders' "
@@ -827,6 +913,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, help="write the metrics JSON here"
     )
     p.set_defaults(fn=cmd_tenancy)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak over crash scenarios (docs/faults.md)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=50, help="scenarios to run"
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--families", default=None, metavar="F1,F2",
+        help="comma-separated subset of tenancy,tcio-survive,server-failover "
+             "(default: all three)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None,
+        help="write the deterministic soak JSON here (same seed -> same bytes)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-iteration progress; print the full report at the end",
+    )
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "trace", help="scaled-down experiment with tracing -> Chrome trace JSON"

@@ -18,6 +18,10 @@ from repro.crash.harness import (
     run_crash_cell,
     run_crash_matrix,
     run_journal_off_cell,
+    run_server_survive_cell,
+    run_server_survive_matrix,
+    run_survive_cell,
+    run_survive_matrix,
 )
 from repro.crash.journal import (
     JournalRecord,
@@ -50,4 +54,8 @@ __all__ = [
     "run_crash_cell",
     "run_crash_matrix",
     "run_journal_off_cell",
+    "run_server_survive_cell",
+    "run_server_survive_matrix",
+    "run_survive_cell",
+    "run_survive_matrix",
 ]

@@ -208,6 +208,119 @@ def run_crash_cell(
     )
 
 
+def run_survive_cell(
+    step: str,
+    *,
+    nranks: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    victim: int = 1,
+    reference: Optional[bytes] = None,
+) -> CrashCell:
+    """One survive-and-complete cell: same crash, ``TcioConfig.ft`` on.
+
+    The differential flips: instead of abort→recover→compare, the job
+    must *complete* (``aborted is None``) with the victim dead, the file
+    must match the crash-free reference everywhere outside the victim's
+    uncommitted region (inside it, a byte is either the reference value
+    or zero — the victim's level-1-only data is legitimately lost), and
+    fsck must come back clean with no offline recovery pass at all. A
+    ``post-commit`` crash demands full byte-identity: the victim's
+    records were committed, so the survivors replay them.
+    """
+    from repro.faults import FaultPlan, FaultSpec
+
+    name = "survive.dat"
+    config = replace(_make_config(nranks, "epoch", "flat"), ft=True)
+    if reference is None:
+        reference = crash_free_reference(
+            aggregation="flat", nranks=nranks, cores_per_node=cores_per_node
+        )
+    hits = _count_step_hits(config, nranks, cores_per_node, seed, step, victim)
+    if hits == 0:
+        return CrashCell(
+            step, "flat", "epoch+ft", False,
+            f"rank {victim} never reaches step", 0, False,
+        )
+
+    spec = FaultSpec(crash_rank=victim, crash_step=step, crash_after=hits)
+    plan = FaultPlan(spec, seed, scope="crash")
+    result = _run(name, config, nranks, cores_per_node, faults=plan)
+    if result.aborted is not None:
+        return CrashCell(
+            step, "flat", "epoch+ft", False,
+            f"FT run aborted anyway: {result.aborted}", hits, True,
+        )
+    if result.dead_ranks != {victim}:
+        return CrashCell(
+            step, "flat", "epoch+ft", False,
+            f"unexpected dead set {sorted(result.dead_ranks)}", hits, False,
+        )
+    check = fsck(
+        result.pfs, name, context=CrashContext.from_world(result.world, name)
+    )
+    survived = result.pfs.lookup(name).contents()
+    base = nranks * PER_RANK
+    lo, hi = base + victim * PER_RANK, base + (victim + 1) * PER_RANK
+    strict = step == "post-commit"
+    bad = -1
+    if len(survived) != len(reference):
+        bad = min(len(survived), len(reference))
+    else:
+        for i in range(len(reference)):
+            if survived[i] == reference[i]:
+                continue
+            if not strict and lo <= i < hi and survived[i] == 0:
+                continue  # the victim's uncommitted data: lost, not corrupt
+            bad = i
+            break
+    survives = int(result.trace.get("tcio.ft.survives").total)
+    ok = bad < 0 and check.clean and survives >= 1
+    if bad >= 0:
+        detail = (
+            f"survivor image diverges at byte {bad} "
+            f"({len(survived)}b vs {len(reference)}b reference)"
+        )
+    elif not check.clean:
+        detail = check.summary()
+    elif survives < 1:
+        detail = "run completed but no survive round was recorded"
+    else:
+        lost = sum(
+            1 for i in range(lo, min(hi, len(survived))) if survived[i] == 0
+        )
+        detail = (
+            f"completed degraded ({survives} survive round(s)), "
+            f"{lost}b of the victim's uncommitted data lost, fsck clean"
+        )
+    return CrashCell(
+        step, "flat", "epoch+ft", ok, detail, hits, False, fsck=check,
+    )
+
+
+def run_survive_matrix(
+    *,
+    steps=STEPS,
+    nranks: int = 4,
+    cores_per_node: int = 2,
+    seed: int = 7,
+    victim: int = 1,
+) -> CrashMatrixResult:
+    """The survive column: every protocol step, FT on, job must complete."""
+    out = CrashMatrixResult(nranks=nranks, seed=seed)
+    reference = crash_free_reference(
+        aggregation="flat", nranks=nranks, cores_per_node=cores_per_node
+    )
+    for step in steps:
+        out.cells.append(
+            run_survive_cell(
+                step, nranks=nranks, cores_per_node=cores_per_node,
+                seed=seed, victim=victim, reference=reference,
+            )
+        )
+    return out
+
+
 def run_journal_off_cell(
     *,
     aggregation: str = "flat",
@@ -385,6 +498,139 @@ def run_server_crash_matrix(
     for step in steps:
         out.cells.append(
             run_server_crash_cell(
+                step, nclients=nclients, nranks=nranks,
+                cores_per_node=cores_per_node, seed=seed, trace=trace,
+            )
+        )
+    return out
+
+
+def run_server_survive_cell(
+    step: str,
+    *,
+    nclients: int = 6,
+    nranks: int = 6,
+    cores_per_node: int = 3,
+    seed: int = 7,
+    victim: Optional[int] = None,
+    trace=None,
+) -> CrashCell:
+    """Kill a delegate at one service-loop step with failover armed.
+
+    The survive column of the server matrix: same aimed crash as
+    :func:`run_server_crash_cell`, but ``IoServerConfig.failover`` is on,
+    so the job must *complete* — the dead delegate's clients redirect to
+    the standby and replay their acked-but-uncommitted writes, the
+    surviving delegates shrink the shared TCIO handle and flush on.
+    Unlike bare-TCIO survival (:func:`run_survive_cell`), client-side
+    replay means **nothing** is legitimately lost: the final image must
+    equal the full analytic :func:`~repro.ioserver.trace.expected_image`
+    byte-for-byte at *every* step, with fsck clean and no offline
+    recovery pass at all.
+    """
+    from repro.faults import FaultPlan, FaultSpec
+    from repro.ioserver import (
+        IoServerConfig, expected_image, generate_trace, plan_for, run_ioserver,
+    )
+
+    if trace is None:
+        trace = generate_trace(
+            seed, nclients, epochs=2, writes_per_epoch=3,
+            reads_per_client=0, dense=True,
+        )
+    config = IoServerConfig(failover=True)
+    placement = plan_for(trace, nranks, cores_per_node, config)
+    if victim is None:
+        victim = placement.delegates[-1]
+    if victim not in placement.delegates:
+        raise ValueError(f"victim rank {victim} is not a delegate")
+    name = trace.file_name
+
+    plan = FaultPlan(FaultSpec(), seed, scope="crash-count")
+    run_ioserver(
+        trace, nranks=nranks, cores_per_node=cores_per_node,
+        config=config, faults=plan,
+    )
+    hits = plan.step_hits[(step, victim)]
+    if hits == 0:
+        return CrashCell(
+            step, "server", "epoch+ft", False,
+            f"delegate {victim} never reaches step", 0, False,
+        )
+
+    spec = FaultSpec(crash_rank=victim, crash_step=step, crash_after=hits)
+    armed = FaultPlan(spec, seed, scope="crash")
+    result = run_ioserver(
+        trace, nranks=nranks, cores_per_node=cores_per_node,
+        config=config, faults=armed,
+    )
+    if result.aborted is not None:
+        return CrashCell(
+            step, "server", "epoch+ft", False,
+            f"failover run aborted anyway: {result.aborted}", hits, True,
+        )
+    if result.mpi.dead_ranks != {victim}:
+        return CrashCell(
+            step, "server", "epoch+ft", False,
+            f"unexpected dead set {sorted(result.mpi.dead_ranks)}", hits, False,
+        )
+    pfs, world = result.mpi.pfs, result.mpi.world
+    check = fsck(pfs, name, context=CrashContext.from_world(world, name))
+    expected = expected_image(trace)
+    survived = pfs.lookup(name).contents() if pfs.exists(name) else b""
+    survives = int(result.mpi.trace.get("tcio.ft.survives").total)
+    redirects = int(result.mpi.trace.get("ioserver.failover.redirects").total)
+    ok = survived == expected and check.clean and survives >= 1
+    if survived != expected:
+        bad = next(
+            (
+                i
+                for i in range(min(len(survived), len(expected)))
+                if survived[i] != expected[i]
+            ),
+            min(len(survived), len(expected)),
+        )
+        detail = (
+            f"survivor image diverges at byte {bad} "
+            f"({len(survived)}b vs {len(expected)}b expected)"
+        )
+    elif not check.clean:
+        detail = check.summary()
+    elif survives < 1:
+        detail = "run completed but no survive round was recorded"
+    else:
+        replayed = int(
+            result.mpi.trace.get("ioserver.failover.replayed_bytes").total
+        )
+        detail = (
+            f"completed degraded ({survives} survive round(s), "
+            f"{redirects} redirect(s), {replayed}b replayed by clients), "
+            f"image exact, fsck clean"
+        )
+    return CrashCell(
+        step, "server", "epoch+ft", ok, detail, hits, False, fsck=check,
+    )
+
+
+def run_server_survive_matrix(
+    *,
+    steps=SERVER_STEPS,
+    nclients: int = 6,
+    nranks: int = 6,
+    cores_per_node: int = 3,
+    seed: int = 7,
+) -> CrashMatrixResult:
+    """The server survive column: every step, failover on, zero loss."""
+    from repro.ioserver import generate_trace
+
+    trace = generate_trace(
+        seed, nclients, epochs=2, writes_per_epoch=3,
+        reads_per_client=0, dense=True,
+    )
+    out = CrashMatrixResult(nranks=nranks, seed=seed)
+    for step in steps:
+        out.cells.append(
+            run_server_survive_cell(
                 step, nclients=nclients, nranks=nranks,
                 cores_per_node=cores_per_node, seed=seed, trace=trace,
             )

@@ -43,6 +43,9 @@ class RecoveryReport:
     eof: int
     replayed_records: int = 0
     replayed_bytes: int = 0
+    #: Bytes that actually differed and were rewritten. Zero on a second
+    #: pass (or after a clean shutdown): the idempotence witness.
+    written_bytes: int = 0
     skipped_uncommitted: int = 0  # records of epochs past the last commit
     torn_records: int = 0  # torn tails discarded (never committed)
     journals: list[str] = field(default_factory=list)
@@ -93,8 +96,16 @@ def recover(pfs: "Pfs", name: str, *, job: "str | None" = None) -> RecoveryRepor
     replay.sort(key=lambda item: (item[0], item[1], item[2].gseg))
     for _epoch, _fname, rec in replay:
         for i, (lo, hi) in enumerate(rec.extents):
-            data.write_bytes(lo, rec.piece(i))
+            piece = rec.piece(i)
+            # Compare-before-write keeps the pass idempotent: a second
+            # run (a failover retry path, or recovery after a clean
+            # shutdown) must leave the file image untouched, not dirty
+            # it with byte-identical rewrites.
+            if data.read_bytes(lo, len(piece)) != piece:
+                data.write_bytes(lo, piece)
+                report.written_bytes += len(piece)
         report.replayed_records += 1
         report.replayed_bytes += rec.nbytes
-    data.truncate(eof)
+    if data.size != eof:
+        data.truncate(eof)
     return report

@@ -304,20 +304,35 @@ class FaultPlan:
         the virtual clock (visible as ``faults.backoff`` spans) and count
         ``faults.retries``; once the budget is spent the last error is
         wrapped in :class:`RetryBudgetExceeded`.
+
+        Observability: every executed attempt counts
+        ``faults.retry.attempts``, every backoff sleep adds its virtual
+        seconds to ``faults.retry.backoff_total``, and budget exhaustion
+        emits a ``faults.retry.exhausted`` span naming the operation —
+        the overload-analysis signals for how hard recovery worked.
         """
         from repro.sim.api import run_coroutine
 
         policy = self.spec.retry
         last = policy.max_attempts - 1
         for attempt in range(policy.max_attempts):
+            if self._trace is not None:
+                self._trace.count("faults.retry.attempts", 1)
             try:
                 return (yield from run_coroutine(op(attempt)))
             except retry_on as exc:
                 if attempt == last:
+                    if self._trace is not None:
+                        with self._trace.span(
+                            "faults.retry.exhausted", what=what,
+                            attempts=policy.max_attempts,
+                        ):
+                            pass
                     raise RetryBudgetExceeded(what, policy.max_attempts) from exc
                 delay = policy.backoff(attempt, self._rng("retry"))
                 if self._trace is not None:
                     self._trace.count("faults.retries")
+                    self._trace.count("faults.retry.backoff_total", delay)
                     with self._trace.span("faults.backoff", what=what, attempt=attempt):
                         yield from active_process().sleep(delay)
                 else:

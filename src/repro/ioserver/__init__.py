@@ -28,6 +28,8 @@ from repro.ioserver.protocol import (
     SHUTDOWN,
     IoServerConfig,
     Placement,
+    adopted_clients,
+    failover_delegate,
     plan_placement,
 )
 from repro.ioserver.ablation import (
@@ -70,6 +72,8 @@ __all__ = [
     "render_ablation",
     "IoServerConfig",
     "Placement",
+    "adopted_clients",
+    "failover_delegate",
     "plan_placement",
     "plan_for",
     "DirectReplay",

@@ -38,6 +38,15 @@ DATA = "data"
 #: Session-control verb a client sends after its last trace op.
 SHUTDOWN = "shutdown"
 
+#: Delegate→delegate session-control verb (failover mode only): the
+#: sender drained its expected-client set. Carries the finished client
+#: ids, so a survivor adopting the sender's clients after a later death
+#: knows none of them will ever redirect. No delegate exits its service
+#: loop until every peer is done-or-dead — the drain barrier that keeps
+#: a standby alive for clients whose delegate dies at the very last
+#: protocol step.
+PEER_DONE = "srv-peer-done"
+
 
 @dataclass(frozen=True)
 class IoServerConfig:
@@ -53,7 +62,15 @@ class IoServerConfig:
     (``max_retries=0`` surfaces the error on the first rejection).
     ``journal`` is handed to the delegates' shared
     :class:`~repro.tcio.params.TcioConfig` — ``"epoch"`` is what makes a
-    crashed delegate recoverable.
+    crashed delegate recoverable. ``failover`` arms survive-and-complete
+    fault tolerance end to end: the shared TCIO handle opens with
+    ``ft=True`` (surviving delegates shrink and finish the flush), a dead
+    delegate's clients redirect to the ring-next alive delegate via
+    :func:`failover_delegate` and replay their acked-but-uncommitted
+    writes there, and the standby adopts them into its expected set —
+    clients see retryable redirects, never aborts. Requires
+    ``journal="epoch"``; the failover window covers the write phase (a
+    delegate death during a read phase still aborts).
     """
 
     delegates: Union[str, tuple[int, ...]] = "leaders"
@@ -62,8 +79,11 @@ class IoServerConfig:
     backoff_base: float = 25e-6
     journal: str = "epoch"
     segment_size: int = 64
+    failover: bool = False
 
     def validate(self) -> None:
+        if self.failover and self.journal != "epoch":
+            raise IoServerError("failover requires journal='epoch'")
         if self.queue_depth < 1:
             raise IoServerError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.max_retries < 0:
@@ -147,3 +167,41 @@ def plan_placement(
         rank_of_client=rank_of_client,
         delegate_of_rank=delegate_of_rank,
     )
+
+
+def failover_delegate(
+    placement: Placement, delegate: int, dead: set[int]
+) -> int:
+    """The standby serving *delegate*'s clients once it is in *dead*.
+
+    Ring walk over ``placement.delegates`` starting just past the dead
+    delegate's position, first alive delegate wins — pure local
+    computation, so redirecting clients and adopting standbys agree with
+    no coordination. A delegate not in *dead* is its own standby. Raises
+    :class:`IoServerError` when every delegate is dead (nothing left to
+    redirect to: the job has genuinely lost the service).
+    """
+    if delegate not in dead:
+        return delegate
+    ring = placement.delegates
+    start = ring.index(delegate)
+    for i in range(1, len(ring) + 1):
+        standby = ring[(start + i) % len(ring)]
+        if standby not in dead:
+            return standby
+    raise IoServerError("every delegate is dead; no standby to fail over to")
+
+
+def adopted_clients(placement: Placement, rank: int, dead: set[int]) -> set[int]:
+    """The logical clients rank *rank* adopts given the *dead* delegates.
+
+    A client rank whose delegate died redirects every logical client it
+    plays to :func:`failover_delegate`'s standby; this is the standby's
+    side of that computation.
+    """
+    out: set[int] = set()
+    for r in placement.client_ranks:
+        d = placement.delegate_of_rank[r]
+        if d in dead and failover_delegate(placement, d, dead) == rank:
+            out.update(placement.clients_of_rank(r))
+    return out

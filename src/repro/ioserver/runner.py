@@ -56,7 +56,7 @@ def _tcio_config(trace: WorkloadTrace, ndelegates: int, config: IoServerConfig):
 
     total = max(len(expected_image(trace)), config.segment_size)
     base = TcioConfig.sized_for(total, ndelegates, config.segment_size)
-    return replace(base, journal=config.journal)
+    return replace(base, journal=config.journal, ft=config.failover)
 
 
 @dataclass
@@ -158,6 +158,7 @@ def _session_main(trace, config, placement, tcio_config):
             stats = yield from serve(
                 env, sub, config, tcio_config,
                 placement.clients_of_delegate(env.rank), trace.file_name,
+                placement=placement,
             )
             return {"role": "delegate", "stats": stats}
         out = yield from run_clients(env, config, placement, trace)
@@ -227,6 +228,10 @@ def run_ioserver(
         out.fetched.update(ret["fetched"])
     out.latency = _latency_summary(samples)
     for rank in placement.delegates:
+        if result.returns[rank] is None:
+            # A delegate lost to a fail-stop crash under failover: the
+            # survivors completed the session without it.
+            continue
         stats = result.returns[rank]["stats"]
         out.delegate_stats.append({"rank": rank, **stats})
         out.admitted += stats["admitted"]

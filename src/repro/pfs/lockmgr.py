@@ -229,8 +229,26 @@ class LockManager:
                 waiting.proc.wake()
 
             timer = proc.engine.schedule(timeout, expire)
-        with self._tracer.span("pfs.lock_wait", mode=mode.value, owner=owner):
-            yield from proc.block(f"pfs.lock({mode.value}, {rounded})")
+        try:
+            with self._tracer.span("pfs.lock_wait", mode=mode.value, owner=owner):
+                yield from proc.block(f"pfs.lock({mode.value}, {rounded})")
+        except BaseException:
+            # The waiter was interrupted mid-park (fail-stop crash or
+            # RankUnreachable notification). Withdraw its queue entry so
+            # no orphan blocks later waiters; a grant that raced in via
+            # _drain is returned to the pool instead of leaking.
+            if waiting in self._queue:
+                self._queue.remove(waiting)
+                self._note("timeout", owner, mode, rounded)
+                self._drain()
+            elif waiting.grant is not None and not waiting.grant.released:
+                waiting.grant.released = True
+                self._held.remove(waiting.grant)
+                self._note("release", owner, mode, rounded)
+                self._drain()
+            if timer is not None:
+                timer.cancel()
+            raise
         if waiting.grant is None:
             raise LockTimeout(owner, rounded, timeout)
         if timer is not None:

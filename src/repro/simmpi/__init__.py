@@ -37,6 +37,7 @@ from repro.simmpi.group import (
     comm_split_type,
     comm_from_ranks,
 )
+from repro.simmpi.ft import agree, failed_ranks, shrink
 from repro.simmpi.rma import Window, LOCK_EXCLUSIVE, LOCK_SHARED
 from repro.simmpi.rpc import RpcEndpoint, RpcEnvelope, TAG_REPLY, TAG_REQUEST
 from repro.simmpi.mpi import MpiWorld, MpiRunResult, run_mpi
@@ -72,6 +73,9 @@ __all__ = [
     "comm_from_ranks",
     "ANY_SOURCE",
     "ANY_TAG",
+    "agree",
+    "failed_ranks",
+    "shrink",
     "Window",
     "LOCK_EXCLUSIVE",
     "LOCK_SHARED",

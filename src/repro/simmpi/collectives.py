@@ -47,10 +47,17 @@ def barrier(comm: Communicator):
     size = comm.size
     if size == 1:
         return
+    comm._check_revoked("mpi.barrier")
     if comm.world.dead_ranks:
-        # Fail-stop: a dead participant means this barrier can never
+        # Fail-stop: a dead *member* means this barrier can never
         # complete; surface it at entry rather than parking forever.
-        comm.world.check_alive(comm.rank, min(comm.world.dead_ranks), "mpi.barrier")
+        # The check is group-aware so a shrunken survivor communicator
+        # (whose group excludes the dead) keeps working after a crash.
+        dead_members = sorted(
+            r for r in comm.group_world_ranks() if r in comm.world.dead_ranks
+        )
+        if dead_members:
+            comm.world.check_alive(comm.rank, dead_members[0], "mpi.barrier")
     tag = _next_tag(comm)
     proc = active_process()
     rounds = max(1, (size - 1).bit_length())

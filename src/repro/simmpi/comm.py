@@ -111,16 +111,25 @@ class Request:
     def wait(self):
         """Park until complete; returns the payload for receive requests.
 
-        Coroutine: callers ``yield from req.wait()``.
+        Coroutine: callers ``yield from req.wait()``. An interrupt thrown
+        at the wait point (fail-stop notification) detaches the waiter so
+        a late completion of the abandoned request cannot wake the process
+        out of some *later* unrelated wait; a spurious wake re-parks.
         """
         if not self.done:
             proc = active_process()
             yield from proc.settle()
-            if not self.done:
-                if self._waiter is not None or self._group is not None:
+            while not self.done:
+                if (self._waiter is not None and self._waiter is not proc) or (
+                    self._group is not None
+                ):
                     raise MpiError("two processes waiting on one request")
                 self._waiter = proc
-                yield from proc.block(f"wait:{self.kind}")
+                try:
+                    yield from proc.block(f"wait:{self.kind}")
+                finally:
+                    if self._waiter is proc:
+                        self._waiter = None
         return self.payload
 
 
@@ -133,15 +142,23 @@ def wait_all(requests: list[Request]):
     """
     proc = active_process()
     yield from proc.settle()
-    pending = [r for r in requests if not r.done]
-    if not pending:
-        return
-    group = _WaitGroup(proc, len(pending))
-    for r in pending:
-        if r._waiter is not None or r._group is not None:
-            raise MpiError("request already being waited on")
-        r._group = group
-    yield from proc.block(f"waitall({len(pending)})")
+    while True:
+        pending = [r for r in requests if not r.done]
+        if not pending:
+            return
+        group = _WaitGroup(proc, len(pending))
+        for r in pending:
+            if r._waiter is not None or r._group is not None:
+                raise MpiError("request already being waited on")
+            r._group = group
+        try:
+            yield from proc.block(f"waitall({len(pending)})")
+        finally:
+            # Detach on interrupt (fail-stop) so stragglers completing the
+            # abandoned requests cannot wake this process elsewhere.
+            for r in pending:
+                if r._group is group:
+                    r._group = None
 
 
 @dataclass
@@ -320,6 +337,54 @@ class Communicator:
         for world-spanning communicators; overridden by sub-communicators)."""
         return local_rank
 
+    def group_world_ranks(self) -> tuple[int, ...]:
+        """World ranks of every member, in communicator rank order."""
+        return tuple(range(self.world.nranks))
+
+    # ------------------------------------------------------------------
+    # ULFM-style fault tolerance (see repro.simmpi.ft)
+    # ------------------------------------------------------------------
+    @property
+    def is_revoked(self) -> bool:
+        """Whether :meth:`revoke` has been called on this communicator."""
+        return self._comm_id in self.world.revoked
+
+    def revoke(self) -> None:
+        """ULFM ``MPI_Comm_revoke``: mark this communicator unusable.
+
+        Local and immediate in the simulator (the world state is global):
+        every subsequent point-to-point or collective entry on this comm
+        id — from any member — raises :class:`CommRevoked`. Idempotent.
+        """
+        self.world.revoked.add(self._comm_id)
+
+    def shrink(self):
+        """ULFM ``MPI_Comm_shrink``: survivors' re-numbered communicator.
+
+        Coroutine returning a fresh communicator over this comm's living
+        members (see :func:`repro.simmpi.ft.shrink` for the protocol).
+        """
+        from repro.simmpi.ft import shrink
+
+        return shrink(self)
+
+    def agree(self, flags: int = 0):
+        """ULFM ``MPI_Comm_agree``: fault-aware AND-agreement on *flags*.
+
+        Coroutine returning ``(agreed_flags, comm)`` where *comm* is the
+        survivor communicator the agreement completed on (see
+        :func:`repro.simmpi.ft.agree`).
+        """
+        from repro.simmpi.ft import agree
+
+        return agree(self, flags)
+
+    def _check_revoked(self, op: str) -> None:
+        if self.world.revoked and self._comm_id in self.world.revoked:
+            from repro.util.errors import CommRevoked
+
+            raise CommRevoked(self._comm_id, self._rank, op)
+
     def dup(self) -> "Communicator":
         """MPI_Comm_dup: a new matching context over the same group.
 
@@ -391,7 +456,10 @@ class Communicator:
     ):
         """Nonblocking receive; coroutine returning the :class:`Request`."""
         yield from active_process().settle()
+        self._check_revoked("mpi.recv")
         if source != ANY_SOURCE and self.world.dead_ranks:
+            # source is a world rank here (SubCommunicator translates
+            # before delegating to this base implementation).
             self.world.check_alive(self._rank, source, "mpi.recv")
         req = Request("irecv")
         post = _PostedRecv(src=source, tag=tag, context=self._ctx(context), req=req)
@@ -482,6 +550,7 @@ class Communicator:
     def _check_peer(self, rank: int) -> None:
         if not (0 <= rank < self.size):
             raise MpiError(f"peer rank {rank} outside communicator of size {self.size}")
+        self._check_revoked("mpi.send")
         if self.world.dead_ranks:
             self.world.check_alive(self._rank, rank, "mpi.send")
 

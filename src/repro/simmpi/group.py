@@ -78,6 +78,10 @@ class SubCommunicator(Communicator):
             raise MpiError(f"local rank {local_rank} outside group")
         return self.group.world_ranks[local_rank]
 
+    def group_world_ranks(self) -> tuple[int, ...]:
+        """World ranks of every member, in group rank order."""
+        return self.group.world_ranks
+
     # -- translation ------------------------------------------------------
     def isend(self, data, dest, tag=0, *, context=0):
         """Nonblocking send to a group-local peer (translated to world)."""
@@ -100,6 +104,9 @@ class SubCommunicator(Communicator):
         # peers are world ranks after translation
         if not (0 <= rank < self.world.nranks):
             raise MpiError(f"peer world rank {rank} invalid")
+        self._check_revoked("mpi.send")
+        if self.world.dead_ranks:
+            self.world.check_alive(self._rank, rank, "mpi.send")
 
 
 def comm_split(comm: Communicator, color: int, key: Optional[int] = None):

@@ -81,6 +81,11 @@ class MpiWorld:
         #: membership and raise :class:`RankUnreachable` instead of parking
         #: a process on a wait that can never complete.
         self.dead_ranks: set[int] = set()
+        #: Communicator ids revoked via :meth:`Communicator.revoke` (ULFM
+        #: ``MPI_Comm_revoke``): communication entry on a revoked id raises
+        #: :class:`CommRevoked` so survivors bail out and shrink instead of
+        #: parking in a collective the dead can never join.
+        self.revoked: set = set()
         self._comm_counter = 0
         self._windows: dict[tuple[int, int], memoryview] = {}
         self._window_locks: dict[tuple[int, int], _TargetLock] = {}
@@ -198,12 +203,14 @@ class MpiWorld:
     def kill_ranks(self, ranks: Sequence[int], *, where: str = "") -> None:
         """Mark *ranks* dead and interrupt every surviving parked rank.
 
-        Fail-stop semantics without ULFM: once the job has lost a member,
-        no outstanding coordination can complete, so every parked survivor
-        is resumed with :class:`RankUnreachable` at its wait point (the
-        interrupt goes through the event heap; a survivor resumed normally
-        first observes the dead set at its next communication call). The
-        first survivor to raise aborts the whole simulated job.
+        Fail-stop semantics: once the job has lost a member, no outstanding
+        coordination can complete, so every parked survivor is resumed with
+        :class:`RankUnreachable` at its wait point (the interrupt goes
+        through the event heap; a survivor resumed normally first observes
+        the dead set at its next communication call). This *is* the
+        deterministic failure-notification path of :mod:`repro.simmpi.ft`:
+        a non-FT program lets the exception propagate and the job aborts;
+        an FT program catches it, shrinks, and continues.
         """
         fresh = [r for r in ranks if r not in self.dead_ranks]
         if not fresh:
@@ -217,7 +224,25 @@ class MpiWorld:
         procs = self.procs if self.procs else self.engine.processes
         for peer in range(min(self.nranks, len(procs))):
             proc = procs[peer]
-            if peer in self.dead_ranks or not proc.alive:
+            if not proc.alive:
+                continue
+            if peer in self.dead_ranks:
+                # A victim parked at kill time unwinds with ProcessCrashed
+                # (a running victim stops at its next crash_point / comm
+                # call instead); without this, a dead-but-parked process
+                # wedges an otherwise-surviving run in DeadlockError.
+                if peer in fresh and proc.wait_reason is not None:
+                    proc.interrupt(
+                        ProcessCrashed(peer, proc.wait_reason or where or "killed")
+                    )
+                continue
+            if proc.wait_reason is None:
+                # Running (not parked) at kill time — e.g. the rank that
+                # initiated the kill, or one between waits. It observes
+                # the dead set at its next communication entry; delivering
+                # the interrupt at whatever *later* wait it reaches would
+                # poison post-shrink communicators a fault-tolerant
+                # program already rebuilt.
                 continue
             proc.interrupt(
                 RankUnreachable(peer, fresh[0], proc.wait_reason or where or "wait")
@@ -386,11 +411,13 @@ def run_mpi(
         faults=faults,
     )
     returns: list[Any] = [None] * nranks
+    finished = [False] * nranks
 
     def make_target(rank: int, env: RankEnv) -> Callable[[], Any]:
         def target():
             returns[rank] = yield from run_coroutine(main(env))
             yield from env.ctx.process.settle()
+            finished[rank] = True
 
         return target
 
@@ -411,11 +438,20 @@ def run_mpi(
         aborted = exc
         elapsed = engine.now
     if world.dead_ranks and aborted is None:
-        # e.g. the only crashed rank was the last one still running, so no
-        # survivor ever raised; the job still did not complete normally.
-        aborted = RankUnreachable(
-            min(world.dead_ranks), min(world.dead_ranks), "job"
-        )
+        # A fault-tolerant program shrinks around the dead ranks and runs
+        # to completion: every *surviving* rank finishing normally is a
+        # successful (degraded) run, not an abort. Only when some survivor
+        # never made it to the end — e.g. the only crashed rank was the
+        # last one still running, so no survivor ever raised — does the
+        # job count as aborted.
+        unfinished = [
+            r for r in range(nranks)
+            if not finished[r] and r not in world.dead_ranks
+        ]
+        if unfinished:
+            aborted = RankUnreachable(
+                unfinished[0], min(world.dead_ranks), "job"
+            )
     # Only the *deterministic* host counter lands in the shared registry:
     # the number of engine events is a pure function of the workload, so
     # trace snapshots stay replay-identical. Wall-clock and events/sec are

@@ -32,12 +32,29 @@ LOCK_SHARED = 2
 
 
 @dataclass
+class _LockWaiter:
+    """One parked origin in a target lock's FIFO.
+
+    ``cancelled`` marks a waiter whose process was interrupted at the
+    wait point (fail-stop notification): it must never be granted the
+    lock or woken — a late grant would resume the process inside some
+    unrelated wait. ``granted`` records that the lock *was* acquired on
+    this waiter's behalf, so the interrupt path can give it back.
+    """
+
+    proc: SimProcess
+    lock_type: int
+    granted: bool = False
+    cancelled: bool = False
+
+
+@dataclass
 class _TargetLock:
     """Lock state living at one target rank of one window."""
 
     mode: int = 0  # 0 = free
     holders: int = 0
-    waiters: Deque[tuple[SimProcess, int]] = field(default_factory=deque)
+    waiters: Deque[_LockWaiter] = field(default_factory=deque)
 
     def compatible(self, lock_type: int) -> bool:
         """Whether *lock_type* can be granted alongside current holders."""
@@ -50,6 +67,11 @@ class _TargetLock:
         self.mode = lock_type
         self.holders += 1
 
+    def purge_cancelled(self) -> None:
+        """Drop interrupted waiters from the head of the FIFO."""
+        while self.waiters and self.waiters[0].cancelled:
+            self.waiters.popleft()
+
     def release(self) -> None:
         """Drop one holder; wake compatible FIFO waiters when free."""
         if self.holders <= 0:
@@ -58,11 +80,18 @@ class _TargetLock:
         if self.holders == 0:
             self.mode = 0
             # Wake waiters that are now compatible (FIFO prefix).
-            while self.waiters and self.compatible(self.waiters[0][1]):
-                proc, lock_type = self.waiters.popleft()
-                self.acquire(lock_type)
-                proc.wake()
-                if lock_type == LOCK_EXCLUSIVE:
+            while self.waiters:
+                entry = self.waiters[0]
+                if entry.cancelled:
+                    self.waiters.popleft()
+                    continue
+                if not self.compatible(entry.lock_type):
+                    break
+                self.waiters.popleft()
+                self.acquire(entry.lock_type)
+                entry.granted = True
+                entry.proc.wake()
+                if entry.lock_type == LOCK_EXCLUSIVE:
                     break
 
 
@@ -152,16 +181,29 @@ class Window:
             state.acquire(lock_type)
             proc.charge(max(0.0, t_req - world.engine.now))
         else:
+            entry = _LockWaiter(proc, lock_type)
 
             def arrive() -> None:
+                if entry.cancelled:
+                    return
+                state.purge_cancelled()
                 if state.compatible(lock_type) and not state.waiters:
                     state.acquire(lock_type)
+                    entry.granted = True
                     proc.wake()
                 else:
-                    state.waiters.append((proc, lock_type))
+                    state.waiters.append(entry)
 
             world.engine.schedule_at(t_req, arrive)
-            yield from proc.block(f"rma.lock(win={self.win_id}, target={target})")
+            try:
+                yield from proc.block(
+                    f"rma.lock(win={self.win_id}, target={target})"
+                )
+            except BaseException:
+                entry.cancelled = True
+                if entry.granted:
+                    state.release()
+                raise
         spec = world.fabric.spec
         proc.charge(
             spec.rma_epoch_overhead

@@ -47,7 +47,12 @@ from repro.topo import (
     coalesce_blocks,
     split_by_node,
 )
-from repro.util.errors import RetryBudgetExceeded, RmaTransientError, TcioError
+from repro.util.errors import (
+    RankUnreachable,
+    RetryBudgetExceeded,
+    RmaTransientError,
+    TcioError,
+)
 from repro.util.intervals import Extent
 
 TCIO_RDONLY = 0x1
@@ -139,6 +144,15 @@ class TcioFile:
         hub = getattr(env.world, "trace", None)
         self._tracer = hub.tracer if hub is not None else NULL_TRACER
         self._plan = getattr(env.world, "faults", None)
+        #: Survive-and-complete mode (``config.ft``): rank failures at
+        #: collective points shrink the communicator and complete the
+        #: flush over the survivors instead of aborting.
+        self._ft = bool(config.ft) and mode == TCIO_WRONLY
+        #: This rank's own deposits of the current (uncommitted) epoch,
+        #: ``{gseg: [(disp, payload), ...]}`` — kept so a survivor can
+        #: re-deposit them after a dead segment owner's volatile slot is
+        #: re-partitioned away. Cleared once the epoch commits.
+        self._shadow: dict[int, list[tuple[int, bytes]]] = {}
         #: Segment owners whose RMA target stayed unreachable past the
         #: retry budget; later flushes to them skip straight to the
         #: independent-write fallback instead of burning retries again.
@@ -200,13 +214,14 @@ class TcioFile:
 
             # Simulated memory: one level-1 buffer + this rank's level-2 share.
             memory = env.world.memory
+            self._level2_alloc = memory.allocate(
+                env.rank,
+                config.segments_per_process * segment_size,
+                "tcio.level2",
+            )
             self._allocs: list[Allocation] = [
                 memory.allocate(env.rank, segment_size, "tcio.level1"),
-                memory.allocate(
-                    env.rank,
-                    config.segments_per_process * segment_size,
-                    "tcio.level2",
-                ),
+                self._level2_alloc,
             ]
 
             self.level1 = Level1Buffer(segment_size)
@@ -346,15 +361,28 @@ class TcioFile:
             self.level1.aligned_segment = None
             return
         gseg, blocks = self.level1.take()
-        owner = self.mapping.owner_of_segment(gseg)
         # Crash points bracket the deposit: before it, this rank's level-1
         # data dies with the rank; after it, the data sits in the owner's
         # volatile level-2 memory (journaling decides whether it survives).
         yield from self._crash_point("pre-deposit")
-        yield from self._deposit(gseg, owner, blocks)
+        while True:
+            owner = self.mapping.owner_of_segment(gseg)
+            try:
+                yield from self._deposit(gseg, owner, blocks)
+                break
+            except RankUnreachable:
+                if not self._ft:
+                    raise
+                # The owner (or a collective peer) died under this deposit:
+                # shrink, re-partition, and retry against the new owner.
+                yield from self._ft_recover()
         yield from self._crash_point("post-deposit")
 
     def _deposit(self, gseg: int, owner: int, blocks: list):
+        if self._ft:
+            self._shadow.setdefault(gseg, []).extend(
+                (disp, payload) for disp, _length, payload in blocks
+            )
         if (
             self._staging is not None
             and not self._staging_degraded
@@ -762,46 +790,54 @@ class TcioFile:
         self._check_open()
         with self._tracer.span("tcio.flush"):
             if self.mode == TCIO_WRONLY:
-                yield from self._flush_level1()
-                yield from self._node_drain()
-            yield from collectives.barrier(self.comm)
-            if self.mode == TCIO_WRONLY and self.config.journal == "epoch":
-                yield from self._flush_epoch()
+                yield from self._ft_guard(self._flush_write_body)
+            else:
+                yield from collectives.barrier(self.comm)
+
+    def _flush_write_body(self):
+        yield from self._flush_level1()
+        yield from self._node_drain()
+        yield from collectives.barrier(self.comm)
+        if self.config.journal == "epoch":
+            yield from self._flush_epoch()
 
     def close(self):
         """tcio_close: synchronize, then level-2 -> file system (coroutine)."""
         self._check_open()
         with self._tracer.span("tcio.close", file=self.name):
             if self.mode == TCIO_WRONLY:
-                yield from self._flush_level1()
-                yield from self._node_drain()
-                # "issues MPI_barrier to synchronize among processes before
-                # outputting data from the level-2 buffers to file system."
-                yield from collectives.barrier(self.comm)
-                if self.config.journal == "epoch":
-                    yield from self._flush_epoch()
-                else:
-                    eof = yield from collectives.allreduce(
-                        self.comm, self.directory.eof, max
-                    )
-                    self.directory.eof = eof
-                    segs = list(self.level2.owned_dirty_segments())
-                    if self.config.batched_writeback:
-                        yield from self._write_back_batch(segs, eof)
-                        self.directory.flushed.update(segs)
-                    else:
-                        for gseg in segs:
-                            yield from self._write_back_segment(gseg, eof)
-                            # Progress marker for crash tooling: fsck counts
-                            # dirty-but-unflushed segments as lost after a
-                            # journal-off crash.
-                            self.directory.flushed.add(gseg)
-                    yield from collectives.barrier(self.comm)
+                yield from self._ft_guard(self._close_write_body)
             else:
                 if not self.readlog.empty:
                     yield from self.fetch()
                 yield from collectives.barrier(self.comm)
             self._release()
+
+    def _close_write_body(self):
+        yield from self._flush_level1()
+        yield from self._node_drain()
+        # "issues MPI_barrier to synchronize among processes before
+        # outputting data from the level-2 buffers to file system."
+        yield from collectives.barrier(self.comm)
+        if self.config.journal == "epoch":
+            yield from self._flush_epoch()
+        else:
+            eof = yield from collectives.allreduce(
+                self.comm, self.directory.eof, max
+            )
+            self.directory.eof = eof
+            segs = list(self.level2.owned_dirty_segments())
+            if self.config.batched_writeback:
+                yield from self._write_back_batch(segs, eof)
+                self.directory.flushed.update(segs)
+            else:
+                for gseg in segs:
+                    yield from self._write_back_segment(gseg, eof)
+                    # Progress marker for crash tooling: fsck counts
+                    # dirty-but-unflushed segments as lost after a
+                    # journal-off crash.
+                    self.directory.flushed.add(gseg)
+            yield from collectives.barrier(self.comm)
 
     def _write_back_segment(self, gseg: int, eof: int):
         """In-place PFS write of one owned dirty segment (clamped to eof;
@@ -886,6 +922,7 @@ class TcioFile:
         )
         if total == 0:
             yield from collectives.barrier(self.comm)
+            self._shadow.clear()
             return
         epoch = d.committed_epoch + 1
         with self._tracer.span("tcio.flush_epoch", epoch=epoch, segments=len(todo)):
@@ -924,6 +961,9 @@ class TcioFile:
                     d.flushed.add(gseg)
             d.committed_epoch = epoch
             yield from collectives.barrier(self.comm)
+            # Everything deposited so far is durable (committed + written
+            # back): survivors will never need to re-deposit it.
+            self._shadow.clear()
 
     def _journal_segment(self, journal, epoch: int, gseg: int, eof: int):
         """Append one segment's write-ahead record to this rank's journal
@@ -969,6 +1009,258 @@ class TcioFile:
         self.stats.registry.counter("tcio.journal.records").inc()
         self.stats.registry.counter("tcio.journal.bytes").inc(len(head) + len(payload))
         self._count("crash.journal.bytes", len(head) + len(payload))
+
+    # ------------------------------------------------------------------
+    # survive-and-complete fault tolerance (``config.ft``)
+    # ------------------------------------------------------------------
+    def _ft_guard(self, body):
+        """Run collective *body* (a coroutine factory), surviving rank
+        failures when FT is armed (coroutine).
+
+        A non-FT handle propagates :class:`RankUnreachable` unchanged (the
+        job aborts). An FT handle shrinks to the survivor communicator,
+        re-partitions level 2, and reruns *body* — whose phases are all
+        idempotent over the shared directory (re-journaled records
+        supersede, re-writebacks land the same bytes).
+        """
+        if not self._ft:
+            return (yield from body())
+        while True:
+            try:
+                return (yield from body())
+            except RankUnreachable:
+                yield from self._ft_recover()
+
+    def _ft_recover(self):
+        """Shrink-and-rebuild until it sticks (coroutine): a cascading
+        failure during recovery itself restarts recovery on the freshly
+        shrunken survivor set."""
+        while True:
+            try:
+                yield from self._survive()
+                return
+            except RankUnreachable:
+                continue
+
+    def ft_join_recovery(self):
+        """Join a pending survivor recovery, if any (collective coroutine).
+
+        Service loops learn of a member's death *outside* any handle call
+        — an interrupt at an idle receive, or a request arriving from an
+        adopted client. The recovery round itself is collective over the
+        survivors, so such a rank must still rendezvous with the peers
+        already recovering inside a deposit retry or :meth:`_ft_guard`;
+        calling this does exactly that. No-op when FT is off or every
+        member of the handle communicator is alive.
+        """
+        if not self._ft:
+            return
+        while set(self.comm.group_world_ranks()) & self.env.world.dead_ranks:
+            yield from self._ft_recover()
+
+    def _survive(self):
+        """One survive-and-complete recovery round (collective coroutine).
+
+        ULFM-style: every survivor lands here after catching
+        :class:`RankUnreachable` (write handles reach a collective point —
+        flush/close/deposit — within bounded work, so nobody is left
+        behind). The round
+
+        1. shrinks the communicator to the re-numbered survivors,
+        2. picks a resume epoch strictly past every journaled epoch, so
+           the survivor epoch's records supersede any stale record a
+           later commit mark would otherwise resurrect,
+        3. replays the dead ranks' committed-but-not-written-back journal
+           records into the data file (what ``crash.recover`` would do,
+           but online and charged through the PFS client),
+        4. rebuilds the level-2 partition over the survivors: alive old
+           owners migrate their full slot images; dead-owned segments are
+           rebased from the (replayed) file image and the survivors'
+           shadow deposits are re-pushed; segments inside eof that no one
+           ever deposited (the dead rank's level-1-only writes) are
+           adopted so the next epoch keeps fsck's byte accounting
+           complete,
+        5. swaps the handle onto the new communicator/mapping/buffer.
+
+        The only data lost is what existed solely in dead volatile
+        memory: the dead ranks' level-1 buffers and their uncommitted
+        own-slot deposits.
+        """
+        from repro.crash.journal import (
+            commit_name,
+            committed_state,
+            iter_records,
+            rank_journal,
+        )
+
+        d = self.directory
+        world = self.env.world
+        pfs = self.env.pfs
+        memory = world.memory
+        old_members = self.comm.group_world_ranks()
+        with self._tracer.span("tcio.survive", file=self.name):
+            new_comm = yield from self.comm.shrink()
+            dead = tuple(r for r in old_members if r in world.dead_ranks)
+            self._count("tcio.ft.survives", 1)
+
+            # -- resume epoch + committed replay set --------------------
+            commit_epoch = 0
+            if pfs.exists(commit_name(self.name)):
+                commit_epoch, _ = committed_state(
+                    pfs.lookup(commit_name(self.name)).contents()
+                )
+            resume = max(d.committed_epoch, commit_epoch)
+            replay = []  # committed dead-rank records never written back
+            for member in old_members:
+                jname = rank_journal(self.name, member)
+                if not pfs.exists(jname):
+                    continue
+                for rec in iter_records(pfs.lookup(jname).contents()):
+                    if rec.torn:
+                        continue
+                    resume = max(resume, rec.epoch)
+                    if (
+                        member in world.dead_ranks
+                        and rec.epoch <= commit_epoch
+                        and rec.gseg not in d.flushed
+                    ):
+                        replay.append((rec.epoch, jname, rec))
+            d.committed_epoch = resume
+            replay.sort(key=lambda row: (row[0], row[1], row[2].gseg))
+            if new_comm.rank == 0:
+                for _epoch, _jname, rec in replay:
+                    with self._tracer.span(
+                        "tcio.ft.replay", segment=rec.gseg, epoch=rec.epoch
+                    ):
+                        for i, (lo, _hi) in enumerate(rec.extents):
+                            yield from pfs_retry(
+                                world,
+                                "tcio.ft.replay",
+                                lambda t, _off=lo, _p=rec.piece(i): self.client.write(
+                                    self.pfs_file, _off, _p,
+                                    owner=self.env.rank, lock_timeout=t,
+                                ),
+                            )
+                    self._count("tcio.ft.replayed_bytes", rec.nbytes)
+            yield from collectives.barrier(new_comm)
+
+            # -- rebuild the level-2 partition over the survivors -------
+            seg = self.mapping.segment_size
+            total_segments = -(-d.eof // seg) if d.eof else 0
+            pending = sorted(g for g in d.dirty if g not in d.flushed)
+            abandoned = [
+                g
+                for g in range(total_segments)
+                if g not in d.dirty and g not in d.flushed
+            ]
+            # Preserve the aggregate capacity of the old partition: the
+            # handle stays open after recovery (delegate failover keeps
+            # writing), so the survivors must be able to hold every
+            # segment the *full* job was provisioned for, not just the
+            # eof reached so far.
+            per_rank = max(
+                -(-max(total_segments, 1) // new_comm.size),
+                -(
+                    -self.config.segments_per_process
+                    * len(old_members)
+                    // new_comm.size
+                ),
+            )
+            new_mapping = SegmentMapping(seg, new_comm.size)
+            new_alloc = memory.allocate(
+                self.env.rank, per_rank * seg, "tcio.level2"
+            )
+            try:
+                old_level2, old_mapping = self.level2, self.mapping
+                new_level2 = yield from Level2Buffer.create(
+                    new_comm,
+                    new_mapping,
+                    per_rank,
+                    d,
+                    self.stats,
+                    use_rma=self.config.use_rma,
+                    combine_indexed=self.config.combine_indexed,
+                    tracer=self._tracer,
+                )
+
+                def read_base(g: int, limit: int):
+                    return (
+                        yield from pfs_retry(
+                            world,
+                            "tcio.ft.rebase",
+                            lambda t, _off=g * seg, _n=limit: self.client.read(
+                                self.pfs_file, _off, _n,
+                                owner=self.env.rank, lock_timeout=t,
+                            ),
+                        )
+                    )
+
+                for g in pending:
+                    limit = min(seg, d.eof - g * seg)
+                    if limit <= 0:
+                        continue
+                    old_owner_world = old_members[old_mapping.owner_of_segment(g)]
+                    if old_owner_world in world.dead_ranks:
+                        # Dead owner: its slot is gone. The new owner
+                        # rebases from the file image (current after the
+                        # committed replay above); the shadow replay below
+                        # re-applies every survivor's deposits.
+                        if new_mapping.owner_of_segment(g) == new_comm.rank:
+                            base = yield from read_base(g, limit)
+                            new_level2.local_slot(g)[: len(base)] = np.frombuffer(
+                                base, dtype=np.uint8
+                            )
+                    elif old_owner_world == self.env.rank:
+                        # Alive owner: hand the full slot image (every
+                        # rank's deposits, the dead one's included) to the
+                        # segment's new owner.
+                        payload = old_level2.local_slot(g)[:limit].tobytes()
+                        yield from new_level2.push_blocks(g, [(0, limit, payload)])
+                yield from collectives.barrier(new_comm)
+                shadow_bytes = 0
+                for g, blocks in sorted(self._shadow.items()):
+                    if g not in d.dirty or g in d.flushed:
+                        continue
+                    old_owner_world = old_members[old_mapping.owner_of_segment(g)]
+                    if old_owner_world not in world.dead_ranks:
+                        continue
+                    yield from new_level2.push_blocks(
+                        g, [(disp, len(p), p) for disp, p in blocks]
+                    )
+                    shadow_bytes += sum(len(p) for _disp, p in blocks)
+                if shadow_bytes:
+                    self._count("tcio.ft.shadow_bytes", shadow_bytes)
+                abandoned_bytes = 0
+                for g in abandoned:
+                    limit = min(seg, d.eof - g * seg)
+                    if limit <= 0:
+                        continue
+                    if new_mapping.owner_of_segment(g) == new_comm.rank:
+                        base = yield from read_base(g, limit)
+                        new_level2.local_slot(g)[: len(base)] = np.frombuffer(
+                            base, dtype=np.uint8
+                        )
+                        d.dirty.add(g)
+                        abandoned_bytes += limit
+                if abandoned_bytes:
+                    self._count("tcio.ft.abandoned_bytes", abandoned_bytes)
+                yield from collectives.barrier(new_comm)
+            except BaseException:
+                memory.free(new_alloc)
+                raise
+
+            # -- swap the handle onto the survivor partition ------------
+            self.comm = new_comm
+            self.mapping = new_mapping
+            self.level2 = new_level2
+            d.nranks = new_comm.size
+            d.loaded.clear()  # old slots are gone; reads must reload
+            memory.free(self._level2_alloc)
+            self._allocs.remove(self._level2_alloc)
+            self._level2_alloc = new_alloc
+            self._allocs.append(new_alloc)
+            # Old-communicator rank ids are meaningless now.
+            self._unreachable_owners = set()
 
     # ------------------------------------------------------------------
     # epoch-handoff observability (the I/O-server write-behind loop)

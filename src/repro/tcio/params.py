@@ -82,6 +82,17 @@ class TcioConfig:
         identical to the per-segment path (gated by a differential test);
         virtual timing may shift slightly because extent locks release at
         batch end. Default off to keep existing runs bit-identical.
+    ft:
+        Opt-in survive-and-complete fault tolerance (ULFM-style). When a
+        member of the collective dies mid-protocol, the survivors shrink
+        to a re-numbered communicator, re-partition the level-2 file
+        domain, replay the dead rank's committed journal records, and
+        complete the flush instead of aborting. Requires
+        ``journal="epoch"`` (the survivor flush is built on the epoched
+        durability protocol) and ``aggregation="flat"``. The only data
+        lost is what sat solely in the dead rank's volatile memory —
+        its level-1 buffer and its uncommitted own-slot deposits. See
+        ``docs/faults.md``.
     """
 
     segment_size: Optional[int] = None
@@ -94,6 +105,7 @@ class TcioConfig:
     staging_segments: int = 32
     journal: str = "off"
     batched_writeback: bool = False
+    ft: bool = False
 
     def validate(self) -> None:
         """Raise TcioError on out-of-range parameters."""
@@ -109,6 +121,11 @@ class TcioConfig:
             raise TcioError("staging_segments must be positive")
         if self.journal not in ("off", "epoch"):
             raise TcioError("journal must be 'off' or 'epoch'")
+        if self.ft:
+            if self.journal != "epoch":
+                raise TcioError("ft requires journal='epoch'")
+            if self.aggregation != "flat":
+                raise TcioError("ft requires aggregation='flat'")
 
     def resolve_segment_size(self, lock_granularity: int) -> int:
         """The effective segment size (explicit or the lock granularity)."""

@@ -86,9 +86,11 @@ class RankUnreachable(MpiError):
 
     Raised at the entry of sends, one-sided accesses, and collectives when
     the peer (or any collective participant) is in the world's dead set.
-    Fail-stop semantics without ULFM: the job cannot continue, so rank code
-    lets this propagate and the whole simulated job aborts deterministically
-    instead of hanging the baton scheduler.
+    Fail-stop semantics with ULFM-style recovery hooks: rank code may let
+    this propagate (the whole simulated job aborts deterministically
+    instead of hanging), or — the fault-tolerant path — catch it and
+    rebuild a survivor communicator via ``comm.shrink()`` /
+    ``comm.agree()`` (:mod:`repro.simmpi.ft`).
     """
 
     def __init__(self, origin: int, target: int, op: str):
@@ -97,6 +99,24 @@ class RankUnreachable(MpiError):
         self.op = op
         super().__init__(
             f"{op}: rank {target} is unreachable (crashed), seen from rank {origin}"
+        )
+
+
+class CommRevoked(MpiError):
+    """The communicator was revoked after a failure (ULFM ``MPI_ERR_REVOKED``).
+
+    ``comm.revoke()`` marks a communicator id unusable world-wide; every
+    subsequent point-to-point or collective entry on it raises this, so
+    survivors that were about to post into the broken communicator bail
+    out promptly and join the :meth:`shrink` instead of hanging.
+    """
+
+    def __init__(self, comm_id, rank: int, op: str):
+        self.comm_id = comm_id
+        self.rank = rank
+        self.op = op
+        super().__init__(
+            f"{op}: communicator {comm_id!r} was revoked, seen from rank {rank}"
         )
 
 

@@ -90,8 +90,11 @@ class TestDeadRankSurfacing:
             return "survivor"
 
         res = run(2, main)
-        assert res.aborted is not None
+        # every surviving rank handled the failure and finished: that is
+        # a completed (degraded) run under ULFM semantics, not an abort
+        assert res.aborted is None
         assert res.dead_ranks == {1}
+        assert res.returns[0] == "survivor"
 
     def test_collective_with_dead_rank_raises(self):
         def main(env):
@@ -103,7 +106,9 @@ class TestDeadRankSurfacing:
                 (yield from collectives.barrier(env.comm))
 
         res = run(4, main)
-        assert res.aborted is not None and res.dead_ranks == {2}
+        # the death surfaced at every entry (pytest.raises above); all
+        # survivors then finished, so the run completed degraded
+        assert res.aborted is None and res.dead_ranks == {2}
 
     def test_parked_survivors_are_interrupted(self):
         order = []
@@ -164,7 +169,9 @@ class TestCrashPointTargeting:
                 env.world.crash_point("step-a", env.rank)
 
         res = run(2, main, faults=plan)
-        assert res.aborted is not None and res.dead_ranks == {1}
+        # rank 0 never communicates, so it completes; the targeted death
+        # itself is what this test pins
+        assert res.dead_ranks == {1}
         assert reached == [0, 1]  # died inside the 2nd occurrence
         assert [inj.kind for inj in plan.injections] == ["crash.rank"]
 

@@ -71,6 +71,47 @@ def test_recovery_is_idempotent_and_safe_on_clean_files():
     assert cell.fsck.committed_bytes == cell.fsck.eof
 
 
+def test_recover_second_pass_is_a_noop():
+    # Failover retry paths may call recover() again on a file a first
+    # pass already repaired; the second pass must not touch a byte.
+    from repro.crash import recover
+    from repro.crash.harness import _count_step_hits, _make_config, _run
+    from repro.faults import FaultPlan, FaultSpec
+
+    name = "crash.dat"
+    config = _make_config(NRANKS, "epoch", "flat")
+    hits = _count_step_hits(config, NRANKS, 2, 7, "mid-flush", 1)
+    plan = FaultPlan(
+        FaultSpec(crash_rank=1, crash_step="mid-flush", crash_after=hits),
+        7, scope="crash",
+    )
+    result = _run(name, config, NRANKS, 2, faults=plan)
+    assert result.aborted is not None
+    first = recover(result.pfs, name)
+    assert first.replayed_records > 0
+    assert result.pfs.lookup(name).size == first.eof
+    image = result.pfs.lookup(name).contents()
+    second = recover(result.pfs, name)
+    assert second.written_bytes == 0
+    assert second.replayed_records == first.replayed_records
+    assert result.pfs.lookup(name).contents() == image
+
+
+def test_recover_after_clean_shutdown_is_a_noop():
+    # Write-through plus commit-before-ack means a cleanly closed file
+    # already matches its journals; recovery must verify, not rewrite.
+    from repro.crash import recover
+    from repro.crash.harness import _make_config, _run
+
+    config = _make_config(NRANKS, "epoch", "flat")
+    result = _run("clean.dat", config, NRANKS, 2)
+    assert result.aborted is None
+    image = result.pfs.lookup("clean.dat").contents()
+    report = recover(result.pfs, "clean.dat")
+    assert report.written_bytes == 0
+    assert result.pfs.lookup("clean.dat").contents() == image
+
+
 def test_references_identical_across_modes(references):
     # aggregation is a transport choice; file bytes must not depend on it
     assert references["flat"] == references["node"]

@@ -1,0 +1,85 @@
+"""Retry/backoff observability: the counters behind overload analysis.
+
+``FaultPlan.retry_call`` promises three signals: every executed attempt
+counts ``faults.retry.attempts``, every backoff sleep adds its virtual
+seconds to ``faults.retry.backoff_total``, and spending the whole budget
+emits a ``faults.retry.exhausted`` span naming the operation before
+:class:`RetryBudgetExceeded` surfaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.spans import Tracer
+from repro.sim.trace import TraceRecorder
+from repro.simmpi import run_mpi
+from repro.util.errors import RetryBudgetExceeded
+from tests.conftest import make_test_cluster
+
+
+def _run_with_retries(main):
+    plan = FaultPlan(FaultSpec(), seed=5)
+    recorder = TraceRecorder(tracer=Tracer(enabled=True))
+    result = run_mpi(
+        1, main, cluster=make_test_cluster(), trace=recorder, faults=plan
+    )
+    assert result.aborted is None
+    return recorder
+
+
+def test_attempts_and_backoff_are_counted():
+    def flaky(attempt):
+        if attempt < 2:
+            raise ValueError("transient")
+        return "ok"
+
+    def main(env):
+        out = yield from env.world.faults.retry_call(
+            flaky, retry_on=ValueError, what="test.flaky"
+        )
+        assert out == "ok"
+
+    recorder = _run_with_retries(main)
+    attempts = recorder.get("faults.retry.attempts")
+    assert attempts.count == 3 and attempts.total == 3
+    backoff = recorder.get("faults.retry.backoff_total")
+    assert backoff.count == 2  # one sleep per failed non-final attempt
+    assert backoff.total > 0.0
+    assert recorder.get("faults.retries").count == 2
+
+
+def test_exhaustion_emits_span_and_counts_every_attempt():
+    def doomed(attempt):
+        raise ValueError("permanent")
+
+    def main(env):
+        plan = env.world.faults
+        with pytest.raises(RetryBudgetExceeded):
+            yield from plan.retry_call(
+                doomed, retry_on=ValueError, what="test.doomed"
+            )
+
+    recorder = _run_with_retries(main)
+    budget = FaultSpec().retry.max_attempts
+    assert recorder.get("faults.retry.attempts").total == budget
+    assert recorder.get("faults.retry.backoff_total").count == budget - 1
+    exhausted = [
+        s for s in recorder.tracer.spans if s.name == "faults.retry.exhausted"
+    ]
+    assert len(exhausted) == 1
+    assert exhausted[0].args["what"] == "test.doomed"
+    assert exhausted[0].args["attempts"] == budget
+
+
+def test_success_without_failures_counts_one_attempt():
+    def main(env):
+        out = yield from env.world.faults.retry_call(
+            lambda attempt: 42, retry_on=ValueError, what="test.clean"
+        )
+        assert out == 42
+
+    recorder = _run_with_retries(main)
+    assert recorder.get("faults.retry.attempts").total == 1
+    assert recorder.get("faults.retry.backoff_total").count == 0

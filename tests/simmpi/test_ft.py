@@ -1,0 +1,235 @@
+"""ULFM-style fault tolerance: revoke / shrink / agree (repro.simmpi.ft).
+
+The fail-stop model notifies survivors of a death (catchable
+``RankUnreachable``); these tests pin the recovery half — that a program
+catching the notification can revoke the broken communicator, shrink to a
+re-numbered survivor communicator whose collectives work, and reach
+agreement even when members keep dying during the agreement itself. A
+fault-tolerant program that runs every survivor to completion must count
+as a *completed* run (``aborted is None``), not an abort.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import collectives, run_mpi
+from repro.simmpi.ft import failed_ranks
+from repro.util.errors import CommRevoked, RankUnreachable
+from tests.conftest import make_test_cluster
+
+
+def run(n, fn, **kw):
+    kw.setdefault("cluster", make_test_cluster())
+    return run_mpi(n, fn, **kw)
+
+
+class TestShrink:
+    def test_survivors_get_renumbered_comm_and_complete(self):
+        seen = {}
+
+        def main(env):
+            if env.rank == 2:
+                with pytest.raises(RankUnreachable):
+                    (yield from collectives.barrier(env.comm))
+                return "dead"
+            if env.rank == 0:
+                env.world.kill_ranks([2], where="test")
+            try:
+                (yield from collectives.barrier(env.comm))
+            except RankUnreachable:
+                pass
+            sub = yield from env.comm.shrink()
+            seen[env.rank] = (sub.rank, sub.size, sub.group_world_ranks())
+            # the shrunken communicator's collectives must work
+            total = yield from collectives.allreduce(sub, env.rank, lambda a, b: a + b)
+            return total
+
+        res = run(4, main)
+        assert res.aborted is None, f"FT run still aborted: {res.aborted}"
+        assert res.dead_ranks == {2}
+        # survivors 0,1,3 renumber to 0,1,2 in world-rank order
+        assert seen == {
+            0: (0, 3, (0, 1, 3)),
+            1: (1, 3, (0, 1, 3)),
+            3: (2, 3, (0, 1, 3)),
+        }
+        assert [res.returns[r] for r in (0, 1, 3)] == [4, 4, 4]
+
+    def test_shrink_id_is_deterministic_and_idempotent(self):
+        ids = []
+
+        def main(env):
+            if env.rank == 1:
+                with pytest.raises(RankUnreachable):
+                    (yield from collectives.barrier(env.comm))
+                return
+            if env.rank == 0:
+                env.world.kill_ranks([1], where="test")
+            a = yield from env.comm.shrink()
+            b = yield from env.comm.shrink()
+            ids.append((a._comm_id, b._comm_id))
+
+        res = run(3, main)
+        assert res.aborted is None
+        first, second = ids
+        assert first == second  # every survivor derived the same ids
+        assert first[0] == first[1]  # shrinking twice on one dead set agrees
+
+    def test_point_to_point_works_on_shrunken_comm(self):
+        def main(env):
+            if env.rank == 0:
+                # parks in the barrier, then dies: unwound by ProcessCrashed
+                (yield from collectives.barrier(env.comm))
+                return "never"
+            if env.rank == 1:
+                env.world.kill_ranks([0], where="test")
+            sub = yield from env.comm.shrink()
+            if sub.rank == 0:
+                yield from sub.send(b"hello", 1)
+                return None
+            return (yield from sub.recv(0))
+
+        res = run(3, main)
+        assert res.aborted is None
+        assert res.returns[2] == b"hello"
+
+    def test_failed_ranks_is_group_aware(self):
+        from repro.simmpi import GroupSpec, SubCommunicator
+
+        def main(env):
+            if env.rank == 0:
+                env.world.kill_ranks([3], where="test")
+            if env.rank == 3:
+                with pytest.raises(RankUnreachable):
+                    (yield from collectives.barrier(env.comm))
+                return None
+            if env.rank in (0, 1):
+                # rank 3 is not a member: the sub-communicator is whole,
+                # and its collectives keep working
+                sub = SubCommunicator(
+                    env.world, GroupSpec((0, 1)), env.rank, "ft-test-sub"
+                )
+                assert failed_ranks(sub) == ()
+                (yield from collectives.barrier(sub))
+            return failed_ranks(env.comm)
+
+        res = run(4, main)
+        assert res.aborted is None
+        assert res.returns[0] == (3,)
+        assert res.returns[2] == (3,)
+
+
+class TestRevoke:
+    def test_revoked_comm_raises_everywhere(self):
+        def main(env):
+            comm = env.comm.dup()
+            if env.rank == 0:
+                comm.revoke()
+            assert comm.is_revoked  # revocation is globally visible
+            with pytest.raises(CommRevoked):
+                (yield from comm.send(b"x", (env.rank + 1) % env.size))
+            with pytest.raises(CommRevoked):
+                (yield from comm.recv(0))
+            with pytest.raises(CommRevoked):
+                (yield from collectives.barrier(comm))
+            # the parent communicator is untouched
+            (yield from collectives.barrier(env.comm))
+            return "ok"
+
+        res = run(2, main)
+        assert res.aborted is None
+        assert res.returns == ["ok", "ok"]
+
+    def test_shrink_of_revoked_comm_still_works(self):
+        def main(env):
+            if env.rank == 1:
+                with pytest.raises(RankUnreachable):
+                    (yield from collectives.barrier(env.comm))
+                return None
+            comm = env.comm.dup()
+            if env.rank == 0:
+                env.world.kill_ranks([1], where="test")
+                comm.revoke()
+            sub = yield from comm.shrink()
+            return (yield from collectives.allreduce(sub, 1, lambda a, b: a + b))
+
+        res = run(3, main)
+        assert res.aborted is None
+        assert res.returns[0] == res.returns[2] == 2
+
+
+class TestAgree:
+    def test_agree_ands_flags_across_survivors(self):
+        def main(env):
+            if env.rank == 1:
+                with pytest.raises(RankUnreachable):
+                    (yield from collectives.barrier(env.comm))
+                return None
+            if env.rank == 0:
+                env.world.kill_ranks([1], where="test")
+            flags = 0b111 if env.rank != 2 else 0b101
+            agreed, sub = yield from env.comm.agree(flags)
+            return (agreed, sub.size)
+
+        res = run(4, main)
+        assert res.aborted is None
+        for r in (0, 2, 3):
+            assert res.returns[r] == (0b101, 3)
+
+    def test_agree_survives_death_during_agreement(self):
+        def main(env):
+            if env.rank == 3:
+                # dies while the others are inside agree()
+                with pytest.raises(RankUnreachable):
+                    (yield from collectives.barrier(env.comm))
+                return None
+            if env.rank == 0:
+                # schedule the kill to land once rank 3's peers are parked
+                env.world.engine.schedule(
+                    1e-6, lambda: env.world.kill_ranks([3], where="test")
+                )
+            agreed, sub = yield from env.comm.agree(0b11)
+            return (agreed, sub.size, sub.group_world_ranks())
+
+        res = run(4, main)
+        assert res.aborted is None
+        assert res.dead_ranks == {3}
+        for r in (0, 1, 2):
+            assert res.returns[r] == (0b11, 3, (0, 1, 2))
+
+    def test_same_seed_same_shrink_order(self):
+        def once():
+            trace_rows = []
+
+            def main(env):
+                if env.rank == 2:
+                    with pytest.raises(RankUnreachable):
+                        (yield from collectives.barrier(env.comm))
+                    return None
+                if env.rank == 0:
+                    env.world.kill_ranks([2], where="test")
+                agreed, sub = yield from env.comm.agree(0b1)
+                trace_rows.append((env.rank, agreed, sub.group_world_ranks()))
+                return agreed
+
+            res = run(4, main)
+            return (res.elapsed, sorted(trace_rows), res.returns)
+
+        assert once() == once()
+
+
+class TestCompletionAccounting:
+    def test_unshrunk_survivor_still_counts_as_abort(self):
+        # Without FT handling the job must keep reporting an abort even
+        # though some ranks finish: regression guard for run_mpi's
+        # completion tracking.
+        def main(env):
+            if env.rank == 0:
+                env.world.kill_ranks([1], where="test")
+                return "early"
+            (yield from collectives.barrier(env.comm))
+
+        res = run(3, main)
+        assert res.aborted is not None
+        assert res.dead_ranks == {1}
